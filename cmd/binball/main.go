@@ -1,0 +1,65 @@
+// Command binball Monte-Carlos the (s, p, t) bin-ball games of §2 of
+// the paper against the Lemma 3 and Lemma 4 cost bounds (experiments L3
+// and L4 in DESIGN.md), and optionally plays a single custom game.
+//
+// Usage:
+//
+//	binball [-trials 2000] [-seed 42]                  # the L3/L4 tables
+//	binball -s 1000 -r 10000 -t 100 [-trials 2000]     # one custom game
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"extbuf/internal/binball"
+	"extbuf/internal/experiments"
+	"extbuf/internal/tablefmt"
+	"extbuf/internal/xrand"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("binball: ")
+	var (
+		trials = flag.Int("trials", 2000, "Monte Carlo trials")
+		seed   = flag.Uint64("seed", 42, "seed")
+		s      = flag.Int("s", 0, "custom game: balls")
+		r      = flag.Int("r", 0, "custom game: bins")
+		t      = flag.Int("t", 0, "custom game: adversarial removals")
+	)
+	flag.Parse()
+
+	if *s > 0 && *r > 0 {
+		g := binball.Game{S: *s, R: *r, T: *t}
+		if err := g.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		rng := xrand.New(*seed)
+		sum, _ := binball.MonteCarlo(g, rng, *trials, 0)
+		out := tablefmt.New(fmt.Sprintf("custom game s=%d r=%d t=%d", *s, *r, *t),
+			"metric", "value")
+		out.AddRow("trials", *trials)
+		out.AddRow("mean cost", sum.Mean())
+		out.AddRow("min cost", sum.Min())
+		out.AddRow("max cost", sum.Max())
+		out.AddRow("stddev", sum.StdDev())
+		out.AddRow("E[distinct bins] (t=0)", binball.ExpectedDistinct(*s, *r))
+		if bound, ok := binball.Lemma3Threshold(g, 0.1); ok {
+			out.AddRow("Lemma 3 bound (mu=0.1)", bound)
+		}
+		if bound, ok := binball.Lemma4Threshold(g); ok {
+			out.AddRow("Lemma 4 bound", bound)
+		}
+		out.Render(os.Stdout)
+		return
+	}
+
+	cfg := experiments.Default()
+	cfg.Seed = *seed
+	experiments.BinBallLemma3(cfg, *trials).Render(os.Stdout)
+	fmt.Println()
+	experiments.BinBallLemma4(cfg, *trials).Render(os.Stdout)
+}

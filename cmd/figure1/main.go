@@ -1,0 +1,60 @@
+// Command figure1 regenerates Figure 1 of Wei, Yi, Zhang (SPAA 2009):
+// the query-insertion tradeoff of dynamic external hashing, measured on
+// the simulated external memory model.
+//
+// Usage:
+//
+//	figure1 [-b blocksize] [-m words] [-n items] [-q samples] [-seed s] [-hash family]
+//
+// It prints the full tradeoff table (experiment F1 in DESIGN.md) plus
+// the per-regime Theorem 1 and Theorem 2 tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"extbuf/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figure1: ")
+	cfg := experiments.Default()
+	flag.IntVar(&cfg.B, "b", cfg.B, "block size in items")
+	flag.Int64Var(&cfg.MWords, "m", cfg.MWords, "memory budget in words")
+	flag.IntVar(&cfg.N, "n", cfg.N, "items to insert")
+	flag.IntVar(&cfg.QuerySamples, "q", cfg.QuerySamples, "successful lookups sampled")
+	flag.Uint64Var(&cfg.Seed, "seed", cfg.Seed, "master seed")
+	flag.StringVar(&cfg.HashFamily, "hash", "", "hash family: ideal, multshift, tabulation")
+	flag.Parse()
+
+	fig, err := experiments.Figure1(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fig.Render(os.Stdout)
+	fmt.Println()
+
+	t1, err := experiments.Theorem1(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t1.Render(os.Stdout)
+	fmt.Println()
+
+	t2, err := experiments.Theorem2(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t2.Render(os.Stdout)
+	fmt.Println()
+
+	t2e, err := experiments.Theorem2Eps(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t2e.Render(os.Stdout)
+}

@@ -1,0 +1,156 @@
+// Command hashbench measures the I/O costs of any one structure in this
+// repository under a configurable workload — the general-purpose driver
+// behind the per-structure rows of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	hashbench -structure core [-b 64] [-m 1024] [-n 50000] [-beta 8]
+//	          [-gamma 2] [-delta 0.1] [-q 4000] [-seed 42] [-hash ideal]
+//
+// Structures: chainhash, linprobe, exthash, linhash, twolevel,
+// logmethod, core, staged.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"extbuf/internal/chainhash"
+	"extbuf/internal/core"
+	"extbuf/internal/exthash"
+	"extbuf/internal/hashfn"
+	"extbuf/internal/iomodel"
+	"extbuf/internal/linhash"
+	"extbuf/internal/linprobe"
+	"extbuf/internal/logmethod"
+	"extbuf/internal/tablefmt"
+	"extbuf/internal/twolevel"
+	"extbuf/internal/workload"
+	"extbuf/internal/xrand"
+	"extbuf/internal/zones"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hashbench: ")
+	var (
+		structure = flag.String("structure", "core", "structure to drive")
+		b         = flag.Int("b", 64, "block size in items")
+		mWords    = flag.Int64("m", 1024, "memory budget in words")
+		n         = flag.Int("n", 50000, "items to insert")
+		beta      = flag.Int("beta", 8, "core: merge parameter")
+		gamma     = flag.Int("gamma", 2, "core/logmethod: growth factor")
+		delta     = flag.Float64("delta", 0.1, "staged: slow-zone budget coefficient")
+		q         = flag.Int("q", 4000, "successful lookups sampled")
+		seed      = flag.Uint64("seed", 42, "seed")
+		family    = flag.String("hash", "ideal", "hash family")
+	)
+	flag.Parse()
+
+	model := iomodel.NewModel(*b, *mWords)
+	fn := hashfn.Family(*family, *seed)
+	rng := xrand.New(*seed)
+
+	var (
+		insert  func(k uint64) error
+		lookup  func(k uint64) bool
+		subject zones.Subject
+	)
+	switch *structure {
+	case "chainhash", "knuth":
+		tab, err := chainhash.New(model, fn, 2**n / *b)
+		fatal(err)
+		insert = func(k uint64) error { tab.Insert(k, 0); return nil }
+		lookup = func(k uint64) bool { _, ok, _ := tab.Lookup(k); return ok }
+		subject = tab
+	case "linprobe":
+		tab, err := linprobe.New(model, fn, 2**n / *b)
+		fatal(err)
+		insert = func(k uint64) error { _, err := tab.Insert(k, 0); return err }
+		lookup = func(k uint64) bool { _, ok, _ := tab.Lookup(k); return ok }
+		subject = tab
+	case "exthash", "extendible":
+		// Provision the directory's Theta(n/b) words explicitly.
+		model = iomodel.NewModel(*b, *mWords+int64(8**n / *b))
+		tab, err := exthash.New(model, fn, 4)
+		fatal(err)
+		insert = func(k uint64) error { tab.Insert(k, 0); return nil }
+		lookup = func(k uint64) bool { _, ok, _ := tab.Lookup(k); return ok }
+		subject = tab
+	case "linhash", "linear":
+		tab, err := linhash.New(model, fn, 2)
+		fatal(err)
+		insert = func(k uint64) error { tab.Insert(k, 0); return nil }
+		lookup = func(k uint64) bool { _, ok, _ := tab.Lookup(k); return ok }
+		subject = tab
+	case "twolevel":
+		tab, err := twolevel.New(model, fn, twolevel.HomeBucketsFor(*n, *b))
+		fatal(err)
+		insert = func(k uint64) error { tab.Insert(k, 0); return nil }
+		lookup = func(k uint64) bool { _, ok, _ := tab.Lookup(k); return ok }
+		subject = tab
+	case "logmethod":
+		tab, err := logmethod.New(model, fn, logmethod.Config{Gamma: *gamma})
+		fatal(err)
+		insert = func(k uint64) error { _, err := tab.Insert(k, 0); return err }
+		lookup = func(k uint64) bool { _, ok, _ := tab.Lookup(k); return ok }
+		subject = tab
+	case "core", "buffered":
+		tab, err := core.New(model, fn, core.Config{Beta: *beta, Gamma: *gamma})
+		fatal(err)
+		insert = func(k uint64) error { _, err := tab.Insert(k, 0); return err }
+		lookup = func(k uint64) bool { _, ok, _ := tab.Lookup(k); return ok }
+		subject = tab
+	case "staged":
+		tab, err := core.NewStaged(model, fn, core.StagedConfig{Delta: *delta})
+		fatal(err)
+		insert = func(k uint64) error { tab.Insert(k, 0); return nil }
+		lookup = func(k uint64) bool { _, ok, _ := tab.Lookup(k); return ok }
+		subject = tab
+	default:
+		log.Fatalf("unknown structure %q", *structure)
+	}
+
+	keys := workload.Keys(rng, *n)
+	c0 := model.Counters()
+	for _, k := range keys {
+		fatal(insert(k))
+	}
+	ins := model.Counters().Sub(c0)
+
+	qs := workload.SuccessfulQueries(rng, keys, *n, *q)
+	c1 := model.Counters()
+	for _, k := range qs {
+		if !lookup(k) {
+			log.Fatalf("lost key %d", k)
+		}
+	}
+	qry := model.Counters().Sub(c1)
+
+	rep := zones.Audit(subject, keys)
+
+	t := tablefmt.New(fmt.Sprintf("%s: b=%d m=%d n=%d", *structure, *b, *mWords, *n),
+		"metric", "value")
+	t.AddRow("amortized insert I/Os", float64(ins.IOs())/float64(*n))
+	t.AddRow("  reads", float64(ins.Reads)/float64(*n))
+	t.AddRow("  cold writes", float64(ins.Writes)/float64(*n))
+	t.AddRow("  free write-backs", float64(ins.WriteBacks)/float64(*n))
+	t.AddRow("avg successful lookup I/Os", float64(qry.IOs())/float64(len(qs)))
+	t.AddRow("zone |M|", rep.M)
+	t.AddRow("zone |F|", rep.F)
+	t.AddRow("zone |S|", rep.S)
+	t.AddRow("zone-model tq", rep.ModelQueryCost())
+	t.AddRow("slow fraction", rep.SlowFraction())
+	t.AddRow("memory peak (words)", model.Mem.Peak())
+	t.AddRow("disk blocks", model.Disk.NumBlocks())
+	t.AddRow("(tq-1)*b", tablefmt.FormatFloat((float64(qry.IOs())/float64(len(qs))-1)*float64(*b)))
+	t.Render(os.Stdout)
+}
+
+func fatal(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

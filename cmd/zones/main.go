@@ -1,0 +1,43 @@
+// Command zones runs the zone audits of §2 of the paper over every
+// structure in the repository: the Eq. (1) check |S| <= m + delta*k
+// (experiment EQ1 in DESIGN.md) and the Lemma 2 characteristic-vector
+// goodness classification (experiment L2).
+//
+// Usage:
+//
+//	zones [-b 64] [-m 1024] [-n 50000] [-samples 100000] [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"extbuf/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("zones: ")
+	cfg := experiments.Default()
+	samples := flag.Int("samples", 100000, "Monte Carlo samples for characteristic vectors")
+	flag.IntVar(&cfg.B, "b", cfg.B, "block size in items")
+	flag.Int64Var(&cfg.MWords, "m", cfg.MWords, "memory budget in words")
+	flag.IntVar(&cfg.N, "n", cfg.N, "items to insert")
+	flag.Uint64Var(&cfg.Seed, "seed", cfg.Seed, "seed")
+	flag.Parse()
+
+	audit, err := experiments.ZoneAudit(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	audit.Render(os.Stdout)
+	fmt.Println()
+
+	good, err := experiments.GoodFunctions(cfg, *samples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	good.Render(os.Stdout)
+}

@@ -1,0 +1,106 @@
+// Archival ingest: the workload that motivates the paper's introduction
+// — "there tends to be a lot more insertions than deletions in many
+// practical situations like managing archival data".
+//
+// A stream of archive records (think log segments keyed by content
+// hash) is ingested with occasional point lookups (audits) and rare
+// deletions (retention). The example runs the same stream through the
+// paper's buffered table, the logarithmic method, and the plain Knuth
+// table, and prints the I/O bill of each — the practical face of
+// Figure 1.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"extbuf"
+	"extbuf/internal/workload"
+	"extbuf/internal/xrand"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	const ops = 400_000
+	// Audits are uniform over live records — the paper's definition of
+	// the expected average successful lookup. (Set ZipfQueries for a
+	// recency-skewed variant: audits then mostly hit the memory buffer
+	// and every structure answers them nearly free.)
+	stream := workload.Mix(xrand.New(7), workload.MixConfig{
+		Ops:        ops,
+		LookupFrac: 0.05, // rare audits
+		DeleteFrac: 0.01, // rarer retention deletes
+	})
+
+	type contestant struct {
+		name string
+		tab  extbuf.Table
+	}
+	mk := func(name string) contestant {
+		tab, err := extbuf.Open(name, extbuf.Config{
+			BlockSize:     128,
+			MemoryWords:   2048,
+			Beta:          8,
+			ExpectedItems: ops,
+			Seed:          11,
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		return contestant{name, tab}
+	}
+	contestants := []contestant{mk("buffered"), mk("logmethod"), mk("knuth")}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "structure\tingest I/Os per insert\taudit I/Os per lookup\tdelete I/Os each\ttotal I/Os")
+	for _, c := range contestants {
+		var nIns, nLook, nDel int
+		var insIOs, lookIOs, delIOs int64
+		prev := c.tab.Stats().IOs()
+		tick := func(counter *int64) {
+			now := c.tab.Stats().IOs()
+			*counter += now - prev
+			prev = now
+		}
+		for _, op := range stream {
+			switch op.Kind {
+			case workload.OpInsert:
+				// Content-addressed archives never re-insert a hash, so
+				// the distinct-keys Insert contract holds.
+				if err := c.tab.Insert(op.Key, op.Val); err != nil {
+					log.Fatalf("%s: %v", c.name, err)
+				}
+				nIns++
+				tick(&insIOs)
+			case workload.OpLookup:
+				if _, ok := c.tab.Lookup(op.Key); !ok {
+					log.Fatalf("%s: audit missed record %d", c.name, op.Key)
+				}
+				nLook++
+				tick(&lookIOs)
+			case workload.OpDelete:
+				if !c.tab.Delete(op.Key) {
+					log.Fatalf("%s: retention delete missed %d", c.name, op.Key)
+				}
+				nDel++
+				tick(&delIOs)
+			}
+		}
+		fmt.Fprintf(w, "%s\t%.4f\t%.4f\t%.4f\t%d\n",
+			c.name,
+			float64(insIOs)/float64(nIns),
+			float64(lookIOs)/float64(nLook),
+			float64(delIOs)/float64(nDel),
+			c.tab.Stats().IOs())
+		c.tab.Close()
+	}
+	w.Flush()
+	fmt.Println("\nreading the table: all three ingest; the plain (knuth) table pays ~1 I/O")
+	fmt.Println("per insert where the buffered structures pay o(1). The logarithmic method's")
+	fmt.Println("ingest is cheapest but every audit walks its whole cascade (Lemma 5), while")
+	fmt.Println("the buffered table keeps audits at ~1 I/O (Theorem 2) — the paper's tradeoff")
+	fmt.Println("in one workload. Raise LookupFrac and the buffered table wins outright.")
+}

@@ -1,0 +1,79 @@
+// parallel: multi-worker ingest into a sharded buffered table. Each
+// shard is an independent external-memory model (its own disk and
+// memory budget — think one spindle per worker), so the paper's
+// per-structure bounds hold shard-locally while workers proceed
+// concurrently. The example ingests from several goroutines, then
+// compares the aggregate I/O bill against a single-shard run of the
+// same workload.
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"sync"
+	"time"
+
+	"extbuf"
+	"extbuf/internal/xrand"
+)
+
+func ingest(shards, workers, perWorker int) (extbuf.Stats, time.Duration, int) {
+	s, err := extbuf.NewSharded("buffered", extbuf.Config{
+		BlockSize:   128,
+		MemoryWords: 2048,
+		Beta:        8,
+		Seed:        17,
+	}, shards)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(1000 + w))
+			for i := 0; i < perWorker; i++ {
+				// Worker-partitioned key space keeps Insert's
+				// fresh-key contract across goroutines.
+				key := uint64(w)<<56 | rng.Uint64()>>8
+				if err := s.Insert(key, uint64(i)); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	return s.Stats(), elapsed, s.Len()
+}
+
+func main() {
+	log.SetFlags(0)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+	const perWorker = 250_000
+	total := workers * perWorker
+
+	fmt.Printf("ingesting %d items with %d workers\n\n", total, workers)
+	for _, shards := range []int{1, workers} {
+		st, elapsed, n := ingest(shards, workers, perWorker)
+		if n != total {
+			log.Fatalf("lost items: %d != %d", n, total)
+		}
+		fmt.Printf("shards=%d: %8.2fms wall, %d simulated I/Os (%.4f per insert)\n",
+			shards, float64(elapsed.Microseconds())/1000, st.IOs(),
+			float64(st.IOs())/float64(total))
+	}
+	fmt.Println("\nthe wall-clock drop is the parallelism — one lock and one model per shard")
+	fmt.Println("instead of a single contended structure. The per-insert I/O count even")
+	fmt.Println("improves slightly with shards: each shard holds n/S items, and Theorem 2's")
+	fmt.Println("t_u carries a (2/b)·log(n_shard/m) term, so smaller shards mean shallower")
+	fmt.Println("cascades (at the price of S memory budgets).")
+}

@@ -1,0 +1,77 @@
+// Quickstart: build the paper's buffered hash table, insert a million
+// items, look some up, and read the I/O counters — the five-minute tour
+// of the extbuf public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"extbuf"
+	"extbuf/internal/xrand"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A disk with 256-item blocks and a 4096-word memory budget: the
+	// external memory model of the paper, simulated. Beta = 8 buys
+	// lookups within 1 + O(1/8) I/Os; insertions amortize to o(1)
+	// (the advantage grows with the block size b — Theorem 2's bound is
+	// O(beta/b + (2/b)log(n/m)) per insert).
+	tab, err := extbuf.New(extbuf.Config{
+		BlockSize:   256,
+		MemoryWords: 4096,
+		Beta:        8,
+		Seed:        2009, // SPAA 2009
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tab.Close()
+
+	const n = 1_000_000
+	rng := xrand.New(42)
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		if err := tab.Insert(keys[i], uint64(i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ins := tab.Stats()
+	fmt.Printf("inserted %d items in %d I/Os  ->  t_u = %.4f I/Os amortized\n",
+		n, ins.IOs(), float64(ins.IOs())/n)
+	fmt.Printf("  (reads %d, cold writes %d, free write-backs %d)\n",
+		ins.Reads, ins.Writes, ins.WriteBacks)
+
+	const q = 10_000
+	for i := 0; i < q; i++ {
+		k := keys[rng.Intn(n)]
+		if v, ok := tab.Lookup(k); !ok {
+			log.Fatalf("lost key %d", k)
+		} else if v >= n {
+			log.Fatalf("corrupt value %d", v)
+		}
+	}
+	qry := tab.Stats()
+	tq := float64(qry.IOs()-ins.IOs()) / q
+	fmt.Printf("%d random successful lookups  ->  t_q = %.4f I/Os average\n", q, tq)
+
+	fmt.Printf("table holds %d items using %d memory words\n", tab.Len(), tab.MemoryUsed())
+	fmt.Println()
+	fmt.Println("compare with a plain Knuth table, which pays ~1 I/O per insert:")
+	plain, err := extbuf.NewKnuth(extbuf.Config{BlockSize: 256, ExpectedItems: n, Seed: 2009})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer plain.Close()
+	for i, k := range keys {
+		if err := plain.Insert(k, uint64(i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("plain table: t_u = %.4f I/Os amortized — buffering won %.0fx\n",
+		float64(plain.Stats().IOs())/n,
+		float64(plain.Stats().IOs())/float64(ins.IOs()))
+}

@@ -1,0 +1,400 @@
+package extbuf
+
+import (
+	"errors"
+	"fmt"
+
+	"extbuf/internal/chainhash"
+	"extbuf/internal/core"
+	"extbuf/internal/exthash"
+	"extbuf/internal/hashfn"
+	"extbuf/internal/iomodel"
+	"extbuf/internal/linhash"
+	"extbuf/internal/linprobe"
+	"extbuf/internal/logmethod"
+	"extbuf/internal/twolevel"
+)
+
+// Stats reports cumulative I/O counts of a table's simulated disk.
+// IOs = Reads + Writes is the seek-dominated cost the paper measures;
+// WriteBacks are writes issued immediately after reading the same block,
+// free under the paper's footnote-2 convention.
+type Stats struct {
+	Reads      int64
+	Writes     int64
+	WriteBacks int64
+}
+
+// IOs returns the seek-dominated I/O count.
+func (s Stats) IOs() int64 { return s.Reads + s.Writes }
+
+// Table is a dynamic external hash table storing one-word keys and
+// values, the paper's atomic items. Implementations are not safe for
+// concurrent use.
+type Table interface {
+	// Insert stores (key, val). For the buffered table (New) the key
+	// must not already be present — the paper's insert-only model; this
+	// is what keeps its lookups at 1 + O(1/beta) I/Os. Use Upsert for
+	// read-modify-write. Baseline tables treat Insert as Upsert.
+	Insert(key, val uint64) error
+	// Upsert stores (key, val) whether or not key is present.
+	Upsert(key, val uint64) error
+	// Lookup returns the value stored for key.
+	Lookup(key uint64) (uint64, bool)
+	// Delete removes key, reporting whether it was present.
+	Delete(key uint64) bool
+	// Len returns the number of stored entries.
+	Len() int
+	// Stats returns cumulative I/O counts since construction.
+	Stats() Stats
+	// MemoryUsed returns the words of main memory the table currently
+	// charges against its budget.
+	MemoryUsed() int64
+	// Close releases the table's memory reservations. The table must
+	// not be used afterwards.
+	Close()
+}
+
+// Config parametrizes table construction.
+type Config struct {
+	// BlockSize is b, the number of items per disk block (default 64;
+	// must be >= 8 — the paper assumes b > log u).
+	BlockSize int
+	// MemoryWords is m, the main-memory budget in words (default 1024).
+	MemoryWords int64
+	// Beta is the Theorem 2 merge parameter (default 8; 2 <= Beta <= b).
+	// Lookups cost 1 + O(1/Beta); insertions O(Beta/b + log/b).
+	Beta int
+	// Gamma is the logarithmic-method growth factor (default 2).
+	Gamma int
+	// ExpectedItems pre-sizes fixed-capacity baselines (default 1 << 16).
+	ExpectedItems int
+	// Seed drives the hash function; runs with equal seeds are
+	// identical (default 1).
+	Seed uint64
+	// HashFamily selects "ideal" (default), "multshift" or "tabulation".
+	HashFamily string
+}
+
+func (c Config) withDefaults() Config {
+	if c.BlockSize == 0 {
+		c.BlockSize = 64
+	}
+	if c.MemoryWords == 0 {
+		c.MemoryWords = 1024
+	}
+	if c.Beta == 0 {
+		c.Beta = 8
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 2
+	}
+	if c.ExpectedItems == 0 {
+		c.ExpectedItems = 1 << 16
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// ErrBlockTooSmall is returned for block sizes under 8 items.
+var ErrBlockTooSmall = errors.New("extbuf: block size must be >= 8 items")
+
+func (c Config) model() (*iomodel.Model, hashfn.Fn, error) {
+	if c.BlockSize < 8 {
+		return nil, nil, ErrBlockTooSmall
+	}
+	return iomodel.NewModel(c.BlockSize, c.MemoryWords), hashfn.Family(c.HashFamily, c.Seed), nil
+}
+
+// base carries the model shared by all adapters.
+type base struct {
+	model *iomodel.Model
+}
+
+func (b base) Stats() Stats {
+	c := b.model.Counters()
+	return Stats{Reads: c.Reads, Writes: c.Writes, WriteBacks: c.WriteBacks}
+}
+
+func (b base) MemoryUsed() int64 { return b.model.Mem.Used() }
+
+// New returns the paper's Theorem 2 buffered hash table: o(1) amortized
+// insertions with lookups in 1 + O(1/Beta) I/Os.
+func New(cfg Config) (Table, error) {
+	cfg = cfg.withDefaults()
+	model, fn, err := cfg.model()
+	if err != nil {
+		return nil, err
+	}
+	t, err := core.New(model, fn, core.Config{Beta: cfg.Beta, Gamma: cfg.Gamma})
+	if err != nil {
+		return nil, err
+	}
+	return &coreTable{base{model}, t}, nil
+}
+
+type coreTable struct {
+	base
+	t *core.Table
+}
+
+func (c *coreTable) Insert(key, val uint64) error {
+	_, err := c.t.Insert(key, val)
+	return err
+}
+func (c *coreTable) Upsert(key, val uint64) error {
+	_, err := c.t.Upsert(key, val)
+	return err
+}
+func (c *coreTable) Lookup(key uint64) (uint64, bool) {
+	v, ok, _ := c.t.Lookup(key)
+	return v, ok
+}
+func (c *coreTable) Delete(key uint64) bool {
+	ok, _ := c.t.Delete(key)
+	return ok
+}
+func (c *coreTable) Len() int { return c.t.Len() }
+func (c *coreTable) Close()   { c.t.Close() }
+
+// NewLogMethod returns the Lemma 5 logarithmic-method table: o(1)
+// amortized insertions with O(log_gamma(n/m)) lookups.
+func NewLogMethod(cfg Config) (Table, error) {
+	cfg = cfg.withDefaults()
+	model, fn, err := cfg.model()
+	if err != nil {
+		return nil, err
+	}
+	t, err := logmethod.New(model, fn, logmethod.Config{Gamma: cfg.Gamma})
+	if err != nil {
+		return nil, err
+	}
+	return &logTable{base{model}, t}, nil
+}
+
+type logTable struct {
+	base
+	t *logmethod.Table
+}
+
+func (l *logTable) Insert(key, val uint64) error {
+	_, err := l.t.Insert(key, val)
+	return err
+}
+func (l *logTable) Upsert(key, val uint64) error { return l.Insert(key, val) }
+func (l *logTable) Lookup(key uint64) (uint64, bool) {
+	v, ok, _ := l.t.Lookup(key)
+	return v, ok
+}
+func (l *logTable) Delete(key uint64) bool {
+	ok, _ := l.t.Delete(key)
+	return ok
+}
+func (l *logTable) Len() int { return l.t.Len() }
+func (l *logTable) Close()   { l.t.Close() }
+
+// NewKnuth returns the classical external chaining table sized for
+// cfg.ExpectedItems at load factor 1/2: ~1 I/O lookups and inserts.
+func NewKnuth(cfg Config) (Table, error) {
+	cfg = cfg.withDefaults()
+	model, fn, err := cfg.model()
+	if err != nil {
+		return nil, err
+	}
+	nb := 2 * cfg.ExpectedItems / cfg.BlockSize
+	if nb < 2 {
+		nb = 2
+	}
+	t, err := chainhash.New(model, fn, nb)
+	if err != nil {
+		return nil, err
+	}
+	t.SetMaxLoad(0.75)
+	return &chainTable{base{model}, t}, nil
+}
+
+type chainTable struct {
+	base
+	t *chainhash.Table
+}
+
+func (c *chainTable) Insert(key, val uint64) error { c.t.Insert(key, val); return nil }
+func (c *chainTable) Upsert(key, val uint64) error { return c.Insert(key, val) }
+func (c *chainTable) Lookup(key uint64) (uint64, bool) {
+	v, ok, _ := c.t.Lookup(key)
+	return v, ok
+}
+func (c *chainTable) Delete(key uint64) bool {
+	ok, _ := c.t.Delete(key)
+	return ok
+}
+func (c *chainTable) Len() int { return c.t.Len() }
+func (c *chainTable) Close()   { c.t.Close() }
+
+// NewLinearProbing returns the block-level linear probing baseline.
+func NewLinearProbing(cfg Config) (Table, error) {
+	cfg = cfg.withDefaults()
+	model, fn, err := cfg.model()
+	if err != nil {
+		return nil, err
+	}
+	nb := 2 * cfg.ExpectedItems / cfg.BlockSize
+	if nb < 2 {
+		nb = 2
+	}
+	t, err := linprobe.New(model, fn, nb)
+	if err != nil {
+		return nil, err
+	}
+	t.SetMaxLoad(0.7)
+	return &probeTable{base{model}, t}, nil
+}
+
+type probeTable struct {
+	base
+	t *linprobe.Table
+}
+
+func (p *probeTable) Insert(key, val uint64) error {
+	_, err := p.t.Insert(key, val)
+	return err
+}
+func (p *probeTable) Upsert(key, val uint64) error { return p.Insert(key, val) }
+func (p *probeTable) Lookup(key uint64) (uint64, bool) {
+	v, ok, _ := p.t.Lookup(key)
+	return v, ok
+}
+func (p *probeTable) Delete(key uint64) bool {
+	ok, _ := p.t.Delete(key)
+	return ok
+}
+func (p *probeTable) Len() int { return p.t.Len() }
+func (p *probeTable) Close()   { p.t.Close() }
+
+// NewExtendible returns the extendible hashing baseline (Fagin et al.).
+// Its in-memory directory needs Theta(n/b) words; size MemoryWords
+// accordingly (the constructor cannot know the final n).
+func NewExtendible(cfg Config) (Table, error) {
+	cfg = cfg.withDefaults()
+	model, fn, err := cfg.model()
+	if err != nil {
+		return nil, err
+	}
+	t, err := exthash.New(model, fn, 2)
+	if err != nil {
+		return nil, err
+	}
+	return &extTable{base{model}, t}, nil
+}
+
+type extTable struct {
+	base
+	t *exthash.Table
+}
+
+func (e *extTable) Insert(key, val uint64) error { e.t.Insert(key, val); return nil }
+func (e *extTable) Upsert(key, val uint64) error { return e.Insert(key, val) }
+func (e *extTable) Lookup(key uint64) (uint64, bool) {
+	v, ok, _ := e.t.Lookup(key)
+	return v, ok
+}
+func (e *extTable) Delete(key uint64) bool {
+	ok, _ := e.t.Delete(key)
+	return ok
+}
+func (e *extTable) Len() int { return e.t.Len() }
+func (e *extTable) Close()   { e.t.Close() }
+
+// NewLinear returns the linear hashing baseline (Litwin).
+func NewLinear(cfg Config) (Table, error) {
+	cfg = cfg.withDefaults()
+	model, fn, err := cfg.model()
+	if err != nil {
+		return nil, err
+	}
+	t, err := linhash.New(model, fn, 2)
+	if err != nil {
+		return nil, err
+	}
+	return &linTable{base{model}, t}, nil
+}
+
+type linTable struct {
+	base
+	t *linhash.Table
+}
+
+func (l *linTable) Insert(key, val uint64) error { l.t.Insert(key, val); return nil }
+func (l *linTable) Upsert(key, val uint64) error { return l.Insert(key, val) }
+func (l *linTable) Lookup(key uint64) (uint64, bool) {
+	v, ok, _ := l.t.Lookup(key)
+	return v, ok
+}
+func (l *linTable) Delete(key uint64) bool {
+	ok, _ := l.t.Delete(key)
+	return ok
+}
+func (l *linTable) Len() int { return l.t.Len() }
+func (l *linTable) Close()   { l.t.Close() }
+
+// NewTwoLevel returns the Jensen–Pagh-style high-load table sized for
+// cfg.ExpectedItems at load factor 1 - 1/sqrt(b).
+func NewTwoLevel(cfg Config) (Table, error) {
+	cfg = cfg.withDefaults()
+	model, fn, err := cfg.model()
+	if err != nil {
+		return nil, err
+	}
+	t, err := twolevel.New(model, fn, twolevel.HomeBucketsFor(cfg.ExpectedItems, cfg.BlockSize))
+	if err != nil {
+		return nil, err
+	}
+	return &twoTable{base{model}, t}, nil
+}
+
+type twoTable struct {
+	base
+	t *twolevel.Table
+}
+
+func (w *twoTable) Insert(key, val uint64) error { w.t.Insert(key, val); return nil }
+func (w *twoTable) Upsert(key, val uint64) error { return w.Insert(key, val) }
+func (w *twoTable) Lookup(key uint64) (uint64, bool) {
+	v, ok, _ := w.t.Lookup(key)
+	return v, ok
+}
+func (w *twoTable) Delete(key uint64) bool {
+	ok, _ := w.t.Delete(key)
+	return ok
+}
+func (w *twoTable) Len() int { return w.t.Len() }
+func (w *twoTable) Close()   { w.t.Close() }
+
+// Structures lists the constructor names accepted by Open.
+func Structures() []string {
+	return []string{"buffered", "logmethod", "knuth", "linprobe", "extendible", "linear", "twolevel"}
+}
+
+// Open constructs a table by structure name; see Structures.
+func Open(structure string, cfg Config) (Table, error) {
+	switch structure {
+	case "buffered", "core":
+		return New(cfg)
+	case "logmethod":
+		return NewLogMethod(cfg)
+	case "knuth", "chainhash":
+		return NewKnuth(cfg)
+	case "linprobe":
+		return NewLinearProbing(cfg)
+	case "extendible", "exthash":
+		return NewExtendible(cfg)
+	case "linear", "linhash":
+		return NewLinear(cfg)
+	case "twolevel":
+		return NewTwoLevel(cfg)
+	default:
+		return nil, fmt.Errorf("extbuf: unknown structure %q (want one of %v)", structure, Structures())
+	}
+}

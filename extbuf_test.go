@@ -1,0 +1,186 @@
+package extbuf_test
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"extbuf"
+	"extbuf/internal/xrand"
+)
+
+// allStructures builds one table of every kind with small parameters.
+func allStructures(t *testing.T) map[string]extbuf.Table {
+	t.Helper()
+	out := map[string]extbuf.Table{}
+	for _, name := range extbuf.Structures() {
+		cfg := extbuf.Config{BlockSize: 16, MemoryWords: 512, ExpectedItems: 4096, Seed: 7}
+		if name == "extendible" {
+			cfg.MemoryWords = 1 << 16 // directory space
+		}
+		tab, err := extbuf.Open(name, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out[name] = tab
+	}
+	return out
+}
+
+func TestAllStructuresBasicOps(t *testing.T) {
+	for name, tab := range allStructures(t) {
+		rng := xrand.New(11)
+		keys := make([]uint64, 2000)
+		for i := range keys {
+			keys[i] = rng.Uint64()
+			if err := tab.Insert(keys[i], uint64(i)); err != nil {
+				t.Fatalf("%s: insert: %v", name, err)
+			}
+		}
+		if tab.Len() != 2000 {
+			t.Fatalf("%s: Len = %d", name, tab.Len())
+		}
+		for i, k := range keys {
+			v, ok := tab.Lookup(k)
+			if !ok || v != uint64(i) {
+				t.Fatalf("%s: key %d lost (ok=%v v=%d)", name, k, ok, v)
+			}
+		}
+		if _, ok := tab.Lookup(0xdeadbeefdeadbeef); ok {
+			t.Fatalf("%s: found absent key", name)
+		}
+		if tab.Stats().IOs() == 0 {
+			t.Fatalf("%s: no I/O recorded", name)
+		}
+		for i, k := range keys {
+			if i%2 == 0 && !tab.Delete(k) {
+				t.Fatalf("%s: delete failed", name)
+			}
+		}
+		if tab.Len() != 1000 {
+			t.Fatalf("%s: Len = %d after deletes", name, tab.Len())
+		}
+		tab.Close()
+	}
+}
+
+func TestUpsertSemantics(t *testing.T) {
+	for name, tab := range allStructures(t) {
+		for i := 0; i < 500; i++ {
+			if err := tab.Upsert(uint64(i%50), uint64(i)); err != nil {
+				t.Fatalf("%s: upsert: %v", name, err)
+			}
+		}
+		if tab.Len() != 50 {
+			t.Fatalf("%s: Len = %d, want 50 distinct keys", name, tab.Len())
+		}
+		for k := 0; k < 50; k++ {
+			v, ok := tab.Lookup(uint64(k))
+			want := uint64(450 + k)
+			if !ok || v != want {
+				t.Fatalf("%s: key %d = %d want %d", name, k, v, want)
+			}
+		}
+		tab.Close()
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	tab, err := extbuf.New(extbuf.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tab.Close()
+	if err := tab.Insert(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := tab.Lookup(1)
+	if !ok || v != 2 {
+		t.Fatal("default-config table broken")
+	}
+}
+
+func TestBlockTooSmall(t *testing.T) {
+	_, err := extbuf.New(extbuf.Config{BlockSize: 4})
+	if !errors.Is(err, extbuf.ErrBlockTooSmall) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOpenUnknown(t *testing.T) {
+	if _, err := extbuf.Open("btree", extbuf.Config{}); err == nil {
+		t.Fatal("unknown structure accepted")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() extbuf.Stats {
+		tab, err := extbuf.New(extbuf.Config{BlockSize: 16, MemoryWords: 256, Seed: 99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tab.Close()
+		rng := xrand.New(5)
+		for i := 0; i < 5000; i++ {
+			if err := tab.Insert(rng.Uint64(), uint64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return tab.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed, different I/O counts: %+v vs %+v", a, b)
+	}
+}
+
+func TestMemoryUsedReported(t *testing.T) {
+	tab, err := extbuf.New(extbuf.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.MemoryUsed() <= 0 {
+		t.Fatal("no memory charge visible")
+	}
+	tab.Close()
+}
+
+func TestBufferedMatchesModelProperty(t *testing.T) {
+	f := func(seed uint64, ops []byte) bool {
+		tab, err := extbuf.New(extbuf.Config{BlockSize: 8, MemoryWords: 128, Seed: seed | 1})
+		if err != nil {
+			return false
+		}
+		defer tab.Close()
+		ref := map[uint64]uint64{}
+		r := xrand.New(seed)
+		for _, op := range ops {
+			key := uint64(op % 40)
+			switch op % 4 {
+			case 0, 1:
+				v := r.Uint64()
+				if tab.Upsert(key, v) != nil {
+					return false
+				}
+				ref[key] = v
+			case 2:
+				ok := tab.Delete(key)
+				_, inRef := ref[key]
+				if ok != inRef {
+					return false
+				}
+				delete(ref, key)
+			default:
+				v, ok := tab.Lookup(key)
+				rv, rok := ref[key]
+				if ok != rok || (ok && v != rv) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,153 @@
+// Package binball simulates the (s, p, t) bin-ball game of §2 of Wei,
+// Yi, Zhang (SPAA 2009), the combinatorial engine of the paper's
+// insertion lower bound.
+//
+// In an (s, p, t) game, s balls are thrown independently into r >= 1/p
+// bins, each ball landing in any particular bin with probability at most
+// p. An adversary then removes t balls so that the remaining s - t balls
+// occupy as few bins as possible; the cost of the game is the number of
+// bins still occupied.
+//
+// The game models one round of insertions against a hash table using a
+// good address function: balls are the round's items, bins are the disk
+// blocks of the good index area, and the adversary's removals are the
+// items the structure may hide in memory or the slow zone. The cost
+// lower-bounds the round's I/Os, because every fast-zone item forces a
+// touch of its own block.
+//
+// Lemma 3 (sparse regime, sp <= 1/3): cost >= (1-mu)(1-sp)s - t with
+// probability >= 1 - exp(-mu^2 s / 3).
+//
+// Lemma 4 (dense regime, s/2 >= t, s/2 >= 1/p): cost >= 1/(20p) with
+// probability >= 1 - 2^(-Omega(s)).
+//
+// The Monte Carlo drivers here measure the exact game cost (the greedy
+// adversary below is optimal) so the experiments can place the measured
+// distribution against both bounds.
+package binball
+
+import (
+	"fmt"
+	"sort"
+
+	"extbuf/internal/stats"
+	"extbuf/internal/xrand"
+)
+
+// Game describes an (s, p, t) bin-ball game realized with r equiprobable
+// bins (p = 1/r, the hardest case for the player and the one the
+// paper's reduction produces).
+type Game struct {
+	S int // balls thrown
+	R int // bins (ball lands in each with probability exactly 1/R)
+	T int // balls the adversary removes
+}
+
+// P returns the per-bin probability 1/R.
+func (g Game) P() float64 { return 1 / float64(g.R) }
+
+// Validate reports parameter errors.
+func (g Game) Validate() error {
+	if g.S < 0 || g.T < 0 || g.R < 1 {
+		return fmt.Errorf("binball: invalid game %+v", g)
+	}
+	if g.T > g.S {
+		return fmt.Errorf("binball: t=%d exceeds s=%d", g.T, g.S)
+	}
+	return nil
+}
+
+// Play runs one game and returns its exact cost: the minimum number of
+// bins that can stay occupied after the adversary removes T balls.
+//
+// The adversary is greedy and provably optimal: to empty the largest
+// number of bins with a fixed removal budget, empty bins in increasing
+// order of occupancy (exchanging any other removal multiset for this one
+// never empties fewer bins).
+func Play(g Game, rng *xrand.Rand) int {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	counts := make([]int, g.R)
+	occupied := 0
+	for i := 0; i < g.S; i++ {
+		b := rng.Intn(g.R)
+		if counts[b] == 0 {
+			occupied++
+		}
+		counts[b]++
+	}
+	return RemoveOptimally(counts, occupied, g.T)
+}
+
+// RemoveOptimally applies the optimal adversary to an occupancy vector:
+// it removes up to t balls, emptying smallest bins first, and returns
+// the number of bins still occupied. counts is not modified.
+func RemoveOptimally(counts []int, occupied, t int) int {
+	nonzero := make([]int, 0, occupied)
+	for _, c := range counts {
+		if c > 0 {
+			nonzero = append(nonzero, c)
+		}
+	}
+	sort.Ints(nonzero)
+	remaining := t
+	emptied := 0
+	for _, c := range nonzero {
+		if remaining < c {
+			break
+		}
+		remaining -= c
+		emptied++
+	}
+	return len(nonzero) - emptied
+}
+
+// MonteCarlo plays the game trials times and returns the cost summary
+// together with the empirical probability that the cost fell below
+// threshold (pass a lemma bound to estimate its failure probability).
+func MonteCarlo(g Game, rng *xrand.Rand, trials int, threshold float64) (sum stats.Summary, below float64) {
+	belowCount := 0
+	for i := 0; i < trials; i++ {
+		c := Play(g, rng)
+		sum.Add(float64(c))
+		if float64(c) < threshold {
+			belowCount++
+		}
+	}
+	return sum, float64(belowCount) / float64(trials)
+}
+
+// ExpectedDistinct returns the expectation r(1 - (1 - 1/r)^s) of the
+// number of distinct bins hit by s balls in r bins — the t = 0 cost in
+// expectation, and the quantity that governs the cleaning cost of the
+// staged strategy (cost per item = distinct/s, which is ~1 when s << r
+// and ~r/s when s >> r: the two regimes of Figure 1).
+func ExpectedDistinct(s, r int) float64 {
+	fr := float64(r)
+	q := 1.0
+	base := 1 - 1/fr
+	// Exponentiation by squaring on the float base for large s.
+	e := s
+	for e > 0 {
+		if e&1 == 1 {
+			q *= base
+		}
+		base *= base
+		e >>= 1
+	}
+	return fr * (1 - q)
+}
+
+// Lemma3Threshold returns the Lemma 3 cost bound for game g with slack
+// mu, and whether the lemma's precondition sp <= 1/3 holds.
+func Lemma3Threshold(g Game, mu float64) (bound float64, applies bool) {
+	bound, _ = stats.Lemma3Bound(g.S, g.P(), g.T, mu)
+	return bound, stats.Lemma3Applies(g.S, g.P())
+}
+
+// Lemma4Threshold returns the Lemma 4 cost bound 1/(20p) for game g and
+// whether the preconditions s/2 >= t, s/2 >= 1/p hold.
+func Lemma4Threshold(g Game) (bound float64, applies bool) {
+	return stats.Lemma4Bound(g.P()), stats.Lemma4Applies(g.S, g.P(), g.T)
+}

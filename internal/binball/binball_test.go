@@ -1,0 +1,230 @@
+package binball
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"extbuf/internal/xrand"
+)
+
+func TestValidate(t *testing.T) {
+	if (Game{S: 10, R: 5, T: 2}).Validate() != nil {
+		t.Fatal("valid game rejected")
+	}
+	for _, g := range []Game{
+		{S: -1, R: 5, T: 0},
+		{S: 5, R: 0, T: 0},
+		{S: 5, R: 5, T: 6},
+	} {
+		if g.Validate() == nil {
+			t.Fatalf("invalid game %+v accepted", g)
+		}
+	}
+}
+
+func TestPlayBounds(t *testing.T) {
+	rng := xrand.New(1)
+	f := func(sRaw, rRaw, tRaw uint16) bool {
+		s := int(sRaw%200) + 1
+		r := int(rRaw%50) + 1
+		tt := int(tRaw) % (s + 1)
+		g := Game{S: s, R: r, T: tt}
+		c := Play(g, rng)
+		if c < 0 || c > s-tt && c > r {
+			return false
+		}
+		// Cost can never exceed the number of surviving balls or bins.
+		if c > s-tt || c > r {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlayNoRemoval(t *testing.T) {
+	// With t=0 the cost is the number of distinct bins hit; its mean
+	// must match r(1-(1-1/r)^s).
+	rng := xrand.New(2)
+	g := Game{S: 500, R: 200, T: 0}
+	var sum float64
+	const trials = 3000
+	for i := 0; i < trials; i++ {
+		sum += float64(Play(g, rng))
+	}
+	mean := sum / trials
+	want := ExpectedDistinct(g.S, g.R)
+	if math.Abs(mean-want)/want > 0.02 {
+		t.Fatalf("mean %.2f want %.2f", mean, want)
+	}
+}
+
+func TestPlayFullRemoval(t *testing.T) {
+	rng := xrand.New(3)
+	g := Game{S: 50, R: 10, T: 50}
+	if c := Play(g, rng); c != 0 {
+		t.Fatalf("removing all balls must cost 0, got %d", c)
+	}
+}
+
+func TestRemoveOptimally(t *testing.T) {
+	counts := []int{3, 1, 2, 0, 5}
+	// t=1: empty the 1-bin -> 3 occupied remain.
+	if got := RemoveOptimally(counts, 4, 1); got != 3 {
+		t.Fatalf("t=1: %d", got)
+	}
+	// t=3: empty 1 and 2 -> 2 remain.
+	if got := RemoveOptimally(counts, 4, 3); got != 2 {
+		t.Fatalf("t=3: %d", got)
+	}
+	// t=2: can only empty the 1-bin (2 < 1+2 only partially) -> 3 remain.
+	if got := RemoveOptimally(counts, 4, 2); got != 3 {
+		t.Fatalf("t=2: %d", got)
+	}
+	// t=11: empty all but the 5-bin -> 1 remains.
+	if got := RemoveOptimally(counts, 4, 11); got != 0 {
+		t.Fatalf("t=11: %d", got)
+	}
+	// counts untouched
+	if counts[4] != 5 {
+		t.Fatal("RemoveOptimally mutated input")
+	}
+}
+
+func TestGreedyAdversaryOptimal(t *testing.T) {
+	// Exhaustively verify on small games that no removal multiset beats
+	// the greedy adversary.
+	rng := xrand.New(4)
+	for trial := 0; trial < 200; trial++ {
+		r := 4
+		s := 8
+		counts := make([]int, r)
+		for i := 0; i < s; i++ {
+			counts[rng.Intn(r)]++
+		}
+		occ := 0
+		for _, c := range counts {
+			if c > 0 {
+				occ++
+			}
+		}
+		tt := rng.Intn(s + 1)
+		greedy := RemoveOptimally(counts, occ, tt)
+		// Brute force: choose how many to remove from each bin.
+		best := occ
+		var rec func(bin, budget, occupied int, cs []int)
+		rec = func(bin, budget, occupied int, cs []int) {
+			if bin == len(cs) {
+				if occupied < best {
+					best = occupied
+				}
+				return
+			}
+			for take := 0; take <= cs[bin] && take <= budget; take++ {
+				occ2 := occupied
+				if cs[bin] > 0 && take == cs[bin] {
+					occ2--
+				}
+				rec(bin+1, budget-take, occ2, cs)
+			}
+		}
+		rec(0, tt, occ, counts)
+		if greedy != best {
+			t.Fatalf("greedy %d != optimal %d for counts %v t=%d", greedy, best, counts, tt)
+		}
+	}
+}
+
+func TestLemma3Holds(t *testing.T) {
+	// Sparse regime: cost must exceed the Lemma 3 bound except with
+	// (at most) the lemma's failure probability.
+	rng := xrand.New(5)
+	g := Game{S: 1000, R: 10000, T: 100} // sp = 0.1 <= 1/3
+	mu := 0.1
+	bound, applies := Lemma3Threshold(g, mu)
+	if !applies {
+		t.Fatal("lemma 3 preconditions should hold")
+	}
+	sum, below := MonteCarlo(g, rng, 2000, bound)
+	failBound := math.Exp(-mu * mu * float64(g.S) / 3)
+	if below > failBound+0.01 {
+		t.Fatalf("cost below bound %.1f in %.4f of trials, lemma allows %.4f",
+			bound, below, failBound)
+	}
+	if sum.Mean() <= bound {
+		t.Fatalf("mean cost %.1f should exceed bound %.1f", sum.Mean(), bound)
+	}
+}
+
+func TestLemma4Holds(t *testing.T) {
+	// Dense regime: with s >> r, cost >= 1/(20p) = r/20 w.h.p.
+	rng := xrand.New(6)
+	g := Game{S: 2000, R: 100, T: 900} // s/2 >= t, s/2 >= 1/p = 100
+	bound, applies := Lemma4Threshold(g)
+	if !applies {
+		t.Fatal("lemma 4 preconditions should hold")
+	}
+	_, below := MonteCarlo(g, rng, 2000, bound)
+	if below > 0.001 {
+		t.Fatalf("cost fell below r/20 in %.4f of trials", below)
+	}
+}
+
+func TestLemma4NotApplies(t *testing.T) {
+	g := Game{S: 100, R: 100, T: 90} // t > s/2
+	if _, applies := Lemma4Threshold(g); applies {
+		t.Fatal("preconditions should fail")
+	}
+}
+
+func TestExpectedDistinct(t *testing.T) {
+	if d := ExpectedDistinct(0, 10); d != 0 {
+		t.Fatalf("s=0: %v", d)
+	}
+	if d := ExpectedDistinct(1, 10); math.Abs(d-1) > 1e-9 {
+		t.Fatalf("s=1: %v", d)
+	}
+	// s >> r: approaches r.
+	if d := ExpectedDistinct(10000, 10); d < 9.999 {
+		t.Fatalf("s>>r: %v", d)
+	}
+	// Monotone in s.
+	prev := 0.0
+	for s := 1; s < 100; s += 7 {
+		d := ExpectedDistinct(s, 50)
+		if d <= prev {
+			t.Fatalf("not monotone at s=%d", s)
+		}
+		prev = d
+	}
+}
+
+// TestTwoRegimes demonstrates the two cost regimes of the cleaning
+// bin-ball game that Figure 1 reflects: per-ball cost ~1 when s << r,
+// ~r/s when s >> r.
+func TestTwoRegimes(t *testing.T) {
+	rng := xrand.New(7)
+	// Sparse: s = r/10 -> per-ball cost ~0.95.
+	sparse := Game{S: 100, R: 1000, T: 0}
+	var sSum float64
+	for i := 0; i < 500; i++ {
+		sSum += float64(Play(sparse, rng))
+	}
+	perBallSparse := sSum / 500 / float64(sparse.S)
+	if perBallSparse < 0.9 {
+		t.Fatalf("sparse per-ball cost %.3f, want ~1", perBallSparse)
+	}
+	// Dense: s = 10r -> per-ball cost ~1/10.
+	dense := Game{S: 10000, R: 1000, T: 0}
+	var dSum float64
+	for i := 0; i < 50; i++ {
+		dSum += float64(Play(dense, rng))
+	}
+	perBallDense := dSum / 50 / float64(dense.S)
+	if perBallDense > 0.11 {
+		t.Fatalf("dense per-ball cost %.3f, want ~0.1", perBallDense)
+	}
+}

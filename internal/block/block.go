@@ -1,0 +1,306 @@
+// Package block implements the bucket primitive shared by every external
+// hash table in this repository: a bucket is a chain of disk blocks — a
+// head block plus zero or more overflow blocks linked through block
+// headers. All operations are expressed over iomodel.Disk so that their
+// exact I/O cost is accounted.
+//
+// Cost model recap (see package iomodel): reading a block costs 1 I/O,
+// writing it back immediately after the read is free, writing a block cold
+// costs 1 I/O. A successful lookup that finds its key in the k-th block of
+// a chain therefore costs exactly k I/Os, which is the quantity the
+// paper's t_q measures.
+package block
+
+import (
+	"sort"
+
+	"extbuf/internal/iomodel"
+)
+
+// Find walks the chain rooted at head looking for key. It returns the
+// value, whether the key was found, and the number of I/Os spent (blocks
+// read). An empty chain (head == NilBlock) costs 0 I/Os and reports not
+// found — callers that model a mandatory bucket probe should pass a real
+// head block.
+func Find(d *iomodel.Disk, head iomodel.BlockID, key uint64) (val uint64, found bool, ios int) {
+	var buf []iomodel.Entry
+	for id := head; id != iomodel.NilBlock; id = d.Next(id) {
+		buf = d.Read(id, buf[:0])
+		ios++
+		for _, e := range buf {
+			if e.Key == key {
+				return e.Val, true, ios
+			}
+		}
+	}
+	return 0, false, ios
+}
+
+// Insert places e into the first block of the chain with free space,
+// walking from head. If every block is full it allocates a new overflow
+// block, appends it at the end of the chain (we are already positioned
+// there, so linking is a free write-back), and writes the entry into it.
+// If a block already contains e.Key the entry's value is overwritten in
+// place. It reports the I/Os spent, whether a new block was allocated,
+// and whether the key was already present.
+//
+// Together with Delete's backfill-from-last-block policy this maintains
+// the invariant that only the final block of a chain can have free space,
+// which is what makes the walk-until-space duplicate scan sound: every
+// block preceding the insertion point has been checked.
+//
+// head must be a valid block (tables pre-allocate one head block per
+// bucket).
+func Insert(d *iomodel.Disk, head iomodel.BlockID, e iomodel.Entry) (ios int, grew, replaced bool) {
+	var buf []iomodel.Entry
+	id := head
+	for {
+		buf = d.Read(id, buf[:0])
+		ios++
+		for i := range buf {
+			if buf[i].Key == e.Key {
+				buf[i].Val = e.Val
+				d.WriteBack(id, buf)
+				return ios, false, true
+			}
+		}
+		if len(buf) < d.B() {
+			buf = append(buf, e)
+			d.WriteBack(id, buf)
+			return ios, false, false
+		}
+		next := d.Next(id)
+		if next == iomodel.NilBlock {
+			break
+		}
+		id = next
+	}
+	// Chain exhausted with id holding the (full) last block just read:
+	// append a fresh block; the header update rides the free write-back.
+	nb := d.Alloc()
+	d.SetNext(id, nb)
+	d.WriteBack(id, buf)
+	d.Write(nb, []iomodel.Entry{e})
+	ios++
+	return ios, true, false
+}
+
+// InsertNoDup is Insert for callers that guarantee e.Key is not already in
+// the chain (e.g. bulk loads of pre-deduplicated batches). It skips the
+// duplicate scan of partially filled blocks it does not need to touch:
+// it walks to the first block with space exactly like Insert but does not
+// pay to verify absence.
+func InsertNoDup(d *iomodel.Disk, head iomodel.BlockID, e iomodel.Entry) (ios int, grew bool) {
+	var buf []iomodel.Entry
+	id := head
+	for {
+		buf = d.Read(id, buf[:0])
+		ios++
+		if len(buf) < d.B() {
+			buf = append(buf, e)
+			d.WriteBack(id, buf)
+			return ios, false
+		}
+		next := d.Next(id)
+		if next == iomodel.NilBlock {
+			break
+		}
+		id = next
+	}
+	nb := d.Alloc()
+	d.SetNext(id, nb)
+	d.WriteBack(id, buf)
+	d.Write(nb, []iomodel.Entry{e})
+	ios++
+	return ios, true
+}
+
+// Delete removes key from the chain rooted at head. To keep chains
+// compact it backfills the hole with an entry taken from the chain's last
+// block, freeing that block if it empties (the head block is never
+// freed). It reports the I/Os spent and whether the key was present.
+func Delete(d *iomodel.Disk, head iomodel.BlockID, key uint64) (ios int, found bool) {
+	// First pass: locate the block holding the key, remembering the path.
+	var buf []iomodel.Entry
+	foundID := iomodel.NilBlock
+	foundIdx := -1
+	prev := iomodel.NilBlock
+	lastID := head
+	lastPrev := iomodel.NilBlock
+	for id := head; id != iomodel.NilBlock; id = d.Next(id) {
+		buf = d.Read(id, buf[:0])
+		ios++
+		if foundIdx < 0 {
+			for i, e := range buf {
+				if e.Key == key {
+					foundID, foundIdx = id, i
+					break
+				}
+			}
+		}
+		lastPrev = prev
+		prev = id
+		lastID = id
+		if foundIdx >= 0 && d.Next(id) == iomodel.NilBlock {
+			break
+		}
+	}
+	if foundIdx < 0 {
+		return ios, false
+	}
+	// Re-read the victim block (the scan may have moved past it).
+	buf = d.Read(foundID, buf[:0])
+	ios++
+	if foundID == lastID {
+		// Remove in place from the last block.
+		buf[foundIdx] = buf[len(buf)-1]
+		buf = buf[:len(buf)-1]
+		d.WriteBack(foundID, buf)
+		if len(buf) == 0 && foundID != head {
+			unlink(d, lastPrev, foundID)
+			ios++ // re-reading predecessor to update its header
+		}
+		return ios, true
+	}
+	// Steal the final entry of the last block to fill the hole.
+	lastBuf := d.Read(lastID, nil)
+	ios++
+	steal := lastBuf[len(lastBuf)-1]
+	lastBuf = lastBuf[:len(lastBuf)-1]
+	d.WriteBack(lastID, lastBuf)
+	if len(lastBuf) == 0 && lastID != head {
+		unlink(d, lastPrev, lastID)
+		ios++
+	}
+	buf = d.Read(foundID, buf[:0])
+	ios++
+	buf[foundIdx] = steal
+	d.WriteBack(foundID, buf)
+	return ios, true
+}
+
+// unlink detaches victim (known to follow prev) from the chain and frees
+// it. It costs one read of prev, accounted by the caller.
+func unlink(d *iomodel.Disk, prev, victim iomodel.BlockID) {
+	pbuf := d.Read(prev, nil)
+	d.SetNext(prev, d.Next(victim))
+	d.WriteBack(prev, pbuf)
+	d.Free(victim)
+}
+
+// Collect appends every entry of the chain to buf and returns it together
+// with the I/Os spent (one per block).
+func Collect(d *iomodel.Disk, head iomodel.BlockID, buf []iomodel.Entry) ([]iomodel.Entry, int) {
+	ios := 0
+	for id := head; id != iomodel.NilBlock; id = d.Next(id) {
+		buf = d.Read(id, buf)
+		ios++
+	}
+	return buf, ios
+}
+
+// Blocks returns the number of blocks in the chain without performing
+// I/O (header walk; used by audits and sizing logic, not by queries).
+func Blocks(d *iomodel.Disk, head iomodel.BlockID) int {
+	n := 0
+	for id := head; id != iomodel.NilBlock; id = d.Next(id) {
+		n++
+	}
+	return n
+}
+
+// Len returns the number of entries in the chain without performing I/O.
+// Like Disk.Peek it exists for audits and tests, never operation logic.
+func Len(d *iomodel.Disk, head iomodel.BlockID) int {
+	n := 0
+	for id := head; id != iomodel.NilBlock; id = d.Next(id) {
+		n += len(d.Peek(id))
+	}
+	return n
+}
+
+// WriteChain writes entries as a fresh chain and returns its head and the
+// I/Os spent (one cold write per block, ceil(len/b); an empty entry set
+// still materializes the head block at 1 write so the bucket exists).
+func WriteChain(d *iomodel.Disk, entries []iomodel.Entry) (iomodel.BlockID, int) {
+	b := d.B()
+	head := d.Alloc()
+	if len(entries) <= b {
+		d.Write(head, entries)
+		return head, 1
+	}
+	d.Write(head, entries[:b])
+	entries = entries[b:]
+	ios := 1
+	prev := head
+	for len(entries) > 0 {
+		n := len(entries)
+		if n > b {
+			n = b
+		}
+		id := d.Alloc()
+		d.Write(id, entries[:n])
+		ios++
+		d.SetNext(prev, id)
+		prev = id
+		entries = entries[n:]
+	}
+	return head, ios
+}
+
+// FreeChain releases every block of the chain. Deallocation is free.
+func FreeChain(d *iomodel.Disk, head iomodel.BlockID) {
+	for id := head; id != iomodel.NilBlock; {
+		next := d.Next(id)
+		d.Free(id)
+		id = next
+	}
+}
+
+// Rewrite replaces the contents of the chain rooted at head with entries,
+// reusing the head block, allocating or freeing overflow blocks as
+// needed. Unlike WriteChain it keeps the head stable so directory entries
+// pointing at it stay valid. Costs one cold write per written block.
+func Rewrite(d *iomodel.Disk, head iomodel.BlockID, entries []iomodel.Entry) int {
+	FreeChainTail(d, head)
+	b := d.B()
+	n := len(entries)
+	if n <= b {
+		d.Write(head, entries)
+		return 1
+	}
+	d.Write(head, entries[:b])
+	entries = entries[b:]
+	ios := 1
+	prev := head
+	for len(entries) > 0 {
+		k := len(entries)
+		if k > b {
+			k = b
+		}
+		id := d.Alloc()
+		d.Write(id, entries[:k])
+		ios++
+		d.SetNext(prev, id)
+		prev = id
+		entries = entries[k:]
+	}
+	return ios
+}
+
+// FreeChainTail frees every overflow block of the chain, leaving the head
+// allocated (and empty of successors).
+func FreeChainTail(d *iomodel.Disk, head iomodel.BlockID) {
+	for id := d.Next(head); id != iomodel.NilBlock; {
+		next := d.Next(id)
+		d.Free(id)
+		id = next
+	}
+	d.SetNext(head, iomodel.NilBlock)
+}
+
+// SortByKey sorts entries in increasing key order (used by merge paths
+// that want deterministic layouts).
+func SortByKey(entries []iomodel.Entry) {
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+}

@@ -1,0 +1,32 @@
+package core
+
+import (
+	"testing"
+
+	"extbuf/internal/workload"
+	"extbuf/internal/xrand"
+)
+
+// TestLookupSmallestFirstAgreement: both probe orders must return the
+// same results on a distinct-key table; smallest-first may only differ
+// in cost.
+func TestLookupSmallestFirstAgreement(t *testing.T) {
+	_, tab := newCore(t, 16, 512, 8)
+	rng := xrand.New(3)
+	keys := workload.Keys(rng, 4000)
+	for i, k := range keys {
+		if _, err := tab.Insert(k, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, k := range keys {
+		v1, ok1, _ := tab.Lookup(k)
+		v2, ok2, _ := tab.LookupSmallestFirst(k)
+		if !ok1 || !ok2 || v1 != v2 || v1 != uint64(i) {
+			t.Fatalf("probe orders disagree on key %d: (%d,%v) vs (%d,%v)", k, v1, ok1, v2, ok2)
+		}
+	}
+	if _, ok, _ := tab.LookupSmallestFirst(0xdead); ok {
+		t.Fatal("found absent key")
+	}
+}

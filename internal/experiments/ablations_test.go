@@ -1,0 +1,53 @@
+package experiments
+
+import "testing"
+
+func TestAblations(t *testing.T) {
+	tab, err := Ablations(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 9 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Accounting: charging write-backs must strictly raise tu (the
+	// merges lean on them) and leave it below 2x (every write-back has
+	// a paired read).
+	var tuFree, tuCharged float64
+	fmtSscan(tab.Rows[0][2], &tuFree)
+	fmtSscan(tab.Rows[1][2], &tuCharged)
+	if !(tuCharged > tuFree) {
+		t.Fatalf("charging write-backs did not raise tu: %v vs %v", tuFree, tuCharged)
+	}
+	if tuCharged > 2*tuFree {
+		t.Fatalf("charged tu %v exceeds 2x free tu %v", tuCharged, tuFree)
+	}
+	// Probe order: largest-first must not lose to smallest-first.
+	var tqLargest, tqSmallest float64
+	fmtSscan(tab.Rows[2][3], &tqLargest)
+	fmtSscan(tab.Rows[3][3], &tqSmallest)
+	if tqLargest > tqSmallest+0.01 {
+		t.Fatalf("largest-first (%v) worse than smallest-first (%v)", tqLargest, tqSmallest)
+	}
+	// Hash families: all three within a tight band of each other.
+	var tus []float64
+	for _, row := range tab.Rows[4:7] {
+		var tu float64
+		fmtSscan(row[2], &tu)
+		tus = append(tus, tu)
+	}
+	for i := 1; i < len(tus); i++ {
+		ratio := tus[i] / tus[0]
+		if ratio < 0.8 || ratio > 1.25 {
+			t.Fatalf("hash family %d deviates: tus=%v", i, tus)
+		}
+	}
+	// Disk space: 4x the disk must not make insertions cheaper (the
+	// paper's load-factor remark); allow a little noise.
+	var tuHalf, tuQuarter float64
+	fmtSscan(tab.Rows[7][2], &tuHalf)
+	fmtSscan(tab.Rows[8][2], &tuQuarter)
+	if tuQuarter < tuHalf*0.95 {
+		t.Fatalf("extra disk reduced tu: %v -> %v", tuHalf, tuQuarter)
+	}
+}

@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// small returns a scaled-down config for fast tests.
+func small() Config {
+	cfg := Default()
+	cfg.N = 12000
+	cfg.QuerySamples = 1500
+	return cfg
+}
+
+func TestScaled(t *testing.T) {
+	base := Default()
+	cfg := base.Scaled(0.1)
+	if cfg.N != base.N/10 || cfg.QuerySamples != base.QuerySamples/10 {
+		t.Fatalf("scaled: %+v", cfg)
+	}
+	tiny := base.Scaled(0.0001)
+	if tiny.N < 1000 || tiny.QuerySamples < 200 {
+		t.Fatalf("floors not applied: %+v", tiny)
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	tab, err := Figure1(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 7 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Column indices: 3 tu(upper), 4 tq(upper), 5 tu(staged).
+	get := func(r, c int) float64 {
+		var v float64
+		if _, err := fmtSscan(tab.Rows[r][c], &v); err != nil {
+			t.Fatalf("cell %d,%d = %q: %v", r, c, tab.Rows[r][c], err)
+		}
+		return v
+	}
+	// c = 0.25 (row 0): Theorem 2 upper bound must have tu << 1 and tq
+	// within its budget band.
+	if tu := get(0, 3); tu >= 0.8 {
+		t.Fatalf("c=0.25 upper tu = %v, want o(1)", tu)
+	}
+	// c = 2 (row 6): plain table; tu ~ 1, tq ~ 1.
+	if tu := get(6, 3); tu < 0.95 || tu > 1.2 {
+		t.Fatalf("c=2 upper tu = %v, want ~1", tu)
+	}
+	if tq := get(6, 4); tq > 1.05 {
+		t.Fatalf("c=2 upper tq = %v, want ~1", tq)
+	}
+	// Staged tu must increase with c (less slow-zone budget).
+	low := get(0, 5)
+	high := get(6, 5)
+	if !(low < high) {
+		t.Fatalf("staged tu not increasing with c: %v -> %v", low, high)
+	}
+	// Render sanity.
+	s := tab.String()
+	if !strings.Contains(s, "Figure 1") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestTheorem1Shape(t *testing.T) {
+	tab, err := Theorem1(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	var prev float64 = -1
+	for i, row := range tab.Rows {
+		var tu float64
+		if _, err := fmtSscan(row[2], &tu); err != nil {
+			t.Fatalf("row %d tu cell %q", i, row[2])
+		}
+		if tu <= 0 || tu > 1.6 {
+			t.Fatalf("row %d tu = %v out of range", i, tu)
+		}
+		if i > 0 && tu+0.25 < prev {
+			t.Fatalf("tu dropped sharply with growing c: %v -> %v", prev, tu)
+		}
+		prev = tu
+	}
+}
+
+func TestTheorem2Shape(t *testing.T) {
+	tab, err := Theorem2(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range tab.Rows {
+		var tu, tq float64
+		fmtSscan(row[2], &tu)
+		fmtSscan(row[4], &tq)
+		if tu >= 1 {
+			t.Fatalf("row %d: tu = %v not o(1)", i, tu)
+		}
+		if tq > 1.8 || tq < 0.5 {
+			t.Fatalf("row %d: tq = %v out of band", i, tq)
+		}
+	}
+}
+
+func TestTheorem2EpsShape(t *testing.T) {
+	tab, err := Theorem2Eps(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tu must increase with eps... inversely: smaller eps, smaller tu.
+	var prev float64 = -1
+	for i, row := range tab.Rows {
+		var tu float64
+		fmtSscan(row[2], &tu)
+		if tu <= prev-0.05 {
+			t.Fatalf("row %d: tu %v not increasing with eps (prev %v)", i, tu, prev)
+		}
+		prev = tu
+	}
+}
+
+func TestLemma5Shape(t *testing.T) {
+	tab, err := Lemma5(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// tq decreases with gamma; tu stays o(1).
+	var tqs []float64
+	for _, row := range tab.Rows {
+		var tu, tq float64
+		fmtSscan(row[1], &tu)
+		fmtSscan(row[3], &tq)
+		if tu >= 1 {
+			t.Fatalf("logmethod tu = %v not o(1)", tu)
+		}
+		tqs = append(tqs, tq)
+	}
+	if !(tqs[2] < tqs[0]) {
+		t.Fatalf("tq not decreasing with gamma: %v", tqs)
+	}
+}
+
+func TestBinBallTables(t *testing.T) {
+	cfg := small()
+	l3 := BinBallLemma3(cfg, 300)
+	if len(l3.Rows) == 0 {
+		t.Fatal("lemma 3 produced no rows")
+	}
+	for i, row := range l3.Rows {
+		var below, fail float64
+		fmtSscan(row[7], &below)
+		fmtSscan(row[8], &fail)
+		if below > fail+0.02 {
+			t.Fatalf("row %d: empirical failure %v above lemma bound %v", i, below, fail)
+		}
+	}
+	l4 := BinBallLemma4(cfg, 300)
+	for i, row := range l4.Rows {
+		var below float64
+		fmtSscan(row[6], &below)
+		if below > 0.01 {
+			t.Fatalf("lemma4 row %d: failure prob %v", i, below)
+		}
+	}
+}
+
+func TestZoneAuditAllPass(t *testing.T) {
+	cfg := small()
+	tab, err := ZoneAudit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[7] != "true" {
+			t.Fatalf("structure %s violates Eq.(1): %v", row[0], row)
+		}
+	}
+}
+
+func TestGoodFunctionsAllGood(t *testing.T) {
+	cfg := small()
+	tab, err := GoodFunctions(cfg, 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if row[5] != "true" {
+			t.Fatalf("structure %s uses a bad address function: %v", row[0], row)
+		}
+	}
+}
+
+func TestKnuthBaselineShape(t *testing.T) {
+	cfg := small()
+	cfg.QuerySamples = 1000
+	tab, err := KnuthBaseline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 15 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		var alpha, tqC, tqL float64
+		fmtSscan(row[1], &alpha)
+		fmtSscan(row[2], &tqC)
+		fmtSscan(row[3], &tqL)
+		if alpha <= 0.7 && (tqC > 1.05 || tqL > 1.1) {
+			t.Fatalf("low-load costs too high: %v", row)
+		}
+		if tqC < 1 || tqL < 1 {
+			t.Fatalf("costs below 1: %v", row)
+		}
+	}
+}
+
+func TestJensenPaghShape(t *testing.T) {
+	tab, err := JensenPagh(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Larger b must give costs closer to 1 (the 1/sqrt(b) law).
+	var prevTq float64 = math.Inf(1)
+	for _, row := range tab.Rows {
+		var tq float64
+		fmtSscan(row[3], &tq)
+		if tq > prevTq+0.02 {
+			t.Fatalf("tq not improving with b: %v then %v", prevTq, tq)
+		}
+		prevTq = tq
+	}
+}

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"math"
+
+	"extbuf/internal/binball"
+	"extbuf/internal/chainhash"
+	"extbuf/internal/iomodel"
+	"extbuf/internal/linprobe"
+	"extbuf/internal/logmethod"
+	"extbuf/internal/stats"
+	"extbuf/internal/tablefmt"
+	"extbuf/internal/workload"
+)
+
+// Lemma5 reproduces the folklore logarithmic-method bounds: for any
+// gamma >= 2, insertions in amortized O((gamma/b) log(n/m)) I/Os and
+// lookups in expected average O(log_gamma(n/m)) I/Os.
+//
+// Shape to check: t_u shrinks as b grows and rises with gamma; t_q
+// shrinks as gamma grows (fewer levels) and is far above 1 — the reason
+// the paper must bootstrap the method (Theorem 2) rather than use it
+// directly.
+func Lemma5(cfg Config) (*tablefmt.Table, error) {
+	t := tablefmt.New("Lemma 5: logarithmic method",
+		"gamma", "tu(measured)", "(gamma/b)log_g(n/m)", "tq(measured)",
+		"log_g(n/m)", "levels", "migrations")
+	t.AddNote("b=%d m=%d n=%d", cfg.B, cfg.MWords, cfg.N)
+	for i, gamma := range []int{2, 4, 8} {
+		model := iomodel.NewModel(cfg.B, cfg.MWords)
+		tab, err := logmethod.New(model, cfg.fn(uint64(600+i)), logmethod.Config{Gamma: gamma})
+		if err != nil {
+			return nil, err
+		}
+		rng := cfg.rng(uint64(600 + i))
+		keys := workload.Keys(rng, cfg.N)
+		c0 := model.Counters()
+		for _, k := range keys {
+			if _, err := tab.Insert(k, 0); err != nil {
+				return nil, err
+			}
+		}
+		tu := float64(model.Counters().Sub(c0).IOs()) / float64(cfg.N)
+		qs := workload.SuccessfulQueries(rng, keys, cfg.N, cfg.QuerySamples)
+		c1 := model.Counters()
+		for _, q := range qs {
+			tab.Lookup(q)
+		}
+		tq := float64(model.Counters().Sub(c1).IOs()) / float64(len(qs))
+		logg := math.Log(float64(cfg.N)/float64(cfg.MWords)) / math.Log(float64(gamma))
+		t.AddRow(gamma, tu, float64(gamma)/float64(cfg.B)*logg, tq, logg,
+			tab.Levels(), tab.Migrations())
+		tab.Close()
+	}
+	return t, nil
+}
+
+// BinBallLemma3 Monte-Carlos the sparse-regime bin-ball game of Lemma 3:
+// with sp <= 1/3, the cost is at least (1-mu)(1-sp)s - t except with
+// probability exp(-mu^2 s/3).
+func BinBallLemma3(cfg Config, trials int) *tablefmt.Table {
+	t := tablefmt.New("Lemma 3: (s,p,t) bin-ball game, sparse regime",
+		"s", "bins", "t", "mu", "bound", "mean cost", "min cost",
+		"Pr[cost<bound]", "lemma failure prob")
+	rng := cfg.rng(700)
+	games := []struct {
+		g  binball.Game
+		mu float64
+	}{
+		{binball.Game{S: 500, R: 5000, T: 50}, 0.1},
+		{binball.Game{S: 1000, R: 10000, T: 100}, 0.1},
+		{binball.Game{S: 2000, R: 50000, T: 0}, 0.05},
+		{binball.Game{S: 4000, R: 20000, T: 400}, 0.1},
+	}
+	for _, gc := range games {
+		bound, applies := binball.Lemma3Threshold(gc.g, gc.mu)
+		if !applies {
+			continue
+		}
+		sum, below := binball.MonteCarlo(gc.g, rng, trials, bound)
+		_, fail := stats.Lemma3Bound(gc.g.S, gc.g.P(), gc.g.T, gc.mu)
+		t.AddRow(gc.g.S, gc.g.R, gc.g.T, gc.mu, bound, sum.Mean(), sum.Min(),
+			below, fail)
+	}
+	return t
+}
+
+// BinBallLemma4 Monte-Carlos the dense-regime game of Lemma 4: with
+// s/2 >= t and s/2 >= 1/p, the cost is at least 1/(20p) w.h.p.
+func BinBallLemma4(cfg Config, trials int) *tablefmt.Table {
+	t := tablefmt.New("Lemma 4: (s,p,t) bin-ball game, dense regime",
+		"s", "bins", "t", "bound 1/(20p)", "mean cost", "min cost",
+		"Pr[cost<bound]")
+	rng := cfg.rng(800)
+	games := []binball.Game{
+		{S: 2000, R: 100, T: 900},
+		{S: 5000, R: 500, T: 2000},
+		{S: 10000, R: 1000, T: 5000},
+		{S: 4000, R: 2000, T: 0},
+	}
+	for _, g := range games {
+		bound, applies := binball.Lemma4Threshold(g)
+		if !applies {
+			continue
+		}
+		sum, below := binball.MonteCarlo(g, rng, trials, bound)
+		t.AddRow(g.S, g.R, g.T, bound, sum.Mean(), sum.Min(), below)
+	}
+	return t
+}
+
+// KnuthBaseline reproduces the classical baseline the paper builds on
+// (Knuth, TAOCP v3 §6.4): the expected successful-lookup cost of
+// external chaining and block-level linear probing as a function of the
+// load factor alpha and block size b — the 1 + 1/2^Omega(b) behaviour.
+//
+// Shape to check: costs hug 1.0 for alpha well below 1 and any
+// realistic b, deteriorate only as alpha -> 1, and deteriorate later
+// for larger b (the exponent in 1/2^Omega(b) scales with b).
+func KnuthBaseline(cfg Config) (*tablefmt.Table, error) {
+	t := tablefmt.New("Knuth §6.4 baseline: successful lookup cost vs load factor",
+		"b", "alpha", "tq(chaining)", "tq(linear probing)",
+		"overflow tail bound 1/2^Omega(b)")
+	t.AddNote("n scaled per cell to hold alpha fixed; %d query samples", cfg.QuerySamples)
+	for _, b := range []int{16, 64, 256} {
+		for _, alpha := range []float64{0.3, 0.5, 0.7, 0.85, 0.95} {
+			nb := 256
+			n := int(alpha * float64(b) * float64(nb))
+			tqC, err := knuthChain(cfg, b, nb, n)
+			if err != nil {
+				return nil, err
+			}
+			tqL, err := knuthProbe(cfg, b, nb, n)
+			if err != nil {
+				return nil, err
+			}
+			tail := stats.BinomialTailAbove(n, 1/float64(nb), b)
+			t.AddRow(b, alpha, tqC, tqL, tail)
+		}
+	}
+	return t, nil
+}
+
+func knuthChain(cfg Config, b, nb, n int) (float64, error) {
+	model := iomodel.NewModel(b, cfg.MWords)
+	tab, err := chainhash.New(model, cfg.fn(900), nb)
+	if err != nil {
+		return 0, err
+	}
+	defer tab.Close()
+	rng := cfg.rng(901)
+	keys := workload.Keys(rng, n)
+	for _, k := range keys {
+		tab.Insert(k, 0)
+	}
+	qs := workload.SuccessfulQueries(rng, keys, n, cfg.QuerySamples)
+	c0 := model.Counters()
+	for _, q := range qs {
+		tab.Lookup(q)
+	}
+	return float64(model.Counters().Sub(c0).IOs()) / float64(len(qs)), nil
+}
+
+func knuthProbe(cfg Config, b, nb, n int) (float64, error) {
+	model := iomodel.NewModel(b, cfg.MWords)
+	tab, err := linprobe.New(model, cfg.fn(902), nb)
+	if err != nil {
+		return 0, err
+	}
+	defer tab.Close()
+	rng := cfg.rng(903)
+	keys := workload.Keys(rng, n)
+	for _, k := range keys {
+		if _, err := tab.Insert(k, 0); err != nil {
+			return 0, err
+		}
+	}
+	qs := workload.SuccessfulQueries(rng, keys, n, cfg.QuerySamples)
+	c0 := model.Counters()
+	for _, q := range qs {
+		tab.Lookup(q)
+	}
+	return float64(model.Counters().Sub(c0).IOs()) / float64(len(qs)), nil
+}

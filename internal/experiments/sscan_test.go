@@ -1,0 +1,9 @@
+package experiments
+
+import "fmt"
+
+// fmtSscan parses a formatted table cell back into a float (test
+// helper; table cells are rendered by tablefmt.FormatFloat).
+func fmtSscan(s string, v *float64) (int, error) {
+	return fmt.Sscan(s, v)
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"math"
+
+	"extbuf/internal/tablefmt"
+	"extbuf/internal/zones"
+)
+
+// Theorem1 reproduces the three lower-bound tradeoffs of Theorem 1 by
+// sweeping the staged strategy's slow-zone budget delta = 1/b^c across
+// the regimes. Columns report the measured amortized insertion cost, the
+// zone-model query cost the budget buys, the paper's lower-bound formula
+// and the paper's proof parameters (phi, rho, s from §2) at these
+// dimensions.
+//
+// Shape to check: t_u(measured) stays above the paper's bound in every
+// regime, hugging ~1 for c >= 1 and falling as Theta(b^(c-1)) once
+// c < 1 — the elbow at c = 1 is the paper's "limit of buffering".
+func Theorem1(cfg Config) (*tablefmt.Table, error) {
+	t := tablefmt.New("Theorem 1: insertion lower bounds (staged strategy trace)",
+		"c", "delta", "tu(measured)", "tq_model", "paper bound on tu",
+		"phi", "rho*n", "round s")
+	t.AddNote("b=%d m=%d n=%d; staged strategy holds |S| <= m + delta*k (Eq. 1)", cfg.B, cfg.StagedMWords, cfg.N)
+	fb := float64(cfg.B)
+	for i, c := range []float64{0.25, 0.5, 0.75, 1.0, 1.5, 2.0} {
+		delta := 1 / math.Pow(fb, c)
+		m, err := cfg.runStaged(delta, uint64(300+i))
+		if err != nil {
+			return nil, err
+		}
+		var bound string
+		switch {
+		case c > 1:
+			bound = tablefmt.FormatFloat(1 - 1/math.Pow(fb, (c-1)/4))
+		case c == 1:
+			bound = "Omega(1)"
+		default:
+			bound = tablefmt.FormatFloat(math.Pow(fb, c-1))
+		}
+		pp := zones.ParamsFor(c, cfg.B, cfg.N, 0)
+		t.AddRow(c, delta, m.tu, m.tqModel, bound,
+			pp.Phi, pp.Rho*float64(cfg.N), pp.S)
+	}
+	return t, nil
+}
+
+// Theorem2 reproduces the first form of Theorem 2: insertions in
+// amortized O(b^(c-1)) I/Os with successful lookups in 1 + O(1/b^c),
+// sweeping c (via beta = b^c) at gamma = 2.
+func Theorem2(cfg Config) (*tablefmt.Table, error) {
+	t := tablefmt.New("Theorem 2: tu = O(b^(c-1)), tq = 1 + O(1/b^c)",
+		"c", "beta=b^c", "tu(measured)", "paper tu ~ b^(c-1)",
+		"tq(measured)", "paper tq ~ 1+1/b^c", "big fraction", "tq_model")
+	t.AddNote("b=%d m=%d n=%d gamma=2", cfg.B, cfg.MWords, cfg.N)
+	fb := float64(cfg.B)
+	for i, c := range []float64{0.25, 0.4, 0.5, 0.65, 0.8, 0.95} {
+		beta := betaFor(cfg.B, c)
+		m, err := cfg.runCore(beta, uint64(400+i))
+		if err != nil {
+			return nil, err
+		}
+		bigFrac := 1 - m.report.SlowFraction() - float64(m.report.M)/float64(m.report.K)
+		t.AddRow(c, beta, m.tu, math.Pow(fb, c-1), m.tq, 1+1/math.Pow(fb, c),
+			bigFrac, m.tqModel)
+	}
+	return t, nil
+}
+
+// Theorem2Eps reproduces the second form of Theorem 2: for any constant
+// eps > 0, insertions in amortized eps I/Os with lookups in 1 + O(1/b),
+// by setting beta = eps*b/2 (the paper's beta = (eps/2c')*b with the
+// implementation's constant c' ~ 1).
+func Theorem2Eps(cfg Config) (*tablefmt.Table, error) {
+	t := tablefmt.New("Theorem 2 (eps form): tu = eps, tq = 1 + O(1/b)",
+		"eps", "beta", "tu(measured)", "tq(measured)", "1 + 4/b")
+	t.AddNote("b=%d m=%d n=%d; beta = eps*b/2", cfg.B, cfg.MWords, cfg.N)
+	for i, eps := range []float64{0.125, 0.25, 0.5, 1.0} {
+		beta := int(eps * float64(cfg.B) / 2)
+		if beta < 2 {
+			beta = 2
+		}
+		if beta > cfg.B {
+			beta = cfg.B
+		}
+		m, err := cfg.runCore(beta, uint64(500+i))
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(eps, beta, m.tu, m.tq, 1+4/float64(cfg.B))
+	}
+	return t, nil
+}

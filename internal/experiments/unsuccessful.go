@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"extbuf/internal/chainhash"
+	"extbuf/internal/core"
+	"extbuf/internal/iomodel"
+	"extbuf/internal/linprobe"
+	"extbuf/internal/logmethod"
+	"extbuf/internal/tablefmt"
+	"extbuf/internal/workload"
+)
+
+// Unsuccessful reproduces the paper's side remark that "an unsuccessful
+// lookup costs slightly more, but is the same as that of a successful
+// lookup if ignoring the constant in the big-Omega": it measures both
+// costs for the main structures.
+//
+// Shape to check: for the plain tables the two differ only in the
+// 1/2^Omega(b) overflow term (a successful probe stops at the match;
+// an unsuccessful one scans the whole chain/cluster). For the cascade
+// structures the gap is structural: a miss must prove absence in every
+// component, so the logarithmic method pays its full level count and
+// the Theorem 2 structure pays ~1 + all cascade levels.
+func Unsuccessful(cfg Config) (*tablefmt.Table, error) {
+	t := tablefmt.New("Successful vs unsuccessful lookups",
+		"structure", "tq(successful)", "tq(unsuccessful)", "gap")
+	t.AddNote("b=%d m=%d n=%d; %d samples each", cfg.B, cfg.MWords, cfg.N, cfg.QuerySamples)
+
+	type probe struct {
+		name   string
+		lookup func(key uint64) int // returns ios
+	}
+	var probes []probe
+	rng := cfg.rng(3000)
+	keys := workload.Keys(rng, cfg.N)
+
+	mChain := iomodel.NewModel(cfg.B, cfg.MWords)
+	chain, err := chainhash.New(mChain, cfg.fn(3001), 2*cfg.N/cfg.B)
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range keys {
+		chain.Insert(k, 0)
+	}
+	probes = append(probes, probe{"chainhash", func(k uint64) int {
+		_, _, ios := chain.Lookup(k)
+		return ios
+	}})
+
+	mProbe := iomodel.NewModel(cfg.B, cfg.MWords)
+	lp, err := linprobe.New(mProbe, cfg.fn(3002), 2*cfg.N/cfg.B)
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range keys {
+		if _, err := lp.Insert(k, 0); err != nil {
+			return nil, err
+		}
+	}
+	probes = append(probes, probe{"linprobe", func(k uint64) int {
+		_, _, ios := lp.Lookup(k)
+		return ios
+	}})
+
+	mLog := iomodel.NewModel(cfg.B, cfg.MWords)
+	lg, err := logmethod.New(mLog, cfg.fn(3003), logmethod.Config{Gamma: 2})
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range keys {
+		if _, err := lg.Insert(k, 0); err != nil {
+			return nil, err
+		}
+	}
+	probes = append(probes, probe{"logmethod", func(k uint64) int {
+		_, _, ios := lg.Lookup(k)
+		return ios
+	}})
+
+	mCore := iomodel.NewModel(cfg.B, cfg.MWords)
+	ct, err := core.New(mCore, cfg.fn(3004), core.Config{Beta: betaFor(cfg.B, 0.5), Gamma: 2})
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range keys {
+		if _, err := ct.Insert(k, 0); err != nil {
+			return nil, err
+		}
+	}
+	probes = append(probes, probe{"core(Thm2)", func(k uint64) int {
+		_, _, ios := ct.Lookup(k)
+		return ios
+	}})
+
+	hits := workload.SuccessfulQueries(rng, keys, cfg.N, cfg.QuerySamples)
+	misses := workload.AbsentQueries(rng, keys, cfg.QuerySamples)
+	for _, p := range probes {
+		var hitIOs, missIOs int
+		for _, q := range hits {
+			hitIOs += p.lookup(q)
+		}
+		for _, q := range misses {
+			missIOs += p.lookup(q)
+		}
+		tqHit := float64(hitIOs) / float64(len(hits))
+		tqMiss := float64(missIOs) / float64(len(misses))
+		t.AddRow(p.name, tqHit, tqMiss, tqMiss-tqHit)
+	}
+	return t, nil
+}

@@ -1,0 +1,33 @@
+package experiments
+
+import "testing"
+
+func TestUnsuccessful(t *testing.T) {
+	tab, err := Unsuccessful(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		var hit, miss float64
+		fmtSscan(row[1], &hit)
+		fmtSscan(row[2], &miss)
+		if miss+1e-9 < hit {
+			t.Fatalf("%s: unsuccessful (%v) cheaper than successful (%v)", row[0], miss, hit)
+		}
+		switch row[0] {
+		case "chainhash", "linprobe":
+			// Gap is only the 1/2^Omega(b) overflow term.
+			if miss-hit > 0.2 {
+				t.Fatalf("%s: gap %v too large for a plain table", row[0], miss-hit)
+			}
+		case "logmethod":
+			// A miss proves absence in every level.
+			if miss <= hit {
+				t.Fatalf("logmethod: miss (%v) should exceed hit (%v)", miss, hit)
+			}
+		}
+	}
+}

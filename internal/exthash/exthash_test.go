@@ -1,0 +1,202 @@
+package exthash
+
+import (
+	"testing"
+	"testing/quick"
+
+	"extbuf/internal/hashfn"
+	"extbuf/internal/iomodel"
+	"extbuf/internal/workload"
+	"extbuf/internal/xrand"
+)
+
+func newTable(t *testing.T, b int, depth uint) (*iomodel.Model, *Table) {
+	t.Helper()
+	model := iomodel.NewModel(b, 1<<20)
+	tab, err := New(model, hashfn.NewIdeal(1), depth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model, tab
+}
+
+func TestInsertLookup(t *testing.T) {
+	_, tab := newTable(t, 4, 1)
+	rng := xrand.New(2)
+	keys := workload.Keys(rng, 400)
+	for i, k := range keys {
+		tab.Insert(k, uint64(i))
+	}
+	if tab.Len() != 400 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	if err := tab.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		v, ok, ios := tab.Lookup(k)
+		if !ok || v != uint64(i) {
+			t.Fatalf("key %d lost", k)
+		}
+		if ios != 1 {
+			t.Fatalf("lookup cost %d, extendible hashing must cost exactly 1", ios)
+		}
+	}
+	if tab.GlobalDepth() <= 1 {
+		t.Fatalf("directory did not deepen: %d", tab.GlobalDepth())
+	}
+}
+
+func TestReplace(t *testing.T) {
+	_, tab := newTable(t, 4, 1)
+	tab.Insert(9, 1)
+	tab.Insert(9, 2)
+	if tab.Len() != 1 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	v, _, _ := tab.Lookup(9)
+	if v != 2 {
+		t.Fatalf("v = %d", v)
+	}
+}
+
+func TestSplitPreservesContents(t *testing.T) {
+	// Insert exactly enough to force splits at b = 2 and verify every
+	// key after each insert.
+	_, tab := newTable(t, 2, 0)
+	rng := xrand.New(3)
+	keys := workload.Keys(rng, 64)
+	for i, k := range keys {
+		tab.Insert(k, uint64(i))
+		for j := 0; j <= i; j++ {
+			v, ok, _ := tab.Lookup(keys[j])
+			if !ok || v != uint64(j) {
+				t.Fatalf("after %d inserts key %d lost", i+1, keys[j])
+			}
+		}
+		if err := tab.CheckInvariant(); err != nil {
+			t.Fatalf("after insert %d: %v", i, err)
+		}
+	}
+}
+
+func TestDirectoryMemoryCharged(t *testing.T) {
+	model, tab := newTable(t, 2, 1)
+	used0 := model.Mem.Used()
+	rng := xrand.New(5)
+	for _, k := range workload.Keys(rng, 500) {
+		tab.Insert(k, 0)
+	}
+	if model.Mem.Used() <= used0 {
+		t.Fatal("directory growth did not charge memory")
+	}
+	tab.Close()
+	if model.Mem.Used() != 0 {
+		t.Fatalf("Close left %d words charged", model.Mem.Used())
+	}
+}
+
+func TestDeleteAndMerge(t *testing.T) {
+	_, tab := newTable(t, 4, 1)
+	rng := xrand.New(7)
+	keys := workload.Keys(rng, 300)
+	for i, k := range keys {
+		tab.Insert(k, uint64(i))
+	}
+	depthAtPeak := tab.GlobalDepth()
+	for _, k := range keys {
+		ok, _ := tab.Delete(k)
+		if !ok {
+			t.Fatalf("delete %d failed", k)
+		}
+		if err := tab.CheckInvariant(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tab.Len() != 0 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	if tab.GlobalDepth() >= depthAtPeak {
+		t.Fatalf("directory did not shrink: %d -> %d", depthAtPeak, tab.GlobalDepth())
+	}
+	if ok, _ := tab.Delete(1); ok {
+		t.Fatal("deleted absent key from empty table")
+	}
+}
+
+func TestLoadFactorMaintained(t *testing.T) {
+	// Extendible hashing's whole point: load factor stays decent as the
+	// table grows, without ever touching more than O(1) blocks per op.
+	_, tab := newTable(t, 16, 1)
+	rng := xrand.New(9)
+	for _, k := range workload.Keys(rng, 5000) {
+		tab.Insert(k, 0)
+	}
+	lf := tab.LoadFactor()
+	if lf < 0.4 || lf > 1 {
+		t.Fatalf("load factor %.3f outside extendible hashing's expected band", lf)
+	}
+}
+
+func TestInsertCostConstant(t *testing.T) {
+	model, tab := newTable(t, 16, 1)
+	rng := xrand.New(11)
+	keys := workload.Keys(rng, 4000)
+	c0 := model.Counters()
+	for _, k := range keys {
+		tab.Insert(k, 0)
+	}
+	dc := model.Counters().Sub(c0)
+	perInsert := float64(dc.IOs()) / float64(len(keys))
+	// 1 read per insert, splits amortize to O(1/b): ~1.1 at b=16.
+	if perInsert > 1.3 {
+		t.Fatalf("amortized insert cost %.3f I/Os, want ~1", perInsert)
+	}
+	if perInsert < 1.0 {
+		t.Fatalf("amortized insert cost %.3f < 1, accounting broken", perInsert)
+	}
+}
+
+func TestMatchesMapModel(t *testing.T) {
+	f := func(seed uint64, ops []byte) bool {
+		model := iomodel.NewModel(2, 1<<18)
+		tab, err := New(model, hashfn.NewIdeal(seed), 1)
+		if err != nil {
+			return false
+		}
+		ref := map[uint64]uint64{}
+		r := xrand.New(seed)
+		for _, op := range ops {
+			key := uint64(op % 24)
+			switch op % 3 {
+			case 0:
+				v := r.Uint64()
+				tab.Insert(key, v)
+				ref[key] = v
+			case 1:
+				ok, _ := tab.Delete(key)
+				_, inRef := ref[key]
+				if ok != inRef {
+					return false
+				}
+				delete(ref, key)
+			default:
+				v, ok, _ := tab.Lookup(key)
+				rv, rok := ref[key]
+				if ok != rok || (ok && v != rv) {
+					return false
+				}
+			}
+			if tab.Len() != len(ref) {
+				return false
+			}
+			if err := tab.CheckInvariant(); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

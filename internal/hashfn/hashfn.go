@@ -1,0 +1,160 @@
+// Package hashfn provides the hash-function families used by every table
+// in this repository, together with the bucket-index extraction scheme the
+// merges rely on.
+//
+// The paper assumes an ideal hash function h(x) mapping each item
+// independently and uniformly into U = {0, ..., u-1} (a "justifiable
+// assumption" citing Mitzenmacher–Vadhan). Our default family, Ideal, is a
+// keyed SplitMix64 finalizer: a bijection whose outputs on distinct keys
+// are empirically indistinguishable from independent uniform draws. Two
+// weaker classical families (multiply-shift universal hashing and simple
+// tabulation) are provided so experiments can demonstrate insensitivity to
+// the family choice.
+//
+// # Index extraction
+//
+// All tables index buckets by the TOP bits of the 64-bit hash value:
+// a table with 2^j buckets uses bucket index h >> (64-j). Consequently a
+// table that doubles from 2^j to 2^(j+1) buckets splits every bucket into
+// two consecutive buckets, and a gamma-fold growth (gamma a power of two)
+// maps bucket i to the consecutive range [i*gamma, (i+1)*gamma). This is
+// what makes every merge in the logarithmic method and in the Theorem 2
+// structure a strictly sequential parallel scan, exactly as the paper's
+// "we can conduct the merge by scanning the two tables in parallel".
+package hashfn
+
+import (
+	"extbuf/internal/xrand"
+)
+
+// Fn is a hash function from 64-bit keys to 64-bit hash values. The hash
+// value plays the role of h(x) in the paper: tables never look at the key
+// other than through Fn.
+type Fn interface {
+	// Hash returns the 64-bit hash value of key.
+	Hash(key uint64) uint64
+	// Name identifies the family for experiment reports.
+	Name() string
+}
+
+// Ideal is the default family: a SplitMix64 finalizer keyed by a seed.
+// It models the paper's ideal random hash function.
+type Ideal struct {
+	seed uint64
+}
+
+// NewIdeal returns an Ideal hash function derived from seed.
+func NewIdeal(seed uint64) Ideal {
+	return Ideal{seed: xrand.Mix64(seed ^ 0x6a09e667f3bcc909)}
+}
+
+// Hash implements Fn.
+func (f Ideal) Hash(key uint64) uint64 { return xrand.Mix64(key ^ f.seed) }
+
+// Name implements Fn.
+func (f Ideal) Name() string { return "ideal" }
+
+// MultShift is the classical 2-universal multiply-shift family of Dietzfelbinger
+// et al.: h(x) = (a*x + c) over 64 bits, with odd multiplier a.
+type MultShift struct {
+	a, c uint64
+}
+
+// NewMultShift returns a MultShift function with parameters drawn from seed.
+func NewMultShift(seed uint64) MultShift {
+	sm := seed
+	a := xrand.SplitMix64(&sm) | 1 // multiplier must be odd
+	c := xrand.SplitMix64(&sm)
+	return MultShift{a: a, c: c}
+}
+
+// Hash implements Fn.
+func (f MultShift) Hash(key uint64) uint64 { return f.a*key + f.c }
+
+// Name implements Fn.
+func (f MultShift) Name() string { return "multshift" }
+
+// Tabulation is simple tabulation hashing over 8 character tables of 256
+// entries each: h(x) = T0[x0] ^ T1[x1] ^ ... ^ T7[x7]. Simple tabulation is
+// 3-independent and known to behave like full randomness for hashing with
+// chaining and linear probing (Pătraşcu–Thorup).
+type Tabulation struct {
+	t [8][256]uint64
+}
+
+// NewTabulation returns a Tabulation function with tables filled from seed.
+func NewTabulation(seed uint64) *Tabulation {
+	var f Tabulation
+	sm := seed
+	for i := range f.t {
+		for j := range f.t[i] {
+			f.t[i][j] = xrand.SplitMix64(&sm)
+		}
+	}
+	return &f
+}
+
+// Hash implements Fn.
+func (f *Tabulation) Hash(key uint64) uint64 {
+	var h uint64
+	for i := 0; i < 8; i++ {
+		h ^= f.t[i][byte(key>>(8*i))]
+	}
+	return h
+}
+
+// Name implements Fn.
+func (f *Tabulation) Name() string { return "tabulation" }
+
+// TopBits returns the bucket index given by the top `bits` bits of hash.
+// bits must be in [0, 64]; TopBits(h, 0) is always 0.
+func TopBits(hash uint64, bits uint) uint64 {
+	if bits == 0 {
+		return 0
+	}
+	return hash >> (64 - bits)
+}
+
+// BucketOf returns the bucket index of hash in a table with nbuckets
+// buckets, nbuckets a power of two, using top-bit extraction.
+func BucketOf(hash uint64, nbuckets int) int {
+	return int(TopBits(hash, uint(Log2(nbuckets))))
+}
+
+// Log2 returns floor(log2(n)) for n >= 1. It panics for n < 1.
+func Log2(n int) int {
+	if n < 1 {
+		panic("hashfn: Log2 of non-positive value")
+	}
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}
+
+// CeilPow2 returns the smallest power of two >= n, with CeilPow2(0) == 1.
+func CeilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// Family constructs a named family member; valid names are "ideal",
+// "multshift" and "tabulation". Unknown names return the ideal family.
+func Family(name string, seed uint64) Fn {
+	switch name {
+	case "multshift":
+		return NewMultShift(seed)
+	case "tabulation":
+		return NewTabulation(seed)
+	default:
+		return NewIdeal(seed)
+	}
+}

@@ -1,0 +1,187 @@
+package hashfn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"extbuf/internal/xrand"
+)
+
+func TestTopBits(t *testing.T) {
+	if TopBits(0xffffffffffffffff, 0) != 0 {
+		t.Fatal("0 bits should give 0")
+	}
+	if TopBits(0x8000000000000000, 1) != 1 {
+		t.Fatal("top bit extraction failed")
+	}
+	if TopBits(0xff00000000000000, 8) != 0xff {
+		t.Fatal("top byte extraction failed")
+	}
+}
+
+func TestBucketOfRange(t *testing.T) {
+	f := func(h uint64, shift uint8) bool {
+		n := 1 << (shift % 16)
+		b := BucketOf(h, n)
+		return b >= 0 && b < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketOfRefinement(t *testing.T) {
+	// Doubling the bucket count must split bucket i into buckets 2i, 2i+1.
+	f := func(h uint64, shift uint8) bool {
+		n := 1 << (shift%14 + 1)
+		coarse := BucketOf(h, n)
+		fine := BucketOf(h, 2*n)
+		return fine == 2*coarse || fine == 2*coarse+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketOfGammaRefinement(t *testing.T) {
+	// gamma-fold growth maps bucket i to [i*gamma, (i+1)*gamma).
+	f := func(h uint64) bool {
+		const n, gamma = 64, 8
+		coarse := BucketOf(h, n)
+		fine := BucketOf(h, n*gamma)
+		return fine >= coarse*gamma && fine < (coarse+1)*gamma
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 1, 4: 2, 7: 2, 8: 3, 1024: 10}
+	for n, want := range cases {
+		if got := Log2(n); got != want {
+			t.Errorf("Log2(%d) = %d want %d", n, got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Log2(0) did not panic")
+		}
+	}()
+	Log2(0)
+}
+
+func TestCeilPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 5: 8, 1023: 1024, 1024: 1024}
+	for n, want := range cases {
+		if got := CeilPow2(n); got != want {
+			t.Errorf("CeilPow2(%d) = %d want %d", n, got, want)
+		}
+	}
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 4096} {
+		if !IsPow2(n) {
+			t.Errorf("IsPow2(%d) = false", n)
+		}
+	}
+	for _, n := range []int{0, -1, 3, 6, 12, 1000} {
+		if IsPow2(n) {
+			t.Errorf("IsPow2(%d) = true", n)
+		}
+	}
+}
+
+func TestFamilyNames(t *testing.T) {
+	for _, name := range []string{"ideal", "multshift", "tabulation"} {
+		f := Family(name, 1)
+		if f.Name() != name {
+			t.Errorf("Family(%q).Name() = %q", name, f.Name())
+		}
+	}
+	if Family("unknown", 1).Name() != "ideal" {
+		t.Error("unknown family should fall back to ideal")
+	}
+}
+
+func TestFamiliesDeterministic(t *testing.T) {
+	for _, name := range []string{"ideal", "multshift", "tabulation"} {
+		a := Family(name, 99)
+		b := Family(name, 99)
+		for k := uint64(0); k < 100; k++ {
+			if a.Hash(k) != b.Hash(k) {
+				t.Fatalf("%s: same seed, different hash for key %d", name, k)
+			}
+		}
+	}
+}
+
+func TestFamiliesSeedSensitive(t *testing.T) {
+	for _, name := range []string{"ideal", "multshift", "tabulation"} {
+		a := Family(name, 1)
+		b := Family(name, 2)
+		same := 0
+		for k := uint64(0); k < 1000; k++ {
+			if a.Hash(k) == b.Hash(k) {
+				same++
+			}
+		}
+		if same > 2 {
+			t.Errorf("%s: %d/1000 collisions across seeds", name, same)
+		}
+	}
+}
+
+// bucketChiSquare computes the chi-square statistic of hashing n sequential
+// keys into nb buckets.
+func bucketChiSquare(f Fn, n, nb int) float64 {
+	counts := make([]float64, nb)
+	for k := 0; k < n; k++ {
+		counts[BucketOf(f.Hash(uint64(k)), nb)]++
+	}
+	want := float64(n) / float64(nb)
+	var chi float64
+	for _, c := range counts {
+		d := c - want
+		chi += d * d / want
+	}
+	return chi
+}
+
+func TestFamiliesUniformBuckets(t *testing.T) {
+	// chi-square with nb-1 = 255 degrees of freedom: mean 255, sd ~22.6.
+	// Accept anything below mean + 6 sd; sequential keys are the paper's
+	// hardest realistic input for multiply-shift.
+	const n, nb = 1 << 16, 256
+	for _, name := range []string{"ideal", "tabulation"} {
+		chi := bucketChiSquare(Family(name, 12345), n, nb)
+		if chi > 255+6*math.Sqrt(2*255) {
+			t.Errorf("%s: chi-square %v too large for uniform buckets", name, chi)
+		}
+	}
+}
+
+func TestIdealAvalanche(t *testing.T) {
+	// Flipping one input bit should flip ~32 of 64 output bits.
+	f := NewIdeal(7)
+	var totalFlips, samples float64
+	r := xrand.New(3)
+	for i := 0; i < 2000; i++ {
+		k := r.Uint64()
+		bit := uint(r.Intn(64))
+		diff := f.Hash(k) ^ f.Hash(k^(1<<bit))
+		flips := 0
+		for diff != 0 {
+			flips++
+			diff &= diff - 1
+		}
+		totalFlips += float64(flips)
+		samples++
+	}
+	mean := totalFlips / samples
+	if math.Abs(mean-32) > 1 {
+		t.Fatalf("avalanche mean %v, want ~32", mean)
+	}
+}

@@ -1,0 +1,77 @@
+package iomodel
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClearIsFree(t *testing.T) {
+	d := NewDisk(4)
+	id := d.Alloc()
+	d.Write(id, []Entry{{1, 1}, {2, 2}})
+	other := d.Alloc()
+	d.SetNext(id, other)
+	before := d.Counters()
+	d.Clear(id)
+	if d.Counters() != before {
+		t.Fatal("Clear charged I/O")
+	}
+	if len(d.Peek(id)) != 0 {
+		t.Fatal("Clear left contents")
+	}
+	if d.Next(id) != NilBlock {
+		t.Fatal("Clear left next pointer")
+	}
+}
+
+func TestClearResetsLastRead(t *testing.T) {
+	d := NewDisk(4)
+	id := d.Alloc()
+	d.Write(id, []Entry{{1, 1}})
+	d.Read(id, nil)
+	d.Clear(id)
+	// After Clear the write-back window is gone: WriteBack must panic.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WriteBack after Clear did not panic")
+		}
+	}()
+	d.WriteBack(id, nil)
+}
+
+func TestCountersString(t *testing.T) {
+	c := Counters{Reads: 1, Writes: 2, WriteBacks: 3}
+	s := c.String()
+	for _, want := range []string{"reads=1", "writes=2", "writebacks=3", "ios=3"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero block size":   func() { NewDisk(0) },
+		"negative capacity": func() { NewMemory(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMustAllocPanics(t *testing.T) {
+	m := NewMemory(4)
+	m.MustAlloc(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAlloc over budget did not panic")
+		}
+	}()
+	m.MustAlloc(1)
+}

@@ -1,0 +1,243 @@
+// Package iomodel simulates the standard external memory model of
+// Aggarwal and Vitter, which is the cost model of Wei, Yi, Zhang
+// (SPAA 2009): a disk of infinite size partitioned into blocks holding b
+// items each, and a main memory of m words. Computation is free; the
+// complexity of an algorithm is the number of block transfers (I/Os) it
+// performs.
+//
+// This package is a *substitution* for physical hardware (see DESIGN.md §4):
+// the paper's claims are statements about I/O counts under a memory budget,
+// and the simulator measures exactly those counts while enforcing block
+// granularity and the memory budget.
+//
+// # Cost accounting
+//
+//   - Read(id):       1 I/O.
+//   - Write(id):      1 I/O.
+//   - WriteBack(id):  0 I/Os, but only legal immediately after Read(id) of
+//     the same block. This implements footnote 2 of the paper: "since disk
+//     I/Os are dominated by the seek time, writing a block immediately
+//     after reading it can be considered as one I/O."
+//
+// Sequential scans receive no discount: the paper's bounds count block
+// transfers uniformly, so uniform counting reproduces them.
+//
+// # Items and words
+//
+// The paper's item is one machine word of log u bits; a block holds b
+// items and the memory holds m words. Our Entry carries a key (the item,
+// i.e. its hash-relevant identity) and a value word for realism as a
+// library. The value word rides along for free in the model; all capacity
+// accounting is in items, matching the paper. Chain headers (the next
+// pointer of an overflow block) are modeled as part of the block header
+// and are read/written together with the block at no extra cost.
+package iomodel
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Entry is one stored item: the key identifies it (the paper's atomic,
+// indivisible item) and Val is an uninterpreted payload word.
+type Entry struct {
+	Key uint64
+	Val uint64
+}
+
+// BlockID names a disk block. NilBlock is the null pointer.
+type BlockID int32
+
+// NilBlock is the null block pointer, used to terminate overflow chains.
+const NilBlock BlockID = -1
+
+// Counters accumulates I/O counts. The difference of two snapshots gives
+// the cost of an operation window.
+type Counters struct {
+	Reads      int64 // blocks read (1 I/O each)
+	Writes     int64 // blocks written cold (1 I/O each)
+	WriteBacks int64 // write-immediately-after-read (free per footnote 2)
+}
+
+// IOs returns the seek-dominated I/O count: reads plus cold writes.
+// Write-backs are free (footnote 2 of the paper).
+func (c Counters) IOs() int64 { return c.Reads + c.Writes }
+
+// Transfers returns the raw number of block transfers including
+// write-backs, for experiments that want the conservative count.
+func (c Counters) Transfers() int64 { return c.Reads + c.Writes + c.WriteBacks }
+
+// Sub returns c - o, the counts accumulated since snapshot o.
+func (c Counters) Sub(o Counters) Counters {
+	return Counters{
+		Reads:      c.Reads - o.Reads,
+		Writes:     c.Writes - o.Writes,
+		WriteBacks: c.WriteBacks - o.WriteBacks,
+	}
+}
+
+// Add returns c + o.
+func (c Counters) Add(o Counters) Counters {
+	return Counters{
+		Reads:      c.Reads + o.Reads,
+		Writes:     c.Writes + o.Writes,
+		WriteBacks: c.WriteBacks + o.WriteBacks,
+	}
+}
+
+// String renders the counters compactly.
+func (c Counters) String() string {
+	return fmt.Sprintf("reads=%d writes=%d writebacks=%d ios=%d",
+		c.Reads, c.Writes, c.WriteBacks, c.IOs())
+}
+
+// ErrWriteBackOrder is returned (via panic in strict mode) when WriteBack
+// is called on a block that was not the most recently read block.
+var ErrWriteBackOrder = errors.New("iomodel: WriteBack must immediately follow Read of the same block")
+
+// Disk is the simulated block device. Blocks hold up to B entries plus a
+// header containing an overflow-chain pointer. Disk is not safe for
+// concurrent use; each experiment owns its Disk.
+type Disk struct {
+	b        int
+	blocks   [][]Entry
+	next     []BlockID
+	free     []BlockID
+	ctr      Counters
+	lastRead BlockID
+	strict   bool
+}
+
+// NewDisk returns an empty disk with blocks of capacity b entries.
+// Strict mode validates WriteBack ordering (enabled by default; it is
+// cheap and catches accounting bugs in the table implementations).
+func NewDisk(b int) *Disk {
+	if b < 1 {
+		panic("iomodel: block size must be >= 1")
+	}
+	return &Disk{b: b, lastRead: NilBlock, strict: true}
+}
+
+// SetStrict toggles WriteBack-order validation.
+func (d *Disk) SetStrict(strict bool) { d.strict = strict }
+
+// B returns the block capacity in entries.
+func (d *Disk) B() int { return d.b }
+
+// Counters returns a snapshot of the accumulated I/O counters.
+func (d *Disk) Counters() Counters { return d.ctr }
+
+// ResetCounters zeroes the I/O counters.
+func (d *Disk) ResetCounters() { d.ctr = Counters{} }
+
+// NumBlocks returns the number of allocated (live) blocks.
+func (d *Disk) NumBlocks() int { return len(d.blocks) - len(d.free) }
+
+// Alloc reserves a fresh empty block and returns its ID. Allocation by
+// itself performs no I/O; the write that first populates the block pays.
+func (d *Disk) Alloc() BlockID {
+	if n := len(d.free); n > 0 {
+		id := d.free[n-1]
+		d.free = d.free[:n-1]
+		d.blocks[id] = d.blocks[id][:0]
+		d.next[id] = NilBlock
+		return id
+	}
+	id := BlockID(len(d.blocks))
+	d.blocks = append(d.blocks, make([]Entry, 0, d.b))
+	d.next = append(d.next, NilBlock)
+	return id
+}
+
+// Free releases a block back to the allocator. Freeing performs no I/O.
+func (d *Disk) Free(id BlockID) {
+	d.checkID(id)
+	d.blocks[id] = d.blocks[id][:0]
+	d.next[id] = NilBlock
+	d.free = append(d.free, id)
+	if d.lastRead == id {
+		d.lastRead = NilBlock
+	}
+}
+
+// Read transfers block id into memory, costing 1 I/O, and appends its
+// entries to buf (which may be nil). The returned slice is owned by the
+// caller; the disk contents are unaffected by mutation of it.
+func (d *Disk) Read(id BlockID, buf []Entry) []Entry {
+	d.checkID(id)
+	d.ctr.Reads++
+	d.lastRead = id
+	return append(buf, d.blocks[id]...)
+}
+
+// Peek returns the current length of block id without performing an I/O.
+// It exists for assertions and snapshot analysis (package zones), never
+// for table operation logic.
+func (d *Disk) Peek(id BlockID) []Entry {
+	d.checkID(id)
+	return d.blocks[id]
+}
+
+// Write replaces the contents of block id, costing 1 I/O. It panics if
+// entries exceeds the block capacity.
+func (d *Disk) Write(id BlockID, entries []Entry) {
+	d.checkID(id)
+	d.checkFit(entries)
+	d.ctr.Writes++
+	d.lastRead = NilBlock
+	d.blocks[id] = append(d.blocks[id][:0], entries...)
+}
+
+// WriteBack replaces the contents of block id at zero I/O cost, modeling
+// a write issued while the disk head still sits on the block just read
+// (footnote 2 of the paper). In strict mode it panics unless id is the
+// most recently read block.
+func (d *Disk) WriteBack(id BlockID, entries []Entry) {
+	d.checkID(id)
+	d.checkFit(entries)
+	if d.strict && d.lastRead != id {
+		panic(ErrWriteBackOrder)
+	}
+	d.ctr.WriteBacks++
+	d.lastRead = NilBlock
+	d.blocks[id] = append(d.blocks[id][:0], entries...)
+}
+
+// Clear empties block id without charging an I/O, modeling a TRIM or
+// free-list format operation: discarding data requires no transfer. It
+// must not be used to move data (the block simply becomes empty).
+func (d *Disk) Clear(id BlockID) {
+	d.checkID(id)
+	d.blocks[id] = d.blocks[id][:0]
+	d.next[id] = NilBlock
+	if d.lastRead == id {
+		d.lastRead = NilBlock
+	}
+}
+
+// Next returns the overflow-chain pointer stored in the header of block
+// id. Headers travel with their block: calling Next is free but only
+// meaningful adjacent to a Read/Write of the same block.
+func (d *Disk) Next(id BlockID) BlockID {
+	d.checkID(id)
+	return d.next[id]
+}
+
+// SetNext updates the overflow-chain pointer in the header of block id.
+// Like Next, it is free and must accompany a Read/Write of the block.
+func (d *Disk) SetNext(id, next BlockID) {
+	d.checkID(id)
+	d.next[id] = next
+}
+
+func (d *Disk) checkID(id BlockID) {
+	if id < 0 || int(id) >= len(d.blocks) {
+		panic(fmt.Sprintf("iomodel: invalid block id %d", id))
+	}
+}
+
+func (d *Disk) checkFit(entries []Entry) {
+	if len(entries) > d.b {
+		panic(fmt.Sprintf("iomodel: %d entries exceed block capacity %d", len(entries), d.b))
+	}
+}

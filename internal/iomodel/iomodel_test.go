@@ -1,0 +1,245 @@
+package iomodel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCountersArithmetic(t *testing.T) {
+	a := Counters{Reads: 10, Writes: 5, WriteBacks: 3}
+	b := Counters{Reads: 4, Writes: 2, WriteBacks: 1}
+	d := a.Sub(b)
+	if d.Reads != 6 || d.Writes != 3 || d.WriteBacks != 2 {
+		t.Fatalf("Sub = %+v", d)
+	}
+	s := b.Add(d)
+	if s != a {
+		t.Fatalf("Add(Sub) != original: %+v", s)
+	}
+	if a.IOs() != 15 {
+		t.Fatalf("IOs = %d", a.IOs())
+	}
+	if a.Transfers() != 18 {
+		t.Fatalf("Transfers = %d", a.Transfers())
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	d := NewDisk(4)
+	id := d.Alloc()
+	in := []Entry{{1, 10}, {2, 20}}
+	d.Write(id, in)
+	out := d.Read(id, nil)
+	if len(out) != 2 || out[0] != in[0] || out[1] != in[1] {
+		t.Fatalf("round trip failed: %v", out)
+	}
+	c := d.Counters()
+	if c.Reads != 1 || c.Writes != 1 || c.WriteBacks != 0 {
+		t.Fatalf("counters %+v", c)
+	}
+}
+
+func TestReadReturnsCopy(t *testing.T) {
+	d := NewDisk(4)
+	id := d.Alloc()
+	d.Write(id, []Entry{{1, 10}})
+	out := d.Read(id, nil)
+	out[0].Val = 999
+	again := d.Read(id, nil)
+	if again[0].Val != 10 {
+		t.Fatal("mutating the returned slice changed disk contents")
+	}
+}
+
+func TestWriteBackAfterRead(t *testing.T) {
+	d := NewDisk(4)
+	id := d.Alloc()
+	d.Write(id, []Entry{{1, 1}})
+	buf := d.Read(id, nil)
+	buf = append(buf, Entry{2, 2})
+	d.WriteBack(id, buf)
+	c := d.Counters()
+	if c.IOs() != 2 { // 1 write + 1 read; write-back free
+		t.Fatalf("IOs = %d, want 2", c.IOs())
+	}
+	if got := d.Read(id, nil); len(got) != 2 {
+		t.Fatalf("write-back lost data: %v", got)
+	}
+}
+
+func TestWriteBackStrictViolation(t *testing.T) {
+	d := NewDisk(4)
+	a, b := d.Alloc(), d.Alloc()
+	d.Write(a, nil)
+	d.Write(b, nil)
+	d.Read(a, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WriteBack to non-last-read block did not panic in strict mode")
+		}
+	}()
+	d.WriteBack(b, nil) // b was not the last read
+}
+
+func TestWriteBackNonStrict(t *testing.T) {
+	d := NewDisk(4)
+	d.SetStrict(false)
+	a, b := d.Alloc(), d.Alloc()
+	d.Write(a, nil)
+	d.Write(b, nil)
+	d.Read(a, nil)
+	d.WriteBack(b, nil) // allowed when strict is off
+}
+
+func TestWriteBackAfterWriteInvalid(t *testing.T) {
+	d := NewDisk(4)
+	id := d.Alloc()
+	d.Write(id, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WriteBack after Write (no Read) did not panic")
+		}
+	}()
+	d.WriteBack(id, nil)
+}
+
+func TestAllocFreeReuse(t *testing.T) {
+	d := NewDisk(4)
+	a := d.Alloc()
+	d.Write(a, []Entry{{1, 1}})
+	d.SetNext(a, 99) // garbage pointer that must be cleared on reuse
+	d.Free(a)
+	if d.NumBlocks() != 0 {
+		t.Fatalf("NumBlocks = %d after free", d.NumBlocks())
+	}
+	b := d.Alloc()
+	if b != a {
+		t.Fatalf("allocator did not reuse freed block: got %d want %d", b, a)
+	}
+	if d.Next(b) != NilBlock {
+		t.Fatal("reused block kept stale next pointer")
+	}
+	if len(d.Peek(b)) != 0 {
+		t.Fatal("reused block kept stale contents")
+	}
+}
+
+func TestBlockCapacityEnforced(t *testing.T) {
+	d := NewDisk(2)
+	id := d.Alloc()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overfull write did not panic")
+		}
+	}()
+	d.Write(id, []Entry{{1, 0}, {2, 0}, {3, 0}})
+}
+
+func TestInvalidBlockID(t *testing.T) {
+	d := NewDisk(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid id did not panic")
+		}
+	}()
+	d.Read(5, nil)
+}
+
+func TestNextPointers(t *testing.T) {
+	d := NewDisk(2)
+	a, b := d.Alloc(), d.Alloc()
+	if d.Next(a) != NilBlock {
+		t.Fatal("fresh block has non-nil next")
+	}
+	d.SetNext(a, b)
+	if d.Next(a) != b {
+		t.Fatal("SetNext lost pointer")
+	}
+}
+
+func TestResetCounters(t *testing.T) {
+	d := NewDisk(2)
+	id := d.Alloc()
+	d.Write(id, nil)
+	d.ResetCounters()
+	if d.Counters() != (Counters{}) {
+		t.Fatal("reset did not zero counters")
+	}
+}
+
+func TestMemoryBudget(t *testing.T) {
+	m := NewMemory(100)
+	if err := m.Alloc(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Alloc(50); err == nil {
+		t.Fatal("over-budget alloc succeeded")
+	}
+	if m.Used() != 60 {
+		t.Fatalf("failed alloc changed Used: %d", m.Used())
+	}
+	if err := m.Alloc(40); err != nil {
+		t.Fatal("exact-fit alloc failed")
+	}
+	if m.Free() != 0 {
+		t.Fatalf("Free = %d", m.Free())
+	}
+	m.Release(100)
+	if m.Used() != 0 {
+		t.Fatalf("Used = %d after release", m.Used())
+	}
+	if m.Peak() != 100 {
+		t.Fatalf("Peak = %d", m.Peak())
+	}
+}
+
+func TestMemoryOverRelease(t *testing.T) {
+	m := NewMemory(10)
+	m.MustAlloc(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release did not panic")
+		}
+	}()
+	m.Release(6)
+}
+
+func TestModel(t *testing.T) {
+	mo := NewModel(8, 1024)
+	if mo.B() != 8 || mo.MWords() != 1024 {
+		t.Fatalf("model params: b=%d m=%d", mo.B(), mo.MWords())
+	}
+	id := mo.Disk.Alloc()
+	mo.Disk.Write(id, []Entry{{1, 1}})
+	if mo.Counters().Writes != 1 {
+		t.Fatal("model counters not wired to disk")
+	}
+}
+
+func TestAllocFreeProperty(t *testing.T) {
+	// Property: after any interleaving of allocs and frees, NumBlocks
+	// equals live count and every live block is readable.
+	f := func(ops []bool) bool {
+		d := NewDisk(2)
+		var live []BlockID
+		for _, alloc := range ops {
+			if alloc || len(live) == 0 {
+				live = append(live, d.Alloc())
+			} else {
+				id := live[len(live)-1]
+				live = live[:len(live)-1]
+				d.Free(id)
+			}
+		}
+		if d.NumBlocks() != len(live) {
+			return false
+		}
+		for _, id := range live {
+			d.Read(id, nil)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,97 @@
+package iomodel
+
+import "fmt"
+
+// Memory tracks the main-memory budget of m words. Every structure that
+// keeps state in memory (buffers, directories, split pointers) allocates
+// its footprint here, so experiments can assert that no structure exceeds
+// the m the paper grants it.
+//
+// Accounting is in words: one Entry key is one word (the paper's item);
+// auxiliary pointers and counters are charged one word each. Value words
+// ride free, consistent with the Disk convention.
+type Memory struct {
+	capacity int64
+	used     int64
+	peak     int64
+}
+
+// NewMemory returns a memory budget of capacity words.
+func NewMemory(capacity int64) *Memory {
+	if capacity < 0 {
+		panic("iomodel: negative memory capacity")
+	}
+	return &Memory{capacity: capacity}
+}
+
+// Capacity returns the budget in words.
+func (m *Memory) Capacity() int64 { return m.capacity }
+
+// Used returns the words currently allocated.
+func (m *Memory) Used() int64 { return m.used }
+
+// Peak returns the high-water mark of Used.
+func (m *Memory) Peak() int64 { return m.peak }
+
+// Free returns the words still available.
+func (m *Memory) Free() int64 { return m.capacity - m.used }
+
+// Alloc reserves words from the budget. It returns an error if the budget
+// would be exceeded; the reservation is not applied in that case.
+func (m *Memory) Alloc(words int64) error {
+	if words < 0 {
+		panic("iomodel: negative allocation")
+	}
+	if m.used+words > m.capacity {
+		return fmt.Errorf("iomodel: memory budget exceeded: used %d + alloc %d > capacity %d",
+			m.used, words, m.capacity)
+	}
+	m.used += words
+	if m.used > m.peak {
+		m.peak = m.used
+	}
+	return nil
+}
+
+// MustAlloc is Alloc for callers holding a structural invariant that the
+// allocation fits; it panics on violation.
+func (m *Memory) MustAlloc(words int64) {
+	if err := m.Alloc(words); err != nil {
+		panic(err)
+	}
+}
+
+// Release returns words to the budget. It panics if more is released than
+// is currently used (an accounting bug in the caller).
+func (m *Memory) Release(words int64) {
+	if words < 0 {
+		panic("iomodel: negative release")
+	}
+	if words > m.used {
+		panic(fmt.Sprintf("iomodel: releasing %d words but only %d in use", words, m.used))
+	}
+	m.used -= words
+}
+
+// Model bundles a Disk and a Memory with the two parameters of the
+// external memory model: b (block size in items) and m (memory size in
+// words). It is the substrate handed to every table constructor.
+type Model struct {
+	Disk *Disk
+	Mem  *Memory
+}
+
+// NewModel returns a fresh model with block size b and memory budget
+// mWords.
+func NewModel(b int, mWords int64) *Model {
+	return &Model{Disk: NewDisk(b), Mem: NewMemory(mWords)}
+}
+
+// B returns the block size in items.
+func (mo *Model) B() int { return mo.Disk.B() }
+
+// MWords returns the memory budget in words.
+func (mo *Model) MWords() int64 { return mo.Mem.Capacity() }
+
+// Counters returns the disk's I/O counter snapshot.
+func (mo *Model) Counters() Counters { return mo.Disk.Counters() }

@@ -1,0 +1,43 @@
+package linhash
+
+import (
+	"testing"
+
+	"extbuf/internal/workload"
+	"extbuf/internal/xrand"
+	"extbuf/internal/zones"
+)
+
+func TestAccessorsAndZoneView(t *testing.T) {
+	model, tab := newTable(t, 8, 1)
+	if tab.Disk() != model.Disk {
+		t.Fatal("Disk accessor broken")
+	}
+	if tab.MemoryKeys() != nil {
+		t.Fatal("MemoryKeys should be nil")
+	}
+	rng := xrand.New(3)
+	keys := workload.Keys(rng, 400)
+	for i, k := range keys {
+		tab.Insert(k, uint64(i))
+	}
+	if sp := tab.SplitPointer(); sp < 0 || sp >= tab.NumBuckets() {
+		t.Fatalf("split pointer %d out of range", sp)
+	}
+	if lf := tab.LoadFactor(); lf <= 0 || lf > 1 {
+		t.Fatalf("load factor %v", lf)
+	}
+	rep := zones.Audit(tab, keys)
+	if rep.M != 0 || rep.F+rep.S != 400 {
+		t.Fatalf("audit: %+v", rep)
+	}
+	// Items in overflow chains form the slow zone; at the default 0.85
+	// fill this is a modest fraction.
+	if rep.SlowFraction() > 0.3 {
+		t.Fatalf("slow fraction %.3f", rep.SlowFraction())
+	}
+	tab.Close()
+	if model.Mem.Used() != 0 {
+		t.Fatalf("Close left %d words", model.Mem.Used())
+	}
+}

@@ -1,0 +1,208 @@
+package linhash
+
+import (
+	"testing"
+	"testing/quick"
+
+	"extbuf/internal/hashfn"
+	"extbuf/internal/iomodel"
+	"extbuf/internal/workload"
+	"extbuf/internal/xrand"
+)
+
+func newTable(t *testing.T, b int, level uint) (*iomodel.Model, *Table) {
+	t.Helper()
+	model := iomodel.NewModel(b, 1<<20)
+	tab, err := New(model, hashfn.NewIdeal(1), level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model, tab
+}
+
+func TestInsertLookup(t *testing.T) {
+	_, tab := newTable(t, 4, 1)
+	rng := xrand.New(2)
+	keys := workload.Keys(rng, 500)
+	for i, k := range keys {
+		tab.Insert(k, uint64(i))
+	}
+	if tab.Len() != 500 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	if err := tab.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		v, ok, _ := tab.Lookup(k)
+		if !ok || v != uint64(i) {
+			t.Fatalf("key %d lost", k)
+		}
+	}
+	if tab.NumBuckets() <= 2 {
+		t.Fatalf("table never split: %d buckets", tab.NumBuckets())
+	}
+}
+
+func TestReplace(t *testing.T) {
+	_, tab := newTable(t, 4, 1)
+	tab.Insert(5, 1)
+	tab.Insert(5, 2)
+	if tab.Len() != 1 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	v, _, _ := tab.Lookup(5)
+	if v != 2 {
+		t.Fatalf("v = %d", v)
+	}
+}
+
+func TestSplitRoundProgression(t *testing.T) {
+	_, tab := newTable(t, 2, 1)
+	rng := xrand.New(3)
+	keys := workload.Keys(rng, 300)
+	levelsSeen := map[uint]bool{}
+	for i, k := range keys {
+		tab.Insert(k, uint64(i))
+		levelsSeen[tab.Level()] = true
+		if err := tab.CheckInvariant(); err != nil {
+			t.Fatalf("after insert %d (level %d, split %d): %v",
+				i, tab.Level(), tab.SplitPointer(), err)
+		}
+	}
+	if len(levelsSeen) < 3 {
+		t.Fatalf("expected several level completions, saw %v", levelsSeen)
+	}
+	for i, k := range keys {
+		v, ok, _ := tab.Lookup(k)
+		if !ok || v != uint64(i) {
+			t.Fatalf("key %d lost across rounds", k)
+		}
+	}
+}
+
+func TestFillControlled(t *testing.T) {
+	_, tab := newTable(t, 8, 1)
+	tab.SetMaxLoad(0.8)
+	rng := xrand.New(5)
+	for _, k := range workload.Keys(rng, 3000) {
+		tab.Insert(k, 0)
+	}
+	if f := tab.Fill(); f > 0.85 {
+		t.Fatalf("fill %.3f exceeds controlled threshold", f)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	_, tab := newTable(t, 4, 1)
+	rng := xrand.New(7)
+	keys := workload.Keys(rng, 200)
+	for i, k := range keys {
+		tab.Insert(k, uint64(i))
+	}
+	for i, k := range keys {
+		if i%3 == 0 {
+			if ok, _ := tab.Delete(k); !ok {
+				t.Fatalf("delete %d failed", k)
+			}
+		}
+	}
+	for i, k := range keys {
+		_, ok, _ := tab.Lookup(k)
+		want := i%3 != 0
+		if ok != want {
+			t.Fatalf("key %d present=%v want %v", k, ok, want)
+		}
+	}
+	if ok, _ := tab.Delete(424242); ok {
+		t.Fatal("deleted absent key")
+	}
+}
+
+func TestInsertCostConstant(t *testing.T) {
+	// At moderate load with a realistic block size, the amortized insert
+	// cost must be 1 + O(1/b) + (overflow-chain term); splits amortize
+	// to ~4/(maxLoad*b) per insert.
+	model, tab := newTable(t, 32, 1)
+	tab.SetMaxLoad(0.7)
+	rng := xrand.New(9)
+	keys := workload.Keys(rng, 8000)
+	c0 := model.Counters()
+	for _, k := range keys {
+		tab.Insert(k, 0)
+	}
+	dc := model.Counters().Sub(c0)
+	perInsert := float64(dc.IOs()) / float64(len(keys))
+	if perInsert > 1.4 {
+		t.Fatalf("amortized insert cost %.3f I/Os, want ~1 + O(1/b)", perInsert)
+	}
+	if perInsert < 1.0 {
+		t.Fatalf("amortized insert cost %.3f < 1, accounting broken", perInsert)
+	}
+}
+
+func TestQueryCostLowLoad(t *testing.T) {
+	_, tab := newTable(t, 32, 2)
+	tab.SetMaxLoad(0.5)
+	rng := xrand.New(11)
+	keys := workload.Keys(rng, 3000)
+	for _, k := range keys {
+		tab.Insert(k, 0)
+	}
+	total := 0
+	for _, k := range keys {
+		_, ok, ios := tab.Lookup(k)
+		if !ok {
+			t.Fatal("lost key")
+		}
+		total += ios
+	}
+	avg := float64(total) / float64(len(keys))
+	if avg > 1.05 {
+		t.Fatalf("avg successful lookup %.4f at load 0.5", avg)
+	}
+}
+
+func TestMatchesMapModel(t *testing.T) {
+	f := func(seed uint64, ops []byte) bool {
+		model := iomodel.NewModel(2, 1<<18)
+		tab, err := New(model, hashfn.NewIdeal(seed), 1)
+		if err != nil {
+			return false
+		}
+		ref := map[uint64]uint64{}
+		r := xrand.New(seed)
+		for _, op := range ops {
+			key := uint64(op % 24)
+			switch op % 3 {
+			case 0:
+				v := r.Uint64()
+				tab.Insert(key, v)
+				ref[key] = v
+			case 1:
+				ok, _ := tab.Delete(key)
+				_, inRef := ref[key]
+				if ok != inRef {
+					return false
+				}
+				delete(ref, key)
+			default:
+				v, ok, _ := tab.Lookup(key)
+				rv, rok := ref[key]
+				if ok != rok || (ok && v != rv) {
+					return false
+				}
+			}
+			if tab.Len() != len(ref) {
+				return false
+			}
+			if err := tab.CheckInvariant(); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,49 @@
+package linprobe
+
+import (
+	"testing"
+
+	"extbuf/internal/hashfn"
+	"extbuf/internal/iomodel"
+	"extbuf/internal/workload"
+	"extbuf/internal/xrand"
+	"extbuf/internal/zones"
+)
+
+func TestAccessorsAndZoneView(t *testing.T) {
+	model := iomodel.NewModel(8, 1024)
+	tab, err := New(model, hashfn.NewIdeal(1), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Disk() != model.Disk {
+		t.Fatal("Disk accessor broken")
+	}
+	if tab.MemoryKeys() != nil {
+		t.Fatal("MemoryKeys should be nil")
+	}
+	rng := xrand.New(3)
+	keys := workload.Keys(rng, 50)
+	for i, k := range keys {
+		if _, err := tab.Insert(k, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lf := tab.LoadFactor()
+	if lf <= 0 || lf > 1 {
+		t.Fatalf("load factor %v", lf)
+	}
+	rep := zones.Audit(tab, keys)
+	if rep.M != 0 || rep.F+rep.S != 50 {
+		t.Fatalf("audit: %+v", rep)
+	}
+	// At fill ~0.39 nearly everything should be in its home block; the
+	// displaced (probed-forward) items are the slow zone.
+	if rep.SlowFraction() > 0.3 {
+		t.Fatalf("slow fraction %.3f too high", rep.SlowFraction())
+	}
+	tab.Close()
+	if model.Mem.Used() != 0 {
+		t.Fatalf("Close left %d words", model.Mem.Used())
+	}
+}

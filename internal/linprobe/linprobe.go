@@ -1,0 +1,356 @@
+// Package linprobe implements the external hash table with block-level
+// linear probing, the other classical collision-resolution strategy whose
+// analysis Knuth gives in TAOCP vol. 3 §6.4 and which the paper cites for
+// the 1 + 1/2^Omega(b) query cost of standard external hashing.
+//
+// The table is a circular array of disk blocks. An item with home block
+// h(x) is stored in the first block at or cyclically after h(x) that had
+// free space at insertion time. The structure maintains the probing
+// invariant:
+//
+//	for every stored item x placed in block j, every block in the
+//	cyclic interval [home(x), j) is full.
+//
+// A successful lookup therefore scans from the home block and can stop
+// after the first non-full block; at load factors bounded below 1 the
+// expected scan length is 1 + 1/2^Omega(b) blocks. Deletions restore the
+// invariant with a block-level version of Knuth's Algorithm R (backward
+// shifting), so no tombstones are needed and the table never degrades.
+package linprobe
+
+import (
+	"errors"
+	"fmt"
+
+	"extbuf/internal/hashfn"
+	"extbuf/internal/iomodel"
+)
+
+// ErrFull is returned by Insert when every block is full and growth is
+// disabled.
+var ErrFull = errors.New("linprobe: table full")
+
+// memoryWords is the charged in-memory footprint: base address, block
+// count, item count, hash seed.
+const memoryWords = 4
+
+// Table is an external linear-probing hash table. Not safe for concurrent
+// use.
+type Table struct {
+	d       *iomodel.Disk
+	mem     *iomodel.Memory
+	fn      hashfn.Fn
+	blocks  []iomodel.BlockID
+	bits    uint
+	n       int
+	maxLoad float64
+	memRes  int64
+}
+
+// New returns a table over nblocks blocks (rounded up to a power of two).
+func New(model *iomodel.Model, fn hashfn.Fn, nblocks int) (*Table, error) {
+	if nblocks < 1 {
+		return nil, fmt.Errorf("linprobe: nblocks must be >= 1, got %d", nblocks)
+	}
+	nblocks = hashfn.CeilPow2(nblocks)
+	if err := model.Mem.Alloc(memoryWords); err != nil {
+		return nil, fmt.Errorf("linprobe: %w", err)
+	}
+	t := &Table{
+		d:      model.Disk,
+		mem:    model.Mem,
+		fn:     fn,
+		blocks: make([]iomodel.BlockID, nblocks),
+		bits:   uint(hashfn.Log2(nblocks)),
+		memRes: memoryWords,
+	}
+	for i := range t.blocks {
+		t.blocks[i] = model.Disk.Alloc()
+	}
+	return t, nil
+}
+
+// SetMaxLoad enables automatic doubling when the fill n/(b*blocks)
+// exceeds maxLoad. Zero keeps the size fixed; Insert then returns ErrFull
+// on a full table.
+func (t *Table) SetMaxLoad(maxLoad float64) { t.maxLoad = maxLoad }
+
+// Len returns the number of stored entries.
+func (t *Table) Len() int { return t.n }
+
+// NumBlocks returns the number of blocks in the probing array.
+func (t *Table) NumBlocks() int { return len(t.blocks) }
+
+// Fill returns n/(b*blocks).
+func (t *Table) Fill() float64 {
+	return float64(t.n) / (float64(t.d.B()) * float64(len(t.blocks)))
+}
+
+// LoadFactor returns the paper's load factor ceil(n/b)/blocks.
+func (t *Table) LoadFactor() float64 {
+	b := t.d.B()
+	return float64((t.n+b-1)/b) / float64(len(t.blocks))
+}
+
+func (t *Table) home(key uint64) int {
+	return int(hashfn.TopBits(t.fn.Hash(key), t.bits))
+}
+
+func (t *Table) next(i int) int {
+	if i++; i == len(t.blocks) {
+		return 0
+	}
+	return i
+}
+
+// Insert stores (key, val), overwriting an existing value for key. It
+// returns the I/Os spent and ErrFull if no space exists.
+func (t *Table) Insert(key, val uint64) (int, error) {
+	ios := 0
+	i := t.home(key)
+	var buf []iomodel.Entry
+	for step := 0; step < len(t.blocks); step++ {
+		buf = t.d.Read(t.blocks[i], buf[:0])
+		ios++
+		for j := range buf {
+			if buf[j].Key == key {
+				buf[j].Val = val
+				t.d.WriteBack(t.blocks[i], buf)
+				return ios, nil
+			}
+		}
+		if len(buf) < t.d.B() {
+			buf = append(buf, iomodel.Entry{Key: key, Val: val})
+			t.d.WriteBack(t.blocks[i], buf)
+			t.n++
+			if t.maxLoad > 0 && t.Fill() > t.maxLoad {
+				ios += t.rebuild(2 * len(t.blocks))
+			}
+			return ios, nil
+		}
+		i = t.next(i)
+	}
+	if t.maxLoad > 0 {
+		ios += t.rebuild(2 * len(t.blocks))
+		more, err := t.Insert(key, val)
+		return ios + more, err
+	}
+	return ios, ErrFull
+}
+
+// Lookup returns the value for key and the I/Os spent. The scan stops
+// after the first non-full block, which the probing invariant makes
+// sound.
+func (t *Table) Lookup(key uint64) (val uint64, ok bool, ios int) {
+	i := t.home(key)
+	var buf []iomodel.Entry
+	for step := 0; step < len(t.blocks); step++ {
+		buf = t.d.Read(t.blocks[i], buf[:0])
+		ios++
+		for _, e := range buf {
+			if e.Key == key {
+				return e.Val, true, ios
+			}
+		}
+		if len(buf) < t.d.B() {
+			return 0, false, ios
+		}
+		i = t.next(i)
+	}
+	return 0, false, ios
+}
+
+// Delete removes key and repairs the probing invariant by backward
+// shifting (block-level Algorithm R). It reports whether the key was
+// present and the I/Os spent.
+func (t *Table) Delete(key uint64) (ok bool, ios int) {
+	i := t.home(key)
+	var buf []iomodel.Entry
+	for step := 0; step < len(t.blocks); step++ {
+		buf = t.d.Read(t.blocks[i], buf[:0])
+		ios++
+		for j, e := range buf {
+			if e.Key == key {
+				buf[j] = buf[len(buf)-1]
+				buf = buf[:len(buf)-1]
+				t.d.WriteBack(t.blocks[i], buf)
+				t.n--
+				ios += t.repair(i)
+				return true, ios
+			}
+		}
+		if len(buf) < t.d.B() {
+			return false, ios
+		}
+		i = t.next(i)
+	}
+	return false, ios
+}
+
+// repair restores the probing invariant after block hole gained a free
+// slot: any later item of the same cluster whose home lies cyclically at
+// or before hole is shifted back, and the repair continues from the slot
+// it vacates.
+func (t *Table) repair(hole int) int {
+	ios := 0
+	k := t.next(hole)
+	var buf []iomodel.Entry
+	for step := 0; step < len(t.blocks); step++ {
+		if k == hole { // wrapped all the way around
+			return ios
+		}
+		buf = t.d.Read(t.blocks[k], buf[:0])
+		ios++
+		cand := -1
+		for j, e := range buf {
+			if !cyclicBetween(t.home(e.Key), t.next(hole), k, len(t.blocks)) {
+				// home(e) is NOT in (hole, k], so e may move back.
+				cand = j
+				break
+			}
+		}
+		if cand >= 0 {
+			e := buf[cand]
+			buf[cand] = buf[len(buf)-1]
+			buf = buf[:len(buf)-1]
+			t.d.WriteBack(t.blocks[k], buf)
+			// Move e into the hole block.
+			hb := t.d.Read(t.blocks[hole], nil)
+			ios++
+			hb = append(hb, e)
+			t.d.WriteBack(t.blocks[hole], hb)
+			hole = k
+			k = t.next(k)
+			continue
+		}
+		if len(buf) < t.d.B() {
+			// Cluster ends here and no candidate exists: invariant holds.
+			return ios
+		}
+		k = t.next(k)
+	}
+	return ios
+}
+
+// cyclicBetween reports whether x lies in the cyclic interval [lo, hi]
+// of a ring of size n.
+func cyclicBetween(x, lo, hi, n int) bool {
+	if lo <= hi {
+		return x >= lo && x <= hi
+	}
+	return x >= lo || x <= hi
+}
+
+// rebuild resizes the table to newSize blocks (a power of two) with a
+// bulk load: all entries are collected, counting-sorted by new home
+// block, and laid out in one sequential sweep that writes each block at
+// most twice (once in the main sweep, possibly once more on cyclic
+// wrap-around). Returns the I/Os spent.
+func (t *Table) rebuild(newSize int) int {
+	ios := 0
+	var all []iomodel.Entry
+	for _, id := range t.blocks {
+		all = t.d.Read(id, all)
+		ios++
+		t.d.Free(id)
+	}
+	newSize = hashfn.CeilPow2(newSize)
+	newBits := uint(hashfn.Log2(newSize))
+	// Counting sort by new home block.
+	counts := make([]int, newSize+1)
+	for _, e := range all {
+		counts[int(hashfn.TopBits(t.fn.Hash(e.Key), newBits))+1]++
+	}
+	for i := 1; i <= newSize; i++ {
+		counts[i] += counts[i-1]
+	}
+	sorted := make([]iomodel.Entry, len(all))
+	pos := append([]int(nil), counts[:newSize]...)
+	for _, e := range all {
+		h := int(hashfn.TopBits(t.fn.Hash(e.Key), newBits))
+		sorted[pos[h]] = e
+		pos[h]++
+	}
+	blocks := make([]iomodel.BlockID, newSize)
+	for i := range blocks {
+		blocks[i] = t.d.Alloc()
+	}
+	b := t.d.B()
+	var carry []iomodel.Entry
+	fills := make([]int, newSize)
+	writeOut := func(i int) {
+		blk := carry
+		if len(blk) > b {
+			blk = carry[:b]
+		}
+		t.d.Write(blocks[i], blk)
+		ios++
+		fills[i] = len(blk)
+		carry = append(carry[:0], carry[len(blk):]...)
+	}
+	for i := 0; i < newSize; i++ {
+		carry = append(carry, sorted[counts[i]:counts[i+1]]...)
+		writeOut(i)
+	}
+	// Wrap-around: leftover carry continues filling from block 0.
+	for i := 0; len(carry) > 0; i++ {
+		if fills[i] == b {
+			continue // already full; carry items' homes precede it
+		}
+		cur := t.d.Read(blocks[i], nil)
+		ios++
+		space := b - len(cur)
+		take := space
+		if take > len(carry) {
+			take = len(carry)
+		}
+		cur = append(cur, carry[:take]...)
+		carry = carry[take:]
+		t.d.WriteBack(blocks[i], cur)
+		fills[i] = len(cur)
+	}
+	t.blocks = blocks
+	t.bits = newBits
+	return ios
+}
+
+// Grow doubles the table via a bulk rebuild and returns the I/Os spent.
+func (t *Table) Grow() int { return t.rebuild(2 * len(t.blocks)) }
+
+// AddressOf returns the home block f(x) of key for the zones audit. Note
+// that items displaced by probing sit outside B_f(x) and are correctly
+// counted in the paper's slow zone, which is exactly why linear probing's
+// query cost exceeds 1 by the displaced fraction.
+func (t *Table) AddressOf(key uint64) iomodel.BlockID {
+	return t.blocks[t.home(key)]
+}
+
+// MemoryKeys returns nil: the plain table buffers nothing in memory.
+func (t *Table) MemoryKeys() []uint64 { return nil }
+
+// Disk exposes the underlying disk for audits.
+func (t *Table) Disk() *iomodel.Disk { return t.d }
+
+// CheckInvariant verifies the probing invariant by direct inspection
+// (test hook; uses Peek, no I/O): every stored entry's preceding cluster
+// blocks are full. It returns an error describing the first violation.
+func (t *Table) CheckInvariant() error {
+	b := t.d.B()
+	for j, id := range t.blocks {
+		for _, e := range t.d.Peek(id) {
+			h := t.home(e.Key)
+			for i := h; i != j; i = t.next(i) {
+				if len(t.d.Peek(t.blocks[i])) < b {
+					return fmt.Errorf("linprobe: key %d home %d stored at %d but block %d not full", e.Key, h, j, i)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Close releases the table's memory reservation.
+func (t *Table) Close() {
+	t.mem.Release(t.memRes)
+	t.memRes = 0
+}

@@ -1,0 +1,290 @@
+package linprobe
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"extbuf/internal/hashfn"
+	"extbuf/internal/iomodel"
+	"extbuf/internal/workload"
+	"extbuf/internal/xrand"
+)
+
+func newTable(t *testing.T, b, nblocks int) *Table {
+	t.Helper()
+	model := iomodel.NewModel(b, 1<<20)
+	tab, err := New(model, hashfn.NewIdeal(1), nblocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestInsertLookup(t *testing.T) {
+	tab := newTable(t, 8, 32)
+	rng := xrand.New(2)
+	keys := workload.Keys(rng, 150)
+	for i, k := range keys {
+		if _, err := tab.Insert(k, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tab.Len() != 150 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	for i, k := range keys {
+		v, ok, _ := tab.Lookup(k)
+		if !ok || v != uint64(i) {
+			t.Fatalf("key %d: ok=%v v=%d", k, ok, v)
+		}
+	}
+	if err := tab.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplace(t *testing.T) {
+	tab := newTable(t, 4, 8)
+	tab.Insert(7, 1)
+	tab.Insert(7, 2)
+	if tab.Len() != 1 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	v, ok, _ := tab.Lookup(7)
+	if !ok || v != 2 {
+		t.Fatalf("v = %d", v)
+	}
+}
+
+func TestFullTable(t *testing.T) {
+	tab := newTable(t, 2, 2) // capacity 4
+	rng := xrand.New(3)
+	keys := workload.Keys(rng, 4)
+	for _, k := range keys {
+		if _, err := tab.Insert(k, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := tab.Insert(999, 0)
+	if !errors.Is(err, ErrFull) {
+		t.Fatalf("err = %v, want ErrFull", err)
+	}
+	// All four keys still findable in the saturated table.
+	for _, k := range keys {
+		if _, ok, _ := tab.Lookup(k); !ok {
+			t.Fatalf("key %d lost in full table", k)
+		}
+	}
+}
+
+func TestDeleteRepair(t *testing.T) {
+	tab := newTable(t, 4, 16)
+	rng := xrand.New(5)
+	keys := workload.Keys(rng, 48) // fill 0.75
+	for i, k := range keys {
+		tab.Insert(k, uint64(i))
+	}
+	// Delete every third key, checking the invariant and the survivors
+	// after each removal: this is what exercises backward shifting.
+	deleted := map[uint64]bool{}
+	for i := 0; i < len(keys); i += 3 {
+		ok, _ := tab.Delete(keys[i])
+		if !ok {
+			t.Fatalf("delete %d failed", keys[i])
+		}
+		deleted[keys[i]] = true
+		if err := tab.CheckInvariant(); err != nil {
+			t.Fatalf("after deleting %d: %v", keys[i], err)
+		}
+	}
+	for i, k := range keys {
+		v, ok, _ := tab.Lookup(k)
+		if deleted[k] {
+			if ok {
+				t.Fatalf("deleted key %d still present", k)
+			}
+		} else if !ok || v != uint64(i) {
+			t.Fatalf("survivor %d lost (ok=%v)", k, ok)
+		}
+	}
+}
+
+func TestDeleteAbsent(t *testing.T) {
+	tab := newTable(t, 4, 4)
+	tab.Insert(1, 1)
+	if ok, _ := tab.Delete(2); ok {
+		t.Fatal("deleted absent key")
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+}
+
+func TestKnuthQueryCostLowLoad(t *testing.T) {
+	tab := newTable(t, 32, 64)
+	rng := xrand.New(7)
+	n := 819
+	keys := workload.Keys(rng, n)
+	for _, k := range keys {
+		tab.Insert(k, 0)
+	}
+	total := 0
+	for _, k := range keys {
+		_, ok, ios := tab.Lookup(k)
+		if !ok {
+			t.Fatal("lost key")
+		}
+		total += ios
+	}
+	avg := float64(total) / float64(n)
+	if avg > 1.05 {
+		t.Fatalf("avg successful lookup %.4f at load 0.4", avg)
+	}
+}
+
+func TestGrowth(t *testing.T) {
+	tab := newTable(t, 8, 4)
+	tab.SetMaxLoad(0.7)
+	rng := xrand.New(9)
+	keys := workload.Keys(rng, 1000)
+	for i, k := range keys {
+		if _, err := tab.Insert(k, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tab.NumBlocks() <= 4 {
+		t.Fatalf("no growth: %d blocks", tab.NumBlocks())
+	}
+	if err := tab.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		v, ok, _ := tab.Lookup(k)
+		if !ok || v != uint64(i) {
+			t.Fatalf("key %d lost after growth", k)
+		}
+	}
+}
+
+func TestExplicitGrow(t *testing.T) {
+	tab := newTable(t, 4, 8)
+	rng := xrand.New(11)
+	keys := workload.Keys(rng, 24)
+	for i, k := range keys {
+		tab.Insert(k, uint64(i))
+	}
+	before := tab.NumBlocks()
+	ios := tab.Grow()
+	if tab.NumBlocks() != 2*before {
+		t.Fatalf("blocks %d after grow from %d", tab.NumBlocks(), before)
+	}
+	if ios < before {
+		t.Fatalf("grow cost %d suspiciously low", ios)
+	}
+	if err := tab.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		v, ok, _ := tab.Lookup(k)
+		if !ok || v != uint64(i) {
+			t.Fatalf("key %d lost in grow", k)
+		}
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	// Force keys into the last block so probing wraps to block 0.
+	model := iomodel.NewModel(2, 1<<16)
+	tab, err := New(model, hashfn.NewIdeal(1), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(13)
+	// Find keys homed at the last block.
+	var lastKeys []uint64
+	for len(lastKeys) < 5 {
+		k := rng.Uint64()
+		if tab.home(k) == 3 {
+			lastKeys = append(lastKeys, k)
+		}
+	}
+	for i, k := range lastKeys {
+		if _, err := tab.Insert(k, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tab.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range lastKeys {
+		v, ok, _ := tab.Lookup(k)
+		if !ok || v != uint64(i) {
+			t.Fatalf("wrapped key %d lost", k)
+		}
+	}
+	// Delete with wrap-around repair.
+	for _, k := range lastKeys[:3] {
+		if ok, _ := tab.Delete(k); !ok {
+			t.Fatalf("wrapped delete %d failed", k)
+		}
+		if err := tab.CheckInvariant(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, k := range lastKeys[3:] {
+		v, ok, _ := tab.Lookup(k)
+		if !ok || v != uint64(i+3) {
+			t.Fatalf("survivor %d lost after wrapped repair", k)
+		}
+	}
+}
+
+func TestMatchesMapModel(t *testing.T) {
+	f := func(seed uint64, ops []byte) bool {
+		model := iomodel.NewModel(2, 1<<16)
+		tab, err := New(model, hashfn.NewIdeal(seed), 8)
+		if err != nil {
+			return false
+		}
+		ref := map[uint64]uint64{}
+		r := xrand.New(seed)
+		for _, op := range ops {
+			key := uint64(op % 24)
+			switch op % 3 {
+			case 0:
+				v := r.Uint64()
+				if _, err := tab.Insert(key, v); err != nil {
+					if errors.Is(err, ErrFull) {
+						continue
+					}
+					return false
+				}
+				ref[key] = v
+			case 1:
+				ok, _ := tab.Delete(key)
+				_, inRef := ref[key]
+				if ok != inRef {
+					return false
+				}
+				delete(ref, key)
+			default:
+				v, ok, _ := tab.Lookup(key)
+				rv, rok := ref[key]
+				if ok != rok || (ok && v != rv) {
+					return false
+				}
+			}
+			if tab.Len() != len(ref) {
+				return false
+			}
+			if err := tab.CheckInvariant(); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+package logmethod
+
+import (
+	"testing"
+
+	"extbuf/internal/iomodel"
+	"extbuf/internal/workload"
+	"extbuf/internal/xrand"
+	"extbuf/internal/zones"
+)
+
+func TestAccessorsAndZoneView(t *testing.T) {
+	model, tab := newTable(t, 8, 512, 4)
+	if tab.Gamma() != 4 {
+		t.Fatalf("Gamma = %d", tab.Gamma())
+	}
+	if tab.Disk() != model.Disk {
+		t.Fatal("Disk accessor broken")
+	}
+	// Before any flush, everything lives in H_0: the zone audit must
+	// classify it all as memory zone and AddressOf must be nil.
+	rng := xrand.New(3)
+	few := workload.Keys(rng, 10)
+	for i, k := range few {
+		tab.Insert(k, uint64(i))
+	}
+	if tab.AddressOf(few[0]) != iomodel.NilBlock {
+		t.Fatal("AddressOf before any disk level should be NilBlock")
+	}
+	rep := zones.Audit(tab, few)
+	if rep.M != 10 || rep.S != 0 {
+		t.Fatalf("pre-flush audit: %+v", rep)
+	}
+	if len(tab.MemoryKeys()) != 10 {
+		t.Fatalf("MemoryKeys = %d", len(tab.MemoryKeys()))
+	}
+	// Push enough to create disk levels; level sizes must sum with H_0
+	// to Len, and Migrations must count flushes.
+	keys := workload.Keys(rng, 3000)
+	for i, k := range keys {
+		tab.Insert(k, uint64(i))
+	}
+	if tab.Migrations() == 0 {
+		t.Fatal("no migrations counted")
+	}
+	sum := tab.H0Len()
+	for k := 1; k <= tab.Levels(); k++ {
+		sum += tab.LevelLen(k)
+	}
+	if sum != tab.Len() {
+		t.Fatalf("level lengths sum %d != Len %d", sum, tab.Len())
+	}
+	if tab.LevelLen(0) != 0 || tab.LevelLen(tab.Levels()+1) != 0 {
+		t.Fatal("out-of-range LevelLen should be 0")
+	}
+	if tab.AddressOf(keys[0]) == iomodel.NilBlock {
+		t.Fatal("AddressOf with occupied levels should name a block")
+	}
+}
+
+func TestLookupLevelsLargestFirstFindsDiskKeys(t *testing.T) {
+	_, tab := newTable(t, 8, 256, 2)
+	rng := xrand.New(5)
+	keys := workload.Keys(rng, 1500)
+	for i, k := range keys {
+		tab.Insert(k, uint64(i))
+	}
+	foundOnDisk := 0
+	for i, k := range keys {
+		if _, inMem := tab.LookupMem(k); inMem {
+			continue
+		}
+		v, ok, ios := tab.LookupLevelsLargestFirst(k)
+		if !ok || v != uint64(i) {
+			t.Fatalf("disk key %d lost (ok=%v)", k, ok)
+		}
+		if ios < 1 {
+			t.Fatalf("disk lookup cost %d", ios)
+		}
+		foundOnDisk++
+	}
+	if foundOnDisk == 0 {
+		t.Fatal("no keys migrated to disk")
+	}
+	if _, ok, _ := tab.LookupLevelsLargestFirst(0xabcdef); ok {
+		t.Fatal("found absent key")
+	}
+}

@@ -1,0 +1,65 @@
+package stats
+
+import "math"
+
+// The functions below evaluate the explicit tail bounds the paper's lemmas
+// use, so the experiment harness can print "measured vs bound" rows.
+
+// ChernoffLowerTail bounds Pr[X < (1-eps)*mu] for a sum X of independent
+// 0/1 variables with mean mu, using the multiplicative Chernoff form
+// exp(-eps^2 * mu / 2), the form invoked in Lemma 2 of the paper.
+func ChernoffLowerTail(mu, eps float64) float64 {
+	if eps <= 0 {
+		return 1
+	}
+	return math.Exp(-eps * eps * mu / 2)
+}
+
+// ChernoffUpperTail bounds Pr[X > (1+eps)*mu] using exp(-eps^2*mu/(2+eps)).
+func ChernoffUpperTail(mu, eps float64) float64 {
+	if eps <= 0 {
+		return 1
+	}
+	return math.Exp(-eps * eps * mu / (2 + eps))
+}
+
+// Lemma3Bound returns the cost lower bound of Lemma 3 for an (s, p, t)
+// bin-ball game with slack parameter mu: (1-mu)(1-sp)s - t, together with
+// the failure probability exp(-mu^2 s / 3). The bound is only valid when
+// s*p <= 1/3; callers should check Lemma3Applies first.
+func Lemma3Bound(s int, p float64, t int, mu float64) (bound float64, failProb float64) {
+	fs := float64(s)
+	bound = (1-mu)*(1-fs*p)*fs - float64(t)
+	failProb = math.Exp(-mu * mu * fs / 3)
+	return bound, failProb
+}
+
+// Lemma3Applies reports whether the precondition s*p <= 1/3 of Lemma 3
+// holds.
+func Lemma3Applies(s int, p float64) bool { return float64(s)*p <= 1.0/3 }
+
+// Lemma4Bound returns the cost lower bound 1/(20p) of Lemma 4. The bound
+// holds with probability 1 - 2^{-Omega(s)} when s/2 >= t and s/2 >= 1/p;
+// callers should check Lemma4Applies first.
+func Lemma4Bound(p float64) float64 { return 1 / (20 * p) }
+
+// Lemma4Applies reports whether the preconditions s/2 >= t and s/2 >= 1/p
+// of Lemma 4 hold.
+func Lemma4Applies(s int, p float64, t int) bool {
+	return float64(s)/2 >= float64(t) && float64(s)/2 >= 1/p
+}
+
+// BinomialTailAbove returns an upper bound on Pr[Bin(n, p) > k] via the
+// Chernoff bound with eps = k/(np) - 1; it returns 1 when k <= np.
+// Used to predict bucket-overflow probabilities (the 1/2^Omega(b) terms).
+func BinomialTailAbove(n int, p float64, k int) float64 {
+	mu := float64(n) * p
+	if mu <= 0 {
+		return 0
+	}
+	if float64(k) <= mu {
+		return 1
+	}
+	eps := float64(k)/mu - 1
+	return ChernoffUpperTail(mu, eps)
+}

@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Histogram counts integer-valued observations, such as "I/Os per query".
+// The zero value is ready to use.
+type Histogram struct {
+	counts map[int]int64
+	total  int64
+}
+
+// Add records one observation of value v.
+func (h *Histogram) Add(v int) { h.AddN(v, 1) }
+
+// AddN records k observations of value v.
+func (h *Histogram) AddN(v int, k int64) {
+	if h.counts == nil {
+		h.counts = make(map[int]int64)
+	}
+	h.counts[v] += k
+	h.total += k
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Count returns the number of observations of value v.
+func (h *Histogram) Count(v int) int64 { return h.counts[v] }
+
+// Mean returns the mean observation, or 0 if the histogram is empty.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var sum float64
+	for v, c := range h.counts {
+		sum += float64(v) * float64(c)
+	}
+	return sum / float64(h.total)
+}
+
+// TailFraction returns the fraction of observations with value >= v.
+func (h *Histogram) TailFraction(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var tail int64
+	for x, c := range h.counts {
+		if x >= v {
+			tail += c
+		}
+	}
+	return float64(tail) / float64(h.total)
+}
+
+// Values returns the distinct observed values in increasing order.
+func (h *Histogram) Values() []int {
+	vs := make([]int, 0, len(h.counts))
+	for v := range h.counts {
+		vs = append(vs, v)
+	}
+	sort.Ints(vs)
+	return vs
+}
+
+// Max returns the largest observed value, or 0 if empty.
+func (h *Histogram) Max() int {
+	vs := h.Values()
+	if len(vs) == 0 {
+		return 0
+	}
+	return vs[len(vs)-1]
+}
+
+// String renders the histogram with one "value: count (fraction)" line per
+// distinct value.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	for _, v := range h.Values() {
+		c := h.counts[v]
+		fmt.Fprintf(&b, "%4d: %10d (%.4f)\n", v, c, float64(c)/float64(h.total))
+	}
+	return b.String()
+}

@@ -1,0 +1,169 @@
+// Package stats provides the summary statistics, quantiles, histograms and
+// tail-bound helpers used by the experiment harness to compare measured
+// quantities against the paper's Chernoff-style concentration claims
+// (Lemmas 1–4 of Wei, Yi, Zhang, SPAA 2009).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds streaming moments of a sample. The zero value is an empty
+// summary ready for use. Add values with Add; all accessors are O(1).
+type Summary struct {
+	n    int
+	mean float64
+	m2   float64 // sum of squared deviations (Welford)
+	min  float64
+	max  float64
+}
+
+// Add incorporates x into the summary using Welford's online update.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// AddN incorporates x into the summary k times.
+func (s *Summary) AddN(x float64, k int) {
+	for i := 0; i < k; i++ {
+		s.Add(x)
+	}
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the sample mean, or 0 for an empty summary.
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Min returns the smallest observation, or 0 for an empty summary.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation, or 0 for an empty summary.
+func (s *Summary) Max() float64 { return s.max }
+
+// Var returns the unbiased sample variance, or 0 if fewer than two
+// observations have been added.
+func (s *Summary) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Var()) }
+
+// StdErr returns the standard error of the mean.
+func (s *Summary) StdErr() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// CI95 returns the half-width of a 95% normal-approximation confidence
+// interval for the mean.
+func (s *Summary) CI95() float64 { return 1.96 * s.StdErr() }
+
+// String renders the summary in a compact human-readable form.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.6g ±%.2g sd=%.4g min=%.6g max=%.6g",
+		s.n, s.Mean(), s.CI95(), s.StdDev(), s.min, s.max)
+}
+
+// Merge combines another summary into s, as if all of o's observations had
+// been Added to s (Chan et al. parallel variance update).
+func (s *Summary) Merge(o *Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *o
+		return
+	}
+	delta := o.mean - s.mean
+	n := s.n + o.n
+	s.m2 += o.m2 + delta*delta*float64(s.n)*float64(o.n)/float64(n)
+	s.mean += delta * float64(o.n) / float64(n)
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.n = n
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between closest ranks. It sorts a copy and leaves xs
+// untouched. Returns NaN for empty input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	return quantileSorted(cp, q)
+}
+
+// Quantiles returns the quantiles of xs at each of qs, sorting once.
+func Quantiles(xs []float64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(xs) == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	for i, q := range qs {
+		out[i] = quantileSorted(cp, q)
+	}
+	return out
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs, or NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

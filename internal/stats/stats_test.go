@@ -1,0 +1,285 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"extbuf/internal/xrand"
+)
+
+func almostEq(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) == math.IsNaN(b)
+	}
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		s.Add(x)
+	}
+	if s.N() != 5 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Mean() != 3 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	if s.Var() != 2.5 {
+		t.Fatalf("Var = %v", s.Var())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Var() != 0 || s.StdErr() != 0 {
+		t.Fatal("empty summary should return zeros")
+	}
+}
+
+func TestSummaryMatchesDirect(t *testing.T) {
+	r := xrand.New(5)
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%100) + 2
+		rr := xrand.New(seed)
+		_ = r
+		xs := make([]float64, n)
+		var s Summary
+		for i := range xs {
+			xs[i] = rr.Float64()*100 - 50
+			s.Add(xs[i])
+		}
+		var sum float64
+		for _, x := range xs {
+			sum += x
+		}
+		mean := sum / float64(n)
+		var m2 float64
+		for _, x := range xs {
+			m2 += (x - mean) * (x - mean)
+		}
+		variance := m2 / float64(n-1)
+		return almostEq(s.Mean(), mean, 1e-12) && almostEq(s.Var(), variance, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryMergeEquivalence(t *testing.T) {
+	f := func(seed uint64, aRaw, bRaw uint8) bool {
+		na, nb := int(aRaw%50)+1, int(bRaw%50)+1
+		r := xrand.New(seed)
+		var whole, left, right Summary
+		for i := 0; i < na; i++ {
+			x := r.Float64() * 10
+			whole.Add(x)
+			left.Add(x)
+		}
+		for i := 0; i < nb; i++ {
+			x := r.Float64()*10 - 5
+			whole.Add(x)
+			right.Add(x)
+		}
+		left.Merge(&right)
+		return left.N() == whole.N() &&
+			almostEq(left.Mean(), whole.Mean(), 1e-12) &&
+			almostEq(left.Var(), whole.Var(), 1e-9) &&
+			left.Min() == whole.Min() && left.Max() == whole.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryMergeEmpty(t *testing.T) {
+	var a, b Summary
+	a.Add(1)
+	a.Merge(&b) // merging empty changes nothing
+	if a.N() != 1 || a.Mean() != 1 {
+		t.Fatal("merge with empty changed summary")
+	}
+	b.Merge(&a) // merging into empty copies
+	if b.N() != 1 || b.Mean() != 1 {
+		t.Fatal("merge into empty failed")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := Quantile(xs, 1); q != 5 {
+		t.Fatalf("q1 = %v", q)
+	}
+	if q := Quantile(xs, 0.5); q != 3 {
+		t.Fatalf("median = %v", q)
+	}
+	if q := Quantile(xs, 0.25); q != 2 {
+		t.Fatalf("q25 = %v", q)
+	}
+	// Input must be untouched.
+	if xs[0] != 5 {
+		t.Fatal("Quantile mutated input")
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile should be NaN")
+	}
+}
+
+func TestQuantilesMonotone(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%40) + 1
+		r := xrand.New(seed)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64()
+		}
+		qs := Quantiles(xs, 0, 0.1, 0.5, 0.9, 1)
+		for i := 1; i < len(qs); i++ {
+			if qs[i] < qs[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{2, 4, 6}); m != 4 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean(nil) should be NaN")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	h.Add(1)
+	h.Add(1)
+	h.Add(2)
+	h.AddN(5, 2)
+	if h.Total() != 5 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.Count(1) != 2 || h.Count(5) != 2 || h.Count(3) != 0 {
+		t.Fatal("bad counts")
+	}
+	if got := h.Mean(); math.Abs(got-(1+1+2+5+5)/5.0) > 1e-12 {
+		t.Fatalf("mean = %v", got)
+	}
+	if tf := h.TailFraction(2); math.Abs(tf-3.0/5) > 1e-12 {
+		t.Fatalf("tail(2) = %v", tf)
+	}
+	if h.Max() != 5 {
+		t.Fatalf("max = %d", h.Max())
+	}
+	vs := h.Values()
+	if len(vs) != 3 || vs[0] != 1 || vs[2] != 5 {
+		t.Fatalf("values = %v", vs)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.TailFraction(0) != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram accessors should be zero")
+	}
+}
+
+func TestChernoffBounds(t *testing.T) {
+	// Bounds must be probabilities and decrease with mu and eps.
+	if p := ChernoffLowerTail(100, 0.5); p <= 0 || p >= 1 {
+		t.Fatalf("lower tail = %v", p)
+	}
+	if ChernoffLowerTail(100, 0.5) <= ChernoffLowerTail(200, 0.5) {
+		t.Fatal("lower tail should shrink with mu")
+	}
+	if ChernoffUpperTail(100, 0.5) <= ChernoffUpperTail(100, 1.0) {
+		t.Fatal("upper tail should shrink with eps")
+	}
+	if ChernoffLowerTail(100, 0) != 1 || ChernoffUpperTail(100, -1) != 1 {
+		t.Fatal("non-positive eps should give trivial bound 1")
+	}
+}
+
+func TestChernoffEmpirical(t *testing.T) {
+	// Empirical check that the lower-tail bound really bounds the tail of
+	// a Binomial(n, p) sum (Lemma 2's inequality).
+	r := xrand.New(77)
+	const n = 2000
+	p := 0.05
+	mu := float64(n) * p
+	eps := 0.4
+	thresh := (1 - eps) * mu
+	const trials = 20000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if float64(r.Binomial(n, p)) < thresh {
+			hits++
+		}
+	}
+	emp := float64(hits) / trials
+	bound := ChernoffLowerTail(mu, eps)
+	if emp > bound+0.01 {
+		t.Fatalf("empirical tail %v exceeds Chernoff bound %v", emp, bound)
+	}
+}
+
+func TestLemma3Bound(t *testing.T) {
+	bound, fail := Lemma3Bound(1000, 1e-4, 50, 0.1)
+	want := 0.9 * (1 - 0.1) * 1000 // (1-mu)(1-sp)s
+	if math.Abs(bound-(want-50)) > 1e-9 {
+		t.Fatalf("bound = %v want %v", bound, want-50)
+	}
+	if fail <= 0 || fail >= 1 {
+		t.Fatalf("fail prob = %v", fail)
+	}
+	if !Lemma3Applies(1000, 1e-4) {
+		t.Fatal("lemma 3 should apply")
+	}
+	if Lemma3Applies(1000, 1e-3) {
+		t.Fatal("lemma 3 should not apply when sp > 1/3")
+	}
+}
+
+func TestLemma4Bound(t *testing.T) {
+	if b := Lemma4Bound(0.01); b != 5 {
+		t.Fatalf("bound = %v", b)
+	}
+	if !Lemma4Applies(1000, 0.01, 100) {
+		t.Fatal("lemma 4 should apply")
+	}
+	if Lemma4Applies(1000, 0.01, 600) {
+		t.Fatal("lemma 4 should not apply when t > s/2")
+	}
+	if Lemma4Applies(100, 0.001, 10) {
+		t.Fatal("lemma 4 should not apply when 1/p > s/2")
+	}
+}
+
+func TestBinomialTailAbove(t *testing.T) {
+	if p := BinomialTailAbove(100, 0.5, 40); p != 1 {
+		t.Fatalf("below-mean threshold should give 1, got %v", p)
+	}
+	p1 := BinomialTailAbove(100, 0.5, 70)
+	p2 := BinomialTailAbove(100, 0.5, 90)
+	if !(p1 > p2 && p2 > 0) {
+		t.Fatalf("tails not decreasing: %v %v", p1, p2)
+	}
+	if BinomialTailAbove(0, 0.5, 1) != 0 {
+		t.Fatal("zero trials should give zero tail")
+	}
+}

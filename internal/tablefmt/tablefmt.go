@@ -1,0 +1,114 @@
+// Package tablefmt renders the experiment harness's result tables as
+// aligned plain text, the way the paper's tables and figure series are
+// reported. It is shared by cmd/* binaries and the root benchmarks so
+// every experiment prints in one consistent format.
+package tablefmt
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid of string cells with a header row.
+type Table struct {
+	Title  string
+	Notes  []string // free-form caption lines printed under the title
+	Header []string
+	Rows   [][]string
+}
+
+// New returns an empty table with the given title and column headers.
+func New(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddNote appends a caption line printed beneath the title.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// AddRow appends a row; cells are formatted with %v unless already strings.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = FormatFloat(v)
+		case float32:
+			row[i] = FormatFloat(float64(v))
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// FormatFloat renders a float compactly: integers without decimals, small
+// magnitudes with enough precision to be meaningful.
+func FormatFloat(v float64) string {
+	switch {
+	case v == float64(int64(v)) && v < 1e15 && v > -1e15:
+		return fmt.Sprintf("%d", int64(v))
+	case v != 0 && (v < 0.001 && v > -0.001):
+		return fmt.Sprintf("%.3e", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "   %s\n", n)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			b.WriteString(strings.Repeat(" ", pad))
+			b.WriteString(c)
+		}
+		fmt.Fprintln(w, b.String())
+	}
+	line(t.Header)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if total > 2 {
+		fmt.Fprintln(w, strings.Repeat("-", total-2))
+	}
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}

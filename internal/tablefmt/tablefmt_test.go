@@ -1,0 +1,83 @@
+package tablefmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tab := New("demo", "name", "value")
+	tab.AddRow("alpha", 1)
+	tab.AddRow("beta-longer", 22.5)
+	s := tab.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), s)
+	}
+	if !strings.HasPrefix(lines[0], "== demo ==") {
+		t.Fatalf("title line: %q", lines[0])
+	}
+	// All data lines equal width (right-aligned columns).
+	if len(lines[3]) != len(lines[4]) {
+		t.Fatalf("rows not aligned:\n%s", s)
+	}
+	if !strings.Contains(s, "22.5000") {
+		t.Fatalf("float not formatted: %s", s)
+	}
+}
+
+func TestNotes(t *testing.T) {
+	tab := New("x", "a")
+	tab.AddNote("n=%d", 42)
+	tab.AddNote("plain")
+	s := tab.String()
+	if !strings.Contains(s, "n=42") || !strings.Contains(s, "plain") {
+		t.Fatalf("notes missing: %s", s)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		1:         "1",
+		-3:        "-3",
+		1.5:       "1.5000",
+		0.0001234: "1.234e-04",
+		0:         "0",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q want %q", in, got, want)
+		}
+	}
+}
+
+func TestAddRowTypes(t *testing.T) {
+	tab := New("t", "a", "b", "c", "d")
+	tab.AddRow("s", 7, 1.25, true)
+	row := tab.Rows[0]
+	if row[0] != "s" || row[1] != "7" || row[2] != "1.2500" || row[3] != "true" {
+		t.Fatalf("row = %v", row)
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tab := New("", "only")
+	s := tab.String()
+	if strings.Contains(s, "==") {
+		t.Fatal("empty title should not render a title line")
+	}
+	if !strings.Contains(s, "only") {
+		t.Fatal("header missing")
+	}
+}
+
+func TestWideCellGrowsColumn(t *testing.T) {
+	tab := New("t", "h")
+	tab.AddRow("a-very-long-cell-value")
+	s := tab.String()
+	for _, line := range strings.Split(strings.TrimRight(s, "\n"), "\n")[2:] {
+		if len(line) < len("a-very-long-cell-value") {
+			t.Fatalf("column did not grow: %q", line)
+		}
+	}
+}

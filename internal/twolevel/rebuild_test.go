@@ -1,0 +1,140 @@
+package twolevel
+
+import (
+	"testing"
+
+	"extbuf/internal/hashfn"
+	"extbuf/internal/iomodel"
+	"extbuf/internal/xrand"
+	"extbuf/internal/zones"
+)
+
+// fillHomes inserts keys until every home bucket is full, returning the
+// inserted keys. Small b keeps this fast.
+func fillHomes(t *testing.T, tab *Table, rng *xrand.Rand, b int) []uint64 {
+	t.Helper()
+	var keys []uint64
+	fullBuckets := 0
+	fill := make(map[int]int)
+	for fullBuckets < len(tab.homes) && len(keys) < 100000 {
+		k := rng.Uint64()
+		h := tab.home(k)
+		if fill[h] >= b {
+			continue // already full; adding would go to overflow
+		}
+		tab.Insert(k, uint64(len(keys)))
+		keys = append(keys, k)
+		fill[h]++
+		if fill[h] == b {
+			fullBuckets++
+		}
+	}
+	if fullBuckets < len(tab.homes) {
+		t.Fatal("could not fill every home bucket")
+	}
+	return keys
+}
+
+// TestDirtyRebuild drives the dirty set past its cap so rebuildOverflow
+// runs, then verifies full consistency.
+func TestDirtyRebuild(t *testing.T) {
+	const b = 2
+	// Small memory -> small dirtyCap (max(16, m/8) = 32) so the rebuild
+	// triggers quickly.
+	model := iomodel.NewModel(b, 256)
+	tab, err := New(model, hashfn.NewIdeal(5), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(7)
+	keys := fillHomes(t, tab, rng, b)
+
+	// Push extra keys into overflow (their home blocks are full).
+	var ovfKeys []uint64
+	for len(ovfKeys) < 60 {
+		k := rng.Uint64()
+		tab.Insert(k, uint64(1000+len(ovfKeys)))
+		ovfKeys = append(ovfKeys, k)
+	}
+	if tab.OverflowLen() != 60 {
+		t.Fatalf("overflow len = %d", tab.OverflowLen())
+	}
+
+	// Delete one resident from many distinct full home buckets: each
+	// marks its bucket dirty; past dirtyCap the overflow rebuild fires
+	// and drains overflow items back into the freed home slots.
+	deleted := make(map[uint64]bool)
+	buckets := make(map[int]bool)
+	for _, k := range keys {
+		h := tab.home(k)
+		if buckets[h] {
+			continue
+		}
+		buckets[h] = true
+		if ok, _ := tab.Delete(k); !ok {
+			t.Fatalf("delete %d failed", k)
+		}
+		deleted[k] = true
+		if len(buckets) == 60 {
+			break
+		}
+	}
+	// The rebuild must have run (dirty set capped well below 60) and
+	// drained overflow items into home space.
+	if tab.OverflowLen() >= 60 {
+		t.Fatalf("overflow not drained by rebuild: %d", tab.OverflowLen())
+	}
+	// Every surviving key must still resolve with its value.
+	for i, k := range keys {
+		v, ok, _ := tab.Lookup(k)
+		if deleted[k] {
+			if ok {
+				t.Fatalf("deleted key %d still present", k)
+			}
+			continue
+		}
+		if !ok || v != uint64(i) {
+			t.Fatalf("key %d lost after rebuild (ok=%v v=%d want %d)", k, ok, v, i)
+		}
+	}
+	for i, k := range ovfKeys {
+		v, ok, _ := tab.Lookup(k)
+		if !ok || v != uint64(1000+i) {
+			t.Fatalf("overflow key %d lost after rebuild (ok=%v)", k, ok)
+		}
+	}
+	// And upserts through the now-clean buckets must not duplicate.
+	before := tab.Len()
+	for _, k := range ovfKeys {
+		tab.Insert(k, 9)
+	}
+	if tab.Len() != before {
+		t.Fatalf("re-insert after rebuild changed count: %d -> %d", before, tab.Len())
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	model := iomodel.NewModel(4, 1024)
+	tab, err := New(model, hashfn.NewIdeal(1), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumHomeBuckets() != 8 {
+		t.Fatalf("NumHomeBuckets = %d", tab.NumHomeBuckets())
+	}
+	if tab.MemoryKeys() != nil {
+		t.Fatal("MemoryKeys should be nil")
+	}
+	if tab.Disk() != model.Disk {
+		t.Fatal("Disk accessor broken")
+	}
+	tab.Insert(1, 2)
+	rep := zones.Audit(tab, []uint64{1})
+	if rep.F != 1 {
+		t.Fatalf("audit: %+v", rep)
+	}
+	tab.Close()
+	if model.Mem.Used() != 0 {
+		t.Fatalf("Close left %d words", model.Mem.Used())
+	}
+}

@@ -1,0 +1,201 @@
+package twolevel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"extbuf/internal/hashfn"
+	"extbuf/internal/iomodel"
+	"extbuf/internal/workload"
+	"extbuf/internal/xrand"
+)
+
+func newTable(t *testing.T, b, nhome int) (*iomodel.Model, *Table) {
+	t.Helper()
+	model := iomodel.NewModel(b, 1<<20)
+	tab, err := New(model, hashfn.NewIdeal(1), nhome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model, tab
+}
+
+func TestInsertLookup(t *testing.T) {
+	_, tab := newTable(t, 8, 16)
+	rng := xrand.New(2)
+	keys := workload.Keys(rng, 120) // high load: ~0.94
+	for i, k := range keys {
+		tab.Insert(k, uint64(i))
+	}
+	if tab.Len() != 120 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	for i, k := range keys {
+		v, ok, _ := tab.Lookup(k)
+		if !ok || v != uint64(i) {
+			t.Fatalf("key %d lost (ok=%v)", k, ok)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if _, ok, _ := tab.Lookup(rng.Uint64()); ok {
+			t.Fatal("found absent key")
+		}
+	}
+}
+
+func TestReplaceInHomeAndOverflow(t *testing.T) {
+	model, tab := newTable(t, 2, 2)
+	_ = model
+	rng := xrand.New(3)
+	keys := workload.Keys(rng, 6) // b=2, 2 home buckets: must overflow
+	for i, k := range keys {
+		tab.Insert(k, uint64(i))
+	}
+	if tab.OverflowLen() == 0 {
+		t.Fatal("expected overflow at saturating load")
+	}
+	for i, k := range keys {
+		tab.Insert(k, uint64(i)+100)
+	}
+	if tab.Len() != 6 {
+		t.Fatalf("Len = %d after replaces", tab.Len())
+	}
+	for i, k := range keys {
+		v, ok, _ := tab.Lookup(k)
+		if !ok || v != uint64(i)+100 {
+			t.Fatalf("key %d: v=%d", k, v)
+		}
+	}
+}
+
+func TestHomeBucketsFor(t *testing.T) {
+	nh := HomeBucketsFor(1000, 64)
+	// Capacity at alpha = 1-1/8 must cover n...
+	if float64(nh*64)*(1-1/math.Sqrt(64)) < 1000 {
+		t.Fatalf("sizing too small: %d buckets", nh)
+	}
+	// ...but only barely: the whole point is to sit AT the high load
+	// factor, so one bucket fewer must not suffice.
+	if nh > 1 && float64((nh-1)*64)*(1-1/math.Sqrt(64)) >= 1000 {
+		t.Fatalf("sizing too generous: %d buckets", nh)
+	}
+}
+
+func TestJensenPaghCosts(t *testing.T) {
+	// At alpha = 1 - 1/sqrt(b) the overflow fraction, query cost and
+	// insert cost must all be 1 + O(1/sqrt(b)).
+	b := 64
+	n := 20000
+	nh := HomeBucketsFor(n, b)
+	model := iomodel.NewModel(b, 1<<22)
+	tab, err := New(model, hashfn.NewIdeal(42), nh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(5)
+	keys := workload.Keys(rng, n)
+	c0 := model.Counters()
+	for _, k := range keys {
+		tab.Insert(k, 0)
+	}
+	insPer := float64(model.Counters().Sub(c0).IOs()) / float64(n)
+	ovfFrac := float64(tab.OverflowLen()) / float64(n)
+	qc0 := model.Counters()
+	for _, k := range keys {
+		if _, ok, _ := tab.Lookup(k); !ok {
+			t.Fatal("lost key")
+		}
+	}
+	qryPer := float64(model.Counters().Sub(qc0).IOs()) / float64(n)
+	// 1/sqrt(64) = 0.125; allow generous constants but demand the shape.
+	if ovfFrac > 4/math.Sqrt(float64(b)) {
+		t.Fatalf("overflow fraction %.4f too large for JP regime", ovfFrac)
+	}
+	if insPer > 1+6/math.Sqrt(float64(b)) {
+		t.Fatalf("insert cost %.4f exceeds 1 + O(1/sqrt b)", insPer)
+	}
+	if qryPer > 1+6/math.Sqrt(float64(b)) {
+		t.Fatalf("query cost %.4f exceeds 1 + O(1/sqrt b)", qryPer)
+	}
+	if lf := tab.LoadFactor(); lf < 0.5 {
+		t.Fatalf("load factor %.3f too low for the high-load regime", lf)
+	}
+}
+
+func TestDeleteDirtyPath(t *testing.T) {
+	_, tab := newTable(t, 2, 2)
+	rng := xrand.New(7)
+	keys := workload.Keys(rng, 8)
+	for i, k := range keys {
+		tab.Insert(k, uint64(i))
+	}
+	// Delete everything, then re-insert; dirty-set handling must keep
+	// lookups consistent throughout.
+	for _, k := range keys {
+		if ok, _ := tab.Delete(k); !ok {
+			t.Fatalf("delete %d failed", k)
+		}
+	}
+	if tab.Len() != 0 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	for i, k := range keys {
+		tab.Insert(k, uint64(i)+50)
+	}
+	for i, k := range keys {
+		v, ok, _ := tab.Lookup(k)
+		if !ok || v != uint64(i)+50 {
+			t.Fatalf("key %d lost after delete/reinsert cycle (v=%d ok=%v)", k, v, ok)
+		}
+	}
+}
+
+func TestDeleteAbsent(t *testing.T) {
+	_, tab := newTable(t, 4, 4)
+	tab.Insert(1, 1)
+	if ok, _ := tab.Delete(2); ok {
+		t.Fatal("deleted absent key")
+	}
+}
+
+func TestMatchesMapModel(t *testing.T) {
+	f := func(seed uint64, ops []byte) bool {
+		model := iomodel.NewModel(2, 1<<18)
+		tab, err := New(model, hashfn.NewIdeal(seed), 2)
+		if err != nil {
+			return false
+		}
+		ref := map[uint64]uint64{}
+		r := xrand.New(seed)
+		for _, op := range ops {
+			key := uint64(op % 24)
+			switch op % 3 {
+			case 0:
+				v := r.Uint64()
+				tab.Insert(key, v)
+				ref[key] = v
+			case 1:
+				ok, _ := tab.Delete(key)
+				_, inRef := ref[key]
+				if ok != inRef {
+					return false
+				}
+				delete(ref, key)
+			default:
+				v, ok, _ := tab.Lookup(key)
+				rv, rok := ref[key]
+				if ok != rok || (ok && v != rv) {
+					return false
+				}
+			}
+			if tab.Len() != len(ref) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,158 @@
+// Package workload generates the input streams used by the experiments.
+//
+// The paper's lower bound construction inserts n independent items whose
+// hash values are uniform in U = {0, ..., u-1} with all values distinct
+// (which holds with probability 1 - O(1/n) for u > n^3 by the birthday
+// paradox). Keys produces exactly that: distinct uniform 64-bit keys.
+// Query streams sample uniformly among already-inserted items, matching
+// the paper's definition of the expected average cost of a successful
+// lookup.
+package workload
+
+import (
+	"math"
+
+	"extbuf/internal/xrand"
+)
+
+// Keys returns n distinct pseudo-random 64-bit keys drawn from rng.
+// Collisions over uint64 are vanishingly rare but are removed anyway so
+// the distinctness precondition of the lower bound holds exactly.
+func Keys(rng *xrand.Rand, n int) []uint64 {
+	keys := make([]uint64, 0, n)
+	seen := make(map[uint64]struct{}, n)
+	for len(keys) < n {
+		k := rng.Uint64()
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// SuccessfulQueries returns q keys sampled uniformly with replacement
+// from inserted[:k], i.e. successful lookups against the first k inserted
+// items. It panics if k is zero or exceeds len(inserted).
+func SuccessfulQueries(rng *xrand.Rand, inserted []uint64, k, q int) []uint64 {
+	if k <= 0 || k > len(inserted) {
+		panic("workload: invalid prefix length")
+	}
+	out := make([]uint64, q)
+	for i := range out {
+		out[i] = inserted[rng.Intn(k)]
+	}
+	return out
+}
+
+// AbsentQueries returns q keys guaranteed not to be among inserted, for
+// unsuccessful-lookup experiments.
+func AbsentQueries(rng *xrand.Rand, inserted []uint64, q int) []uint64 {
+	present := make(map[uint64]struct{}, len(inserted))
+	for _, k := range inserted {
+		present[k] = struct{}{}
+	}
+	out := make([]uint64, 0, q)
+	for len(out) < q {
+		k := rng.Uint64()
+		if _, ok := present[k]; ok {
+			continue
+		}
+		out = append(out, k)
+	}
+	return out
+}
+
+// OpKind discriminates the operations of a mixed stream.
+type OpKind uint8
+
+// Operation kinds of a mixed stream.
+const (
+	OpInsert OpKind = iota
+	OpLookup
+	OpDelete
+)
+
+// Op is one operation of a mixed stream.
+type Op struct {
+	Kind OpKind
+	Key  uint64
+	Val  uint64
+}
+
+// MixConfig describes the shape of a mixed operation stream.
+type MixConfig struct {
+	Ops          int     // total operations
+	LookupFrac   float64 // fraction of lookups
+	DeleteFrac   float64 // fraction of deletes (applied to live keys)
+	ZipfQueries  bool    // if true, lookups are Zipf-skewed toward recent inserts
+	ZipfExponent float64 // exponent when ZipfQueries (default 1.5)
+}
+
+// Mix generates a mixed stream per cfg. Lookups and deletes target
+// already-inserted live keys, so lookups are successful and deletes hit.
+// The stream always begins with an insert. Remaining probability mass
+// goes to inserts.
+func Mix(rng *xrand.Rand, cfg MixConfig) []Op {
+	if cfg.Ops <= 0 {
+		return nil
+	}
+	exp := cfg.ZipfExponent
+	if exp <= 1 {
+		exp = 1.5
+	}
+	live := make([]uint64, 0, cfg.Ops)
+	ops := make([]Op, 0, cfg.Ops)
+	var nextKey uint64 = 1
+	pick := func() uint64 {
+		if cfg.ZipfQueries {
+			z := NewRecencyZipf(rng, exp, len(live))
+			return live[len(live)-1-z]
+		}
+		return live[rng.Intn(len(live))]
+	}
+	for len(ops) < cfg.Ops {
+		r := rng.Float64()
+		switch {
+		case len(live) > 0 && r < cfg.LookupFrac:
+			ops = append(ops, Op{Kind: OpLookup, Key: pick()})
+		case len(live) > 1 && r < cfg.LookupFrac+cfg.DeleteFrac:
+			i := rng.Intn(len(live))
+			k := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			ops = append(ops, Op{Kind: OpDelete, Key: k})
+		default:
+			k := xrand.Mix64(nextKey)
+			nextKey++
+			live = append(live, k)
+			ops = append(ops, Op{Kind: OpInsert, Key: k, Val: k >> 1})
+		}
+	}
+	return ops
+}
+
+// NewRecencyZipf draws a Zipf-ish rank in [0, n) favouring small ranks
+// (recent items) with the given exponent, clamped into range. It uses a
+// cheap inverse-power transform rather than the full rejection sampler
+// because mixed streams only need qualitative skew.
+func NewRecencyZipf(rng *xrand.Rand, exp float64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	// Inverse CDF of p(x) ~ x^{-exp} on [1, n].
+	x := math.Pow(u, 1/(1-exp))
+	r := int(x) - 1
+	if r < 0 {
+		r = 0
+	}
+	if r >= n {
+		r = n - 1
+	}
+	return r
+}

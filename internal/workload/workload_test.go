@@ -1,0 +1,176 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"extbuf/internal/xrand"
+)
+
+func TestKeysDistinct(t *testing.T) {
+	rng := xrand.New(1)
+	keys := Keys(rng, 10000)
+	if len(keys) != 10000 {
+		t.Fatalf("len = %d", len(keys))
+	}
+	seen := make(map[uint64]struct{}, len(keys))
+	for _, k := range keys {
+		if _, dup := seen[k]; dup {
+			t.Fatalf("duplicate key %d", k)
+		}
+		seen[k] = struct{}{}
+	}
+}
+
+func TestKeysDeterministic(t *testing.T) {
+	a := Keys(xrand.New(3), 100)
+	b := Keys(xrand.New(3), 100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different keys")
+		}
+	}
+}
+
+func TestSuccessfulQueries(t *testing.T) {
+	rng := xrand.New(5)
+	inserted := Keys(rng, 1000)
+	qs := SuccessfulQueries(rng, inserted, 500, 2000)
+	if len(qs) != 2000 {
+		t.Fatalf("len = %d", len(qs))
+	}
+	prefix := make(map[uint64]struct{}, 500)
+	for _, k := range inserted[:500] {
+		prefix[k] = struct{}{}
+	}
+	for _, q := range qs {
+		if _, ok := prefix[q]; !ok {
+			t.Fatalf("query %d not among first 500 inserted", q)
+		}
+	}
+}
+
+func TestSuccessfulQueriesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid prefix did not panic")
+		}
+	}()
+	SuccessfulQueries(xrand.New(1), []uint64{1}, 2, 1)
+}
+
+func TestAbsentQueries(t *testing.T) {
+	rng := xrand.New(7)
+	inserted := Keys(rng, 500)
+	present := make(map[uint64]struct{}, 500)
+	for _, k := range inserted {
+		present[k] = struct{}{}
+	}
+	for _, q := range AbsentQueries(rng, inserted, 1000) {
+		if _, ok := present[q]; ok {
+			t.Fatalf("absent query %d was inserted", q)
+		}
+	}
+}
+
+func TestMixShape(t *testing.T) {
+	rng := xrand.New(9)
+	ops := Mix(rng, MixConfig{Ops: 10000, LookupFrac: 0.3, DeleteFrac: 0.1})
+	if len(ops) != 10000 {
+		t.Fatalf("len = %d", len(ops))
+	}
+	var ins, look, del int
+	live := map[uint64]struct{}{}
+	for _, op := range ops {
+		switch op.Kind {
+		case OpInsert:
+			if _, dup := live[op.Key]; dup {
+				t.Fatalf("re-insert of live key %d", op.Key)
+			}
+			live[op.Key] = struct{}{}
+			ins++
+		case OpLookup:
+			if _, ok := live[op.Key]; !ok {
+				t.Fatalf("lookup of dead key %d", op.Key)
+			}
+			look++
+		case OpDelete:
+			if _, ok := live[op.Key]; !ok {
+				t.Fatalf("delete of dead key %d", op.Key)
+			}
+			delete(live, op.Key)
+			del++
+		}
+	}
+	if ins+look+del != 10000 {
+		t.Fatal("op kinds do not partition")
+	}
+	// Fractions within generous tolerance.
+	if float64(look)/10000 < 0.25 || float64(look)/10000 > 0.35 {
+		t.Fatalf("lookup fraction %.3f", float64(look)/10000)
+	}
+	if float64(del)/10000 < 0.05 || float64(del)/10000 > 0.15 {
+		t.Fatalf("delete fraction %.3f", float64(del)/10000)
+	}
+}
+
+func TestMixFirstOpInsert(t *testing.T) {
+	ops := Mix(xrand.New(11), MixConfig{Ops: 100, LookupFrac: 0.9})
+	if ops[0].Kind != OpInsert {
+		t.Fatal("stream must start with an insert")
+	}
+}
+
+func TestMixEmpty(t *testing.T) {
+	if ops := Mix(xrand.New(1), MixConfig{Ops: 0}); ops != nil {
+		t.Fatal("zero ops should give nil")
+	}
+}
+
+func TestMixZipfTargetsLive(t *testing.T) {
+	rng := xrand.New(13)
+	ops := Mix(rng, MixConfig{Ops: 5000, LookupFrac: 0.4, ZipfQueries: true})
+	live := map[uint64]struct{}{}
+	for _, op := range ops {
+		switch op.Kind {
+		case OpInsert:
+			live[op.Key] = struct{}{}
+		case OpLookup:
+			if _, ok := live[op.Key]; !ok {
+				t.Fatalf("zipf lookup of dead key %d", op.Key)
+			}
+		case OpDelete:
+			delete(live, op.Key)
+		}
+	}
+}
+
+func TestRecencyZipfBounds(t *testing.T) {
+	rng := xrand.New(15)
+	f := func(nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		r := NewRecencyZipf(rng, 1.5, n)
+		return r >= 0 && r < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if NewRecencyZipf(rng, 1.5, 0) != 0 || NewRecencyZipf(rng, 1.5, 1) != 0 {
+		t.Fatal("degenerate n should give 0")
+	}
+}
+
+func TestRecencyZipfSkew(t *testing.T) {
+	rng := xrand.New(17)
+	const n = 1000
+	counts := make([]int, n)
+	for i := 0; i < 100000; i++ {
+		counts[NewRecencyZipf(rng, 1.5, n)]++
+	}
+	if counts[0] < counts[100] {
+		t.Fatalf("rank 0 (%d) should dominate rank 100 (%d)", counts[0], counts[100])
+	}
+	if counts[0] < 10000 {
+		t.Fatalf("rank 0 count %d too small for exponent 1.5", counts[0])
+	}
+}

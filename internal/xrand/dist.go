@@ -1,0 +1,120 @@
+package xrand
+
+import "math"
+
+// Zipf samples from a Zipf(s, v, imax) distribution over {0, 1, ..., imax}.
+// It mirrors the rejection-inversion sampler of Hörmann and Derflinger,
+// the same algorithm used by math/rand.Zipf, reimplemented here so that
+// the stream is driven by our deterministic generator.
+type Zipf struct {
+	r                *Rand
+	imax             float64
+	v                float64
+	q                float64
+	s                float64
+	oneminusQ        float64
+	oneminusQinv     float64
+	hxm              float64
+	hx0minusHxm      float64
+	searchStartPoint float64
+}
+
+// NewZipf returns a Zipf sampler with exponent q > 1, offset v >= 1, and
+// support {0, ..., imax}. It returns nil if the parameters are invalid.
+func NewZipf(r *Rand, q, v float64, imax uint64) *Zipf {
+	if r == nil || q <= 1 || v < 1 {
+		return nil
+	}
+	z := &Zipf{r: r, imax: float64(imax), v: v, q: q}
+	z.oneminusQ = 1 - q
+	z.oneminusQinv = 1 / z.oneminusQ
+	z.hxm = z.h(z.imax + 0.5)
+	z.hx0minusHxm = z.h(0.5) - math.Exp(math.Log(v)*(-q)) - z.hxm
+	z.s = 1 - z.hinv(z.h(1.5)-math.Exp(-q*math.Log(v+1)))
+	return z
+}
+
+func (z *Zipf) h(x float64) float64 {
+	return math.Exp(z.oneminusQ*math.Log(z.v+x)) * z.oneminusQinv
+}
+
+func (z *Zipf) hinv(x float64) float64 {
+	return math.Exp(z.oneminusQinv*math.Log(z.oneminusQ*x)) - z.v
+}
+
+// Uint64 draws the next Zipf-distributed value.
+func (z *Zipf) Uint64() uint64 {
+	for {
+		r := z.r.Float64()
+		ur := z.hxm + r*z.hx0minusHxm
+		x := z.hinv(ur)
+		k := math.Floor(x + 0.5)
+		if k-x <= z.s {
+			return uint64(k)
+		}
+		if ur >= z.h(k+0.5)-math.Exp(-math.Log(k+z.v)*z.q) {
+			return uint64(k)
+		}
+	}
+}
+
+// Geometric returns a sample from the geometric distribution with success
+// probability p: the number of failures before the first success. Returns 0
+// for p >= 1; panics for p <= 0.
+func (r *Rand) Geometric(p float64) uint64 {
+	if p <= 0 {
+		panic("xrand: Geometric with p <= 0")
+	}
+	if p >= 1 {
+		return 0
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return uint64(math.Log(u) / math.Log(1-p))
+}
+
+// Binomial returns a sample from Binomial(n, p) by direct simulation for
+// small n and by normal approximation with continuity correction for large
+// n. The approximation error is far below the noise floor of the Monte
+// Carlo experiments this package serves.
+func (r *Rand) Binomial(n uint64, p float64) uint64 {
+	if p <= 0 || n == 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	if n <= 64 {
+		var k uint64
+		for i := uint64(0); i < n; i++ {
+			if r.Float64() < p {
+				k++
+			}
+		}
+		return k
+	}
+	mean := float64(n) * p
+	sd := math.Sqrt(mean * (1 - p))
+	x := math.Round(mean + sd*r.Normal())
+	if x < 0 {
+		x = 0
+	}
+	if x > float64(n) {
+		x = float64(n)
+	}
+	return uint64(x)
+}
+
+// Normal returns a standard normal sample via the polar Box–Muller method.
+func (r *Rand) Normal() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGeometricMean(t *testing.T) {
+	r := New(101)
+	p := 0.2
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += float64(r.Geometric(p))
+	}
+	mean := sum / n
+	want := (1 - p) / p // mean failures before first success
+	if math.Abs(mean-want) > 0.1 {
+		t.Fatalf("geometric mean %v want %v", mean, want)
+	}
+}
+
+func TestGeometricEdges(t *testing.T) {
+	r := New(102)
+	if got := r.Geometric(1); got != 0 {
+		t.Fatalf("Geometric(1) = %d want 0", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Geometric(0) did not panic")
+		}
+	}()
+	r.Geometric(0)
+}
+
+func TestBinomialSmall(t *testing.T) {
+	r := New(103)
+	const n = 40
+	p := 0.5
+	var sum float64
+	const trials = 50000
+	for i := 0; i < trials; i++ {
+		sum += float64(r.Binomial(n, p))
+	}
+	mean := sum / trials
+	if math.Abs(mean-n*p) > 0.2 {
+		t.Fatalf("binomial mean %v want %v", mean, n*p)
+	}
+}
+
+func TestBinomialLarge(t *testing.T) {
+	r := New(104)
+	const n = 100000
+	p := 0.01
+	var sum, sq float64
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		x := float64(r.Binomial(n, p))
+		sum += x
+		sq += x * x
+	}
+	mean := sum / trials
+	wantMean := float64(n) * p
+	if math.Abs(mean-wantMean)/wantMean > 0.01 {
+		t.Fatalf("binomial mean %v want %v", mean, wantMean)
+	}
+	variance := sq/trials - mean*mean
+	wantVar := float64(n) * p * (1 - p)
+	if math.Abs(variance-wantVar)/wantVar > 0.1 {
+		t.Fatalf("binomial variance %v want %v", variance, wantVar)
+	}
+}
+
+func TestBinomialEdges(t *testing.T) {
+	r := New(105)
+	if got := r.Binomial(10, 0); got != 0 {
+		t.Fatalf("Binomial(10, 0) = %d", got)
+	}
+	if got := r.Binomial(10, 1); got != 10 {
+		t.Fatalf("Binomial(10, 1) = %d", got)
+	}
+	if got := r.Binomial(0, 0.5); got != 0 {
+		t.Fatalf("Binomial(0, .5) = %d", got)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(106)
+	var sum, sq float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		x := r.Normal()
+		sum += x
+		sq += x * x
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("normal mean %v", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Fatalf("normal variance %v", variance)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(107)
+	z := NewZipf(r, 1.5, 1, 1000)
+	if z == nil {
+		t.Fatal("NewZipf returned nil for valid params")
+	}
+	counts := make([]int, 1001)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := z.Uint64()
+		if v > 1000 {
+			t.Fatalf("zipf sample %d out of range", v)
+		}
+		counts[v]++
+	}
+	if counts[0] <= counts[1] || counts[1] <= counts[10] {
+		t.Fatalf("zipf not skewed: c0=%d c1=%d c10=%d", counts[0], counts[1], counts[10])
+	}
+}
+
+func TestZipfInvalid(t *testing.T) {
+	r := New(108)
+	if NewZipf(r, 1.0, 1, 10) != nil {
+		t.Error("q=1 should be rejected")
+	}
+	if NewZipf(r, 2, 0.5, 10) != nil {
+		t.Error("v<1 should be rejected")
+	}
+	if NewZipf(nil, 2, 1, 10) != nil {
+		t.Error("nil rand should be rejected")
+	}
+}

@@ -1,0 +1,200 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedSensitivity(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws in 100", same)
+	}
+}
+
+func TestZeroSeedValid(t *testing.T) {
+	r := New(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("seed 0 produced repeats: %d distinct in 100", len(seen))
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	r := New(7)
+	f := func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		v := r.Uint64n(n)
+		return v < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64nUniform(t *testing.T) {
+	r := New(9)
+	const n = 10
+	const draws = 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Uint64n(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d count %d far from expected %.0f", i, c, want)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(13)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean %v far from 0.5", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(17)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := r.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMix64Injective(t *testing.T) {
+	// Mix64 is a bijection; sample a large set and verify no collisions.
+	seen := make(map[uint64]uint64, 1<<16)
+	for i := uint64(0); i < 1<<16; i++ {
+		h := Mix64(i)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("Mix64 collision: %d and %d -> %x", prev, i, h)
+		}
+		seen[h] = i
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	r := New(23)
+	f := r.Fork()
+	// The fork and the parent should produce different streams.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if r.Uint64() == f.Uint64() {
+			same++
+		}
+	}
+	if same != 0 {
+		t.Fatalf("fork stream matched parent %d times", same)
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := New(29)
+	if r.Bernoulli(0) {
+		t.Error("Bernoulli(0) returned true")
+	}
+	if !r.Bernoulli(1) {
+		t.Error("Bernoulli(1) returned false")
+	}
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) empirical rate %v", p)
+	}
+}
+
+func TestShuffleCoverage(t *testing.T) {
+	r := New(31)
+	xs := []int{0, 1, 2, 3, 4}
+	counts := make([][]int, 5)
+	for i := range counts {
+		counts[i] = make([]int, 5)
+	}
+	const trials = 50000
+	for i := 0; i < trials; i++ {
+		copy(xs, []int{0, 1, 2, 3, 4})
+		r.Shuffle(5, func(a, b int) { xs[a], xs[b] = xs[b], xs[a] })
+		for pos, v := range xs {
+			counts[pos][v]++
+		}
+	}
+	want := float64(trials) / 5
+	for pos := range counts {
+		for v := range counts[pos] {
+			got := float64(counts[pos][v])
+			if math.Abs(got-want) > 6*math.Sqrt(want) {
+				t.Errorf("value %d at position %d count %v, want ~%v", v, pos, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package zones implements the abstraction at the heart of the paper's
+// lower-bound proof (§2 of Wei, Yi, Zhang, SPAA 2009) and uses it to
+// audit the concrete structures in this repository.
+//
+// At any snapshot with k items inserted, the items divide into three
+// zones with respect to a memory-computable address function
+// f : U -> {1, ..., d}:
+//
+//   - the memory zone M: at most m items resident in memory, queried at
+//     no I/O cost;
+//   - the fast zone F: items x stored in block B_f(x), reachable in one
+//     I/O;
+//   - the slow zone S: everything else, needing at least two I/Os.
+//
+// If the structure answers a successful query in expected average
+// 1 + delta I/Os, Eq. (1) of the paper forces E|S| <= m + delta*k. The
+// Audit function computes |M|, |F|, |S| for any Subject, letting the
+// experiments verify Eq. (1) and price queries by the zone model
+// ((|F| + 2|S|)/k, the paper's t_q accounting).
+//
+// The package also estimates the characteristic vector (alpha_1, ...,
+// alpha_d) of a structure's address function — alpha_i is the fraction
+// of the hash universe addressed to block i — and classifies f as good
+// or bad per Lemma 2: f is bad when the total mass lambda_f of indices
+// with alpha_i > rho exceeds phi.
+package zones
+
+import (
+	"fmt"
+	"math"
+
+	"extbuf/internal/iomodel"
+	"extbuf/internal/xrand"
+)
+
+// Subject is the view of a hash table the audit needs. All concrete
+// tables in this repository implement it.
+type Subject interface {
+	// AddressOf returns f(x): the single block a one-I/O query for key
+	// would read, or iomodel.NilBlock if the structure has no disk
+	// presence yet.
+	AddressOf(key uint64) iomodel.BlockID
+	// MemoryKeys returns the keys currently resident in memory (zone M).
+	MemoryKeys() []uint64
+	// Disk exposes the block store for content inspection.
+	Disk() *iomodel.Disk
+}
+
+// Report is the outcome of a zone audit over k inserted keys.
+type Report struct {
+	K int // items audited
+	M int // memory zone size
+	F int // fast zone size
+	S int // slow zone size
+}
+
+// ModelQueryCost returns the paper's successful-lookup cost under the
+// zone model: items in M are free, F costs 1, S costs 2 (the minimum the
+// model allows; real structures may pay more for S items).
+func (r Report) ModelQueryCost() float64 {
+	if r.K == 0 {
+		return 0
+	}
+	return (float64(r.F) + 2*float64(r.S)) / float64(r.K)
+}
+
+// SlowFraction returns |S|/k.
+func (r Report) SlowFraction() float64 {
+	if r.K == 0 {
+		return 0
+	}
+	return float64(r.S) / float64(r.K)
+}
+
+// CheckEq1 reports whether the audit satisfies Eq. (1) of the paper,
+// |S| <= m + delta*k, and the slack (negative when violated).
+func (r Report) CheckEq1(mWords int64, delta float64) (ok bool, slack float64) {
+	bound := float64(mWords) + delta*float64(r.K)
+	slack = bound - float64(r.S)
+	return slack >= 0, slack
+}
+
+// String renders the report compactly.
+func (r Report) String() string {
+	return fmt.Sprintf("k=%d |M|=%d |F|=%d |S|=%d tq_model=%.4f",
+		r.K, r.M, r.F, r.S, r.ModelQueryCost())
+}
+
+// Audit classifies each of keys into the three zones of subject's
+// current snapshot. It inspects block contents via Peek (an audit
+// primitive, no I/O is charged — the audit is an observer, not an
+// algorithm in the model).
+func Audit(subject Subject, keys []uint64) Report {
+	mem := make(map[uint64]struct{})
+	for _, k := range subject.MemoryKeys() {
+		mem[k] = struct{}{}
+	}
+	d := subject.Disk()
+	rep := Report{K: len(keys)}
+	for _, key := range keys {
+		if _, inMem := mem[key]; inMem {
+			rep.M++
+			continue
+		}
+		blk := subject.AddressOf(key)
+		if blk != iomodel.NilBlock && contains(d.Peek(blk), key) {
+			rep.F++
+		} else {
+			rep.S++
+		}
+	}
+	return rep
+}
+
+func contains(entries []iomodel.Entry, key uint64) bool {
+	for _, e := range entries {
+		if e.Key == key {
+			return true
+		}
+	}
+	return false
+}
+
+// CharVector estimates the characteristic vector of subject's address
+// function by Monte Carlo: samples fresh uniform keys, maps each through
+// AddressOf, and returns the empirical address mass per block,
+// alphâ_i ~ alpha_i. The sample models the paper's "item randomly chosen
+// from U".
+func CharVector(subject Subject, rng *xrand.Rand, samples int) map[iomodel.BlockID]float64 {
+	counts := make(map[iomodel.BlockID]int)
+	for i := 0; i < samples; i++ {
+		counts[subject.AddressOf(rng.Uint64())]++
+	}
+	alphas := make(map[iomodel.BlockID]float64, len(counts))
+	for id, c := range counts {
+		alphas[id] = float64(c) / float64(samples)
+	}
+	return alphas
+}
+
+// Lambda returns lambda_f = sum of alpha_i over the bad index area
+// D_f = {i : alpha_i > rho}, together with |D_f|.
+func Lambda(alphas map[iomodel.BlockID]float64, rho float64) (lambda float64, badCount int) {
+	for _, a := range alphas {
+		if a > rho {
+			lambda += a
+			badCount++
+		}
+	}
+	return lambda, badCount
+}
+
+// IsGood reports the paper's good-function predicate lambda_f <= phi
+// (Lemma 2: with high probability a structure meeting the query bound
+// must be using a good f).
+func IsGood(lambda, phi float64) bool { return lambda <= phi }
+
+// PaperParams returns the parameter set (delta, phi, rho, s) the proof
+// of Theorem 1 uses for query exponent c over n insertions with block
+// size b, for each of the three tradeoffs:
+//
+//	c > 1:      delta = 1/b^c, phi = 1/b^((c-1)/4), rho = 2b^((c+3)/4)/n, s = n/b^((c+1)/2)
+//	c = 1:      delta = 1/(kappa^4 b), phi = 1/kappa, rho = 2 kappa b/n, s = n/(kappa^2 b)
+//	0 < c < 1:  delta = 1/b^c, phi = 1/8, rho = 16 b/n, s = 32 n/b^c
+//
+// kappa is the paper's "large enough constant" for the middle regime.
+type PaperParams struct {
+	Delta float64
+	Phi   float64
+	Rho   float64
+	S     int
+}
+
+// ParamsFor computes PaperParams for regime constant c (c == 1 selects
+// the middle tradeoff with the given kappa; kappa <= 0 defaults to 4).
+func ParamsFor(c float64, b, n int, kappa float64) PaperParams {
+	fb := float64(b)
+	fn := float64(n)
+	switch {
+	case c > 1:
+		return PaperParams{
+			Delta: 1 / math.Pow(fb, c),
+			Phi:   1 / math.Pow(fb, (c-1)/4),
+			Rho:   2 * math.Pow(fb, (c+3)/4) / fn,
+			S:     int(fn / math.Pow(fb, (c+1)/2)),
+		}
+	case c == 1:
+		if kappa <= 0 {
+			kappa = 4
+		}
+		return PaperParams{
+			Delta: 1 / (kappa * kappa * kappa * kappa * fb),
+			Phi:   1 / kappa,
+			Rho:   2 * kappa * fb / fn,
+			S:     int(fn / (kappa * kappa * fb)),
+		}
+	default:
+		return PaperParams{
+			Delta: 1 / math.Pow(fb, c),
+			Phi:   1.0 / 8,
+			Rho:   16 * fb / fn,
+			S:     int(32 * fn / math.Pow(fb, c)),
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package zones
+
+import (
+	"math"
+	"testing"
+
+	"extbuf/internal/chainhash"
+	"extbuf/internal/hashfn"
+	"extbuf/internal/iomodel"
+	"extbuf/internal/workload"
+	"extbuf/internal/xrand"
+)
+
+// fakeSubject is a hand-built layout for exact zone assertions.
+type fakeSubject struct {
+	d       *iomodel.Disk
+	mem     []uint64
+	address map[uint64]iomodel.BlockID
+}
+
+func (f *fakeSubject) AddressOf(key uint64) iomodel.BlockID {
+	if id, ok := f.address[key]; ok {
+		return id
+	}
+	return iomodel.NilBlock
+}
+func (f *fakeSubject) MemoryKeys() []uint64 { return f.mem }
+func (f *fakeSubject) Disk() *iomodel.Disk  { return f.d }
+
+func TestAuditExactZones(t *testing.T) {
+	d := iomodel.NewDisk(4)
+	b0 := d.Alloc()
+	b1 := d.Alloc()
+	d.Write(b0, []iomodel.Entry{{Key: 1}, {Key: 2}})
+	d.Write(b1, []iomodel.Entry{{Key: 3}})
+	f := &fakeSubject{
+		d:   d,
+		mem: []uint64{10, 11},
+		address: map[uint64]iomodel.BlockID{
+			1: b0, // fast: addressed to b0, stored in b0
+			2: b1, // slow: addressed to b1 but stored in b0
+			3: b1, // fast
+			4: b0, // slow: addressed but absent
+		},
+	}
+	keys := []uint64{1, 2, 3, 4, 10, 11, 99}
+	rep := Audit(f, keys)
+	if rep.K != 7 || rep.M != 2 || rep.F != 2 || rep.S != 3 {
+		t.Fatalf("audit = %+v", rep)
+	}
+	want := (2.0 + 2*3.0) / 7
+	if math.Abs(rep.ModelQueryCost()-want) > 1e-12 {
+		t.Fatalf("model cost %v want %v", rep.ModelQueryCost(), want)
+	}
+	if math.Abs(rep.SlowFraction()-3.0/7) > 1e-12 {
+		t.Fatalf("slow fraction %v", rep.SlowFraction())
+	}
+}
+
+func TestCheckEq1(t *testing.T) {
+	rep := Report{K: 1000, M: 10, F: 900, S: 90}
+	ok, slack := rep.CheckEq1(50, 0.05) // bound = 50 + 50 = 100 >= 90
+	if !ok || slack != 10 {
+		t.Fatalf("ok=%v slack=%v", ok, slack)
+	}
+	ok, slack = rep.CheckEq1(50, 0.01) // bound = 60 < 90
+	if ok || slack != -30 {
+		t.Fatalf("ok=%v slack=%v", ok, slack)
+	}
+}
+
+func TestEmptyReport(t *testing.T) {
+	var rep Report
+	if rep.ModelQueryCost() != 0 || rep.SlowFraction() != 0 {
+		t.Fatal("empty report should be zero")
+	}
+}
+
+func TestAuditChainhash(t *testing.T) {
+	// A plain chaining table at low load: almost everything is fast
+	// zone, slow zone only from chain overflow.
+	model := iomodel.NewModel(32, 1<<16)
+	tab, err := chainhash.New(model, hashfn.NewIdeal(1), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(2)
+	keys := workload.Keys(rng, 800) // load ~0.39
+	for _, k := range keys {
+		tab.Insert(k, 0)
+	}
+	rep := Audit(tab, keys)
+	if rep.M != 0 {
+		t.Fatalf("plain table has no memory zone, got %d", rep.M)
+	}
+	if rep.F+rep.S != 800 {
+		t.Fatalf("zones don't partition: %+v", rep)
+	}
+	if rep.SlowFraction() > 0.02 {
+		t.Fatalf("slow fraction %.4f too large at low load", rep.SlowFraction())
+	}
+	// The zone-model cost must agree with the measured lookup cost.
+	measured := 0
+	for _, k := range keys {
+		_, ok, ios := tab.Lookup(k)
+		if !ok {
+			t.Fatal("lost key")
+		}
+		measured += ios
+	}
+	avgMeasured := float64(measured) / 800
+	if math.Abs(avgMeasured-rep.ModelQueryCost()) > 0.05 {
+		t.Fatalf("measured %.4f vs zone model %.4f", avgMeasured, rep.ModelQueryCost())
+	}
+}
+
+func TestCharVectorUniform(t *testing.T) {
+	// A chaining table's address function spreads the universe evenly:
+	// every alpha_i should be ~1/nbuckets and lambda at rho = 4/nbuckets
+	// should be ~0 (a good function).
+	model := iomodel.NewModel(8, 1<<16)
+	nb := 128
+	tab, err := chainhash.New(model, hashfn.NewIdeal(3), nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(4)
+	alphas := CharVector(tab, rng, 200000)
+	if len(alphas) != nb {
+		t.Fatalf("address function hits %d blocks, want %d", len(alphas), nb)
+	}
+	var total float64
+	for _, a := range alphas {
+		total += a
+		if a > 4.0/float64(nb) {
+			t.Fatalf("alpha %v far above uniform %v", a, 1.0/float64(nb))
+		}
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("alphas sum to %v", total)
+	}
+	lambda, bad := Lambda(alphas, 4.0/float64(nb))
+	if lambda != 0 || bad != 0 {
+		t.Fatalf("uniform function flagged bad: lambda=%v count=%d", lambda, bad)
+	}
+	if !IsGood(lambda, 0.1) {
+		t.Fatal("uniform function not classified good")
+	}
+}
+
+func TestLambdaSkewed(t *testing.T) {
+	alphas := map[iomodel.BlockID]float64{
+		0: 0.5, 1: 0.3, 2: 0.1, 3: 0.1,
+	}
+	lambda, bad := Lambda(alphas, 0.25)
+	if bad != 2 || math.Abs(lambda-0.8) > 1e-12 {
+		t.Fatalf("lambda=%v bad=%d", lambda, bad)
+	}
+	if IsGood(lambda, 0.5) {
+		t.Fatal("skewed function classified good")
+	}
+}
+
+func TestParamsForRegimes(t *testing.T) {
+	b, n := 128, 1<<20
+	// c > 1
+	p := ParamsFor(2, b, n, 0)
+	if p.Delta != 1/math.Pow(128, 2) {
+		t.Fatalf("delta = %v", p.Delta)
+	}
+	if p.Phi != 1/math.Pow(128, 0.25) {
+		t.Fatalf("phi = %v", p.Phi)
+	}
+	if p.S <= 0 || p.Rho <= 0 {
+		t.Fatalf("params: %+v", p)
+	}
+	// c = 1 (kappa default)
+	p1 := ParamsFor(1, b, n, 0)
+	if p1.Delta != 1/(256.0*128) {
+		t.Fatalf("c=1 delta = %v", p1.Delta)
+	}
+	// c < 1
+	pl := ParamsFor(0.5, b, n, 0)
+	if pl.Phi != 0.125 {
+		t.Fatalf("c<1 phi = %v", pl.Phi)
+	}
+	if pl.S != int(32*float64(n)/math.Sqrt(128)) {
+		t.Fatalf("c<1 s = %v", pl.S)
+	}
+}
+
+func TestAuditNilAddress(t *testing.T) {
+	d := iomodel.NewDisk(4)
+	f := &fakeSubject{d: d, address: map[uint64]iomodel.BlockID{}}
+	rep := Audit(f, []uint64{1, 2, 3})
+	if rep.S != 3 {
+		t.Fatalf("keys with no address must be slow: %+v", rep)
+	}
+}

@@ -1,0 +1,149 @@
+package extbuf
+
+import (
+	"fmt"
+	"sync"
+
+	"extbuf/internal/xrand"
+)
+
+// Sharded wraps S independent tables behind one goroutine-safe facade:
+// keys are partitioned by a hash independent of the shard tables' own
+// hash functions, and each shard is guarded by its own mutex, so
+// operations on different shards proceed in parallel.
+//
+// The external memory model is per-shard: each shard owns a disk and an
+// m-word memory budget (total memory = Shards * Config.MemoryWords),
+// which models S independent spindles/workers. Per-shard costs obey the
+// paper's bounds with n/S items each; Stats aggregates all shards.
+type Sharded struct {
+	shards []Table
+	locks  []sync.Mutex
+	salt   uint64
+	bits   uint
+}
+
+// NewSharded builds a sharded table of the given structure ("buffered",
+// "knuth", ... — see Structures) with shards shards (rounded up to a
+// power of two). Each shard receives a distinct hash seed derived from
+// cfg.Seed.
+func NewSharded(structure string, cfg Config, shards int) (*Sharded, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("extbuf: shards must be >= 1, got %d", shards)
+	}
+	n := 1
+	bits := uint(0)
+	for n < shards {
+		n <<= 1
+		bits++
+	}
+	cfg = cfg.withDefaults()
+	s := &Sharded{
+		shards: make([]Table, n),
+		locks:  make([]sync.Mutex, n),
+		salt:   xrand.Mix64(cfg.Seed ^ 0xa5a5a5a5a5a5a5a5),
+		bits:   bits,
+	}
+	for i := range s.shards {
+		scfg := cfg
+		scfg.Seed = cfg.Seed + uint64(i)*0x9e3779b97f4a7c15
+		scfg.ExpectedItems = cfg.ExpectedItems/n + 1
+		tab, err := Open(structure, scfg)
+		if err != nil {
+			for _, built := range s.shards[:i] {
+				built.Close()
+			}
+			return nil, fmt.Errorf("extbuf: shard %d: %w", i, err)
+		}
+		s.shards[i] = tab
+	}
+	return s, nil
+}
+
+// NumShards returns the shard count.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+func (s *Sharded) shard(key uint64) int {
+	if s.bits == 0 {
+		return 0
+	}
+	return int(xrand.Mix64(key^s.salt) >> (64 - s.bits))
+}
+
+// Insert stores (key, val) in key's shard. The fresh-key contract of
+// the buffered structure applies per the Table documentation.
+func (s *Sharded) Insert(key, val uint64) error {
+	i := s.shard(key)
+	s.locks[i].Lock()
+	defer s.locks[i].Unlock()
+	return s.shards[i].Insert(key, val)
+}
+
+// Upsert stores (key, val) whether or not key is present.
+func (s *Sharded) Upsert(key, val uint64) error {
+	i := s.shard(key)
+	s.locks[i].Lock()
+	defer s.locks[i].Unlock()
+	return s.shards[i].Upsert(key, val)
+}
+
+// Lookup returns the value stored for key.
+func (s *Sharded) Lookup(key uint64) (uint64, bool) {
+	i := s.shard(key)
+	s.locks[i].Lock()
+	defer s.locks[i].Unlock()
+	return s.shards[i].Lookup(key)
+}
+
+// Delete removes key, reporting whether it was present.
+func (s *Sharded) Delete(key uint64) bool {
+	i := s.shard(key)
+	s.locks[i].Lock()
+	defer s.locks[i].Unlock()
+	return s.shards[i].Delete(key)
+}
+
+// Len returns the total number of stored entries across shards.
+func (s *Sharded) Len() int {
+	total := 0
+	for i := range s.shards {
+		s.locks[i].Lock()
+		total += s.shards[i].Len()
+		s.locks[i].Unlock()
+	}
+	return total
+}
+
+// Stats returns the aggregated I/O counters of all shards.
+func (s *Sharded) Stats() Stats {
+	var out Stats
+	for i := range s.shards {
+		s.locks[i].Lock()
+		st := s.shards[i].Stats()
+		s.locks[i].Unlock()
+		out.Reads += st.Reads
+		out.Writes += st.Writes
+		out.WriteBacks += st.WriteBacks
+	}
+	return out
+}
+
+// MemoryUsed returns the summed memory charge of all shards.
+func (s *Sharded) MemoryUsed() int64 {
+	var total int64
+	for i := range s.shards {
+		s.locks[i].Lock()
+		total += s.shards[i].MemoryUsed()
+		s.locks[i].Unlock()
+	}
+	return total
+}
+
+// Close releases every shard.
+func (s *Sharded) Close() {
+	for i := range s.shards {
+		s.locks[i].Lock()
+		s.shards[i].Close()
+		s.locks[i].Unlock()
+	}
+}
