@@ -1,11 +1,27 @@
-// Command hashbench measures the I/O costs of any one structure in this
+// Command hashbench measures the costs of any one structure in this
 // repository under a configurable workload — the general-purpose driver
-// behind the per-structure rows of EXPERIMENTS.md.
+// behind the per-structure experiment rows in README.md.
+//
+// Besides the paper's simulated I/O counts it reports wall-clock time
+// per operation, and can run the structure against a real storage
+// backend:
+//
+//	-backend=mem      the paper's free in-memory simulated store (default)
+//	-backend=file     blocks persisted to an on-disk file behind a page
+//	                  cache (-path, -cache); reports syscall and cache
+//	                  columns alongside the model's I/O counters
+//	-backend=latency  in-memory store with injected per-transfer delays
+//	                  (-seek, -xfer)
+//
+// The I/O counters are identical across backends; only the real price
+// of the bytes differs.
 //
 // Usage:
 //
 //	hashbench -structure core [-b 64] [-m 1024] [-n 50000] [-beta 8]
 //	          [-gamma 2] [-delta 0.1] [-q 4000] [-seed 42] [-hash ideal]
+//	          [-backend mem|file|latency] [-path FILE] [-cache 64]
+//	          [-seek 4ms] [-xfer 100us]
 //
 // Structures: chainhash, linprobe, exthash, linhash, twolevel,
 // logmethod, core, staged.
@@ -16,6 +32,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"extbuf/internal/chainhash"
 	"extbuf/internal/core"
@@ -46,10 +63,32 @@ func main() {
 		q         = flag.Int("q", 4000, "successful lookups sampled")
 		seed      = flag.Uint64("seed", 42, "seed")
 		family    = flag.String("hash", "ideal", "hash family")
+		backend   = flag.String("backend", "mem", "block store: mem, file or latency")
+		path      = flag.String("path", "", "file backend: backing file (default: temp file)")
+		cache     = flag.Int("cache", iomodel.DefaultCacheBlocks, "file backend: page-cache capacity in blocks")
+		seek      = flag.Duration("seek", 100*time.Microsecond, "latency backend: per-transfer seek delay")
+		xfer      = flag.Duration("xfer", 25*time.Microsecond, "latency backend: per-transfer data delay")
 	)
 	flag.Parse()
 
-	model := iomodel.NewModel(*b, *mWords)
+	// The extendible baseline's directory needs Theta(n/b) words beyond
+	// the budget; provision it before the store exists.
+	words := *mWords
+	if *structure == "exthash" || *structure == "extendible" {
+		words += int64(8 * *n / *b)
+	}
+
+	store := openStore(*backend, *b, *path, *cache, *seek, *xfer)
+	model := iomodel.NewModelOn(store, words)
+	// log.Fatal exits without running defers, so fatal() also routes
+	// through this cleanup: a temp-file store must not outlive a failed
+	// run. Closing twice is safe.
+	cleanup = func() {
+		if err := model.Close(); err != nil {
+			log.Printf("close store: %v", err)
+		}
+	}
+	defer cleanup()
 	fn := hashfn.Family(*family, *seed)
 	rng := xrand.New(*seed)
 
@@ -72,8 +111,6 @@ func main() {
 		lookup = func(k uint64) bool { _, ok, _ := tab.Lookup(k); return ok }
 		subject = tab
 	case "exthash", "extendible":
-		// Provision the directory's Theta(n/b) words explicitly.
-		model = iomodel.NewModel(*b, *mWords+int64(8**n / *b))
 		tab, err := exthash.New(model, fn, 4)
 		fatal(err)
 		insert = func(k uint64) error { tab.Insert(k, 0); return nil }
@@ -115,29 +152,41 @@ func main() {
 
 	keys := workload.Keys(rng, *n)
 	c0 := model.Counters()
+	insStart := time.Now()
 	for _, k := range keys {
 		fatal(insert(k))
 	}
+	insWall := time.Since(insStart)
 	ins := model.Counters().Sub(c0)
 
 	qs := workload.SuccessfulQueries(rng, keys, *n, *q)
 	c1 := model.Counters()
+	qryStart := time.Now()
 	for _, k := range qs {
 		if !lookup(k) {
+			cleanup()
 			log.Fatalf("lost key %d", k)
 		}
 	}
+	qryWall := time.Since(qryStart)
 	qry := model.Counters().Sub(c1)
+
+	// Snapshot the backend's real-cost rows before the zone audit: Audit
+	// peeks every block, and on the file backend that sweep would inflate
+	// the syscall and cache columns far beyond the measured workload.
+	backendRows := backendStatRows(store)
 
 	rep := zones.Audit(subject, keys)
 
-	t := tablefmt.New(fmt.Sprintf("%s: b=%d m=%d n=%d", *structure, *b, *mWords, *n),
+	t := tablefmt.New(fmt.Sprintf("%s: b=%d m=%d n=%d backend=%s", *structure, *b, *mWords, *n, *backend),
 		"metric", "value")
 	t.AddRow("amortized insert I/Os", float64(ins.IOs())/float64(*n))
 	t.AddRow("  reads", float64(ins.Reads)/float64(*n))
 	t.AddRow("  cold writes", float64(ins.Writes)/float64(*n))
 	t.AddRow("  free write-backs", float64(ins.WriteBacks)/float64(*n))
 	t.AddRow("avg successful lookup I/Os", float64(qry.IOs())/float64(len(qs)))
+	t.AddRow("insert wall µs/op", float64(insWall.Microseconds())/float64(*n))
+	t.AddRow("lookup wall µs/op", float64(qryWall.Microseconds())/float64(len(qs)))
 	t.AddRow("zone |M|", rep.M)
 	t.AddRow("zone |F|", rep.F)
 	t.AddRow("zone |S|", rep.S)
@@ -146,11 +195,73 @@ func main() {
 	t.AddRow("memory peak (words)", model.Mem.Peak())
 	t.AddRow("disk blocks", model.Disk.NumBlocks())
 	t.AddRow("(tq-1)*b", tablefmt.FormatFloat((float64(qry.IOs())/float64(len(qs))-1)*float64(*b)))
+	for _, r := range backendRows {
+		t.AddRow(r.metric, r.value)
+	}
 	t.Render(os.Stdout)
 }
 
+// openStore builds the block store selected by -backend.
+func openStore(backend string, b int, path string, cache int, seek, xfer time.Duration) iomodel.BlockStore {
+	switch backend {
+	case "mem":
+		return iomodel.NewMemStore(b)
+	case "file":
+		var (
+			fs  *iomodel.FileStore
+			err error
+		)
+		if path == "" {
+			fs, err = iomodel.NewTempFileStore(b, cache)
+		} else {
+			fs, err = iomodel.NewFileStore(path, b, cache)
+		}
+		fatal(err)
+		return fs
+	case "latency":
+		return iomodel.NewLatencyStore(iomodel.NewMemStore(b),
+			iomodel.LatencyConfig{Seek: seek, Transfer: xfer})
+	default:
+		log.Fatalf("unknown backend %q (want mem, file or latency)", backend)
+		return nil
+	}
+}
+
+type statRow struct {
+	metric string
+	value  any
+}
+
+// backendStatRows snapshots the real-cost columns a backend exposes.
+func backendStatRows(store iomodel.BlockStore) []statRow {
+	switch s := store.(type) {
+	case *iomodel.FileStore:
+		st := s.Stats()
+		return []statRow{
+			{"file: path", s.Path()},
+			{"file: pread syscalls", st.ReadSyscalls},
+			{"file: pwrite syscalls", st.WriteSyscalls},
+			{"file: cache hits", st.CacheHits},
+			{"file: cache misses", st.CacheMisses},
+			{"file: MB read", float64(st.BytesRead) / (1 << 20)},
+			{"file: MB written", float64(st.BytesWritten) / (1 << 20)},
+		}
+	case *iomodel.LatencyStore:
+		return []statRow{
+			{"latency: delayed transfers", s.DelayedOps()},
+			{"latency: injected wait", s.Waited().String()},
+		}
+	}
+	return nil
+}
+
+// cleanup releases the block store; set once the model exists. fatal
+// paths call it explicitly because log.Fatal skips defers.
+var cleanup = func() {}
+
 func fatal(err error) {
 	if err != nil {
+		cleanup()
 		log.Fatal(err)
 	}
 }

@@ -21,9 +21,12 @@
 //     linear probing (NewLinearProbing), extendible hashing
 //     (NewExtendible), linear hashing (NewLinear), and a Jensen–Pagh
 //     style high-load two-level table (NewTwoLevel);
-//   - a simulated external memory model (internal/iomodel) that counts
-//     block transfers exactly as the paper does, including the
-//     write-back-after-read-is-free convention;
+//   - a layered external memory model (internal/iomodel): a
+//     cost-accounting Disk that counts block transfers exactly as the
+//     paper does, including the write-back-after-read-is-free
+//     convention, over pluggable BlockStore backends — the default
+//     in-memory simulated store, a file-backed store with a real page
+//     cache, and a latency-injecting store (Config.Backend selects);
 //   - the paper's lower-bound machinery — zone audits, characteristic
 //     vectors, bin-ball games — and an experiment harness regenerating
 //     Figure 1 and every theorem/lemma table (cmd/figure1, cmd/zones,

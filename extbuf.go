@@ -3,6 +3,7 @@ package extbuf
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"extbuf/internal/chainhash"
 	"extbuf/internal/core"
@@ -74,6 +75,23 @@ type Config struct {
 	Seed uint64
 	// HashFamily selects "ideal" (default), "multshift" or "tabulation".
 	HashFamily string
+	// Backend selects the block-store backend: "mem" (default) is the
+	// paper's free in-memory simulated store, "file" persists blocks to
+	// a real file behind a page cache, "latency" injects seek/transfer
+	// delays into an in-memory store. I/O counters are identical across
+	// backends; only the real cost of the bytes differs.
+	Backend string
+	// Path is the backing file for the "file" backend. Empty selects a
+	// fresh temporary file that is removed when the table is closed.
+	Path string
+	// CacheBlocks is the "file" backend's page-cache capacity in blocks
+	// (default iomodel.DefaultCacheBlocks).
+	CacheBlocks int
+	// SeekDelay and TransferDelay are the "latency" backend's per-block
+	// delays. If both are zero the backend defaults to a 100µs seek and
+	// 25µs transfer.
+	SeekDelay     time.Duration
+	TransferDelay time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -95,17 +113,85 @@ func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.Backend == "" {
+		c.Backend = "mem"
+	}
+	if c.Backend == "latency" && c.SeekDelay == 0 && c.TransferDelay == 0 {
+		c.SeekDelay = 100 * time.Microsecond
+		c.TransferDelay = 25 * time.Microsecond
+	}
 	return c
 }
 
 // ErrBlockTooSmall is returned for block sizes under 8 items.
 var ErrBlockTooSmall = errors.New("extbuf: block size must be >= 8 items")
 
-func (c Config) model() (*iomodel.Model, hashfn.Fn, error) {
+// ErrBetaRange is returned when Config.Beta violates 2 <= Beta <= BlockSize
+// (the paper requires 2 <= beta <= b).
+var ErrBetaRange = errors.New("extbuf: Beta must satisfy 2 <= Beta <= BlockSize")
+
+// ErrGammaRange is returned when Config.Gamma is below the logarithmic
+// method's minimum growth factor of 2.
+var ErrGammaRange = errors.New("extbuf: Gamma must be >= 2")
+
+// ErrUnknownBackend is returned for Backend values other than "mem",
+// "file" and "latency".
+var ErrUnknownBackend = errors.New("extbuf: unknown backend")
+
+// validateBlockSize enforces the paper's b > log u assumption. It is the
+// first check of every constructor, so ErrBlockTooSmall takes precedence
+// over parameter-range errors.
+func (c Config) validateBlockSize() error {
 	if c.BlockSize < 8 {
-		return nil, nil, ErrBlockTooSmall
+		return ErrBlockTooSmall
 	}
-	return iomodel.NewModel(c.BlockSize, c.MemoryWords), hashfn.Family(c.HashFamily, c.Seed), nil
+	return nil
+}
+
+func (c Config) model() (*iomodel.Model, hashfn.Fn, error) {
+	if err := c.validateBlockSize(); err != nil {
+		return nil, nil, err
+	}
+	store, err := c.store()
+	if err != nil {
+		return nil, nil, err
+	}
+	return iomodel.NewModelOn(store, c.MemoryWords), hashfn.Family(c.HashFamily, c.Seed), nil
+}
+
+// store builds the block-store backend selected by c.Backend.
+func (c Config) store() (iomodel.BlockStore, error) {
+	switch c.Backend {
+	case "", "mem":
+		return iomodel.NewMemStore(c.BlockSize), nil
+	case "file":
+		if c.Path == "" {
+			return iomodel.NewTempFileStore(c.BlockSize, c.CacheBlocks)
+		}
+		return iomodel.NewFileStore(c.Path, c.BlockSize, c.CacheBlocks)
+	case "latency":
+		return iomodel.NewLatencyStore(iomodel.NewMemStore(c.BlockSize),
+			iomodel.LatencyConfig{Seek: c.SeekDelay, Transfer: c.TransferDelay}), nil
+	default:
+		return nil, fmt.Errorf("%w %q (want mem, file or latency)", ErrUnknownBackend, c.Backend)
+	}
+}
+
+// validateBeta enforces the Theorem 2 constraint after defaults applied.
+func (c Config) validateBeta() error {
+	if c.Beta < 2 || c.Beta > c.BlockSize {
+		return fmt.Errorf("%w: Beta=%d, BlockSize=%d", ErrBetaRange, c.Beta, c.BlockSize)
+	}
+	return nil
+}
+
+// validateGamma enforces the logarithmic-method constraint after
+// defaults applied.
+func (c Config) validateGamma() error {
+	if c.Gamma < 2 {
+		return fmt.Errorf("%w: Gamma=%d", ErrGammaRange, c.Gamma)
+	}
+	return nil
 }
 
 // base carries the model shared by all adapters.
@@ -121,15 +207,26 @@ func (b base) Stats() Stats {
 func (b base) MemoryUsed() int64 { return b.model.Mem.Used() }
 
 // New returns the paper's Theorem 2 buffered hash table: o(1) amortized
-// insertions with lookups in 1 + O(1/Beta) I/Os.
+// insertions with lookups in 1 + O(1/Beta) I/Os. It returns ErrBetaRange
+// or ErrGammaRange for parameters outside the paper's preconditions.
 func New(cfg Config) (Table, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.validateBlockSize(); err != nil {
+		return nil, err
+	}
+	if err := cfg.validateBeta(); err != nil {
+		return nil, err
+	}
+	if err := cfg.validateGamma(); err != nil {
+		return nil, err
+	}
 	model, fn, err := cfg.model()
 	if err != nil {
 		return nil, err
 	}
 	t, err := core.New(model, fn, core.Config{Beta: cfg.Beta, Gamma: cfg.Gamma})
 	if err != nil {
+		model.Close()
 		return nil, err
 	}
 	return &coreTable{base{model}, t}, nil
@@ -157,18 +254,23 @@ func (c *coreTable) Delete(key uint64) bool {
 	return ok
 }
 func (c *coreTable) Len() int { return c.t.Len() }
-func (c *coreTable) Close()   { c.t.Close() }
+func (c *coreTable) Close()   { c.t.Close(); c.model.Close() }
 
 // NewLogMethod returns the Lemma 5 logarithmic-method table: o(1)
-// amortized insertions with O(log_gamma(n/m)) lookups.
+// amortized insertions with O(log_gamma(n/m)) lookups. It returns
+// ErrGammaRange for growth factors below 2.
 func NewLogMethod(cfg Config) (Table, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.validateGamma(); err != nil {
+		return nil, err
+	}
 	model, fn, err := cfg.model()
 	if err != nil {
 		return nil, err
 	}
 	t, err := logmethod.New(model, fn, logmethod.Config{Gamma: cfg.Gamma})
 	if err != nil {
+		model.Close()
 		return nil, err
 	}
 	return &logTable{base{model}, t}, nil
@@ -193,7 +295,7 @@ func (l *logTable) Delete(key uint64) bool {
 	return ok
 }
 func (l *logTable) Len() int { return l.t.Len() }
-func (l *logTable) Close()   { l.t.Close() }
+func (l *logTable) Close()   { l.t.Close(); l.model.Close() }
 
 // NewKnuth returns the classical external chaining table sized for
 // cfg.ExpectedItems at load factor 1/2: ~1 I/O lookups and inserts.
@@ -209,6 +311,7 @@ func NewKnuth(cfg Config) (Table, error) {
 	}
 	t, err := chainhash.New(model, fn, nb)
 	if err != nil {
+		model.Close()
 		return nil, err
 	}
 	t.SetMaxLoad(0.75)
@@ -231,7 +334,7 @@ func (c *chainTable) Delete(key uint64) bool {
 	return ok
 }
 func (c *chainTable) Len() int { return c.t.Len() }
-func (c *chainTable) Close()   { c.t.Close() }
+func (c *chainTable) Close()   { c.t.Close(); c.model.Close() }
 
 // NewLinearProbing returns the block-level linear probing baseline.
 func NewLinearProbing(cfg Config) (Table, error) {
@@ -246,6 +349,7 @@ func NewLinearProbing(cfg Config) (Table, error) {
 	}
 	t, err := linprobe.New(model, fn, nb)
 	if err != nil {
+		model.Close()
 		return nil, err
 	}
 	t.SetMaxLoad(0.7)
@@ -271,7 +375,7 @@ func (p *probeTable) Delete(key uint64) bool {
 	return ok
 }
 func (p *probeTable) Len() int { return p.t.Len() }
-func (p *probeTable) Close()   { p.t.Close() }
+func (p *probeTable) Close()   { p.t.Close(); p.model.Close() }
 
 // NewExtendible returns the extendible hashing baseline (Fagin et al.).
 // Its in-memory directory needs Theta(n/b) words; size MemoryWords
@@ -284,6 +388,7 @@ func NewExtendible(cfg Config) (Table, error) {
 	}
 	t, err := exthash.New(model, fn, 2)
 	if err != nil {
+		model.Close()
 		return nil, err
 	}
 	return &extTable{base{model}, t}, nil
@@ -305,7 +410,7 @@ func (e *extTable) Delete(key uint64) bool {
 	return ok
 }
 func (e *extTable) Len() int { return e.t.Len() }
-func (e *extTable) Close()   { e.t.Close() }
+func (e *extTable) Close()   { e.t.Close(); e.model.Close() }
 
 // NewLinear returns the linear hashing baseline (Litwin).
 func NewLinear(cfg Config) (Table, error) {
@@ -316,6 +421,7 @@ func NewLinear(cfg Config) (Table, error) {
 	}
 	t, err := linhash.New(model, fn, 2)
 	if err != nil {
+		model.Close()
 		return nil, err
 	}
 	return &linTable{base{model}, t}, nil
@@ -337,7 +443,7 @@ func (l *linTable) Delete(key uint64) bool {
 	return ok
 }
 func (l *linTable) Len() int { return l.t.Len() }
-func (l *linTable) Close()   { l.t.Close() }
+func (l *linTable) Close()   { l.t.Close(); l.model.Close() }
 
 // NewTwoLevel returns the Jensen–Pagh-style high-load table sized for
 // cfg.ExpectedItems at load factor 1 - 1/sqrt(b).
@@ -349,6 +455,7 @@ func NewTwoLevel(cfg Config) (Table, error) {
 	}
 	t, err := twolevel.New(model, fn, twolevel.HomeBucketsFor(cfg.ExpectedItems, cfg.BlockSize))
 	if err != nil {
+		model.Close()
 		return nil, err
 	}
 	return &twoTable{base{model}, t}, nil
@@ -370,7 +477,7 @@ func (w *twoTable) Delete(key uint64) bool {
 	return ok
 }
 func (w *twoTable) Len() int { return w.t.Len() }
-func (w *twoTable) Close()   { w.t.Close() }
+func (w *twoTable) Close()   { w.t.Close(); w.model.Close() }
 
 // Structures lists the constructor names accepted by Open.
 func Structures() []string {

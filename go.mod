@@ -1,0 +1,3 @@
+module extbuf
+
+go 1.24

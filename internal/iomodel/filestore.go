@@ -1,0 +1,365 @@
+package iomodel
+
+import (
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// FileStore is a BlockStore persisting fixed-size blocks to a real file,
+// fronted by a write-back page cache of configurable capacity. It is the
+// backend that turns the simulation into a storage engine: the same
+// table code that produces the paper's I/O counts runs unchanged against
+// it, and wall-clock and syscall costs become measurable.
+//
+// On-disk layout: block id occupies bytes [id*frameBytes, (id+1)*frameBytes)
+// of the file, as an 8-byte header (entry count uint32, next pointer
+// stored as next+1 uint32, both little-endian) followed by B() entries
+// of 16 bytes each (key, val). The +1 bias makes all-zero bytes — EOF
+// short reads and sparse holes left by out-of-order first writes —
+// decode as an empty block with a nil chain pointer, which is exactly
+// the state of an allocated-but-never-written block. The file is
+// truncated on open; FileStore is a fresh store, not a recovery
+// mechanism (crash recovery is future work layered on this seam).
+//
+// The page cache is an LRU of decoded blocks. A cache hit costs no
+// syscall; a miss reads the block with one pread, evicting the least
+// recently used frame first (one pwrite if dirty). Whole-block writes
+// populate a frame without reading the old contents. Stats exposes the
+// resulting syscall and hit counts so experiments can report real costs
+// next to the model's counters.
+type FileStore struct {
+	f          *os.File
+	b          int
+	frameBytes int64
+	nslots     int // allocated slots, including freed ones
+	free       []BlockID
+	cacheCap   int
+	cache      map[BlockID]*frame
+	lru        *list.List // front = most recently used; values are *frame
+	scratch    []byte
+	stats      FileStats
+	removeName string // non-empty: unlink this path on Close (temp stores)
+	closed     bool
+}
+
+var _ BlockStore = (*FileStore)(nil)
+
+type frame struct {
+	id      BlockID
+	entries []Entry
+	next    BlockID
+	dirty   bool
+	elem    *list.Element
+}
+
+// FileStats counts the real storage costs incurred by a FileStore.
+type FileStats struct {
+	ReadSyscalls  int64 // preads issued (cache misses that touched the file)
+	WriteSyscalls int64 // pwrites issued (dirty evictions and sync flushes)
+	CacheHits     int64 // block accesses served from the page cache
+	CacheMisses   int64 // block accesses that had to fault a frame in
+	BytesRead     int64
+	BytesWritten  int64
+}
+
+// DefaultCacheBlocks is the page-cache capacity used when none is given.
+const DefaultCacheBlocks = 64
+
+const blockHeaderBytes = 8
+const entryBytes = 16
+
+// NewFileStore creates (or truncates) the file at path and returns a
+// store with blocks of capacity b entries and a page cache of
+// cacheBlocks frames (DefaultCacheBlocks if cacheBlocks <= 0).
+func NewFileStore(path string, b, cacheBlocks int) (*FileStore, error) {
+	if b < 1 {
+		panic("iomodel: block size must be >= 1")
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("iomodel: open block store: %w", err)
+	}
+	if cacheBlocks <= 0 {
+		cacheBlocks = DefaultCacheBlocks
+	}
+	fb := int64(blockHeaderBytes + b*entryBytes)
+	return &FileStore{
+		f:          f,
+		b:          b,
+		frameBytes: fb,
+		cacheCap:   cacheBlocks,
+		cache:      make(map[BlockID]*frame, cacheBlocks),
+		lru:        list.New(),
+		scratch:    make([]byte, fb),
+	}, nil
+}
+
+// NewTempFileStore is NewFileStore on a fresh temporary file that is
+// removed when the store is closed.
+func NewTempFileStore(b, cacheBlocks int) (*FileStore, error) {
+	f, err := os.CreateTemp("", "extbuf-*.blocks")
+	if err != nil {
+		return nil, fmt.Errorf("iomodel: temp block store: %w", err)
+	}
+	name := f.Name()
+	f.Close()
+	s, err := NewFileStore(name, b, cacheBlocks)
+	if err != nil {
+		os.Remove(name)
+		return nil, err
+	}
+	s.removeName = name
+	return s, nil
+}
+
+// Path returns the backing file's name.
+func (s *FileStore) Path() string { return s.f.Name() }
+
+// Stats returns a snapshot of the real-cost counters.
+func (s *FileStore) Stats() FileStats { return s.stats }
+
+// B returns the block capacity in entries.
+func (s *FileStore) B() int { return s.b }
+
+// Alloc reserves a fresh empty block and returns its ID.
+func (s *FileStore) Alloc() BlockID {
+	if n := len(s.free); n > 0 {
+		id := s.free[n-1]
+		s.free = s.free[:n-1]
+		// The file still holds the freed block's stale bytes; install an
+		// empty dirty frame so readers see a fresh block.
+		fr := s.frameForWrite(id, false)
+		fr.entries = fr.entries[:0]
+		fr.next = NilBlock
+		return id
+	}
+	id := BlockID(s.nslots)
+	s.nslots++
+	// Nothing is written yet: a read of a never-written slot hits EOF and
+	// decodes as an empty block, so allocation alone costs no syscall.
+	return id
+}
+
+// Free releases a block back to the allocator, discarding any cached
+// (even dirty) frame: freed contents need never reach the file.
+func (s *FileStore) Free(id BlockID) {
+	s.checkID(id)
+	if fr, ok := s.cache[id]; ok {
+		s.lru.Remove(fr.elem)
+		delete(s.cache, id)
+	}
+	s.free = append(s.free, id)
+}
+
+// ReadBlock appends the entries of block id to buf and returns it.
+func (s *FileStore) ReadBlock(id BlockID, buf []Entry) []Entry {
+	return append(buf, s.frameFor(id).entries...)
+}
+
+// WriteBlock replaces the contents of block id. The header's next
+// pointer survives the overwrite, matching MemStore: only SetNext,
+// ClearBlock and allocator reuse may change it.
+func (s *FileStore) WriteBlock(id BlockID, entries []Entry) {
+	fr := s.frameForWrite(id, true)
+	fr.entries = append(fr.entries[:0], entries...)
+}
+
+// ClearBlock empties block id and resets its next pointer.
+func (s *FileStore) ClearBlock(id BlockID) {
+	fr := s.frameForWrite(id, false)
+	fr.entries = fr.entries[:0]
+	fr.next = NilBlock
+}
+
+// PeekBlock returns the cached contents of block id without copying. The
+// slice is only valid until the next store operation.
+func (s *FileStore) PeekBlock(id BlockID) []Entry { return s.frameFor(id).entries }
+
+// Next returns the overflow-chain pointer of block id. Headers live with
+// their block, so an uncached header walk faults the block in — a real
+// read the simulated store performs for free.
+func (s *FileStore) Next(id BlockID) BlockID { return s.frameFor(id).next }
+
+// SetNext updates the overflow-chain pointer of block id.
+func (s *FileStore) SetNext(id, next BlockID) {
+	fr := s.frameFor(id)
+	fr.next = next
+	fr.dirty = true
+}
+
+// NumBlocks returns the number of allocated (live) blocks.
+func (s *FileStore) NumBlocks() int { return s.nslots - len(s.free) }
+
+// Sync flushes every dirty frame and fsyncs the file.
+func (s *FileStore) Sync() error {
+	for _, fr := range s.cache {
+		if fr.dirty {
+			if err := s.flush(fr); err != nil {
+				return err
+			}
+		}
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("iomodel: sync block store: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the backing file, removing it if the store
+// was created by NewTempFileStore.
+func (s *FileStore) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.Sync()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	if s.removeName != "" {
+		if rerr := os.Remove(s.removeName); err == nil {
+			err = rerr
+		}
+	}
+	return err
+}
+
+// frameFor returns the cache frame of block id, faulting it in from the
+// file on a miss.
+func (s *FileStore) frameFor(id BlockID) *frame {
+	s.checkID(id)
+	if fr, ok := s.cache[id]; ok {
+		s.stats.CacheHits++
+		s.lru.MoveToFront(fr.elem)
+		return fr
+	}
+	s.stats.CacheMisses++
+	fr := s.install(id)
+	s.load(fr)
+	return fr
+}
+
+// frameForWrite returns a frame for a whole-block overwrite of id: on a
+// miss the old entries are not read, since they are about to be
+// replaced. With preserveNext the on-disk header is still faulted in
+// (one 8-byte pread) so the overflow-chain pointer survives; callers
+// that reset the header (ClearBlock, allocator reuse) skip even that.
+// The frame is marked dirty.
+func (s *FileStore) frameForWrite(id BlockID, preserveNext bool) *frame {
+	s.checkID(id)
+	fr, ok := s.cache[id]
+	if ok {
+		s.stats.CacheHits++
+		s.lru.MoveToFront(fr.elem)
+	} else {
+		s.stats.CacheMisses++
+		fr = s.install(id)
+		if preserveNext {
+			s.loadHeader(fr)
+		}
+	}
+	fr.dirty = true
+	return fr
+}
+
+// install evicts if needed and inserts an empty frame for id at the
+// front of the LRU.
+func (s *FileStore) install(id BlockID) *frame {
+	for len(s.cache) >= s.cacheCap {
+		victim := s.lru.Back().Value.(*frame)
+		if victim.dirty {
+			if err := s.flush(victim); err != nil {
+				panic(err)
+			}
+		}
+		s.lru.Remove(victim.elem)
+		delete(s.cache, victim.id)
+	}
+	fr := &frame{id: id, entries: make([]Entry, 0, s.b), next: NilBlock}
+	fr.elem = s.lru.PushFront(fr)
+	s.cache[id] = fr
+	return fr
+}
+
+// loadHeader fills only fr's header (the next pointer) from the file
+// with one 8-byte pread, for whole-block overwrites that must not lose
+// the chain pointer. A slot past EOF decodes as a nil pointer.
+func (s *FileStore) loadHeader(fr *frame) {
+	n, err := s.f.ReadAt(s.scratch[:blockHeaderBytes], int64(fr.id)*s.frameBytes)
+	if err != nil && err != io.EOF {
+		panic(fmt.Errorf("iomodel: read block %d header: %w", fr.id, err))
+	}
+	s.stats.ReadSyscalls++
+	s.stats.BytesRead += int64(n)
+	fr.next = NilBlock
+	if n >= blockHeaderBytes {
+		fr.next = decodeNext(s.scratch[4:8])
+	}
+}
+
+// load fills fr from the file with one pread. A slot past EOF (allocated
+// but never flushed) decodes as an empty block.
+func (s *FileStore) load(fr *frame) {
+	n, err := s.f.ReadAt(s.scratch, int64(fr.id)*s.frameBytes)
+	if err != nil && err != io.EOF {
+		panic(fmt.Errorf("iomodel: read block %d: %w", fr.id, err))
+	}
+	s.stats.ReadSyscalls++
+	s.stats.BytesRead += int64(n)
+	fr.entries = fr.entries[:0]
+	fr.next = NilBlock
+	fr.dirty = false
+	if n < blockHeaderBytes {
+		return
+	}
+	count := int(binary.LittleEndian.Uint32(s.scratch[0:4]))
+	fr.next = decodeNext(s.scratch[4:8])
+	if count > s.b || blockHeaderBytes+count*entryBytes > n {
+		panic(fmt.Sprintf("iomodel: corrupt block %d: count %d exceeds capacity/extent", fr.id, count))
+	}
+	for i := 0; i < count; i++ {
+		off := blockHeaderBytes + i*entryBytes
+		fr.entries = append(fr.entries, Entry{
+			Key: binary.LittleEndian.Uint64(s.scratch[off : off+8]),
+			Val: binary.LittleEndian.Uint64(s.scratch[off+8 : off+16]),
+		})
+	}
+}
+
+// decodeNext reads the +1-biased chain pointer; zero bytes (holes, EOF)
+// are NilBlock.
+func decodeNext(b []byte) BlockID {
+	return BlockID(int32(binary.LittleEndian.Uint32(b))) - 1
+}
+
+// flush writes fr to the file with one pwrite and clears its dirty bit.
+func (s *FileStore) flush(fr *frame) error {
+	binary.LittleEndian.PutUint32(s.scratch[0:4], uint32(len(fr.entries)))
+	binary.LittleEndian.PutUint32(s.scratch[4:8], uint32(int32(fr.next+1)))
+	for i, e := range fr.entries {
+		off := blockHeaderBytes + i*entryBytes
+		binary.LittleEndian.PutUint64(s.scratch[off:off+8], e.Key)
+		binary.LittleEndian.PutUint64(s.scratch[off+8:off+16], e.Val)
+	}
+	// Zero the unused tail so stale bytes never resurface as data.
+	for i := blockHeaderBytes + len(fr.entries)*entryBytes; i < len(s.scratch); i++ {
+		s.scratch[i] = 0
+	}
+	n, err := s.f.WriteAt(s.scratch, int64(fr.id)*s.frameBytes)
+	s.stats.WriteSyscalls++
+	s.stats.BytesWritten += int64(n)
+	if err != nil {
+		return fmt.Errorf("iomodel: write block %d: %w", fr.id, err)
+	}
+	fr.dirty = false
+	return nil
+}
+
+func (s *FileStore) checkID(id BlockID) {
+	if id < 0 || int(id) >= s.nslots {
+		panic(fmt.Sprintf("iomodel: invalid block id %d", id))
+	}
+}

@@ -1,14 +1,26 @@
-// Package iomodel simulates the standard external memory model of
+// Package iomodel implements the standard external memory model of
 // Aggarwal and Vitter, which is the cost model of Wei, Yi, Zhang
 // (SPAA 2009): a disk of infinite size partitioned into blocks holding b
 // items each, and a main memory of m words. Computation is free; the
 // complexity of an algorithm is the number of block transfers (I/Os) it
 // performs.
 //
-// This package is a *substitution* for physical hardware (see DESIGN.md §4):
-// the paper's claims are statements about I/O counts under a memory budget,
-// and the simulator measures exactly those counts while enforcing block
-// granularity and the memory budget.
+// The package is layered as a small storage engine (see README.md):
+//
+//   - BlockStore is the storage backend — a flat space of fixed-capacity
+//     blocks with per-block overflow-chain headers. MemStore keeps blocks
+//     in memory (the paper's simulator), FileStore persists them to a
+//     real file behind a page cache, and LatencyStore injects seek and
+//     transfer delays into any inner store.
+//   - Disk is the cost-accounting layer every table operates through: it
+//     charges the paper's I/O counters, enforces the footnote-2
+//     write-back rule and block capacity, and delegates the bytes to
+//     whichever backend it was constructed on.
+//
+// The paper's claims are statements about I/O counts under a memory
+// budget; Disk measures exactly those counts regardless of backend, so
+// the same table code yields the paper's numbers on MemStore and real
+// wall-clock and syscall costs on FileStore.
 //
 // # Cost accounting
 //
@@ -95,28 +107,41 @@ func (c Counters) String() string {
 // is called on a block that was not the most recently read block.
 var ErrWriteBackOrder = errors.New("iomodel: WriteBack must immediately follow Read of the same block")
 
-// Disk is the simulated block device. Blocks hold up to B entries plus a
-// header containing an overflow-chain pointer. Disk is not safe for
-// concurrent use; each experiment owns its Disk.
+// Disk is the cost-accounting layer of the model: the paper's I/O
+// counters, the footnote-2 write-back rule and block-capacity checks,
+// over any BlockStore backend. Blocks hold up to B entries plus a header
+// containing an overflow-chain pointer. Disk is not safe for concurrent
+// use; each experiment owns its Disk.
 type Disk struct {
+	store    BlockStore
 	b        int
-	blocks   [][]Entry
-	next     []BlockID
-	free     []BlockID
 	ctr      Counters
 	lastRead BlockID
 	strict   bool
 }
 
-// NewDisk returns an empty disk with blocks of capacity b entries.
-// Strict mode validates WriteBack ordering (enabled by default; it is
-// cheap and catches accounting bugs in the table implementations).
+// NewDisk returns an empty simulated disk (MemStore backend) with blocks
+// of capacity b entries. Strict mode validates WriteBack ordering
+// (enabled by default; it is cheap and catches accounting bugs in the
+// table implementations).
 func NewDisk(b int) *Disk {
-	if b < 1 {
-		panic("iomodel: block size must be >= 1")
-	}
-	return &Disk{b: b, lastRead: NilBlock, strict: true}
+	return NewDiskOn(NewMemStore(b))
 }
+
+// NewDiskOn layers the cost accounting over an arbitrary backend. The
+// counters charged are identical across backends: only the price of the
+// bytes differs.
+func NewDiskOn(store BlockStore) *Disk {
+	return &Disk{store: store, b: store.B(), lastRead: NilBlock, strict: true}
+}
+
+// Store returns the underlying backend, for backend-specific reporting
+// (e.g. FileStore.Stats) and lifecycle management.
+func (d *Disk) Store() BlockStore { return d.store }
+
+// Close releases the backend's resources. Tables never call this; the
+// owner of the Disk does.
+func (d *Disk) Close() error { return d.store.Close() }
 
 // SetStrict toggles WriteBack-order validation.
 func (d *Disk) SetStrict(strict bool) { d.strict = strict }
@@ -131,30 +156,15 @@ func (d *Disk) Counters() Counters { return d.ctr }
 func (d *Disk) ResetCounters() { d.ctr = Counters{} }
 
 // NumBlocks returns the number of allocated (live) blocks.
-func (d *Disk) NumBlocks() int { return len(d.blocks) - len(d.free) }
+func (d *Disk) NumBlocks() int { return d.store.NumBlocks() }
 
 // Alloc reserves a fresh empty block and returns its ID. Allocation by
 // itself performs no I/O; the write that first populates the block pays.
-func (d *Disk) Alloc() BlockID {
-	if n := len(d.free); n > 0 {
-		id := d.free[n-1]
-		d.free = d.free[:n-1]
-		d.blocks[id] = d.blocks[id][:0]
-		d.next[id] = NilBlock
-		return id
-	}
-	id := BlockID(len(d.blocks))
-	d.blocks = append(d.blocks, make([]Entry, 0, d.b))
-	d.next = append(d.next, NilBlock)
-	return id
-}
+func (d *Disk) Alloc() BlockID { return d.store.Alloc() }
 
 // Free releases a block back to the allocator. Freeing performs no I/O.
 func (d *Disk) Free(id BlockID) {
-	d.checkID(id)
-	d.blocks[id] = d.blocks[id][:0]
-	d.next[id] = NilBlock
-	d.free = append(d.free, id)
+	d.store.Free(id)
 	if d.lastRead == id {
 		d.lastRead = NilBlock
 	}
@@ -164,28 +174,27 @@ func (d *Disk) Free(id BlockID) {
 // entries to buf (which may be nil). The returned slice is owned by the
 // caller; the disk contents are unaffected by mutation of it.
 func (d *Disk) Read(id BlockID, buf []Entry) []Entry {
-	d.checkID(id)
+	buf = d.store.ReadBlock(id, buf)
 	d.ctr.Reads++
 	d.lastRead = id
-	return append(buf, d.blocks[id]...)
+	return buf
 }
 
-// Peek returns the current length of block id without performing an I/O.
-// It exists for assertions and snapshot analysis (package zones), never
-// for table operation logic.
+// Peek returns the current contents of block id without performing an
+// I/O. It exists for assertions and snapshot analysis (package zones),
+// never for table operation logic. The slice must not be mutated and is
+// only valid until the next disk operation.
 func (d *Disk) Peek(id BlockID) []Entry {
-	d.checkID(id)
-	return d.blocks[id]
+	return d.store.PeekBlock(id)
 }
 
 // Write replaces the contents of block id, costing 1 I/O. It panics if
 // entries exceeds the block capacity.
 func (d *Disk) Write(id BlockID, entries []Entry) {
-	d.checkID(id)
 	d.checkFit(entries)
+	d.store.WriteBlock(id, entries)
 	d.ctr.Writes++
 	d.lastRead = NilBlock
-	d.blocks[id] = append(d.blocks[id][:0], entries...)
 }
 
 // WriteBack replaces the contents of block id at zero I/O cost, modeling
@@ -193,23 +202,20 @@ func (d *Disk) Write(id BlockID, entries []Entry) {
 // (footnote 2 of the paper). In strict mode it panics unless id is the
 // most recently read block.
 func (d *Disk) WriteBack(id BlockID, entries []Entry) {
-	d.checkID(id)
 	d.checkFit(entries)
 	if d.strict && d.lastRead != id {
 		panic(ErrWriteBackOrder)
 	}
+	d.store.WriteBlock(id, entries)
 	d.ctr.WriteBacks++
 	d.lastRead = NilBlock
-	d.blocks[id] = append(d.blocks[id][:0], entries...)
 }
 
 // Clear empties block id without charging an I/O, modeling a TRIM or
 // free-list format operation: discarding data requires no transfer. It
 // must not be used to move data (the block simply becomes empty).
 func (d *Disk) Clear(id BlockID) {
-	d.checkID(id)
-	d.blocks[id] = d.blocks[id][:0]
-	d.next[id] = NilBlock
+	d.store.ClearBlock(id)
 	if d.lastRead == id {
 		d.lastRead = NilBlock
 	}
@@ -218,23 +224,11 @@ func (d *Disk) Clear(id BlockID) {
 // Next returns the overflow-chain pointer stored in the header of block
 // id. Headers travel with their block: calling Next is free but only
 // meaningful adjacent to a Read/Write of the same block.
-func (d *Disk) Next(id BlockID) BlockID {
-	d.checkID(id)
-	return d.next[id]
-}
+func (d *Disk) Next(id BlockID) BlockID { return d.store.Next(id) }
 
 // SetNext updates the overflow-chain pointer in the header of block id.
 // Like Next, it is free and must accompany a Read/Write of the block.
-func (d *Disk) SetNext(id, next BlockID) {
-	d.checkID(id)
-	d.next[id] = next
-}
-
-func (d *Disk) checkID(id BlockID) {
-	if id < 0 || int(id) >= len(d.blocks) {
-		panic(fmt.Sprintf("iomodel: invalid block id %d", id))
-	}
-}
+func (d *Disk) SetNext(id, next BlockID) { d.store.SetNext(id, next) }
 
 func (d *Disk) checkFit(entries []Entry) {
 	if len(entries) > d.b {

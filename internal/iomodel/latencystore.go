@@ -1,0 +1,94 @@
+package iomodel
+
+import "time"
+
+// LatencyConfig sets the delays a LatencyStore injects per block
+// transfer: Seek models head positioning, Transfer the block's time on
+// the bus. Both apply to every ReadBlock and WriteBlock; header access,
+// allocation and Peek stay free, matching the model's convention that
+// only block transfers cost.
+type LatencyConfig struct {
+	Seek     time.Duration
+	Transfer time.Duration
+}
+
+// LatencyStore wraps another BlockStore and sleeps for a configurable
+// seek+transfer time on every block read and write. It sits between the
+// free MemStore and the hardware-priced FileStore: counters stay exactly
+// those of the inner store's Disk, but wall-clock measurements now
+// reflect a device with the configured characteristics (e.g. a 4 ms seek
+// spindle or a 50 µs NVMe read).
+type LatencyStore struct {
+	inner  BlockStore
+	cfg    LatencyConfig
+	ops    int64
+	waited time.Duration
+}
+
+var _ BlockStore = (*LatencyStore)(nil)
+
+// NewLatencyStore wraps inner with the given delays.
+func NewLatencyStore(inner BlockStore, cfg LatencyConfig) *LatencyStore {
+	return &LatencyStore{inner: inner, cfg: cfg}
+}
+
+// Waited returns the total injected delay so far.
+func (s *LatencyStore) Waited() time.Duration { return s.waited }
+
+// DelayedOps returns the number of block transfers that were delayed.
+func (s *LatencyStore) DelayedOps() int64 { return s.ops }
+
+// Inner returns the wrapped store.
+func (s *LatencyStore) Inner() BlockStore { return s.inner }
+
+func (s *LatencyStore) delay() {
+	d := s.cfg.Seek + s.cfg.Transfer
+	if d <= 0 {
+		return
+	}
+	time.Sleep(d)
+	s.waited += d
+	s.ops++
+}
+
+// B returns the block capacity in entries.
+func (s *LatencyStore) B() int { return s.inner.B() }
+
+// Alloc reserves a fresh empty block (free, like the model's Alloc).
+func (s *LatencyStore) Alloc() BlockID { return s.inner.Alloc() }
+
+// Free releases a block (free).
+func (s *LatencyStore) Free(id BlockID) { s.inner.Free(id) }
+
+// ReadBlock reads block id after the configured delay.
+func (s *LatencyStore) ReadBlock(id BlockID, buf []Entry) []Entry {
+	s.delay()
+	return s.inner.ReadBlock(id, buf)
+}
+
+// WriteBlock writes block id after the configured delay.
+func (s *LatencyStore) WriteBlock(id BlockID, entries []Entry) {
+	s.delay()
+	s.inner.WriteBlock(id, entries)
+}
+
+// ClearBlock empties block id (free: a TRIM transfers no data).
+func (s *LatencyStore) ClearBlock(id BlockID) { s.inner.ClearBlock(id) }
+
+// PeekBlock returns block id's contents without delay (audit-only API).
+func (s *LatencyStore) PeekBlock(id BlockID) []Entry { return s.inner.PeekBlock(id) }
+
+// Next returns the overflow-chain pointer of block id (header, free).
+func (s *LatencyStore) Next(id BlockID) BlockID { return s.inner.Next(id) }
+
+// SetNext updates the overflow-chain pointer of block id (header, free).
+func (s *LatencyStore) SetNext(id, next BlockID) { s.inner.SetNext(id, next) }
+
+// NumBlocks returns the number of allocated (live) blocks.
+func (s *LatencyStore) NumBlocks() int { return s.inner.NumBlocks() }
+
+// Sync delegates to the inner store.
+func (s *LatencyStore) Sync() error { return s.inner.Sync() }
+
+// Close delegates to the inner store.
+func (s *LatencyStore) Close() error { return s.inner.Close() }

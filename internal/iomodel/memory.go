@@ -82,10 +82,20 @@ type Model struct {
 }
 
 // NewModel returns a fresh model with block size b and memory budget
-// mWords.
+// mWords, on the default in-memory simulated store.
 func NewModel(b int, mWords int64) *Model {
-	return &Model{Disk: NewDisk(b), Mem: NewMemory(mWords)}
+	return NewModelOn(NewMemStore(b), mWords)
 }
+
+// NewModelOn returns a model whose disk runs over the given backend,
+// with memory budget mWords. The I/O accounting is backend-independent.
+func NewModelOn(store BlockStore, mWords int64) *Model {
+	return &Model{Disk: NewDiskOn(store), Mem: NewMemory(mWords)}
+}
+
+// Close releases the disk backend's resources (file handles for
+// file-backed stores; a no-op for in-memory stores).
+func (mo *Model) Close() error { return mo.Disk.Close() }
 
 // B returns the block size in items.
 func (mo *Model) B() int { return mo.Disk.B() }

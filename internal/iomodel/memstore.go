@@ -1,0 +1,103 @@
+package iomodel
+
+import "fmt"
+
+// MemStore is the default BlockStore: blocks held in main memory of the
+// simulating process. It is the backend of the paper experiments — all
+// storage is free and instantaneous, so the only costs are the I/O
+// counters Disk accounts on top.
+type MemStore struct {
+	b      int
+	blocks [][]Entry
+	next   []BlockID
+	free   []BlockID
+}
+
+var _ BlockStore = (*MemStore)(nil)
+
+// NewMemStore returns an empty in-memory store with blocks of capacity b
+// entries.
+func NewMemStore(b int) *MemStore {
+	if b < 1 {
+		panic("iomodel: block size must be >= 1")
+	}
+	return &MemStore{b: b}
+}
+
+// B returns the block capacity in entries.
+func (s *MemStore) B() int { return s.b }
+
+// Alloc reserves a fresh empty block and returns its ID.
+func (s *MemStore) Alloc() BlockID {
+	if n := len(s.free); n > 0 {
+		id := s.free[n-1]
+		s.free = s.free[:n-1]
+		s.blocks[id] = s.blocks[id][:0]
+		s.next[id] = NilBlock
+		return id
+	}
+	id := BlockID(len(s.blocks))
+	s.blocks = append(s.blocks, make([]Entry, 0, s.b))
+	s.next = append(s.next, NilBlock)
+	return id
+}
+
+// Free releases a block back to the allocator.
+func (s *MemStore) Free(id BlockID) {
+	s.checkID(id)
+	s.blocks[id] = s.blocks[id][:0]
+	s.next[id] = NilBlock
+	s.free = append(s.free, id)
+}
+
+// ReadBlock appends the entries of block id to buf and returns it.
+func (s *MemStore) ReadBlock(id BlockID, buf []Entry) []Entry {
+	s.checkID(id)
+	return append(buf, s.blocks[id]...)
+}
+
+// WriteBlock replaces the contents of block id.
+func (s *MemStore) WriteBlock(id BlockID, entries []Entry) {
+	s.checkID(id)
+	s.blocks[id] = append(s.blocks[id][:0], entries...)
+}
+
+// ClearBlock empties block id and resets its next pointer.
+func (s *MemStore) ClearBlock(id BlockID) {
+	s.checkID(id)
+	s.blocks[id] = s.blocks[id][:0]
+	s.next[id] = NilBlock
+}
+
+// PeekBlock returns the live contents of block id without copying.
+func (s *MemStore) PeekBlock(id BlockID) []Entry {
+	s.checkID(id)
+	return s.blocks[id]
+}
+
+// Next returns the overflow-chain pointer of block id.
+func (s *MemStore) Next(id BlockID) BlockID {
+	s.checkID(id)
+	return s.next[id]
+}
+
+// SetNext updates the overflow-chain pointer of block id.
+func (s *MemStore) SetNext(id, next BlockID) {
+	s.checkID(id)
+	s.next[id] = next
+}
+
+// NumBlocks returns the number of allocated (live) blocks.
+func (s *MemStore) NumBlocks() int { return len(s.blocks) - len(s.free) }
+
+// Sync is a no-op for the in-memory store.
+func (s *MemStore) Sync() error { return nil }
+
+// Close is a no-op for the in-memory store.
+func (s *MemStore) Close() error { return nil }
+
+func (s *MemStore) checkID(id BlockID) {
+	if id < 0 || int(id) >= len(s.blocks) {
+		panic(fmt.Sprintf("iomodel: invalid block id %d", id))
+	}
+}

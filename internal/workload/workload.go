@@ -105,10 +105,12 @@ func Mix(rng *xrand.Rand, cfg MixConfig) []Op {
 	live := make([]uint64, 0, cfg.Ops)
 	ops := make([]Op, 0, cfg.Ops)
 	var nextKey uint64 = 1
+	// The sampler's inverse exponent is hoisted out of the hot loop; a
+	// pick costs one rng draw and one math.Pow, nothing else.
+	zipf := MakeRecencyZipf(exp)
 	pick := func() uint64 {
 		if cfg.ZipfQueries {
-			z := NewRecencyZipf(rng, exp, len(live))
-			return live[len(live)-1-z]
+			return live[len(live)-1-zipf.Rank(rng, len(live))]
 		}
 		return live[rng.Intn(len(live))]
 	}
@@ -133,11 +135,23 @@ func Mix(rng *xrand.Rand, cfg MixConfig) []Op {
 	return ops
 }
 
-// NewRecencyZipf draws a Zipf-ish rank in [0, n) favouring small ranks
-// (recent items) with the given exponent, clamped into range. It uses a
+// RecencyZipf is a reusable recency-skew sampler: the inverse CDF
+// exponent is computed once at construction instead of on every draw,
+// so stream generators can sample ranks in a tight loop.
+type RecencyZipf struct {
+	invExp float64
+}
+
+// MakeRecencyZipf returns a sampler for p(x) ~ x^{-exp} ranks. It uses a
 // cheap inverse-power transform rather than the full rejection sampler
 // because mixed streams only need qualitative skew.
-func NewRecencyZipf(rng *xrand.Rand, exp float64, n int) int {
+func MakeRecencyZipf(exp float64) RecencyZipf {
+	return RecencyZipf{invExp: 1 / (1 - exp)}
+}
+
+// Rank draws a Zipf-ish rank in [0, n) favouring small ranks (recent
+// items), clamped into range.
+func (z RecencyZipf) Rank(rng *xrand.Rand, n int) int {
 	if n <= 1 {
 		return 0
 	}
@@ -146,7 +160,7 @@ func NewRecencyZipf(rng *xrand.Rand, exp float64, n int) int {
 		u = rng.Float64()
 	}
 	// Inverse CDF of p(x) ~ x^{-exp} on [1, n].
-	x := math.Pow(u, 1/(1-exp))
+	x := math.Pow(u, z.invExp)
 	r := int(x) - 1
 	if r < 0 {
 		r = 0
@@ -155,4 +169,10 @@ func NewRecencyZipf(rng *xrand.Rand, exp float64, n int) int {
 		r = n - 1
 	}
 	return r
+}
+
+// NewRecencyZipf draws one rank with a throwaway sampler; loops should
+// construct a RecencyZipf once and call Rank.
+func NewRecencyZipf(rng *xrand.Rand, exp float64, n int) int {
+	return MakeRecencyZipf(exp).Rank(rng, n)
 }

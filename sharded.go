@@ -27,6 +27,11 @@ type Sharded struct {
 // "knuth", ... — see Structures) with shards shards (rounded up to a
 // power of two). Each shard receives a distinct hash seed derived from
 // cfg.Seed.
+//
+// Backends shard too: with Backend "file" each shard persists to its own
+// file — cfg.Path plus a ".shardNNN" suffix (or a private temp file when
+// Path is empty) — modeling S independent spindles that seek in
+// parallel, just as each shard owns an independent memory budget.
 func NewSharded(structure string, cfg Config, shards int) (*Sharded, error) {
 	if shards < 1 {
 		return nil, fmt.Errorf("extbuf: shards must be >= 1, got %d", shards)
@@ -48,6 +53,9 @@ func NewSharded(structure string, cfg Config, shards int) (*Sharded, error) {
 		scfg := cfg
 		scfg.Seed = cfg.Seed + uint64(i)*0x9e3779b97f4a7c15
 		scfg.ExpectedItems = cfg.ExpectedItems/n + 1
+		if scfg.Path != "" {
+			scfg.Path = fmt.Sprintf("%s.shard%03d", cfg.Path, i)
+		}
 		tab, err := Open(structure, scfg)
 		if err != nil {
 			for _, built := range s.shards[:i] {

@@ -1,0 +1,155 @@
+package extbuf_test
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"extbuf"
+	"extbuf/internal/xrand"
+)
+
+// TestShardedConcurrentMixed hammers a Sharded table with many
+// goroutines doing mixed Insert/Lookup/Delete while others poll
+// Len/Stats/MemoryUsed, then checks the surviving state exactly. Run
+// with -race it is the concurrency-soundness test of the facade: every
+// shard mutex must actually guard its table.
+func TestShardedConcurrentMixed(t *testing.T) {
+	for _, structure := range []string{"buffered", "knuth", "linear"} {
+		t.Run(structure, func(t *testing.T) {
+			s, err := extbuf.NewSharded(structure, extbuf.Config{
+				BlockSize:   16,
+				MemoryWords: 512,
+				Seed:        7,
+			}, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+
+			workers, perWorker := 8, 800
+			const deleteEvery = 3 // delete one of every 3 inserted keys
+			if testing.Short() {
+				perWorker = 200
+			}
+			var workerWg, pollerWg sync.WaitGroup
+			var stop atomic.Bool
+			errs := make(chan error, workers+2)
+
+			// Pollers exercise the cross-shard aggregation paths
+			// concurrently with mutations. They yield between sweeps: an
+			// unthrottled poller grabbing every shard mutex back-to-back
+			// convoys the workers, especially under the race detector.
+			for p := 0; p < 2; p++ {
+				pollerWg.Add(1)
+				go func() {
+					defer pollerWg.Done()
+					for !stop.Load() {
+						time.Sleep(time.Millisecond)
+						if s.Len() < 0 {
+							errs <- fmt.Errorf("negative Len")
+							return
+						}
+						st := s.Stats()
+						if st.Reads < 0 || st.Writes < 0 || st.WriteBacks < 0 {
+							errs <- fmt.Errorf("negative Stats: %+v", st)
+							return
+						}
+						if s.MemoryUsed() < 0 {
+							errs <- fmt.Errorf("negative MemoryUsed")
+							return
+						}
+					}
+				}()
+			}
+
+			// Each worker owns a disjoint key range; its keys still spread
+			// over all shards, so shard mutexes see real contention.
+			for w := 0; w < workers; w++ {
+				workerWg.Add(1)
+				go func(w int) {
+					defer workerWg.Done()
+					rng := xrand.New(uint64(w)*0x9e37 + 1)
+					base := uint64(w+1) << 32
+					for i := 0; i < perWorker; i++ {
+						k := base + uint64(i)
+						if err := s.Insert(k, k^0xabcd); err != nil {
+							errs <- fmt.Errorf("worker %d insert %d: %w", w, i, err)
+							return
+						}
+						// Reread a random previously surviving key.
+						j := int(rng.Uint64() % uint64(i+1))
+						if j%deleteEvery != 0 {
+							want := base + uint64(j)
+							if v, ok := s.Lookup(want); !ok || v != want^0xabcd {
+								errs <- fmt.Errorf("worker %d lost key %d (ok=%v v=%d)", w, j, ok, v)
+								return
+							}
+						}
+						if i%deleteEvery == 0 {
+							if !s.Delete(k) {
+								errs <- fmt.Errorf("worker %d delete %d missed", w, i)
+								return
+							}
+						}
+					}
+				}(w)
+			}
+
+			// Pollers only stop once told to: stop them after the workers
+			// drain, then wait for both groups.
+			done := make(chan struct{})
+			go func() {
+				workerWg.Wait()
+				stop.Store(true)
+				pollerWg.Wait()
+				close(done)
+			}()
+			var firstErr error
+			for {
+				select {
+				case err := <-errs:
+					if firstErr == nil {
+						firstErr = err
+					}
+					stop.Store(true)
+				case <-done:
+					stop.Store(true)
+					if firstErr != nil {
+						t.Fatal(firstErr)
+					}
+					verifyShardedFinalState(t, s, workers, perWorker, deleteEvery)
+					return
+				}
+			}
+		})
+	}
+}
+
+func verifyShardedFinalState(t *testing.T, s *extbuf.Sharded, workers, perWorker, deleteEvery int) {
+	t.Helper()
+	deleted := (perWorker + deleteEvery - 1) / deleteEvery
+	wantLen := workers * (perWorker - deleted)
+	if got := s.Len(); got != wantLen {
+		t.Fatalf("Len = %d, want %d", got, wantLen)
+	}
+	for w := 0; w < workers; w++ {
+		base := uint64(w+1) << 32
+		for i := 0; i < perWorker; i++ {
+			k := base + uint64(i)
+			v, ok := s.Lookup(k)
+			if i%deleteEvery == 0 {
+				if ok {
+					t.Fatalf("deleted key %d/%d still present", w, i)
+				}
+			} else if !ok || v != k^0xabcd {
+				t.Fatalf("key %d/%d lost after concurrent run (ok=%v v=%d)", w, i, ok, v)
+			}
+		}
+	}
+	if s.Stats().IOs() == 0 {
+		t.Fatal("no I/O accumulated across shards")
+	}
+}
