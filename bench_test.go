@@ -13,6 +13,7 @@
 package extbuf_test
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -284,6 +285,91 @@ func BenchmarkBetaSweep(b *testing.B) {
 			b.ReportMetric(tu, "tu-diskIOs/insert")
 			b.ReportMetric(tq, "tq-diskIOs/lookup")
 		})
+	}
+}
+
+// --- Sharded engine benchmarks: the batch pipeline's throughput ---
+
+// benchShardedBatch drives the pipelined engine with batches of the
+// given size, reporting wall-clock throughput of the batch APIs. These
+// are the benchmarks CI's regression gate watches.
+func benchShardedBatch(b *testing.B, shards, batch int) {
+	s, err := extbuf.NewSharded("buffered", extbuf.Config{
+		BlockSize: 64, MemoryWords: 1024, Beta: 8, Seed: 21,
+	}, shards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	rng := xrand.New(44)
+	keys := make([]uint64, b.N)
+	vals := make([]uint64, b.N)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		vals[i] = uint64(i)
+	}
+	kc := workload.Chunks(keys, batch)
+	vc := workload.Chunks(vals, batch)
+	b.ResetTimer()
+	for i := range kc {
+		if err := s.InsertBatch(kc[i], vc[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(s.Stats().IOs())/float64(b.N), "diskIOs/op")
+}
+
+func BenchmarkShardedBatchInsert(b *testing.B) {
+	for _, c := range []struct{ shards, batch int }{
+		{1, 1}, {4, 64}, {8, 256},
+	} {
+		b.Run(fmt.Sprintf("shards=%d/batch=%d", c.shards, c.batch), func(b *testing.B) {
+			benchShardedBatch(b, c.shards, c.batch)
+		})
+	}
+}
+
+func BenchmarkShardedBatchLookup(b *testing.B) {
+	const n, batch = 50000, 256
+	s, err := extbuf.NewSharded("buffered", extbuf.Config{
+		BlockSize: 64, MemoryWords: 1024, Beta: 8, Seed: 22,
+	}, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	rng := xrand.New(45)
+	keys := workload.Keys(rng, n)
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = uint64(i)
+	}
+	kc := workload.Chunks(keys, batch)
+	vc := workload.Chunks(vals, batch)
+	for i := range kc {
+		if err := s.InsertBatch(kc[i], vc[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q := make([]uint64, batch)
+	b.ResetTimer()
+	for done := 0; done < b.N; done += len(q) {
+		if left := b.N - done; left < len(q) {
+			q = q[:left]
+		}
+		for i := range q {
+			q[i] = keys[rng.Intn(n)]
+		}
+		_, found, err := s.LookupBatch(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := range found {
+			if !found[i] {
+				b.Fatal("lost key")
+			}
+		}
 	}
 }
 

@@ -1,0 +1,178 @@
+// Command benchdiff gates CI on benchmark regressions: it parses two
+// `go test -bench` outputs (the PR head and the merge base), pairs
+// benchmarks by name, and compares per-benchmark median ns/op. The
+// geometric mean of the new/old ratios is the verdict: above the
+// threshold (default +10%) the command writes its JSON report and exits
+// nonzero, failing the job. benchstat renders the human-readable
+// comparison in the same CI job; benchdiff exists because benchstat has
+// no machine-checkable pass/fail threshold.
+//
+// Usage:
+//
+//	benchdiff -old main.txt -new pr.txt [-out BENCH.json] [-threshold 0.10]
+//
+// Benchmarks present in only one file are reported but excluded from
+// the geomean, so adding or removing benchmarks never trips the gate.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchdiff: ")
+	var (
+		oldPath   = flag.String("old", "", "baseline `go test -bench` output (required)")
+		newPath   = flag.String("new", "", "candidate `go test -bench` output (required)")
+		outPath   = flag.String("out", "", "write the JSON report here (default: stdout only)")
+		threshold = flag.Float64("threshold", 0.10, "fail when geomean ns/op grows by more than this fraction")
+	)
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	oldRuns, err := parseBench(*oldPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	newRuns, err := parseBench(*newPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rep := compare(oldRuns, newRuns, *threshold)
+	js, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(js))
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, append(js, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if rep.Regression {
+		log.Fatalf("geomean ns/op ratio %.4f exceeds 1+%.2f", rep.Geomean, *threshold)
+	}
+}
+
+// Benchmark is one paired benchmark's comparison.
+type Benchmark struct {
+	Name  string  `json:"name"`
+	OldNs float64 `json:"old_ns_per_op"`
+	NewNs float64 `json:"new_ns_per_op"`
+	Ratio float64 `json:"ratio"` // new/old; > 1 is a slowdown
+}
+
+// Report is the JSON artifact benchdiff emits.
+type Report struct {
+	Benchmarks []Benchmark `json:"benchmarks"`
+	OldOnly    []string    `json:"old_only,omitempty"`
+	NewOnly    []string    `json:"new_only,omitempty"`
+	Geomean    float64     `json:"geomean_ratio"`
+	Threshold  float64     `json:"threshold"`
+	Regression bool        `json:"regression"`
+}
+
+// parseBench extracts ns/op samples per benchmark name from a
+// `go test -bench` output file. Repetitions (-count) accumulate under
+// one name; the trailing -GOMAXPROCS suffix stays part of the name
+// since both files run on the same CI runner shape.
+func parseBench(path string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	runs := make(map[string][]float64)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// Layout: name iterations {value unit}...
+		for i := 2; i+1 < len(fields); i += 2 {
+			if fields[i+1] != "ns/op" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad ns/op in %q: %w", path, sc.Text(), err)
+			}
+			runs[fields[0]] = append(runs[fields[0]], v)
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines found", path)
+	}
+	return runs, nil
+}
+
+// median is the per-benchmark summary statistic: robust to the odd
+// scheduler hiccup a mean would smear across the gate.
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// compare pairs the two run sets and renders the verdict.
+func compare(oldRuns, newRuns map[string][]float64, threshold float64) Report {
+	rep := Report{Threshold: threshold}
+	names := make([]string, 0, len(oldRuns))
+	for name := range oldRuns {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	logSum, pairs := 0.0, 0
+	for _, name := range names {
+		if _, ok := newRuns[name]; !ok {
+			rep.OldOnly = append(rep.OldOnly, name)
+			continue
+		}
+		o, n := median(oldRuns[name]), median(newRuns[name])
+		ratio := math.Inf(1)
+		if o > 0 {
+			ratio = n / o
+		}
+		rep.Benchmarks = append(rep.Benchmarks, Benchmark{Name: name, OldNs: o, NewNs: n, Ratio: ratio})
+		if o > 0 && n > 0 {
+			logSum += math.Log(ratio)
+			pairs++
+		}
+	}
+	for name := range newRuns {
+		if _, ok := oldRuns[name]; !ok {
+			rep.NewOnly = append(rep.NewOnly, name)
+		}
+	}
+	sort.Strings(rep.NewOnly)
+	rep.Geomean = 1.0
+	if pairs > 0 {
+		rep.Geomean = math.Exp(logSum / float64(pairs))
+	}
+	rep.Regression = rep.Geomean > 1+threshold
+	return rep
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeBench(t *testing.T, name, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const oldOut = `goos: linux
+BenchmarkInsert/buffered-8   	  100000	      1000 ns/op	       0.55 diskIOs/op
+BenchmarkInsert/buffered-8   	  100000	      1200 ns/op	       0.55 diskIOs/op
+BenchmarkInsert/buffered-8   	  100000	      1100 ns/op	       0.55 diskIOs/op
+BenchmarkLookup/knuth-8      	  200000	       500 ns/op
+BenchmarkRemoved-8           	  100000	       700 ns/op
+PASS
+`
+
+func TestParseBench(t *testing.T) {
+	runs, err := parseBench(writeBench(t, "old.txt", oldOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(runs["BenchmarkInsert/buffered-8"]); got != 3 {
+		t.Fatalf("reps = %d, want 3", got)
+	}
+	if m := median(runs["BenchmarkInsert/buffered-8"]); m != 1100 {
+		t.Fatalf("median = %v, want 1100", m)
+	}
+	if _, err := parseBench(writeBench(t, "empty.txt", "PASS\n")); err == nil {
+		t.Fatal("empty file accepted")
+	}
+}
+
+func TestCompareVerdicts(t *testing.T) {
+	oldRuns, err := parseBench(writeBench(t, "old.txt", oldOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		newOut  string
+		geomean float64
+		fail    bool
+	}{
+		{"improvement", `
+BenchmarkInsert/buffered-8    100000    900 ns/op    0.5 diskIOs/op
+BenchmarkLookup/knuth-8       200000    450 ns/op
+`, 0.85, false},
+		{"regression", `
+BenchmarkInsert/buffered-8    100000    1500 ns/op    0.5 diskIOs/op
+BenchmarkLookup/knuth-8       200000    700 ns/op
+`, 1.38, true},
+		{"within threshold", `
+BenchmarkInsert/buffered-8    100000    1150 ns/op    0.5 diskIOs/op
+BenchmarkLookup/knuth-8       200000    520 ns/op
+`, 1.04, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			newRuns, err := parseBench(writeBench(t, "new.txt", tc.newOut))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := compare(oldRuns, newRuns, 0.10)
+			if rep.Regression != tc.fail {
+				t.Fatalf("regression = %v, want %v (geomean %.3f)", rep.Regression, tc.fail, rep.Geomean)
+			}
+			if rep.Geomean < tc.geomean-0.07 || rep.Geomean > tc.geomean+0.07 {
+				t.Fatalf("geomean = %.3f, want about %.2f", rep.Geomean, tc.geomean)
+			}
+			// BenchmarkRemoved exists only in the baseline: reported,
+			// never counted toward the gate.
+			if len(rep.OldOnly) != 1 || rep.OldOnly[0] != "BenchmarkRemoved-8" {
+				t.Fatalf("old_only = %v", rep.OldOnly)
+			}
+			if len(rep.Benchmarks) != 2 {
+				t.Fatalf("paired = %d, want 2", len(rep.Benchmarks))
+			}
+		})
+	}
+}

@@ -16,15 +16,24 @@
 // The I/O counters are identical across backends; only the real price
 // of the bytes differs.
 //
+// With -workers >= 1 it instead drives the sharded pipelined engine:
+// the workload is partitioned over that many shard workers and fed
+// through the batch APIs in batches of -batch operations, with the
+// write path selected by -flush (sync or async write-behind; async
+// runs a Flush barrier before the clock stops). This mode reports
+// throughput (ops/sec) columns next to the model's I/O counters.
+//
 // Usage:
 //
 //	hashbench -structure core [-b 64] [-m 1024] [-n 50000] [-beta 8]
 //	          [-gamma 2] [-delta 0.1] [-q 4000] [-seed 42] [-hash ideal]
-//	          [-backend mem|file|latency] [-path FILE] [-cache 64]
+//	          [-backend mem|file|latency] [-path FILE] [-cache 512]
 //	          [-seek 4ms] [-xfer 100us]
+//	          [-workers 8] [-batch 256] [-flush sync|async]
 //
 // Structures: chainhash, linprobe, exthash, linhash, twolevel,
-// logmethod, core, staged.
+// logmethod, core, staged (-workers mode accepts the extbuf.Open
+// names, e.g. buffered).
 package main
 
 import (
@@ -34,6 +43,7 @@ import (
 	"os"
 	"time"
 
+	"extbuf"
 	"extbuf/internal/chainhash"
 	"extbuf/internal/core"
 	"extbuf/internal/exthash"
@@ -68,8 +78,30 @@ func main() {
 		cache     = flag.Int("cache", iomodel.DefaultCacheBlocks, "file backend: page-cache capacity in blocks")
 		seek      = flag.Duration("seek", 100*time.Microsecond, "latency backend: per-transfer seek delay")
 		xfer      = flag.Duration("xfer", 25*time.Microsecond, "latency backend: per-transfer data delay")
+		workers   = flag.Int("workers", 0, "sharded engine: shard worker count (0 = classic single-structure mode)")
+		batch     = flag.Int("batch", 1, "sharded engine: operations per batch")
+		fpolicy   = flag.String("flush", extbuf.FlushSync, "sharded engine: flush policy (sync or async)")
 	)
 	flag.Parse()
+
+	if *workers > 0 {
+		runEngine(*structure, extbuf.Config{
+			BlockSize:     *b,
+			MemoryWords:   *mWords,
+			Beta:          *beta,
+			Gamma:         *gamma,
+			ExpectedItems: *n,
+			Seed:          *seed,
+			HashFamily:    *family,
+			Backend:       *backend,
+			Path:          *path,
+			CacheBlocks:   *cache,
+			SeekDelay:     *seek,
+			TransferDelay: *xfer,
+			FlushPolicy:   *fpolicy,
+		}, *workers, *batch, *n, *q)
+		return
+	}
 
 	// The extendible baseline's directory needs Theta(n/b) words beyond
 	// the budget; provision it before the store exists.
@@ -199,6 +231,109 @@ func main() {
 		t.AddRow(r.metric, r.value)
 	}
 	t.Render(os.Stdout)
+}
+
+// runEngine drives the sharded pipelined engine: n batched inserts and
+// q batched successful lookups, reporting throughput next to the
+// model's aggregated I/O counters.
+func runEngine(structure string, cfg extbuf.Config, workers, batch, n, q int) {
+	if batch < 1 {
+		log.Fatalf("batch must be >= 1, got %d", batch)
+	}
+	s, err := extbuf.NewSharded(structure, cfg, workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	closed := false
+	defer func() {
+		if !closed {
+			if err := s.Close(); err != nil {
+				log.Printf("close: %v", err)
+			}
+		}
+	}()
+
+	rng := xrand.New(cfg.Seed)
+	keys := workload.Keys(rng, n)
+	vals := make([]uint64, len(keys))
+	for i := range vals {
+		vals[i] = uint64(i)
+	}
+	keyChunks := workload.Chunks(keys, batch)
+	valChunks := workload.Chunks(vals, batch)
+
+	c0 := s.Stats()
+	insStart := time.Now()
+	for i := range keyChunks {
+		if err := s.InsertBatch(keyChunks[i], valChunks[i]); err != nil {
+			log.Fatalf("insert batch %d: %v", i, err)
+		}
+	}
+	// Under async write-behind the inserts may still be in flight;
+	// Flush is the completion barrier, so it belongs inside the clock.
+	if err := s.Flush(); err != nil {
+		log.Fatalf("flush: %v", err)
+	}
+	insWall := time.Since(insStart)
+	ins := sub(s.Stats(), c0)
+
+	qs := workload.SuccessfulQueries(rng, keys, n, q)
+	c1 := s.Stats()
+	qryStart := time.Now()
+	for i, chunk := range workload.Chunks(qs, batch) {
+		_, found, err := s.LookupBatch(chunk)
+		if err != nil {
+			log.Fatalf("lookup batch %d: %v", i, err)
+		}
+		for j, ok := range found {
+			if !ok {
+				log.Fatalf("lookup batch %d: lost key %d", i, chunk[j])
+			}
+		}
+	}
+	qryWall := time.Since(qryStart)
+	qry := sub(s.Stats(), c1)
+
+	if got := s.Len(); got != n {
+		log.Fatalf("Len = %d, want %d", got, n)
+	}
+
+	t := tablefmt.New(fmt.Sprintf("%s: b=%d m=%d n=%d backend=%s workers=%d batch=%d flush=%s",
+		structure, cfg.BlockSize, cfg.MemoryWords, n, orDefault(cfg.Backend, "mem"),
+		s.NumShards(), batch, orDefault(cfg.FlushPolicy, extbuf.FlushSync)),
+		"metric", "value")
+	t.AddRow("insert throughput ops/s", float64(n)/insWall.Seconds())
+	t.AddRow("lookup throughput ops/s", float64(len(qs))/qryWall.Seconds())
+	t.AddRow("insert wall µs/op", float64(insWall.Microseconds())/float64(n))
+	t.AddRow("lookup wall µs/op", float64(qryWall.Microseconds())/float64(len(qs)))
+	t.AddRow("amortized insert I/Os", float64(ins.IOs())/float64(n))
+	t.AddRow("  reads", float64(ins.Reads)/float64(n))
+	t.AddRow("  cold writes", float64(ins.Writes)/float64(n))
+	t.AddRow("  free write-backs", float64(ins.WriteBacks)/float64(n))
+	t.AddRow("avg successful lookup I/Os", float64(qry.IOs())/float64(len(qs)))
+	t.AddRow("memory used (words)", s.MemoryUsed())
+	t.Render(os.Stdout)
+
+	closed = true
+	if err := s.Close(); err != nil {
+		log.Fatalf("close: %v", err)
+	}
+}
+
+// sub returns a - b per counter.
+func sub(a, b extbuf.Stats) extbuf.Stats {
+	return extbuf.Stats{
+		Reads:      a.Reads - b.Reads,
+		Writes:     a.Writes - b.Writes,
+		WriteBacks: a.WriteBacks - b.WriteBacks,
+	}
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
 }
 
 // openStore builds the block store selected by -backend.

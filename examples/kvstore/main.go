@@ -94,8 +94,8 @@ func (s *Store) Delete(key string) bool {
 // Stats exposes the index's I/O counters.
 func (s *Store) Stats() extbuf.Stats { return s.idx.Stats() }
 
-// Close releases the store.
-func (s *Store) Close() { s.idx.Close() }
+// Close releases the store, reporting any backend flush/close error.
+func (s *Store) Close() error { return s.idx.Close() }
 
 func main() {
 	log.SetFlags(0)

@@ -51,9 +51,15 @@ type Table interface {
 	// MemoryUsed returns the words of main memory the table currently
 	// charges against its budget.
 	MemoryUsed() int64
-	// Close releases the table's memory reservations. The table must
+	// Flush forces any state buffered by the storage backend down to
+	// durable storage (dirty page-cache frames plus an fsync for the
+	// "file" backend; a no-op for in-memory backends).
+	Flush() error
+	// Close releases the table's memory reservations and the storage
+	// backend's resources, returning any error the backend reports
+	// (flush or close failures of file-backed stores). The table must
 	// not be used afterwards.
-	Close()
+	Close() error
 }
 
 // Config parametrizes table construction.
@@ -92,7 +98,26 @@ type Config struct {
 	// 25µs transfer.
 	SeekDelay     time.Duration
 	TransferDelay time.Duration
+	// FlushPolicy selects when mutations submitted to the Sharded
+	// engine complete: FlushSync (default) makes every Insert/Upsert
+	// call — single or batch — return only after its shard workers have
+	// applied it, while FlushAsync enqueues mutations and returns
+	// immediately (write-behind), deferring application errors and
+	// durability to the next Flush or Close barrier. Lookups, deletes
+	// and Len always synchronize behind queued writes of their shard,
+	// so read-your-writes holds under both policies. Single (unsharded)
+	// tables ignore the field.
+	FlushPolicy string
 }
+
+// FlushPolicy values accepted by Config.FlushPolicy.
+const (
+	// FlushSync completes every mutation before its call returns.
+	FlushSync = "sync"
+	// FlushAsync queues mutations (write-behind) until a Flush or
+	// Close barrier.
+	FlushAsync = "async"
+)
 
 func (c Config) withDefaults() Config {
 	if c.BlockSize == 0 {
@@ -120,6 +145,9 @@ func (c Config) withDefaults() Config {
 		c.SeekDelay = 100 * time.Microsecond
 		c.TransferDelay = 25 * time.Microsecond
 	}
+	if c.FlushPolicy == "" {
+		c.FlushPolicy = FlushSync
+	}
 	return c
 }
 
@@ -137,6 +165,17 @@ var ErrGammaRange = errors.New("extbuf: Gamma must be >= 2")
 // ErrUnknownBackend is returned for Backend values other than "mem",
 // "file" and "latency".
 var ErrUnknownBackend = errors.New("extbuf: unknown backend")
+
+// ErrUnknownFlushPolicy is returned for FlushPolicy values other than
+// FlushSync and FlushAsync.
+var ErrUnknownFlushPolicy = errors.New("extbuf: unknown flush policy")
+
+// ErrBatchLength is returned by batch operations whose key and value
+// slices differ in length.
+var ErrBatchLength = errors.New("extbuf: batch keys and values differ in length")
+
+// ErrClosed is returned by operations on a closed Sharded engine.
+var ErrClosed = errors.New("extbuf: table is closed")
 
 // validateBlockSize enforces the paper's b > log u assumption. It is the
 // first check of every constructor, so ErrBlockTooSmall takes precedence
@@ -206,6 +245,8 @@ func (b base) Stats() Stats {
 
 func (b base) MemoryUsed() int64 { return b.model.Mem.Used() }
 
+func (b base) Flush() error { return b.model.Disk.Store().Sync() }
+
 // New returns the paper's Theorem 2 buffered hash table: o(1) amortized
 // insertions with lookups in 1 + O(1/Beta) I/Os. It returns ErrBetaRange
 // or ErrGammaRange for parameters outside the paper's preconditions.
@@ -254,7 +295,10 @@ func (c *coreTable) Delete(key uint64) bool {
 	return ok
 }
 func (c *coreTable) Len() int { return c.t.Len() }
-func (c *coreTable) Close()   { c.t.Close(); c.model.Close() }
+func (c *coreTable) Close() error {
+	c.t.Close()
+	return c.model.Close()
+}
 
 // NewLogMethod returns the Lemma 5 logarithmic-method table: o(1)
 // amortized insertions with O(log_gamma(n/m)) lookups. It returns
@@ -295,7 +339,10 @@ func (l *logTable) Delete(key uint64) bool {
 	return ok
 }
 func (l *logTable) Len() int { return l.t.Len() }
-func (l *logTable) Close()   { l.t.Close(); l.model.Close() }
+func (l *logTable) Close() error {
+	l.t.Close()
+	return l.model.Close()
+}
 
 // NewKnuth returns the classical external chaining table sized for
 // cfg.ExpectedItems at load factor 1/2: ~1 I/O lookups and inserts.
@@ -334,7 +381,10 @@ func (c *chainTable) Delete(key uint64) bool {
 	return ok
 }
 func (c *chainTable) Len() int { return c.t.Len() }
-func (c *chainTable) Close()   { c.t.Close(); c.model.Close() }
+func (c *chainTable) Close() error {
+	c.t.Close()
+	return c.model.Close()
+}
 
 // NewLinearProbing returns the block-level linear probing baseline.
 func NewLinearProbing(cfg Config) (Table, error) {
@@ -375,7 +425,10 @@ func (p *probeTable) Delete(key uint64) bool {
 	return ok
 }
 func (p *probeTable) Len() int { return p.t.Len() }
-func (p *probeTable) Close()   { p.t.Close(); p.model.Close() }
+func (p *probeTable) Close() error {
+	p.t.Close()
+	return p.model.Close()
+}
 
 // NewExtendible returns the extendible hashing baseline (Fagin et al.).
 // Its in-memory directory needs Theta(n/b) words; size MemoryWords
@@ -410,7 +463,10 @@ func (e *extTable) Delete(key uint64) bool {
 	return ok
 }
 func (e *extTable) Len() int { return e.t.Len() }
-func (e *extTable) Close()   { e.t.Close(); e.model.Close() }
+func (e *extTable) Close() error {
+	e.t.Close()
+	return e.model.Close()
+}
 
 // NewLinear returns the linear hashing baseline (Litwin).
 func NewLinear(cfg Config) (Table, error) {
@@ -443,7 +499,10 @@ func (l *linTable) Delete(key uint64) bool {
 	return ok
 }
 func (l *linTable) Len() int { return l.t.Len() }
-func (l *linTable) Close()   { l.t.Close(); l.model.Close() }
+func (l *linTable) Close() error {
+	l.t.Close()
+	return l.model.Close()
+}
 
 // NewTwoLevel returns the Jensen–Pagh-style high-load table sized for
 // cfg.ExpectedItems at load factor 1 - 1/sqrt(b).
@@ -477,7 +536,10 @@ func (w *twoTable) Delete(key uint64) bool {
 	return ok
 }
 func (w *twoTable) Len() int { return w.t.Len() }
-func (w *twoTable) Close()   { w.t.Close(); w.model.Close() }
+func (w *twoTable) Close() error {
+	w.t.Close()
+	return w.model.Close()
+}
 
 // Structures lists the constructor names accepted by Open.
 func Structures() []string {

@@ -65,8 +65,13 @@ type FileStats struct {
 	BytesWritten  int64
 }
 
-// DefaultCacheBlocks is the page-cache capacity used when none is given.
-const DefaultCacheBlocks = 64
+// DefaultCacheBlocks is the page-cache capacity used when none is
+// given. At the default 64-item block size a frame is about 1 KiB, so
+// the default cache is about half a MiB per store — small enough that
+// every shard of a sharded engine affords its own, large enough that
+// a shard-sized working set at default parameters stays resident and
+// the syscall rate reflects the workload rather than cache thrash.
+const DefaultCacheBlocks = 512
 
 const blockHeaderBytes = 8
 const entryBytes = 16

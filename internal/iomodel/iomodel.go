@@ -48,6 +48,7 @@ package iomodel
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 // Entry is one stored item: the key identifies it (the paper's atomic,
@@ -111,13 +112,18 @@ var ErrWriteBackOrder = errors.New("iomodel: WriteBack must immediately follow R
 // counters, the footnote-2 write-back rule and block-capacity checks,
 // over any BlockStore backend. Blocks hold up to B entries plus a header
 // containing an overflow-chain pointer. Disk is not safe for concurrent
-// use; each experiment owns its Disk.
+// use; each experiment owns its Disk. The one exception is Counters:
+// the counter fields are updated atomically, so observers on other
+// goroutines (the sharded engine's non-blocking Stats path) may read a
+// monotonic snapshot while the owning goroutine operates the disk.
 type Disk struct {
-	store    BlockStore
-	b        int
-	ctr      Counters
-	lastRead BlockID
-	strict   bool
+	store      BlockStore
+	b          int
+	reads      atomic.Int64
+	writes     atomic.Int64
+	writeBacks atomic.Int64
+	lastRead   BlockID
+	strict     bool
 }
 
 // NewDisk returns an empty simulated disk (MemStore backend) with blocks
@@ -149,11 +155,25 @@ func (d *Disk) SetStrict(strict bool) { d.strict = strict }
 // B returns the block capacity in entries.
 func (d *Disk) B() int { return d.b }
 
-// Counters returns a snapshot of the accumulated I/O counters.
-func (d *Disk) Counters() Counters { return d.ctr }
+// Counters returns a snapshot of the accumulated I/O counters. It is
+// safe to call from any goroutine: each field is loaded atomically, so
+// the snapshot is monotonic even while the owning goroutine is mid-run
+// (the fields may straddle an in-flight operation, never tear within
+// one).
+func (d *Disk) Counters() Counters {
+	return Counters{
+		Reads:      d.reads.Load(),
+		Writes:     d.writes.Load(),
+		WriteBacks: d.writeBacks.Load(),
+	}
+}
 
 // ResetCounters zeroes the I/O counters.
-func (d *Disk) ResetCounters() { d.ctr = Counters{} }
+func (d *Disk) ResetCounters() {
+	d.reads.Store(0)
+	d.writes.Store(0)
+	d.writeBacks.Store(0)
+}
 
 // NumBlocks returns the number of allocated (live) blocks.
 func (d *Disk) NumBlocks() int { return d.store.NumBlocks() }
@@ -175,7 +195,7 @@ func (d *Disk) Free(id BlockID) {
 // caller; the disk contents are unaffected by mutation of it.
 func (d *Disk) Read(id BlockID, buf []Entry) []Entry {
 	buf = d.store.ReadBlock(id, buf)
-	d.ctr.Reads++
+	d.reads.Add(1)
 	d.lastRead = id
 	return buf
 }
@@ -193,7 +213,7 @@ func (d *Disk) Peek(id BlockID) []Entry {
 func (d *Disk) Write(id BlockID, entries []Entry) {
 	d.checkFit(entries)
 	d.store.WriteBlock(id, entries)
-	d.ctr.Writes++
+	d.writes.Add(1)
 	d.lastRead = NilBlock
 }
 
@@ -207,7 +227,7 @@ func (d *Disk) WriteBack(id BlockID, entries []Entry) {
 		panic(ErrWriteBackOrder)
 	}
 	d.store.WriteBlock(id, entries)
-	d.ctr.WriteBacks++
+	d.writeBacks.Add(1)
 	d.lastRead = NilBlock
 }
 

@@ -1,6 +1,9 @@
 package iomodel
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Memory tracks the main-memory budget of m words. Every structure that
 // keeps state in memory (buffers, directories, split pointers) allocates
@@ -10,10 +13,15 @@ import "fmt"
 // Accounting is in words: one Entry key is one word (the paper's item);
 // auxiliary pointers and counters are charged one word each. Value words
 // ride free, consistent with the Disk convention.
+//
+// Like Disk, a Memory has a single operating goroutine (Alloc/Release),
+// but Used and Peak are atomic so observers on other goroutines (the
+// sharded engine's non-blocking MemoryUsed path) can read the gauges
+// without stalling the owner.
 type Memory struct {
 	capacity int64
-	used     int64
-	peak     int64
+	used     atomic.Int64
+	peak     atomic.Int64
 }
 
 // NewMemory returns a memory budget of capacity words.
@@ -28,13 +36,13 @@ func NewMemory(capacity int64) *Memory {
 func (m *Memory) Capacity() int64 { return m.capacity }
 
 // Used returns the words currently allocated.
-func (m *Memory) Used() int64 { return m.used }
+func (m *Memory) Used() int64 { return m.used.Load() }
 
 // Peak returns the high-water mark of Used.
-func (m *Memory) Peak() int64 { return m.peak }
+func (m *Memory) Peak() int64 { return m.peak.Load() }
 
 // Free returns the words still available.
-func (m *Memory) Free() int64 { return m.capacity - m.used }
+func (m *Memory) Free() int64 { return m.capacity - m.used.Load() }
 
 // Alloc reserves words from the budget. It returns an error if the budget
 // would be exceeded; the reservation is not applied in that case.
@@ -42,15 +50,18 @@ func (m *Memory) Alloc(words int64) error {
 	if words < 0 {
 		panic("iomodel: negative allocation")
 	}
-	if m.used+words > m.capacity {
+	used := m.used.Add(words)
+	if used > m.capacity {
+		m.used.Add(-words)
 		return fmt.Errorf("iomodel: memory budget exceeded: used %d + alloc %d > capacity %d",
-			m.used, words, m.capacity)
+			used-words, words, m.capacity)
 	}
-	m.used += words
-	if m.used > m.peak {
-		m.peak = m.used
+	for {
+		peak := m.peak.Load()
+		if used <= peak || m.peak.CompareAndSwap(peak, used) {
+			return nil
+		}
 	}
-	return nil
 }
 
 // MustAlloc is Alloc for callers holding a structural invariant that the
@@ -67,10 +78,9 @@ func (m *Memory) Release(words int64) {
 	if words < 0 {
 		panic("iomodel: negative release")
 	}
-	if words > m.used {
-		panic(fmt.Sprintf("iomodel: releasing %d words but only %d in use", words, m.used))
+	if used := m.used.Add(-words); used < 0 {
+		panic(fmt.Sprintf("iomodel: releasing %d words but only %d in use", words, used+words))
 	}
-	m.used -= words
 }
 
 // Model bundles a Disk and a Memory with the two parameters of the

@@ -11,6 +11,7 @@ package workload
 
 import (
 	"math"
+	"slices"
 
 	"extbuf/internal/xrand"
 )
@@ -133,6 +134,36 @@ func Mix(rng *xrand.Rand, cfg MixConfig) []Op {
 		}
 	}
 	return ops
+}
+
+// Chunks splits s into consecutive chunks of at most n elements — the
+// unit the sharded engine's batch APIs consume, as a plain slice the
+// batch replay loops can index. The chunks alias s (no copying); the
+// final chunk holds the remainder. It panics if n < 1 (via
+// slices.Chunk).
+func Chunks[T any](s []T, n int) [][]T {
+	return slices.Collect(slices.Chunk(s, n))
+}
+
+// BatchOps groups a mixed stream into maximal same-kind runs of at most
+// max operations, preserving stream order. Batch replay demands
+// homogeneous batches (one engine call per batch), and splitting only
+// at kind changes keeps the replayed schedule identical to the
+// sequential stream. The batches alias ops. It panics if max < 1.
+func BatchOps(ops []Op, max int) [][]Op {
+	if max < 1 {
+		panic("workload: batch size must be >= 1")
+	}
+	var out [][]Op
+	for start := 0; start < len(ops); {
+		end := start + 1
+		for end < len(ops) && end-start < max && ops[end].Kind == ops[start].Kind {
+			end++
+		}
+		out = append(out, ops[start:end:end])
+		start = end
+	}
+	return out
 }
 
 // RecencyZipf is a reusable recency-skew sampler: the inverse CDF

@@ -174,3 +174,75 @@ func TestRecencyZipfSkew(t *testing.T) {
 		t.Fatalf("rank 0 count %d too small for exponent 1.5", counts[0])
 	}
 }
+
+func TestChunks(t *testing.T) {
+	s := []int{1, 2, 3, 4, 5, 6, 7}
+	got := Chunks(s, 3)
+	want := [][]int{{1, 2, 3}, {4, 5, 6}, {7}}
+	if len(got) != len(want) {
+		t.Fatalf("chunks = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("chunk %d len = %d, want %d", i, len(got[i]), len(want[i]))
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("chunk %d[%d] = %d, want %d", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+	if n := len(Chunks([]int{}, 4)); n != 0 {
+		t.Fatalf("empty slice gave %d chunks", n)
+	}
+	if n := len(Chunks([]int{1, 2}, 5)); n != 1 {
+		t.Fatalf("undersized slice gave %d chunks", n)
+	}
+	// Chunks must be capacity-clipped: appending to one cannot bleed
+	// into the next chunk's elements.
+	a := Chunks(s, 3)[0]
+	_ = append(a, 99)
+	if s[3] != 4 {
+		t.Fatal("append to a chunk overwrote the next chunk")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Chunks(n<1) did not panic")
+		}
+	}()
+	Chunks(s, 0)
+}
+
+func TestBatchOps(t *testing.T) {
+	rng := xrand.New(23)
+	ops := Mix(rng, MixConfig{Ops: 5000, LookupFrac: 0.4, DeleteFrac: 0.1})
+	batches := BatchOps(ops, 64)
+	total := 0
+	for i, b := range batches {
+		if len(b) == 0 {
+			t.Fatalf("batch %d empty", i)
+		}
+		if len(b) > 64 {
+			t.Fatalf("batch %d has %d ops, cap 64", i, len(b))
+		}
+		for _, op := range b {
+			if op.Kind != b[0].Kind {
+				t.Fatalf("batch %d mixes kinds", i)
+			}
+		}
+		total += len(b)
+	}
+	if total != len(ops) {
+		t.Fatalf("batches hold %d ops, stream has %d", total, len(ops))
+	}
+	// Concatenating the batches must reproduce the stream exactly.
+	at := 0
+	for _, b := range batches {
+		for _, op := range b {
+			if op != ops[at] {
+				t.Fatalf("op %d reordered by batching", at)
+			}
+			at++
+		}
+	}
+}

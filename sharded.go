@@ -1,32 +1,107 @@
 package extbuf
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
 	"extbuf/internal/xrand"
 )
 
-// Sharded wraps S independent tables behind one goroutine-safe facade:
-// keys are partitioned by a hash independent of the shard tables' own
-// hash functions, and each shard is guarded by its own mutex, so
-// operations on different shards proceed in parallel.
+// shardQueueDepth bounds each shard worker's request channel. The bound
+// is the engine's backpressure: once a shard falls this many requests
+// behind, submitters block on the send instead of growing an unbounded
+// queue. One request carries a whole batch slice, so the queue depth is
+// in batches, not operations.
+const shardQueueDepth = 64
+
+// Sharded runs S independent tables as a concurrent pipelined engine.
+// Keys are partitioned by a hash independent of the shard tables' own
+// hash functions, and each shard is owned by a dedicated worker
+// goroutine fed by a bounded request channel, so operations on
+// different shards proceed in parallel and batches fan out to all
+// shards at once.
+//
+// The batch entry points (InsertBatch, UpsertBatch, LookupBatch,
+// DeleteBatch) split a slice of operations by shard, hand every shard
+// its sub-batch in input order, and reassemble results at the original
+// positions. The single-operation methods are one-element batches, so
+// the per-shard operation order — and therefore the simulated I/O
+// counters on the "mem" backend — is identical to a sequential run of
+// the same stream.
+//
+// Config.FlushPolicy selects the write path: under FlushSync (default)
+// a mutation call returns once every shard has applied its share, and
+// under FlushAsync Insert/Upsert enqueue and return immediately
+// (write-behind), with Flush and Close acting as completion barriers
+// that also drive all shards' backend syncs in parallel. Reads always
+// queue behind prior writes of their shard, so read-your-writes holds
+// under both policies.
 //
 // The external memory model is per-shard: each shard owns a disk and an
 // m-word memory budget (total memory = Shards * Config.MemoryWords),
 // which models S independent spindles/workers. Per-shard costs obey the
-// paper's bounds with n/S items each; Stats aggregates all shards.
+// paper's bounds with n/S items each; Stats aggregates all shards
+// without entering the pipeline (the underlying counters are atomic),
+// so monitoring never stalls the workers.
 type Sharded struct {
-	shards []Table
-	locks  []sync.Mutex
-	salt   uint64
-	bits   uint
+	shards   []Table
+	reqs     []chan *shardReq
+	deferred [][]error // per-shard async errors; owned by the worker between barriers
+	workerWG sync.WaitGroup
+	salt     uint64
+	bits     uint
+	async    bool
+
+	// stateMu makes submission and shutdown race-free: submitters hold
+	// the read side across the closed check and their channel sends, and
+	// Close takes the write side to flip closed and close the channels,
+	// so a send can never hit a closed channel. Every access to closed
+	// is under stateMu or closeMu (Close serializes on closeMu and is
+	// the only writer).
+	stateMu  sync.RWMutex
+	closed   bool
+	closeMu  sync.Mutex
+	closeErr error
+}
+
+// opKind discriminates shard requests.
+type opKind uint8
+
+const (
+	opInsert opKind = iota
+	opUpsert
+	opLookup
+	opDelete
+	opLen
+	opFlush
+)
+
+// shardReq is one shard's share of a batch: the positions idx of the
+// caller's slices that hash to this shard, in input order. Result and
+// error slots are shared across the fan-out but written at disjoint
+// positions (per-operation slots at idx, per-shard slots at shard), so
+// workers never contend. A nil wg marks a write-behind request: the
+// worker applies it without signalling and parks any error until the
+// next barrier.
+type shardReq struct {
+	kind  opKind
+	keys  []uint64
+	vals  []uint64 // insert/upsert payloads, parallel to keys
+	idx   []int    // this shard's positions within keys/vals
+	outV  []uint64 // lookup values, parallel to keys
+	outOK []bool   // lookup/delete hits, parallel to keys
+	errs  []error  // one slot per shard
+	lens  []int64  // one slot per shard
+	shard int
+	wg    *sync.WaitGroup
 }
 
 // NewSharded builds a sharded table of the given structure ("buffered",
 // "knuth", ... — see Structures) with shards shards (rounded up to a
 // power of two). Each shard receives a distinct hash seed derived from
-// cfg.Seed.
+// cfg.Seed, and a dedicated worker goroutine that applies its requests
+// in submission order.
 //
 // Backends shard too: with Backend "file" each shard persists to its own
 // file — cfg.Path plus a ".shardNNN" suffix (or a private temp file when
@@ -36,18 +111,24 @@ func NewSharded(structure string, cfg Config, shards int) (*Sharded, error) {
 	if shards < 1 {
 		return nil, fmt.Errorf("extbuf: shards must be >= 1, got %d", shards)
 	}
+	cfg = cfg.withDefaults()
+	if cfg.FlushPolicy != FlushSync && cfg.FlushPolicy != FlushAsync {
+		return nil, fmt.Errorf("%w %q (want %q or %q)",
+			ErrUnknownFlushPolicy, cfg.FlushPolicy, FlushSync, FlushAsync)
+	}
 	n := 1
 	bits := uint(0)
 	for n < shards {
 		n <<= 1
 		bits++
 	}
-	cfg = cfg.withDefaults()
 	s := &Sharded{
-		shards: make([]Table, n),
-		locks:  make([]sync.Mutex, n),
-		salt:   xrand.Mix64(cfg.Seed ^ 0xa5a5a5a5a5a5a5a5),
-		bits:   bits,
+		shards:   make([]Table, n),
+		reqs:     make([]chan *shardReq, n),
+		deferred: make([][]error, n),
+		salt:     xrand.Mix64(cfg.Seed ^ 0xa5a5a5a5a5a5a5a5),
+		bits:     bits,
+		async:    cfg.FlushPolicy == FlushAsync,
 	}
 	for i := range s.shards {
 		scfg := cfg
@@ -65,7 +146,67 @@ func NewSharded(structure string, cfg Config, shards int) (*Sharded, error) {
 		}
 		s.shards[i] = tab
 	}
+	for i := range s.shards {
+		s.reqs[i] = make(chan *shardReq, shardQueueDepth)
+		s.workerWG.Add(1)
+		go s.worker(i)
+	}
 	return s, nil
+}
+
+// worker is shard i's dedicated goroutine: it owns the shard table
+// exclusively and applies requests in channel order until Close shuts
+// the channel.
+func (s *Sharded) worker(i int) {
+	defer s.workerWG.Done()
+	tab := s.shards[i]
+	for req := range s.reqs[i] {
+		s.serve(i, tab, req)
+	}
+}
+
+// serve applies one request to shard i's table.
+func (s *Sharded) serve(i int, tab Table, req *shardReq) {
+	switch req.kind {
+	case opInsert, opUpsert:
+		var first error
+		for _, j := range req.idx {
+			var err error
+			if req.kind == opInsert {
+				err = tab.Insert(req.keys[j], req.vals[j])
+			} else {
+				err = tab.Upsert(req.keys[j], req.vals[j])
+			}
+			if err != nil && first == nil {
+				first = err
+			}
+		}
+		if req.wg == nil { // write-behind: park the error until a barrier
+			if first != nil {
+				s.deferred[i] = append(s.deferred[i], first)
+			}
+			return
+		}
+		req.errs[req.shard] = first
+	case opLookup:
+		for _, j := range req.idx {
+			req.outV[j], req.outOK[j] = tab.Lookup(req.keys[j])
+		}
+	case opDelete:
+		for _, j := range req.idx {
+			req.outOK[j] = tab.Delete(req.keys[j])
+		}
+	case opLen:
+		req.lens[req.shard] = int64(tab.Len())
+	case opFlush:
+		errs := s.deferred[i]
+		s.deferred[i] = nil
+		if err := tab.Flush(); err != nil {
+			errs = append(errs, err)
+		}
+		req.errs[req.shard] = errors.Join(errs...)
+	}
+	req.wg.Done()
 }
 
 // NumShards returns the shard count.
@@ -78,57 +219,227 @@ func (s *Sharded) shard(key uint64) int {
 	return int(xrand.Mix64(key^s.salt) >> (64 - s.bits))
 }
 
-// Insert stores (key, val) in key's shard. The fresh-key contract of
-// the buffered structure applies per the Table documentation.
+// partition maps each batch position to its shard, preserving input
+// order within every shard's index list.
+func (s *Sharded) partition(keys []uint64) [][]int {
+	parts := make([][]int, len(s.shards))
+	if s.bits == 0 {
+		idx := make([]int, len(keys))
+		for i := range idx {
+			idx[i] = i
+		}
+		parts[0] = idx
+		return parts
+	}
+	for i, k := range keys {
+		sh := s.shard(k)
+		parts[sh] = append(parts[sh], i)
+	}
+	return parts
+}
+
+// singleIdx is the shared position list of every one-element batch.
+// Workers only read req.idx, so one backing array serves all requests.
+var singleIdx = [1]int{0}
+
+// runBatch fans a batch out to the shard workers and waits for every
+// shard to finish, joining per-shard errors. The submission (closed
+// check plus channel sends) runs under the state read-lock; the wait
+// does not, since enqueued requests are served even while Close holds
+// the write side. One-element batches — the single-op wrappers' path —
+// skip the partition and the per-shard error slots.
+func (s *Sharded) runBatch(kind opKind, keys, vals []uint64, outV []uint64, outOK []bool) error {
+	var wg sync.WaitGroup
+	if len(keys) == 1 {
+		errs := make([]error, 1)
+		sh := s.shard(keys[0])
+		s.stateMu.RLock()
+		if s.closed {
+			s.stateMu.RUnlock()
+			return ErrClosed
+		}
+		wg.Add(1)
+		s.reqs[sh] <- &shardReq{kind: kind, keys: keys, vals: vals, idx: singleIdx[:],
+			outV: outV, outOK: outOK, errs: errs, wg: &wg}
+		s.stateMu.RUnlock()
+		wg.Wait()
+		return errs[0]
+	}
+	errs := make([]error, len(s.shards))
+	s.stateMu.RLock()
+	if s.closed {
+		s.stateMu.RUnlock()
+		return ErrClosed
+	}
+	for sh, idx := range s.partition(keys) {
+		if len(idx) == 0 {
+			continue
+		}
+		wg.Add(1)
+		s.reqs[sh] <- &shardReq{kind: kind, keys: keys, vals: vals, idx: idx,
+			outV: outV, outOK: outOK, errs: errs, shard: sh, wg: &wg}
+	}
+	s.stateMu.RUnlock()
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// mutateBatch is the write path: synchronous fan-out under FlushSync,
+// copy-and-enqueue under FlushAsync.
+func (s *Sharded) mutateBatch(kind opKind, keys, vals []uint64) error {
+	if len(keys) != len(vals) {
+		return fmt.Errorf("%w: %d keys, %d values", ErrBatchLength, len(keys), len(vals))
+	}
+	if !s.async {
+		return s.runBatch(kind, keys, vals, nil, nil)
+	}
+	// Write-behind requests outlive the call, so they need their own
+	// copy of the operands: the caller is free to reuse its slices the
+	// moment we return.
+	keys = append([]uint64(nil), keys...)
+	vals = append([]uint64(nil), vals...)
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if len(keys) == 1 {
+		s.reqs[s.shard(keys[0])] <- &shardReq{kind: kind, keys: keys, vals: vals, idx: singleIdx[:]}
+		return nil
+	}
+	for sh, idx := range s.partition(keys) {
+		if len(idx) == 0 {
+			continue
+		}
+		s.reqs[sh] <- &shardReq{kind: kind, keys: keys, vals: vals, idx: idx}
+	}
+	return nil
+}
+
+// InsertBatch stores (keys[i], vals[i]) for every i, partitioning the
+// batch by shard and applying all shards' shares in parallel. The
+// fresh-key contract of the buffered structure applies per the Table
+// documentation. Under FlushSync it returns the join of the shards'
+// first errors; under FlushAsync it returns after enqueueing and any
+// application errors surface at the next Flush or Close.
+func (s *Sharded) InsertBatch(keys, vals []uint64) error {
+	return s.mutateBatch(opInsert, keys, vals)
+}
+
+// UpsertBatch stores (keys[i], vals[i]) for every i whether or not the
+// keys are present, with the same fan-out and flush-policy semantics as
+// InsertBatch.
+func (s *Sharded) UpsertBatch(keys, vals []uint64) error {
+	return s.mutateBatch(opUpsert, keys, vals)
+}
+
+// LookupBatch looks up every key in parallel across shards and returns
+// values and presence flags in input order: vals[i], found[i] belong to
+// keys[i]. Lookups queue behind previously submitted writes of their
+// shard, so a batch observes everything enqueued before it. The error
+// is non-nil only when the engine is closed (ErrClosed) — never for
+// absent keys — so a miss is distinguishable from use-after-close.
+func (s *Sharded) LookupBatch(keys []uint64) (vals []uint64, found []bool, err error) {
+	vals = make([]uint64, len(keys))
+	found = make([]bool, len(keys))
+	err = s.runBatch(opLookup, keys, nil, vals, found)
+	return vals, found, err
+}
+
+// DeleteBatch removes every key, reporting per key (in input order)
+// whether it was present. Deletes synchronize under both flush
+// policies: they must observe the table to report presence. The error
+// is non-nil only when the engine is closed (ErrClosed).
+func (s *Sharded) DeleteBatch(keys []uint64) ([]bool, error) {
+	found := make([]bool, len(keys))
+	err := s.runBatch(opDelete, keys, nil, nil, found)
+	return found, err
+}
+
+// Insert stores (key, val) in key's shard: a one-element InsertBatch.
 func (s *Sharded) Insert(key, val uint64) error {
-	i := s.shard(key)
-	s.locks[i].Lock()
-	defer s.locks[i].Unlock()
-	return s.shards[i].Insert(key, val)
+	return s.mutateBatch(opInsert, []uint64{key}, []uint64{val})
 }
 
 // Upsert stores (key, val) whether or not key is present.
 func (s *Sharded) Upsert(key, val uint64) error {
-	i := s.shard(key)
-	s.locks[i].Lock()
-	defer s.locks[i].Unlock()
-	return s.shards[i].Upsert(key, val)
+	return s.mutateBatch(opUpsert, []uint64{key}, []uint64{val})
 }
 
-// Lookup returns the value stored for key.
+// Lookup returns the value stored for key. On a closed engine it
+// reports absence; use LookupBatch for an error-signalled variant.
 func (s *Sharded) Lookup(key uint64) (uint64, bool) {
-	i := s.shard(key)
-	s.locks[i].Lock()
-	defer s.locks[i].Unlock()
-	return s.shards[i].Lookup(key)
+	vals, found, _ := s.LookupBatch([]uint64{key})
+	return vals[0], found[0]
 }
 
-// Delete removes key, reporting whether it was present.
+// Delete removes key, reporting whether it was present. On a closed
+// engine it reports a miss; use DeleteBatch for an error-signalled
+// variant.
 func (s *Sharded) Delete(key uint64) bool {
-	i := s.shard(key)
-	s.locks[i].Lock()
-	defer s.locks[i].Unlock()
-	return s.shards[i].Delete(key)
+	found, _ := s.DeleteBatch([]uint64{key})
+	return found[0]
 }
 
-// Len returns the total number of stored entries across shards.
+// Len returns the total number of stored entries across shards. It runs
+// through the pipeline, so it reflects every operation submitted before
+// it — including write-behind mutations still in the queues.
 func (s *Sharded) Len() int {
-	total := 0
-	for i := range s.shards {
-		s.locks[i].Lock()
-		total += s.shards[i].Len()
-		s.locks[i].Unlock()
+	var wg sync.WaitGroup
+	lens := make([]int64, len(s.shards))
+	s.stateMu.RLock()
+	if s.closed {
+		s.stateMu.RUnlock()
+		return 0
 	}
-	return total
+	for sh := range s.shards {
+		wg.Add(1)
+		s.reqs[sh] <- &shardReq{kind: opLen, lens: lens, shard: sh, wg: &wg}
+	}
+	s.stateMu.RUnlock()
+	wg.Wait()
+	var total int64
+	for _, n := range lens {
+		total += n
+	}
+	return int(total)
 }
 
-// Stats returns the aggregated I/O counters of all shards.
+// Flush is the engine's barrier: it waits for every shard to drain the
+// requests queued before it, syncs all shards' storage backends in
+// parallel (overlapping their syscalls), and returns the join of any
+// errors deferred by write-behind mutations since the last barrier.
+func (s *Sharded) Flush() error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(s.shards))
+	s.stateMu.RLock()
+	if s.closed {
+		s.stateMu.RUnlock()
+		return ErrClosed
+	}
+	s.sendFlush(errs, &wg)
+	s.stateMu.RUnlock()
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// sendFlush enqueues the flush barrier on every shard. Callers hold
+// stateMu (either side) so the channels cannot close mid-broadcast.
+func (s *Sharded) sendFlush(errs []error, wg *sync.WaitGroup) {
+	for sh := range s.shards {
+		wg.Add(1)
+		s.reqs[sh] <- &shardReq{kind: opFlush, errs: errs, shard: sh, wg: wg}
+	}
+}
+
+// Stats returns the aggregated I/O counters of all shards. It reads the
+// counters atomically without entering the pipeline, so it never stalls
+// the workers; concurrent mutations may be partially reflected, but the
+// snapshot is monotonic.
 func (s *Sharded) Stats() Stats {
 	var out Stats
-	for i := range s.shards {
-		s.locks[i].Lock()
-		st := s.shards[i].Stats()
-		s.locks[i].Unlock()
+	for _, tab := range s.shards {
+		st := tab.Stats()
 		out.Reads += st.Reads
 		out.Writes += st.Writes
 		out.WriteBacks += st.WriteBacks
@@ -136,22 +447,51 @@ func (s *Sharded) Stats() Stats {
 	return out
 }
 
-// MemoryUsed returns the summed memory charge of all shards.
+// MemoryUsed returns the summed memory charge of all shards, read
+// atomically without entering the pipeline.
 func (s *Sharded) MemoryUsed() int64 {
 	var total int64
-	for i := range s.shards {
-		s.locks[i].Lock()
-		total += s.shards[i].MemoryUsed()
-		s.locks[i].Unlock()
+	for _, tab := range s.shards {
+		total += tab.MemoryUsed()
 	}
 	return total
 }
 
-// Close releases every shard.
-func (s *Sharded) Close() {
-	for i := range s.shards {
-		s.locks[i].Lock()
-		s.shards[i].Close()
-		s.locks[i].Unlock()
+// Close drains the pipeline (a Flush barrier, so write-behind mutations
+// complete and reach the backends), stops every worker, and releases
+// every shard, returning the join of deferred write-behind errors and
+// the shards' flush and close errors. Close is idempotent, and safe
+// against concurrent operations: anything submitted before the closing
+// point completes normally, anything after it is rejected with
+// ErrClosed (or zero results from Lookup/Delete/Len). Calls after the
+// first return the first call's error.
+func (s *Sharded) Close() error {
+	s.closeMu.Lock()
+	defer s.closeMu.Unlock()
+	if s.closed {
+		return s.closeErr
 	}
+	// The closing point: flip closed and shut the channels under the
+	// state write-lock, with the final flush barrier enqueued in the
+	// same critical section so it is the last request every worker
+	// serves. Submitters hold the read side across their own
+	// check-and-send, so they land either wholly before this (served
+	// normally) or wholly after (ErrClosed) — never on a closed channel.
+	var flushWG sync.WaitGroup
+	flushErrs := make([]error, len(s.shards))
+	s.stateMu.Lock()
+	s.sendFlush(flushErrs, &flushWG)
+	s.closed = true
+	for i := range s.reqs {
+		close(s.reqs[i])
+	}
+	s.stateMu.Unlock()
+	flushWG.Wait()
+	s.workerWG.Wait()
+	errs := []error{errors.Join(flushErrs...)}
+	for _, tab := range s.shards {
+		errs = append(errs, tab.Close())
+	}
+	s.closeErr = errors.Join(errs...)
+	return s.closeErr
 }
