@@ -57,6 +57,17 @@ func TestBackendCountersIdentical(t *testing.T) {
 	if got := run(lat); got != want {
 		t.Fatalf("latency backend counters %+v, mem %+v", got, want)
 	}
+
+	// The durability machinery (WAL appends, copy-on-write placement,
+	// checkpoints) lives entirely below the cost model: a durable table
+	// charges the same counters bit for bit.
+	durable := base
+	durable.Backend = "file"
+	durable.Path = filepath.Join(t.TempDir(), "durable.tbl")
+	durable.CacheBlocks = 4
+	if got := run(durable); got != want {
+		t.Fatalf("durable file backend counters %+v, mem %+v", got, want)
+	}
 }
 
 func TestFileBackendPersistsToPath(t *testing.T) {
@@ -180,4 +191,159 @@ func TestConfigValidation(t *testing.T) {
 		t.Fatalf("zero config rejected: %v", err)
 	}
 	tab.Close()
+}
+
+// TestReopenSamePathRoundTrip is the durability contract for every
+// structure: Open on an existing Path reopens the table with contents,
+// parameters and topology intact — including a second reopen with a
+// zero config, which must adopt the stored parameters.
+func TestReopenSamePathRoundTrip(t *testing.T) {
+	for _, name := range extbuf.Structures() {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "table.blocks")
+			cfg := extbuf.Config{
+				BlockSize: 16, MemoryWords: 512, ExpectedItems: 4096, Seed: 7,
+				Backend: "file", Path: path, CacheBlocks: 8,
+			}
+			if name == "extendible" {
+				cfg.MemoryWords = 1 << 16
+			}
+			tab, err := extbuf.Open(name, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := uint64(1); k <= 2000; k++ {
+				if err := tab.Insert(k, k*3); err != nil {
+					t.Fatalf("insert %d: %v", k, err)
+				}
+			}
+			for k := uint64(1); k <= 100; k++ {
+				if !tab.Delete(k) {
+					t.Fatalf("delete %d missed", k)
+				}
+			}
+			if err := tab.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+
+			// First reopen: explicit matching config.
+			tab, err = extbuf.Open(name, cfg)
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			if got := tab.Len(); got != 1900 {
+				t.Fatalf("Len after reopen = %d, want 1900", got)
+			}
+			// Mutate across the generation boundary.
+			for k := uint64(2001); k <= 2200; k++ {
+				if err := tab.Insert(k, k*3); err != nil {
+					t.Fatalf("insert after reopen: %v", err)
+				}
+			}
+			if err := tab.Close(); err != nil {
+				t.Fatalf("close after reopen: %v", err)
+			}
+
+			// Second reopen: zero parameters adopt the superblock's.
+			tab, err = extbuf.Open(name, extbuf.Config{Backend: "file", Path: path})
+			if err != nil {
+				t.Fatalf("zero-config reopen: %v", err)
+			}
+			defer tab.Close()
+			for k := uint64(101); k <= 2200; k++ {
+				v, ok := tab.Lookup(k)
+				if !ok || v != k*3 {
+					t.Fatalf("key %d lost across reopen (ok=%v v=%d)", k, ok, v)
+				}
+			}
+			if _, ok := tab.Lookup(50); ok {
+				t.Fatal("deleted key resurfaced after reopen")
+			}
+		})
+	}
+}
+
+// TestShardedReopenRoundTrip: a durable sharded engine reopens one file
+// per shard behind the recovery barrier, and refuses a different shard
+// count.
+func TestShardedReopenRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spindles")
+	cfg := extbuf.Config{
+		BlockSize: 16, MemoryWords: 512, ExpectedItems: 4096, Seed: 9,
+		Backend: "file", Path: path, CacheBlocks: 8, FlushPolicy: extbuf.FlushAsync,
+	}
+	s, err := extbuf.NewSharded("knuth", cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1); k <= 4000; k++ {
+		if err := s.Insert(k, k+7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	if _, err := extbuf.NewSharded("knuth", cfg, 8); !errors.Is(err, extbuf.ErrSuperblockMismatch) {
+		t.Fatalf("reopen with wrong shard count: err = %v, want ErrSuperblockMismatch", err)
+	}
+
+	s, err = extbuf.NewSharded("knuth", cfg, 4)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s.Close()
+	if got := s.Len(); got != 4000 {
+		t.Fatalf("Len after reopen = %d, want 4000", got)
+	}
+	for k := uint64(1); k <= 4000; k++ {
+		v, ok := s.Lookup(k)
+		if !ok || v != k+7 {
+			t.Fatalf("key %d lost across sharded reopen (ok=%v v=%d)", k, ok, v)
+		}
+	}
+}
+
+// TestSuperblockMismatch: conflicting explicit parameters and a wrong
+// structure name must be rejected, not silently scramble the table.
+func TestSuperblockMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "table.blocks")
+	tab, err := extbuf.Open("knuth", extbuf.Config{
+		BlockSize: 16, MemoryWords: 512, Seed: 3, Backend: "file", Path: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Insert(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		open func() (extbuf.Table, error)
+	}{
+		{"different structure", func() (extbuf.Table, error) {
+			return extbuf.Open("linear", extbuf.Config{Backend: "file", Path: path})
+		}},
+		{"different block size", func() (extbuf.Table, error) {
+			return extbuf.Open("knuth", extbuf.Config{BlockSize: 32, Backend: "file", Path: path})
+		}},
+		{"different seed", func() (extbuf.Table, error) {
+			return extbuf.Open("knuth", extbuf.Config{Seed: 99, Backend: "file", Path: path})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tab, err := tc.open()
+			if tab != nil {
+				tab.Close()
+			}
+			if !errors.Is(err, extbuf.ErrSuperblockMismatch) {
+				t.Fatalf("err = %v, want ErrSuperblockMismatch", err)
+			}
+		})
+	}
 }

@@ -81,8 +81,29 @@ func main() {
 		workers   = flag.Int("workers", 0, "sharded engine: shard worker count (0 = classic single-structure mode)")
 		batch     = flag.Int("batch", 1, "sharded engine: operations per batch")
 		fpolicy   = flag.String("flush", extbuf.FlushSync, "sharded engine: flush policy (sync or async)")
+		reopen    = flag.Bool("reopen", false, "durability mode: build, flush and close a durable table, then measure reopen/recovery time (requires -backend file and -path)")
 	)
 	flag.Parse()
+
+	if *reopen {
+		if *backend != "file" || *path == "" {
+			log.Fatal("-reopen requires -backend file and a named -path (durable mode)")
+		}
+		runReopen(*structure, extbuf.Config{
+			BlockSize:     *b,
+			MemoryWords:   *mWords,
+			Beta:          *beta,
+			Gamma:         *gamma,
+			ExpectedItems: *n,
+			Seed:          *seed,
+			HashFamily:    *family,
+			Backend:       *backend,
+			Path:          *path,
+			CacheBlocks:   *cache,
+			FlushPolicy:   *fpolicy,
+		}, *workers, *batch, *n, *q)
+		return
+	}
 
 	if *workers > 0 {
 		runEngine(*structure, extbuf.Config{
@@ -318,6 +339,86 @@ func runEngine(structure string, cfg extbuf.Config, workers, batch, n, q int) {
 	if err := s.Close(); err != nil {
 		log.Fatalf("close: %v", err)
 	}
+}
+
+// runReopen measures the durability subsystem end to end: build a
+// durable table (or sharded engine) at cfg.Path, insert n items, Flush
+// (the acknowledgement barrier — WAL fsync + checkpoint), Close, then
+// reopen the same path with the clock running and verify q lookups. The
+// reopen wall time is the recovery cost a restarting server pays:
+// superblock read, allocator/directory restore and WAL replay (empty
+// after a clean Close; kill the process between Flushes to measure
+// replay on top).
+func runReopen(structure string, cfg extbuf.Config, workers, batch, n, q int) {
+	type engine interface {
+		Insert(key, val uint64) error
+		Lookup(key uint64) (uint64, bool)
+		Len() int
+		Flush() error
+		Close() error
+	}
+	open := func() engine {
+		if workers > 0 {
+			s, err := extbuf.NewSharded(structure, cfg, workers)
+			fatal(err)
+			return s
+		}
+		t, err := extbuf.Open(structure, cfg)
+		fatal(err)
+		return t
+	}
+
+	rng := xrand.New(cfg.Seed)
+	keys := workload.Keys(rng, n)
+
+	e := open()
+	buildStart := time.Now()
+	if workers > 0 {
+		s := e.(*extbuf.Sharded)
+		vals := make([]uint64, len(keys))
+		for i := range vals {
+			vals[i] = uint64(i)
+		}
+		keyChunks := workload.Chunks(keys, batch)
+		valChunks := workload.Chunks(vals, batch)
+		for i := range keyChunks {
+			fatal(s.InsertBatch(keyChunks[i], valChunks[i]))
+		}
+	} else {
+		for i, k := range keys {
+			fatal(e.Insert(k, uint64(i)))
+		}
+	}
+	buildWall := time.Since(buildStart)
+	flushStart := time.Now()
+	fatal(e.Flush())
+	flushWall := time.Since(flushStart)
+	fatal(e.Close())
+
+	reopenStart := time.Now()
+	e = open()
+	reopenWall := time.Since(reopenStart)
+	if got := e.Len(); got != n {
+		log.Fatalf("reopen lost items: Len = %d, want %d", got, n)
+	}
+	qs := workload.SuccessfulQueries(rng, keys, n, q)
+	qryStart := time.Now()
+	for i, k := range qs {
+		if _, ok := e.Lookup(k); !ok {
+			log.Fatalf("reopen lost key %d (query %d)", k, i)
+		}
+	}
+	qryWall := time.Since(qryStart)
+	fatal(e.Close())
+
+	t := tablefmt.New(fmt.Sprintf("%s reopen: b=%d m=%d n=%d workers=%d path=%s",
+		structure, cfg.BlockSize, cfg.MemoryWords, n, workers, cfg.Path), "metric", "value")
+	t.AddRow("build wall ms", float64(buildWall.Microseconds())/1000)
+	t.AddRow("flush (checkpoint) wall ms", float64(flushWall.Microseconds())/1000)
+	t.AddRow("reopen (recovery) wall ms", float64(reopenWall.Microseconds())/1000)
+	t.AddRow("reopen items", n)
+	t.AddRow("post-reopen lookup µs/op", float64(qryWall.Microseconds())/float64(len(qs)))
+	t.Render(os.Stdout)
 }
 
 // sub returns a - b per counter.

@@ -1,0 +1,294 @@
+package extbuf_test
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"extbuf"
+	"extbuf/internal/iomodel"
+	"extbuf/internal/xrand"
+)
+
+// The crash-injection matrix exercises every fault point the durable
+// backend exposes: for k = 1..N the simulated process dies at the k-th
+// write syscall (optionally tearing that write), the table is reopened
+// without faults, and recovery must restore a state equal to the
+// workload after some prefix of the successfully applied operations —
+// with everything acknowledged by the last successful Flush at the base
+// of that prefix. That single invariant captures both halves of the
+// contract: acknowledged operations survive (the prefix can never fall
+// below the last Flush, whose checkpoint or synced WAL is durable), and
+// no operation half-applies (a state between two operations matches no
+// prefix and fails the search).
+
+// crashKeySpace is the small key universe the scripted workload mutates.
+const crashKeySpace = 48
+
+// crashWorkloadResult captures a faulted run: the reference state after
+// each applied operation since the last acknowledged Flush (index 0 is
+// the acknowledged state itself), and whether the fault tripped.
+type crashWorkloadResult struct {
+	snapshots []map[uint64]uint64
+	crashed   bool
+}
+
+func copyState(m map[uint64]uint64) map[uint64]uint64 {
+	c := make(map[uint64]uint64, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+// runCrashWorkload drives a deterministic scripted workload (upserts,
+// deletes, periodic Flush barriers) against a durable table with the
+// given fault plan. Any error is interpreted as the injected crash; the
+// table is still closed to release file handles (post-crash writes all
+// fail, so closing cannot disturb the on-disk state).
+func runCrashWorkload(t *testing.T, structure string, cfg extbuf.Config) crashWorkloadResult {
+	t.Helper()
+	res := crashWorkloadResult{}
+	cur := map[uint64]uint64{}
+	res.snapshots = []map[uint64]uint64{copyState(cur)} // acknowledged: empty
+	tab, err := extbuf.Open(structure, cfg)
+	if err != nil {
+		res.crashed = true
+		return res
+	}
+	defer tab.Close() // release handles; harmless post-crash (all writes fail)
+	rng := xrand.New(9)
+	for i := 0; i < 240; i++ {
+		if i > 0 && i%60 == 0 {
+			if err := tab.Flush(); err != nil {
+				res.crashed = true
+				return res
+			}
+			res.snapshots = []map[uint64]uint64{copyState(cur)} // new acknowledged base
+		}
+		key := rng.Uint64() % crashKeySpace
+		if rng.Uint64()%10 < 8 {
+			val := uint64(i)<<16 | key
+			if err := tab.Upsert(key, val); err != nil {
+				res.crashed = true
+				return res
+			}
+			cur[key] = val
+		} else {
+			got := tab.Delete(key)
+			_, present := cur[key]
+			if !got && present {
+				// A present key "missing": the log append was refused —
+				// the crash point has been reached.
+				res.crashed = true
+				return res
+			}
+			delete(cur, key)
+		}
+		res.snapshots = append(res.snapshots, copyState(cur))
+	}
+	if err := tab.Close(); err != nil {
+		res.crashed = true
+	}
+	return res
+}
+
+// verifyRecovered reopens the table fault-free and checks its state
+// equals some snapshot (searching newest first), failing with the seed
+// of divergence otherwise.
+func verifyRecovered(t *testing.T, structure string, cfg extbuf.Config, label string, snapshots []map[uint64]uint64) {
+	t.Helper()
+	cfg.Crash = nil
+	tab, err := extbuf.Open(structure, cfg)
+	if err != nil {
+		t.Fatalf("%s: reopen after crash: %v", label, err)
+	}
+	defer tab.Close()
+	state := map[uint64]uint64{}
+	for key := uint64(0); key < crashKeySpace; key++ {
+		if v, ok := tab.Lookup(key); ok {
+			state[key] = v
+		}
+	}
+	for j := len(snapshots) - 1; j >= 0; j-- {
+		snap := snapshots[j]
+		if len(snap) != len(state) {
+			continue
+		}
+		match := true
+		for k, v := range snap {
+			if sv, ok := state[k]; !ok || sv != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return
+		}
+	}
+	t.Fatalf("%s: recovered state matches no operation prefix:\n state: %v\n acked: %v\n final: %v",
+		label, state, snapshots[0], snapshots[len(snapshots)-1])
+}
+
+// TestCrashMatrix walks the crash point across every write syscall of
+// the scripted workload for every structure, with and without torn
+// writes, until a plan survives the whole run (the crash point lies
+// beyond the workload's total writes).
+func TestCrashMatrix(t *testing.T) {
+	stride := int64(1)
+	if testing.Short() {
+		stride = 7
+	}
+	for _, structure := range extbuf.Structures() {
+		for _, torn := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/torn=%v", structure, torn), func(t *testing.T) {
+				completed := false
+				for k := int64(1); k < 4000; k += stride {
+					cfg := extbuf.Config{
+						BlockSize: 16, MemoryWords: 512, ExpectedItems: 512, Seed: 5,
+						Backend: "file", Path: filepath.Join(t.TempDir(), "crash.tbl"),
+						CacheBlocks: 4, // small cache: evictions exercise copy-on-write mid-epoch
+						Crash:       &extbuf.CrashPlan{FailAfterWrites: k, TornWrite: torn, Seed: 77},
+					}
+					if structure == "extendible" {
+						cfg.MemoryWords = 1 << 16
+					}
+					res := runCrashWorkload(t, structure, cfg)
+					verifyRecovered(t, structure, cfg,
+						fmt.Sprintf("%s torn=%v k=%d", structure, torn, k), res.snapshots)
+					if !res.crashed {
+						completed = true
+						break
+					}
+				}
+				if !completed {
+					t.Fatal("crash matrix never ran past the workload's total writes")
+				}
+			})
+		}
+	}
+}
+
+// TestCrashFailedSync: failing fsyncs must deny every acknowledgement
+// (Flush and Close return the injected failure) while recovery still
+// lands on a consistent operation prefix.
+func TestCrashFailedSync(t *testing.T) {
+	cfg := extbuf.Config{
+		BlockSize: 16, MemoryWords: 512, ExpectedItems: 512, Seed: 5,
+		Backend: "file", Path: filepath.Join(t.TempDir(), "sync.tbl"), CacheBlocks: 4,
+		Crash: &extbuf.CrashPlan{FailSync: true},
+	}
+	tab, err := extbuf.Open("knuth", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := map[uint64]uint64{}
+	snapshots := []map[uint64]uint64{copyState(cur)}
+	for i := 0; i < 200; i++ {
+		key := uint64(i) % crashKeySpace
+		val := uint64(i + 1000)
+		if err := tab.Upsert(key, val); err != nil {
+			t.Fatalf("upsert %d: %v", i, err)
+		}
+		cur[key] = val
+		snapshots = append(snapshots, copyState(cur))
+		if i%50 == 49 {
+			if err := tab.Flush(); !errors.Is(err, iomodel.ErrInjectedSyncFailure) {
+				t.Fatalf("flush with failing fsync: err = %v, want ErrInjectedSyncFailure", err)
+			}
+		}
+	}
+	if err := tab.Close(); !errors.Is(err, iomodel.ErrInjectedSyncFailure) {
+		t.Fatalf("close with failing fsync: err = %v, want ErrInjectedSyncFailure", err)
+	}
+	verifyRecovered(t, "knuth", cfg, "failed-sync", snapshots)
+}
+
+// TestCrashShardedAsyncRecovers is the acceptance scenario: a sharded
+// engine under FlushAsync write-behind, crashed at an arbitrary write
+// in each shard, reopened, and checked per key — every key holds its
+// acknowledged value or the value of a later submitted operation on it,
+// and keys never submitted stay absent.
+func TestCrashShardedAsyncRecovers(t *testing.T) {
+	for _, k := range []int64{3, 9, 17, 40, 90} {
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			cfg := extbuf.Config{
+				BlockSize: 16, MemoryWords: 512, ExpectedItems: 2048, Seed: 11,
+				Backend: "file", Path: filepath.Join(t.TempDir(), "shards"),
+				CacheBlocks: 8, FlushPolicy: extbuf.FlushAsync,
+				Crash: &extbuf.CrashPlan{FailAfterWrites: k, TornWrite: true, Seed: 13},
+			}
+			s, err := extbuf.NewSharded("knuth", cfg, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Per key: the acknowledged value (post last successful Flush)
+			// and every later-submitted candidate value.
+			acked := map[uint64]uint64{}
+			candidates := map[uint64]map[uint64]bool{}
+			cur := map[uint64]uint64{}
+			submit := func(key, val uint64) {
+				if candidates[key] == nil {
+					candidates[key] = map[uint64]bool{}
+				}
+				candidates[key][val] = true
+				cur[key] = val
+			}
+			crashed := false
+			for round := 0; round < 6 && !crashed; round++ {
+				keys := make([]uint64, 0, 64)
+				vals := make([]uint64, 0, 64)
+				for i := 0; i < 64; i++ {
+					key := uint64(round*64+i) % 160
+					val := uint64(round)<<32 | key
+					keys = append(keys, key)
+					vals = append(vals, val)
+				}
+				if err := s.UpsertBatch(keys, vals); err != nil {
+					crashed = true
+					break
+				}
+				for i := range keys {
+					submit(keys[i], vals[i])
+				}
+				if round%2 == 1 {
+					if err := s.Flush(); err != nil {
+						crashed = true
+						break
+					}
+					acked = copyState(cur)
+					candidates = map[uint64]map[uint64]bool{}
+					for kk, vv := range cur {
+						candidates[kk] = map[uint64]bool{vv: true}
+					}
+				}
+			}
+			if err := s.Close(); err != nil {
+				crashed = true
+			}
+			if !crashed {
+				t.Fatalf("k=%d never crashed; raise the workload size", k)
+			}
+
+			cfg.Crash = nil
+			s, err = extbuf.NewSharded("knuth", cfg, 4)
+			if err != nil {
+				t.Fatalf("reopen after sharded crash: %v", err)
+			}
+			defer s.Close()
+			for key := uint64(0); key < 160; key++ {
+				v, ok := s.Lookup(key)
+				av, acking := acked[key]
+				switch {
+				case acking && !ok:
+					t.Fatalf("acknowledged key %d lost", key)
+				case acking && ok && v != av && !candidates[key][v]:
+					t.Fatalf("key %d = %d; not the acknowledged value %d nor any later submission", key, v, av)
+				case !acking && ok && !candidates[key][v]:
+					t.Fatalf("key %d = %d surfaced from nowhere", key, v)
+				}
+			}
+		})
+	}
+}

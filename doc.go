@@ -27,6 +27,12 @@
 //     convention, over pluggable BlockStore backends — the default
 //     in-memory simulated store, a file-backed store with a real page
 //     cache, and a latency-injecting store (Config.Backend selects);
+//   - a durability subsystem for the file backend: naming Config.Path
+//     adds a write-ahead log and checkpointed superblock beside the
+//     block file, so Open on an existing path reopens the table —
+//     contents, parameters and block topology intact — and Flush is a
+//     crash-safe acknowledgement barrier; deterministic crash injection
+//     (Config.Crash) makes recovery testable in-process (DESIGN.md §1b);
 //   - the paper's lower-bound machinery — zone audits, characteristic
 //     vectors, bin-ball games — and an experiment harness regenerating
 //     Figure 1 and every theorem/lemma table (cmd/figure1, cmd/zones,

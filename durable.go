@@ -1,0 +1,400 @@
+package extbuf
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"extbuf/internal/ckpt"
+	"extbuf/internal/hashfn"
+	"extbuf/internal/iomodel"
+	"extbuf/internal/wal"
+)
+
+// This file implements the durability subsystem around the file
+// backend: a versioned superblock + checkpoint beside the block file, a
+// per-table write-ahead log, and the recovery path that makes
+// extbuf.Open on an existing Config.Path reopen the table with its
+// contents, structure parameters and block-chain topology intact.
+//
+// Protocol (DESIGN.md, "Durability & recovery"):
+//
+//   - Every mutation is appended to the WAL before the structure
+//     absorbs it (buffered; not yet durable).
+//   - Flush is the acknowledgement barrier: (1) fsync the WAL — every
+//     operation so far is now recoverable against the PREVIOUS
+//     checkpoint; (2) flush dirty blocks copy-on-write and fsync the
+//     block file — slots referenced by the previous checkpoint are
+//     never overwritten (iomodel.FileStore durable mode); (3) write the
+//     new superblock+checkpoint to a temp file, fsync, and atomically
+//     rename it over Path + ".ckpt"; (4) commit the copy-on-write
+//     epoch and truncate the WAL.
+//   - A crash strictly before (3)'s rename leaves the previous
+//     checkpoint and a WAL holding every operation since it. A crash
+//     after the rename leaves the new checkpoint, whose recorded LSN
+//     makes any surviving WAL records no-ops. Recovery therefore always
+//     sees one consistent checkpoint plus a CRC-validated log suffix.
+//
+// Superblock payload (framed by ckpt.Frame, version 1): structure name,
+// construction parameters, shard layout, last-applied LSN, the block
+// allocator + logical→physical placement state, and the structure's
+// serialized directory state.
+
+// superblockVersion is the on-disk checkpoint format version.
+const superblockVersion = 1
+
+// ckptSuffix and walSuffix name a durable table's sidecar files.
+const (
+	ckptSuffix = ".ckpt"
+	walSuffix  = ".wal"
+)
+
+// superblock is the decoded head of a checkpoint file.
+type superblock struct {
+	structure     string
+	blockSize     int
+	memoryWords   int64
+	beta          int
+	gamma         int
+	expectedItems int
+	seed          uint64
+	hashFamily    string
+	shardCount    int
+	shardIndex    int
+	lastLSN       uint64
+	nslots        int
+	free          []iomodel.BlockID
+	mapping       []int64
+}
+
+// durableTable layers write-ahead logging and checkpointing over a
+// structure adapter running on a durable FileStore.
+type durableTable struct {
+	inner     tableAdapter
+	store     *iomodel.FileStore
+	log       *wal.Log
+	cfg       Config // effective configuration (post-merge, post-defaults)
+	structure string
+	crasher   *iomodel.Crasher
+}
+
+// openDurable creates or recovers the durable table at cfg.Path.
+func openDurable(structure string, cfg Config) (*durableTable, error) {
+	var crasher *iomodel.Crasher
+	if cfg.Crash != nil {
+		crasher = iomodel.NewCrasher(iomodel.CrashPlan{
+			FailAfterWrites: cfg.Crash.FailAfterWrites,
+			TornWrite:       cfg.Crash.TornWrite,
+			FailSync:        cfg.Crash.FailSync,
+			Seed:            cfg.Crash.Seed,
+		})
+	}
+	sb, stateDec, err := readSuperblock(cfg.Path + ckptSuffix)
+	if err != nil {
+		return nil, err
+	}
+	if sb != nil {
+		if cfg, err = sb.mergeConfig(structure, cfg); err != nil {
+			return nil, err
+		}
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.validateFor(structure); err != nil {
+		return nil, err
+	}
+	store, err := iomodel.OpenFileStore(cfg.Path, cfg.BlockSize, cfg.CacheBlocks, crasher)
+	if err != nil {
+		return nil, err
+	}
+	model := iomodel.NewModelOn(store, cfg.MemoryWords)
+	fn := hashfn.Family(cfg.HashFamily, cfg.Seed)
+
+	var inner tableAdapter
+	var lastLSN uint64
+	if sb != nil {
+		if err := store.RestoreAllocState(sb.nslots, sb.free, sb.mapping); err != nil {
+			model.Close()
+			return nil, fmt.Errorf("extbuf: recover %s: %w", cfg.Path, err)
+		}
+		inner, err = restoreAdapter(structure, model, fn, stateDec)
+		lastLSN = sb.lastLSN
+	} else {
+		inner, err = buildAdapter(structure, model, fn, cfg)
+	}
+	if err != nil {
+		model.Close()
+		return nil, err
+	}
+
+	log, records, err := wal.Open(cfg.Path+walSuffix, crasher, lastLSN+1)
+	if err != nil {
+		inner.Close()
+		return nil, err
+	}
+	// Replay the log suffix the checkpoint has not absorbed. Inserts
+	// replay as upserts: a record at or below the checkpoint LSN was
+	// truncated away, but re-applying a full suffix must stay idempotent
+	// when a crash landed between checkpoint commit and log truncation.
+	for _, r := range records {
+		if r.LSN <= lastLSN {
+			continue
+		}
+		switch r.Op {
+		case wal.OpInsert, wal.OpUpsert:
+			if err := inner.Upsert(r.Key, r.Val); err != nil {
+				inner.Close()
+				log.Close()
+				return nil, fmt.Errorf("extbuf: replay lsn %d: %w", r.LSN, err)
+			}
+		case wal.OpDelete:
+			inner.Delete(r.Key)
+		}
+	}
+	return &durableTable{
+		inner:     inner,
+		store:     store,
+		log:       log,
+		cfg:       cfg,
+		structure: structure,
+		crasher:   crasher,
+	}, nil
+}
+
+// readSuperblock loads and validates the checkpoint at path. A missing
+// file means a fresh table (nil superblock, nil error); a present but
+// invalid file is an error — silently rebuilding an empty table over
+// data that exists but fails validation would be data loss.
+func readSuperblock(path string) (*superblock, *ckpt.Decoder, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil, nil
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("extbuf: read superblock: %w", err)
+	}
+	version, payload, err := ckpt.Unframe(data)
+	if err != nil {
+		return nil, nil, fmt.Errorf("extbuf: superblock %s: %w", path, err)
+	}
+	if version != superblockVersion {
+		return nil, nil, fmt.Errorf("extbuf: superblock %s: unsupported version %d", path, version)
+	}
+	d := ckpt.NewDecoder(payload)
+	sb := &superblock{
+		structure:     d.String(),
+		blockSize:     d.Int(),
+		memoryWords:   d.I64(),
+		beta:          d.Int(),
+		gamma:         d.Int(),
+		expectedItems: d.Int(),
+		seed:          d.U64(),
+		hashFamily:    d.String(),
+		shardCount:    d.Int(),
+		shardIndex:    d.Int(),
+		lastLSN:       d.U64(),
+		nslots:        d.Int(),
+	}
+	sb.free = d.BlockIDs()
+	sb.mapping = d.I64s()
+	if err := d.Err(); err != nil {
+		return nil, nil, fmt.Errorf("extbuf: superblock %s: %w", path, err)
+	}
+	// The remainder of the payload is the structure state; hand the
+	// decoder over positioned at it.
+	return sb, d, nil
+}
+
+// mergeConfig reconciles a reopen request against the stored
+// parameters: the structure must match, zero-valued request fields
+// adopt the stored values, and explicitly set fields must agree —
+// reopening a table under a different hash seed or block size would
+// silently scramble it.
+func (sb *superblock) mergeConfig(structure string, cfg Config) (Config, error) {
+	mismatch := func(field string, stored, requested any) error {
+		return fmt.Errorf("%w: %s: stored %v, requested %v (path %s)",
+			ErrSuperblockMismatch, field, stored, requested, cfg.Path)
+	}
+	if sb.structure != structure {
+		return cfg, mismatch("structure", sb.structure, structure)
+	}
+	if sb.shardCount != cfg.shardCount || sb.shardIndex != cfg.shardIndex {
+		return cfg, mismatch("shard layout",
+			fmt.Sprintf("%d/%d", sb.shardIndex, sb.shardCount),
+			fmt.Sprintf("%d/%d", cfg.shardIndex, cfg.shardCount))
+	}
+	merge := func(field string, stored int, req *int) error {
+		if *req == 0 {
+			*req = stored
+			return nil
+		}
+		if *req != stored {
+			return mismatch(field, stored, *req)
+		}
+		return nil
+	}
+	if err := merge("BlockSize", sb.blockSize, &cfg.BlockSize); err != nil {
+		return cfg, err
+	}
+	if err := merge("Beta", sb.beta, &cfg.Beta); err != nil {
+		return cfg, err
+	}
+	if err := merge("Gamma", sb.gamma, &cfg.Gamma); err != nil {
+		return cfg, err
+	}
+	if err := merge("ExpectedItems", sb.expectedItems, &cfg.ExpectedItems); err != nil {
+		return cfg, err
+	}
+	switch cfg.MemoryWords {
+	case 0, sb.memoryWords:
+		cfg.MemoryWords = sb.memoryWords
+	default:
+		return cfg, mismatch("MemoryWords", sb.memoryWords, cfg.MemoryWords)
+	}
+	switch cfg.Seed {
+	case 0, sb.seed:
+		cfg.Seed = sb.seed
+	default:
+		return cfg, mismatch("Seed", sb.seed, cfg.Seed)
+	}
+	switch cfg.HashFamily {
+	case "", sb.hashFamily:
+		cfg.HashFamily = sb.hashFamily
+	default:
+		return cfg, mismatch("HashFamily", sb.hashFamily, cfg.HashFamily)
+	}
+	return cfg, nil
+}
+
+// Insert logs the operation, then applies it (write-ahead discipline).
+// A failed apply retracts the record: an operation the caller was told
+// failed must not resurface through replay.
+func (d *durableTable) Insert(key, val uint64) error {
+	if _, err := d.log.Append(wal.OpInsert, key, val); err != nil {
+		return err
+	}
+	if err := d.inner.Insert(key, val); err != nil {
+		d.log.Rollback()
+		return err
+	}
+	return nil
+}
+
+// Upsert logs the operation, then applies it, retracting the record if
+// the apply fails.
+func (d *durableTable) Upsert(key, val uint64) error {
+	if _, err := d.log.Append(wal.OpUpsert, key, val); err != nil {
+		return err
+	}
+	if err := d.inner.Upsert(key, val); err != nil {
+		d.log.Rollback()
+		return err
+	}
+	return nil
+}
+
+// Delete logs the operation, then applies it. A failed log append (the
+// store has crashed) suppresses the delete and reports a miss; the
+// failure surfaces at the next Flush or Close barrier.
+func (d *durableTable) Delete(key uint64) bool {
+	if _, err := d.log.Append(wal.OpDelete, key, 0); err != nil {
+		return false
+	}
+	return d.inner.Delete(key)
+}
+
+func (d *durableTable) Lookup(key uint64) (uint64, bool) { return d.inner.Lookup(key) }
+func (d *durableTable) Len() int                         { return d.inner.Len() }
+func (d *durableTable) Stats() Stats                     { return d.inner.Stats() }
+func (d *durableTable) MemoryUsed() int64                { return d.inner.MemoryUsed() }
+
+// Flush is the durability barrier: it commits a checkpoint, after which
+// every previously submitted operation survives any crash.
+func (d *durableTable) Flush() error { return d.checkpoint() }
+
+// Close checkpoints and releases the table. The checkpoint error (a
+// crashed store, a failed sync) is reported but does not prevent the
+// resource teardown.
+func (d *durableTable) Close() error {
+	errs := []error{d.checkpoint()}
+	errs = append(errs, d.inner.Close()) // closes the model and block store
+	errs = append(errs, d.log.Close())
+	return errors.Join(errs...)
+}
+
+// checkpoint runs the four-step commit protocol described at the top of
+// the file.
+func (d *durableTable) checkpoint() error {
+	// (1) Operations since the last checkpoint become durable against it.
+	if err := d.log.Sync(); err != nil {
+		return err
+	}
+	// (2) Dirty blocks reach the file copy-on-write; the previous
+	// checkpoint's slots stay intact.
+	if err := d.store.Sync(); err != nil {
+		return err
+	}
+	// (3) Commit the new superblock atomically.
+	nextLSN := d.log.NextLSN()
+	e := &ckpt.Encoder{}
+	e.String(d.structure)
+	e.Int(d.cfg.BlockSize)
+	e.I64(d.cfg.MemoryWords)
+	e.Int(d.cfg.Beta)
+	e.Int(d.cfg.Gamma)
+	e.Int(d.cfg.ExpectedItems)
+	e.U64(d.cfg.Seed)
+	e.String(d.cfg.HashFamily)
+	e.Int(d.cfg.shardCount)
+	e.Int(d.cfg.shardIndex)
+	e.U64(nextLSN - 1)
+	nslots, free, mapping := d.store.AllocState()
+	e.Int(nslots)
+	e.BlockIDs(free)
+	e.I64s(mapping)
+	d.inner.saveState(e)
+	if err := writeFileAtomic(d.cfg.Path+ckptSuffix, ckpt.Frame(superblockVersion, e.Bytes()), d.crasher); err != nil {
+		return err
+	}
+	// (4) The checkpoint is durable: retire the superseded block slots
+	// and the logged operations it absorbed.
+	d.store.EndEpoch()
+	return d.log.Reset(nextLSN)
+}
+
+// writeFileAtomic writes data to path via a temp file, fsync and
+// rename, so path always holds either the old or the new content. A
+// non-nil crasher injects faults into the writes, modeling a crash
+// mid-checkpoint (the rename never runs; the old file survives).
+func writeFileAtomic(path string, data []byte, crasher *iomodel.Crasher) error {
+	tmpPath := path + ".tmp"
+	f, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("extbuf: checkpoint temp: %w", err)
+	}
+	var bf iomodel.BlockFile = f
+	if crasher != nil {
+		bf = crasher.WrapFile(bf)
+	}
+	if _, err := bf.Write(data); err != nil {
+		bf.Close()
+		return fmt.Errorf("extbuf: checkpoint write: %w", err)
+	}
+	if err := bf.Sync(); err != nil {
+		bf.Close()
+		return fmt.Errorf("extbuf: checkpoint sync: %w", err)
+	}
+	if err := bf.Close(); err != nil {
+		return fmt.Errorf("extbuf: checkpoint close: %w", err)
+	}
+	if err := os.Rename(tmpPath, path); err != nil {
+		return fmt.Errorf("extbuf: checkpoint rename: %w", err)
+	}
+	// Make the rename itself durable (best-effort: some platforms
+	// reject directory fsync).
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	return nil
+}

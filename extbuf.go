@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"extbuf/internal/chainhash"
+	"extbuf/internal/ckpt"
 	"extbuf/internal/core"
 	"extbuf/internal/exthash"
 	"extbuf/internal/hashfn"
@@ -52,13 +53,19 @@ type Table interface {
 	// charges against its budget.
 	MemoryUsed() int64
 	// Flush forces any state buffered by the storage backend down to
-	// durable storage (dirty page-cache frames plus an fsync for the
-	// "file" backend; a no-op for in-memory backends).
+	// durable storage. For a durable table (file backend with a named
+	// Path) this is the acknowledgement barrier: it fsyncs the
+	// write-ahead log, flushes dirty blocks, commits a checkpoint and
+	// truncates the log, so every operation submitted before Flush
+	// survives a crash once it returns nil. For scratch backends it
+	// degrades to a backend sync (a no-op in memory).
 	Flush() error
-	// Close releases the table's memory reservations and the storage
-	// backend's resources, returning any error the backend reports
-	// (flush or close failures of file-backed stores). The table must
-	// not be used afterwards.
+	// Close flushes (checkpointing a durable table), releases the
+	// table's memory reservations and the storage backend's resources,
+	// and returns any error the backend reports. The table must not be
+	// used afterwards: operations on a closed table return ErrClosed
+	// (or zero values from Lookup/Delete/Len), and a second Close
+	// returns ErrClosed rather than panicking.
 	Close() error
 }
 
@@ -87,8 +94,15 @@ type Config struct {
 	// delays into an in-memory store. I/O counters are identical across
 	// backends; only the real cost of the bytes differs.
 	Backend string
-	// Path is the backing file for the "file" backend. Empty selects a
-	// fresh temporary file that is removed when the table is closed.
+	// Path names the backing file of the "file" backend and switches it
+	// into durable mode: the table writes a write-ahead log (Path +
+	// ".wal") and checkpointed superblock (Path + ".ckpt") beside the
+	// block file, and Open on an existing Path reopens the table with
+	// its contents, structure parameters and block-chain topology
+	// intact, replaying the log for operations after the last
+	// checkpoint. Empty selects a fresh scratch temporary file that is
+	// removed when the table is closed (no durability machinery, the
+	// pre-durability behavior).
 	Path string
 	// CacheBlocks is the "file" backend's page-cache capacity in blocks
 	// (default iomodel.DefaultCacheBlocks).
@@ -108,6 +122,35 @@ type Config struct {
 	// so read-your-writes holds under both policies. Single (unsharded)
 	// tables ignore the field.
 	FlushPolicy string
+	// Crash injects deterministic faults into a durable table's files
+	// (block file, write-ahead log, checkpoint writes) for recovery
+	// testing: a simulated process death at the Nth write syscall,
+	// optionally torn, or failing fsyncs. Requires the "file" backend
+	// with a non-empty Path. Production configurations leave it nil.
+	Crash *CrashPlan
+
+	// shardCount/shardIndex are set by NewSharded so each shard's
+	// superblock records its place in the engine; reopening with a
+	// different shard count fails with ErrSuperblockMismatch instead of
+	// silently misrouting keys.
+	shardCount int
+	shardIndex int
+}
+
+// CrashPlan describes a deterministic fault to inject into a durable
+// table's storage, mirroring iomodel's plan for public use. The zero
+// plan injects nothing.
+type CrashPlan struct {
+	// FailAfterWrites simulates a process death at the Nth write
+	// syscall (1-based) across the table's files; zero never crashes.
+	FailAfterWrites int64
+	// TornWrite makes the fatal write partial: a seed-determined
+	// prefix of its bytes persists.
+	TornWrite bool
+	// FailSync makes every fsync fail without crashing.
+	FailSync bool
+	// Seed drives the torn-write prefix length.
+	Seed uint64
 }
 
 // FlushPolicy values accepted by Config.FlushPolicy.
@@ -151,6 +194,10 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// durable reports whether the configuration selects the durable file
+// backend (named path ⇒ WAL + checkpointed superblock + reopen).
+func (c Config) durable() bool { return c.Backend == "file" && c.Path != "" }
+
 // ErrBlockTooSmall is returned for block sizes under 8 items.
 var ErrBlockTooSmall = errors.New("extbuf: block size must be >= 8 items")
 
@@ -174,8 +221,15 @@ var ErrUnknownFlushPolicy = errors.New("extbuf: unknown flush policy")
 // slices differ in length.
 var ErrBatchLength = errors.New("extbuf: batch keys and values differ in length")
 
-// ErrClosed is returned by operations on a closed Sharded engine.
+// ErrClosed is returned by operations on a closed table or engine,
+// including a second Close.
 var ErrClosed = errors.New("extbuf: table is closed")
+
+// ErrSuperblockMismatch is returned when Open finds an existing durable
+// table at Config.Path whose superblock disagrees with the request: a
+// different structure, an explicitly set parameter that conflicts with
+// the stored one, or a different shard layout.
+var ErrSuperblockMismatch = errors.New("extbuf: superblock does not match request")
 
 // validateBlockSize enforces the paper's b > log u assumption. It is the
 // first check of every constructor, so ErrBlockTooSmall takes precedence
@@ -187,27 +241,14 @@ func (c Config) validateBlockSize() error {
 	return nil
 }
 
-func (c Config) model() (*iomodel.Model, hashfn.Fn, error) {
-	if err := c.validateBlockSize(); err != nil {
-		return nil, nil, err
-	}
-	store, err := c.store()
-	if err != nil {
-		return nil, nil, err
-	}
-	return iomodel.NewModelOn(store, c.MemoryWords), hashfn.Family(c.HashFamily, c.Seed), nil
-}
-
-// store builds the block-store backend selected by c.Backend.
+// store builds the scratch (non-durable) block-store backend selected
+// by c.Backend; durable file stores are opened by openDurable.
 func (c Config) store() (iomodel.BlockStore, error) {
 	switch c.Backend {
 	case "", "mem":
 		return iomodel.NewMemStore(c.BlockSize), nil
 	case "file":
-		if c.Path == "" {
-			return iomodel.NewTempFileStore(c.BlockSize, c.CacheBlocks)
-		}
-		return iomodel.NewFileStore(c.Path, c.BlockSize, c.CacheBlocks)
+		return iomodel.NewTempFileStore(c.BlockSize, c.CacheBlocks)
 	case "latency":
 		return iomodel.NewLatencyStore(iomodel.NewMemStore(c.BlockSize),
 			iomodel.LatencyConfig{Seek: c.SeekDelay, Transfer: c.TransferDelay}), nil
@@ -233,6 +274,23 @@ func (c Config) validateGamma() error {
 	return nil
 }
 
+// validateFor runs the structure-specific parameter checks.
+func (c Config) validateFor(structure string) error {
+	if err := c.validateBlockSize(); err != nil {
+		return err
+	}
+	switch structure {
+	case "buffered":
+		if err := c.validateBeta(); err != nil {
+			return err
+		}
+		return c.validateGamma()
+	case "logmethod":
+		return c.validateGamma()
+	}
+	return nil
+}
+
 // base carries the model shared by all adapters.
 type base struct {
 	model *iomodel.Model
@@ -247,30 +305,228 @@ func (b base) MemoryUsed() int64 { return b.model.Mem.Used() }
 
 func (b base) Flush() error { return b.model.Disk.Store().Sync() }
 
+// tableAdapter is a structure adapter plus the checkpoint hook the
+// durability layer serializes it through.
+type tableAdapter interface {
+	Table
+	saveState(e *ckpt.Encoder)
+}
+
+// Structures lists the constructor names accepted by Open.
+func Structures() []string {
+	return []string{"buffered", "logmethod", "knuth", "linprobe", "extendible", "linear", "twolevel"}
+}
+
+// canonicalStructure folds the name aliases Open accepts onto the
+// Structures entries; it returns "" for unknown names.
+func canonicalStructure(name string) string {
+	switch name {
+	case "buffered", "core":
+		return "buffered"
+	case "logmethod":
+		return "logmethod"
+	case "knuth", "chainhash":
+		return "knuth"
+	case "linprobe":
+		return "linprobe"
+	case "extendible", "exthash":
+		return "extendible"
+	case "linear", "linhash":
+		return "linear"
+	case "twolevel":
+		return "twolevel"
+	default:
+		return ""
+	}
+}
+
+// Open constructs a table by structure name; see Structures. With the
+// durable file backend (Backend "file" and a named Path), Open reopens
+// an existing table at Path — recovering its checkpoint and replaying
+// its write-ahead log — and creates a fresh durable table otherwise.
+func Open(structure string, cfg Config) (Table, error) {
+	canonical := canonicalStructure(structure)
+	if canonical == "" {
+		return nil, fmt.Errorf("extbuf: unknown structure %q (want one of %v)", structure, Structures())
+	}
+	return open(canonical, cfg)
+}
+
 // New returns the paper's Theorem 2 buffered hash table: o(1) amortized
 // insertions with lookups in 1 + O(1/Beta) I/Os. It returns ErrBetaRange
 // or ErrGammaRange for parameters outside the paper's preconditions.
-func New(cfg Config) (Table, error) {
+func New(cfg Config) (Table, error) { return open("buffered", cfg) }
+
+// NewLogMethod returns the Lemma 5 logarithmic-method table: o(1)
+// amortized insertions with O(log_gamma(n/m)) lookups. It returns
+// ErrGammaRange for growth factors below 2.
+func NewLogMethod(cfg Config) (Table, error) { return open("logmethod", cfg) }
+
+// NewKnuth returns the classical external chaining table sized for
+// cfg.ExpectedItems at load factor 1/2: ~1 I/O lookups and inserts.
+func NewKnuth(cfg Config) (Table, error) { return open("knuth", cfg) }
+
+// NewLinearProbing returns the block-level linear probing baseline.
+func NewLinearProbing(cfg Config) (Table, error) { return open("linprobe", cfg) }
+
+// NewExtendible returns the extendible hashing baseline (Fagin et al.).
+// Its in-memory directory needs Theta(n/b) words; size MemoryWords
+// accordingly (the constructor cannot know the final n).
+func NewExtendible(cfg Config) (Table, error) { return open("extendible", cfg) }
+
+// NewLinear returns the linear hashing baseline (Litwin).
+func NewLinear(cfg Config) (Table, error) { return open("linear", cfg) }
+
+// NewTwoLevel returns the Jensen–Pagh-style high-load table sized for
+// cfg.ExpectedItems at load factor 1 - 1/sqrt(b).
+func NewTwoLevel(cfg Config) (Table, error) { return open("twolevel", cfg) }
+
+// open is the single construction path behind Open and the New*
+// wrappers: validate, build the backend, construct or recover the
+// structure, and wrap the result in the close guard.
+func open(structure string, cfg Config) (Table, error) {
+	if cfg.Crash != nil && !cfg.durable() {
+		return nil, fmt.Errorf("extbuf: Crash injection requires the durable file backend (Backend \"file\" with a named Path)")
+	}
+	if cfg.durable() {
+		// Defaults are applied inside openDurable, after the superblock
+		// merge: a reopen with zero-valued fields adopts the stored
+		// parameters rather than colliding with the defaults.
+		t, err := openDurable(structure, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &guard{t: t}, nil
+	}
 	cfg = cfg.withDefaults()
-	if err := cfg.validateBlockSize(); err != nil {
+	if err := cfg.validateFor(structure); err != nil {
 		return nil, err
 	}
-	if err := cfg.validateBeta(); err != nil {
-		return nil, err
-	}
-	if err := cfg.validateGamma(); err != nil {
-		return nil, err
-	}
-	model, fn, err := cfg.model()
+	store, err := cfg.store()
 	if err != nil {
 		return nil, err
 	}
-	t, err := core.New(model, fn, core.Config{Beta: cfg.Beta, Gamma: cfg.Gamma})
+	model := iomodel.NewModelOn(store, cfg.MemoryWords)
+	fn := hashfn.Family(cfg.HashFamily, cfg.Seed)
+	inner, err := buildAdapter(structure, model, fn, cfg)
 	if err != nil {
 		model.Close()
 		return nil, err
 	}
-	return &coreTable{base{model}, t}, nil
+	return &guard{t: inner}, nil
+}
+
+// buildAdapter constructs a fresh structure of the given canonical name
+// on the model.
+func buildAdapter(structure string, model *iomodel.Model, fn hashfn.Fn, cfg Config) (tableAdapter, error) {
+	switch structure {
+	case "buffered":
+		t, err := core.New(model, fn, core.Config{Beta: cfg.Beta, Gamma: cfg.Gamma})
+		if err != nil {
+			return nil, err
+		}
+		return &coreTable{base{model}, t}, nil
+	case "logmethod":
+		t, err := logmethod.New(model, fn, logmethod.Config{Gamma: cfg.Gamma})
+		if err != nil {
+			return nil, err
+		}
+		return &logTable{base{model}, t}, nil
+	case "knuth":
+		nb := 2 * cfg.ExpectedItems / cfg.BlockSize
+		if nb < 2 {
+			nb = 2
+		}
+		t, err := chainhash.New(model, fn, nb)
+		if err != nil {
+			return nil, err
+		}
+		t.SetMaxLoad(0.75)
+		return &chainTable{base{model}, t}, nil
+	case "linprobe":
+		nb := 2 * cfg.ExpectedItems / cfg.BlockSize
+		if nb < 2 {
+			nb = 2
+		}
+		t, err := linprobe.New(model, fn, nb)
+		if err != nil {
+			return nil, err
+		}
+		t.SetMaxLoad(0.7)
+		return &probeTable{base{model}, t}, nil
+	case "extendible":
+		t, err := exthash.New(model, fn, 2)
+		if err != nil {
+			return nil, err
+		}
+		return &extTable{base{model}, t}, nil
+	case "linear":
+		t, err := linhash.New(model, fn, 2)
+		if err != nil {
+			return nil, err
+		}
+		return &linTable{base{model}, t}, nil
+	case "twolevel":
+		t, err := twolevel.New(model, fn, twolevel.HomeBucketsFor(cfg.ExpectedItems, cfg.BlockSize))
+		if err != nil {
+			return nil, err
+		}
+		return &twoTable{base{model}, t}, nil
+	default:
+		return nil, fmt.Errorf("extbuf: unknown structure %q (want one of %v)", structure, Structures())
+	}
+}
+
+// restoreAdapter rebuilds a structure of the given canonical name from
+// a checkpoint state payload, on a model whose store already holds the
+// checkpointed blocks.
+func restoreAdapter(structure string, model *iomodel.Model, fn hashfn.Fn, d *ckpt.Decoder) (tableAdapter, error) {
+	switch structure {
+	case "buffered":
+		t, err := core.Restore(model, fn, d)
+		if err != nil {
+			return nil, err
+		}
+		return &coreTable{base{model}, t}, nil
+	case "logmethod":
+		t, err := logmethod.Restore(model, fn, d)
+		if err != nil {
+			return nil, err
+		}
+		return &logTable{base{model}, t}, nil
+	case "knuth":
+		t, err := chainhash.Restore(model, fn, d)
+		if err != nil {
+			return nil, err
+		}
+		return &chainTable{base{model}, t}, nil
+	case "linprobe":
+		t, err := linprobe.Restore(model, fn, d)
+		if err != nil {
+			return nil, err
+		}
+		return &probeTable{base{model}, t}, nil
+	case "extendible":
+		t, err := exthash.Restore(model, fn, d)
+		if err != nil {
+			return nil, err
+		}
+		return &extTable{base{model}, t}, nil
+	case "linear":
+		t, err := linhash.Restore(model, fn, d)
+		if err != nil {
+			return nil, err
+		}
+		return &linTable{base{model}, t}, nil
+	case "twolevel":
+		t, err := twolevel.Restore(model, fn, d)
+		if err != nil {
+			return nil, err
+		}
+		return &twoTable{base{model}, t}, nil
+	default:
+		return nil, fmt.Errorf("extbuf: unknown structure %q in superblock", structure)
+	}
 }
 
 type coreTable struct {
@@ -299,26 +555,7 @@ func (c *coreTable) Close() error {
 	c.t.Close()
 	return c.model.Close()
 }
-
-// NewLogMethod returns the Lemma 5 logarithmic-method table: o(1)
-// amortized insertions with O(log_gamma(n/m)) lookups. It returns
-// ErrGammaRange for growth factors below 2.
-func NewLogMethod(cfg Config) (Table, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.validateGamma(); err != nil {
-		return nil, err
-	}
-	model, fn, err := cfg.model()
-	if err != nil {
-		return nil, err
-	}
-	t, err := logmethod.New(model, fn, logmethod.Config{Gamma: cfg.Gamma})
-	if err != nil {
-		model.Close()
-		return nil, err
-	}
-	return &logTable{base{model}, t}, nil
-}
+func (c *coreTable) saveState(e *ckpt.Encoder) { c.t.SaveState(e) }
 
 type logTable struct {
 	base
@@ -343,27 +580,7 @@ func (l *logTable) Close() error {
 	l.t.Close()
 	return l.model.Close()
 }
-
-// NewKnuth returns the classical external chaining table sized for
-// cfg.ExpectedItems at load factor 1/2: ~1 I/O lookups and inserts.
-func NewKnuth(cfg Config) (Table, error) {
-	cfg = cfg.withDefaults()
-	model, fn, err := cfg.model()
-	if err != nil {
-		return nil, err
-	}
-	nb := 2 * cfg.ExpectedItems / cfg.BlockSize
-	if nb < 2 {
-		nb = 2
-	}
-	t, err := chainhash.New(model, fn, nb)
-	if err != nil {
-		model.Close()
-		return nil, err
-	}
-	t.SetMaxLoad(0.75)
-	return &chainTable{base{model}, t}, nil
-}
+func (l *logTable) saveState(e *ckpt.Encoder) { l.t.SaveState(e) }
 
 type chainTable struct {
 	base
@@ -385,26 +602,7 @@ func (c *chainTable) Close() error {
 	c.t.Close()
 	return c.model.Close()
 }
-
-// NewLinearProbing returns the block-level linear probing baseline.
-func NewLinearProbing(cfg Config) (Table, error) {
-	cfg = cfg.withDefaults()
-	model, fn, err := cfg.model()
-	if err != nil {
-		return nil, err
-	}
-	nb := 2 * cfg.ExpectedItems / cfg.BlockSize
-	if nb < 2 {
-		nb = 2
-	}
-	t, err := linprobe.New(model, fn, nb)
-	if err != nil {
-		model.Close()
-		return nil, err
-	}
-	t.SetMaxLoad(0.7)
-	return &probeTable{base{model}, t}, nil
-}
+func (c *chainTable) saveState(e *ckpt.Encoder) { c.t.SaveState(e) }
 
 type probeTable struct {
 	base
@@ -429,23 +627,7 @@ func (p *probeTable) Close() error {
 	p.t.Close()
 	return p.model.Close()
 }
-
-// NewExtendible returns the extendible hashing baseline (Fagin et al.).
-// Its in-memory directory needs Theta(n/b) words; size MemoryWords
-// accordingly (the constructor cannot know the final n).
-func NewExtendible(cfg Config) (Table, error) {
-	cfg = cfg.withDefaults()
-	model, fn, err := cfg.model()
-	if err != nil {
-		return nil, err
-	}
-	t, err := exthash.New(model, fn, 2)
-	if err != nil {
-		model.Close()
-		return nil, err
-	}
-	return &extTable{base{model}, t}, nil
-}
+func (p *probeTable) saveState(e *ckpt.Encoder) { p.t.SaveState(e) }
 
 type extTable struct {
 	base
@@ -467,21 +649,7 @@ func (e *extTable) Close() error {
 	e.t.Close()
 	return e.model.Close()
 }
-
-// NewLinear returns the linear hashing baseline (Litwin).
-func NewLinear(cfg Config) (Table, error) {
-	cfg = cfg.withDefaults()
-	model, fn, err := cfg.model()
-	if err != nil {
-		return nil, err
-	}
-	t, err := linhash.New(model, fn, 2)
-	if err != nil {
-		model.Close()
-		return nil, err
-	}
-	return &linTable{base{model}, t}, nil
-}
+func (e *extTable) saveState(enc *ckpt.Encoder) { e.t.SaveState(enc) }
 
 type linTable struct {
 	base
@@ -503,22 +671,7 @@ func (l *linTable) Close() error {
 	l.t.Close()
 	return l.model.Close()
 }
-
-// NewTwoLevel returns the Jensen–Pagh-style high-load table sized for
-// cfg.ExpectedItems at load factor 1 - 1/sqrt(b).
-func NewTwoLevel(cfg Config) (Table, error) {
-	cfg = cfg.withDefaults()
-	model, fn, err := cfg.model()
-	if err != nil {
-		return nil, err
-	}
-	t, err := twolevel.New(model, fn, twolevel.HomeBucketsFor(cfg.ExpectedItems, cfg.BlockSize))
-	if err != nil {
-		model.Close()
-		return nil, err
-	}
-	return &twoTable{base{model}, t}, nil
-}
+func (l *linTable) saveState(e *ckpt.Encoder) { l.t.SaveState(e) }
 
 type twoTable struct {
 	base
@@ -540,30 +693,68 @@ func (w *twoTable) Close() error {
 	w.t.Close()
 	return w.model.Close()
 }
+func (w *twoTable) saveState(e *ckpt.Encoder) { w.t.SaveState(e) }
 
-// Structures lists the constructor names accepted by Open.
-func Structures() []string {
-	return []string{"buffered", "logmethod", "knuth", "linprobe", "extendible", "linear", "twolevel"}
+// guard enforces the close contract around every table returned by the
+// constructors: operations on a closed table fail with ErrClosed (or
+// zero results from the non-error methods) and a second Close reports
+// ErrClosed instead of panicking on released resources. Stats stays
+// readable after Close so experiments can harvest counters last.
+type guard struct {
+	t      Table
+	closed bool
 }
 
-// Open constructs a table by structure name; see Structures.
-func Open(structure string, cfg Config) (Table, error) {
-	switch structure {
-	case "buffered", "core":
-		return New(cfg)
-	case "logmethod":
-		return NewLogMethod(cfg)
-	case "knuth", "chainhash":
-		return NewKnuth(cfg)
-	case "linprobe":
-		return NewLinearProbing(cfg)
-	case "extendible", "exthash":
-		return NewExtendible(cfg)
-	case "linear", "linhash":
-		return NewLinear(cfg)
-	case "twolevel":
-		return NewTwoLevel(cfg)
-	default:
-		return nil, fmt.Errorf("extbuf: unknown structure %q (want one of %v)", structure, Structures())
+func (g *guard) Insert(key, val uint64) error {
+	if g.closed {
+		return ErrClosed
 	}
+	return g.t.Insert(key, val)
+}
+
+func (g *guard) Upsert(key, val uint64) error {
+	if g.closed {
+		return ErrClosed
+	}
+	return g.t.Upsert(key, val)
+}
+
+func (g *guard) Lookup(key uint64) (uint64, bool) {
+	if g.closed {
+		return 0, false
+	}
+	return g.t.Lookup(key)
+}
+
+func (g *guard) Delete(key uint64) bool {
+	if g.closed {
+		return false
+	}
+	return g.t.Delete(key)
+}
+
+func (g *guard) Len() int {
+	if g.closed {
+		return 0
+	}
+	return g.t.Len()
+}
+
+func (g *guard) Stats() Stats { return g.t.Stats() }
+
+func (g *guard) MemoryUsed() int64 { return g.t.MemoryUsed() }
+
+func (g *guard) Flush() error {
+	if g.closed {
+		return ErrClosed
+	}
+	return g.t.Flush()
+}
+
+func (g *guard) Close() error {
+	if g.closed {
+		return ErrClosed
+	}
+	g.closed = true
+	return g.t.Close()
 }

@@ -2,6 +2,7 @@ package extbuf_test
 
 import (
 	"errors"
+	"path/filepath"
 	"testing"
 	"testing/quick"
 
@@ -182,5 +183,57 @@ func TestBufferedMatchesModelProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCloseSemantics: double Close and use-after-Close must return
+// errors (or zero results from the non-error methods), never panic —
+// for every structure and every backend family.
+func TestCloseSemantics(t *testing.T) {
+	open := func(t *testing.T, name, backend string) extbuf.Table {
+		cfg := extbuf.Config{BlockSize: 16, MemoryWords: 512, ExpectedItems: 1024, Seed: 7, Backend: backend}
+		if backend == "file-durable" {
+			cfg.Backend = "file"
+			cfg.Path = filepath.Join(t.TempDir(), "close.tbl")
+		}
+		tab, err := extbuf.Open(name, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab
+	}
+	for _, backend := range []string{"mem", "file", "file-durable"} {
+		for _, name := range extbuf.Structures() {
+			t.Run(backend+"/"+name, func(t *testing.T) {
+				tab := open(t, name, backend)
+				if err := tab.Insert(1, 2); err != nil {
+					t.Fatal(err)
+				}
+				if err := tab.Close(); err != nil {
+					t.Fatalf("first close: %v", err)
+				}
+				if err := tab.Close(); !errors.Is(err, extbuf.ErrClosed) {
+					t.Fatalf("double close: err = %v, want ErrClosed", err)
+				}
+				if err := tab.Insert(3, 4); !errors.Is(err, extbuf.ErrClosed) {
+					t.Fatalf("insert after close: err = %v, want ErrClosed", err)
+				}
+				if err := tab.Upsert(3, 4); !errors.Is(err, extbuf.ErrClosed) {
+					t.Fatalf("upsert after close: err = %v, want ErrClosed", err)
+				}
+				if err := tab.Flush(); !errors.Is(err, extbuf.ErrClosed) {
+					t.Fatalf("flush after close: err = %v, want ErrClosed", err)
+				}
+				if _, ok := tab.Lookup(1); ok {
+					t.Fatal("lookup after close reported a hit")
+				}
+				if tab.Delete(1) {
+					t.Fatal("delete after close reported a hit")
+				}
+				if n := tab.Len(); n != 0 {
+					t.Fatalf("Len after close = %d, want 0", n)
+				}
+			})
+		}
 	}
 }

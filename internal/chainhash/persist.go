@@ -1,0 +1,54 @@
+package chainhash
+
+import (
+	"fmt"
+
+	"extbuf/internal/ckpt"
+	"extbuf/internal/hashfn"
+	"extbuf/internal/iomodel"
+)
+
+// SaveState serializes the table's volatile in-memory state — the
+// bucket directory and counters — for a checkpoint. The blocks the
+// directory references live in the block store and are persisted by
+// the store itself; together the two halves reopen the table with its
+// chain topology intact (see DESIGN.md, "Durability & recovery").
+func (t *Table) SaveState(e *ckpt.Encoder) {
+	e.BlockIDs(t.heads)
+	e.Int(t.n)
+	e.Int(t.blocks)
+	e.F64(t.maxLoad)
+}
+
+// Restore rebuilds a table from a SaveState payload on a model whose
+// store already holds the checkpointed blocks. It charges the same
+// memory reservation as New.
+func Restore(model *iomodel.Model, fn hashfn.Fn, d *ckpt.Decoder) (*Table, error) {
+	heads := d.BlockIDs()
+	n := d.Int()
+	blocks := d.Int()
+	maxLoad := d.F64()
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("chainhash: restore: %w", err)
+	}
+	if len(heads) < 1 || len(heads) != hashfn.CeilPow2(len(heads)) {
+		return nil, fmt.Errorf("chainhash: restore: bucket count %d is not a positive power of two", len(heads))
+	}
+	if n < 0 || blocks < len(heads) {
+		return nil, fmt.Errorf("chainhash: restore: implausible counters n=%d blocks=%d", n, blocks)
+	}
+	if err := model.Mem.Alloc(memoryWords); err != nil {
+		return nil, fmt.Errorf("chainhash: %w", err)
+	}
+	return &Table{
+		d:       model.Disk,
+		mem:     model.Mem,
+		fn:      fn,
+		heads:   heads,
+		bits:    uint(hashfn.Log2(len(heads))),
+		n:       n,
+		blocks:  blocks,
+		maxLoad: maxLoad,
+		memRes:  memoryWords,
+	}, nil
+}

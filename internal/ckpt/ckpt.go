@@ -1,0 +1,293 @@
+// Package ckpt provides the binary encoding shared by the durability
+// subsystem: the superblock/checkpoint files written next to a
+// FileStore's block file and the per-structure state blobs nested
+// inside them (see DESIGN.md, "Durability & recovery").
+//
+// The format is deliberately plain: little-endian fixed-width words,
+// length-prefixed byte strings, no compression, no reflection. Writers
+// append through an Encoder; readers consume through a Decoder whose
+// error is sticky, so a sequence of reads can be validated once at the
+// end. Integrity is the caller's concern: the superblock wraps the
+// payload in a magic/version header and a CRC32 trailer via Frame and
+// Unframe.
+package ckpt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"extbuf/internal/iomodel"
+)
+
+// ErrCorrupt is returned (wrapped) when a frame or field fails to
+// decode: short payload, bad magic, CRC mismatch, or an implausible
+// length prefix.
+var ErrCorrupt = errors.New("ckpt: corrupt checkpoint")
+
+// Encoder accumulates an encoded payload.
+type Encoder struct {
+	buf []byte
+}
+
+// Bytes returns the encoded payload.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the current payload length.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// U8 appends one byte.
+func (e *Encoder) U8(v uint8) { e.buf = append(e.buf, v) }
+
+// U32 appends a little-endian uint32.
+func (e *Encoder) U32(v uint32) {
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, v)
+}
+
+// U64 appends a little-endian uint64.
+func (e *Encoder) U64(v uint64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, v)
+}
+
+// I64 appends a little-endian int64.
+func (e *Encoder) I64(v int64) { e.U64(uint64(v)) }
+
+// Int appends an int as an int64.
+func (e *Encoder) Int(v int) { e.I64(int64(v)) }
+
+// F64 appends a float64 by bit pattern.
+func (e *Encoder) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// Bool appends a boolean byte.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// String appends a length-prefixed UTF-8 string.
+func (e *Encoder) String(s string) {
+	e.U32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// BlockIDs appends a length-prefixed slice of block IDs.
+func (e *Encoder) BlockIDs(ids []iomodel.BlockID) {
+	e.U32(uint32(len(ids)))
+	for _, id := range ids {
+		e.U32(uint32(int32(id)))
+	}
+}
+
+// I64s appends a length-prefixed slice of int64s.
+func (e *Encoder) I64s(vs []int64) {
+	e.U32(uint32(len(vs)))
+	for _, v := range vs {
+		e.I64(v)
+	}
+}
+
+// U8s appends a length-prefixed byte slice.
+func (e *Encoder) U8s(vs []uint8) {
+	e.U32(uint32(len(vs)))
+	e.buf = append(e.buf, vs...)
+}
+
+// PairMap appends a length-prefixed set of key/value pairs. Iteration
+// order is unspecified; decoded maps are content-equal, not byte-equal.
+func (e *Encoder) PairMap(m map[uint64]uint64) {
+	e.U32(uint32(len(m)))
+	for k, v := range m {
+		e.U64(k)
+		e.U64(v)
+	}
+}
+
+// Decoder consumes an encoded payload. The first failure sticks: all
+// subsequent reads return zero values and Err reports the failure.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder returns a decoder over payload.
+func NewDecoder(payload []byte) *Decoder { return &Decoder{buf: payload} }
+
+// err0 checks that n more bytes are readable, recording a sticky
+// ErrCorrupt otherwise.
+func (d *Decoder) err0(n int) bool {
+	if d.err != nil {
+		return true
+	}
+	if d.off+n > len(d.buf) {
+		d.err = fmt.Errorf("%w: need %d bytes at offset %d of %d", ErrCorrupt, n, d.off, len(d.buf))
+		return true
+	}
+	return false
+}
+
+// Err returns the sticky decode error, or nil.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread payload bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// U8 reads one byte.
+func (d *Decoder) U8() uint8 {
+	if d.err0(1) {
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+
+// U32 reads a little-endian uint32.
+func (d *Decoder) U32() uint32 {
+	if d.err0(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+// U64 reads a little-endian uint64.
+func (d *Decoder) U64() uint64 {
+	if d.err0(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+// I64 reads a little-endian int64.
+func (d *Decoder) I64() int64 { return int64(d.U64()) }
+
+// Int reads an int64-encoded int.
+func (d *Decoder) Int() int { return int(d.I64()) }
+
+// F64 reads a float64 by bit pattern.
+func (d *Decoder) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// Bool reads a boolean byte.
+func (d *Decoder) Bool() bool { return d.U8() != 0 }
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string {
+	n := int(d.U32())
+	if d.err0(n) {
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+// BlockIDs reads a length-prefixed slice of block IDs.
+func (d *Decoder) BlockIDs() []iomodel.BlockID {
+	n := int(d.U32())
+	if d.err != nil || n > d.Remaining()/4 {
+		d.fail("block id slice length %d", n)
+		return nil
+	}
+	ids := make([]iomodel.BlockID, n)
+	for i := range ids {
+		ids[i] = iomodel.BlockID(int32(d.U32()))
+	}
+	return ids
+}
+
+// I64s reads a length-prefixed slice of int64s.
+func (d *Decoder) I64s() []int64 {
+	n := int(d.U32())
+	if d.err != nil || n > d.Remaining()/8 {
+		d.fail("int64 slice length %d", n)
+		return nil
+	}
+	vs := make([]int64, n)
+	for i := range vs {
+		vs[i] = d.I64()
+	}
+	return vs
+}
+
+// U8s reads a length-prefixed byte slice.
+func (d *Decoder) U8s() []uint8 {
+	n := int(d.U32())
+	if d.err != nil || n > d.Remaining() {
+		d.fail("byte slice length %d", n)
+		return nil
+	}
+	vs := make([]uint8, n)
+	copy(vs, d.buf[d.off:d.off+n])
+	d.off += n
+	return vs
+}
+
+// PairMap reads a length-prefixed set of key/value pairs.
+func (d *Decoder) PairMap() map[uint64]uint64 {
+	n := int(d.U32())
+	if d.err != nil || n > d.Remaining()/16 {
+		d.fail("pair map length %d", n)
+		return nil
+	}
+	m := make(map[uint64]uint64, n)
+	for i := 0; i < n; i++ {
+		k := d.U64()
+		m[k] = d.U64()
+	}
+	return m
+}
+
+func (d *Decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: implausible "+format, append([]any{ErrCorrupt}, args...)...)
+	}
+}
+
+// frameMagic identifies a framed checkpoint payload ("EXBC").
+const frameMagic = 0x43425845
+
+// frameHeaderBytes is magic + version + payload length.
+const frameHeaderBytes = 12
+
+// Frame wraps payload in a magic/version header and CRC32 trailer,
+// producing the bytes written to disk.
+func Frame(version uint32, payload []byte) []byte {
+	out := make([]byte, 0, frameHeaderBytes+len(payload)+4)
+	out = binary.LittleEndian.AppendUint32(out, frameMagic)
+	out = binary.LittleEndian.AppendUint32(out, version)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
+	out = append(out, payload...)
+	return binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
+}
+
+// Unframe validates the header and CRC32 trailer of data and returns
+// the contained version and payload. Any violation returns ErrCorrupt
+// (wrapped).
+func Unframe(data []byte) (version uint32, payload []byte, err error) {
+	if len(data) < frameHeaderBytes+4 {
+		return 0, nil, fmt.Errorf("%w: %d bytes is shorter than a frame", ErrCorrupt, len(data))
+	}
+	if binary.LittleEndian.Uint32(data) != frameMagic {
+		return 0, nil, fmt.Errorf("%w: bad magic %#x", ErrCorrupt, binary.LittleEndian.Uint32(data))
+	}
+	version = binary.LittleEndian.Uint32(data[4:])
+	n := int(binary.LittleEndian.Uint32(data[8:]))
+	if frameHeaderBytes+n+4 != len(data) {
+		return 0, nil, fmt.Errorf("%w: payload length %d does not match file size %d", ErrCorrupt, n, len(data))
+	}
+	body := data[:frameHeaderBytes+n]
+	want := binary.LittleEndian.Uint32(data[frameHeaderBytes+n:])
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return 0, nil, fmt.Errorf("%w: crc %#x, want %#x", ErrCorrupt, got, want)
+	}
+	return version, data[frameHeaderBytes : frameHeaderBytes+n], nil
+}

@@ -1,0 +1,121 @@
+package ckpt
+
+import (
+	"errors"
+	"testing"
+
+	"extbuf/internal/iomodel"
+)
+
+func TestRoundTrip(t *testing.T) {
+	e := &Encoder{}
+	e.U8(7)
+	e.U32(0xdeadbeef)
+	e.U64(1 << 60)
+	e.I64(-42)
+	e.Int(123456)
+	e.F64(0.75)
+	e.Bool(true)
+	e.Bool(false)
+	e.String("hello")
+	e.String("")
+	e.BlockIDs([]iomodel.BlockID{1, iomodel.NilBlock, 300})
+	e.I64s([]int64{-1, 0, 9})
+	e.U8s([]uint8{3, 2, 1})
+	e.PairMap(map[uint64]uint64{10: 20, 30: 40})
+
+	d := NewDecoder(e.Bytes())
+	if got := d.U8(); got != 7 {
+		t.Fatalf("U8 = %d", got)
+	}
+	if got := d.U32(); got != 0xdeadbeef {
+		t.Fatalf("U32 = %#x", got)
+	}
+	if got := d.U64(); got != 1<<60 {
+		t.Fatalf("U64 = %d", got)
+	}
+	if got := d.I64(); got != -42 {
+		t.Fatalf("I64 = %d", got)
+	}
+	if got := d.Int(); got != 123456 {
+		t.Fatalf("Int = %d", got)
+	}
+	if got := d.F64(); got != 0.75 {
+		t.Fatalf("F64 = %v", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Fatal("Bool round trip failed")
+	}
+	if got := d.String(); got != "hello" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := d.String(); got != "" {
+		t.Fatalf("empty String = %q", got)
+	}
+	ids := d.BlockIDs()
+	if len(ids) != 3 || ids[0] != 1 || ids[1] != iomodel.NilBlock || ids[2] != 300 {
+		t.Fatalf("BlockIDs = %v", ids)
+	}
+	i64s := d.I64s()
+	if len(i64s) != 3 || i64s[0] != -1 || i64s[2] != 9 {
+		t.Fatalf("I64s = %v", i64s)
+	}
+	u8s := d.U8s()
+	if len(u8s) != 3 || u8s[0] != 3 {
+		t.Fatalf("U8s = %v", u8s)
+	}
+	m := d.PairMap()
+	if len(m) != 2 || m[10] != 20 || m[30] != 40 {
+		t.Fatalf("PairMap = %v", m)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("%d bytes left over", d.Remaining())
+	}
+}
+
+func TestDecoderErrorSticks(t *testing.T) {
+	d := NewDecoder([]byte{1, 2})
+	if d.U64(); d.Err() == nil {
+		t.Fatal("short read accepted")
+	}
+	if got := d.U8(); got != 0 {
+		t.Fatal("reads after a failure must return zero values")
+	}
+	if !errors.Is(d.Err(), ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", d.Err())
+	}
+}
+
+func TestDecoderImplausibleLength(t *testing.T) {
+	e := &Encoder{}
+	e.U32(1 << 30) // a length prefix far beyond the payload
+	d := NewDecoder(e.Bytes())
+	if d.BlockIDs(); !errors.Is(d.Err(), ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", d.Err())
+	}
+}
+
+func TestFrameRoundTripAndCorruption(t *testing.T) {
+	payload := []byte("superblock payload")
+	framed := Frame(3, payload)
+
+	version, got, err := Unframe(framed)
+	if err != nil || version != 3 || string(got) != string(payload) {
+		t.Fatalf("Unframe = (%d, %q, %v)", version, got, err)
+	}
+
+	cases := map[string][]byte{
+		"short":     framed[:8],
+		"bad magic": append([]byte{9}, framed[1:]...),
+		"bad crc":   append(append([]byte(nil), framed[:len(framed)-1]...), framed[len(framed)-1]^1),
+		"truncated": framed[:len(framed)-2],
+	}
+	for name, data := range cases {
+		if _, _, err := Unframe(data); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+}

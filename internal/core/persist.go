@@ -1,0 +1,57 @@
+package core
+
+import (
+	"fmt"
+
+	"extbuf/internal/chainhash"
+	"extbuf/internal/ckpt"
+	"extbuf/internal/hashfn"
+	"extbuf/internal/iomodel"
+	"extbuf/internal/logmethod"
+)
+
+// SaveState serializes the Theorem 2 structure's volatile in-memory
+// state for a checkpoint: the merge parameter, the event counters, Ĥ's
+// directory and the cascade (including the buffered H_0 — the paper's
+// RAM buffer, exactly what a crash would lose without logging).
+func (t *Table) SaveState(e *ckpt.Encoder) {
+	e.Int(t.beta)
+	e.Int(t.merges)
+	e.Int(t.growths)
+	t.big.SaveState(e)
+	t.cascade.SaveState(e)
+}
+
+// Restore rebuilds a structure from a SaveState payload on a model
+// whose store already holds the checkpointed blocks. It charges the
+// same memory reservations as New.
+func Restore(model *iomodel.Model, fn hashfn.Fn, d *ckpt.Decoder) (*Table, error) {
+	beta := d.Int()
+	merges := d.Int()
+	growths := d.Int()
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("core: restore: %w", err)
+	}
+	if beta < 2 || beta > model.B() || merges < 0 || growths < 0 {
+		return nil, fmt.Errorf("core: restore: implausible state (beta=%d merges=%d growths=%d)",
+			beta, merges, growths)
+	}
+	big, err := chainhash.Restore(model, fn, d)
+	if err != nil {
+		return nil, fmt.Errorf("core: restore big table: %w", err)
+	}
+	cascade, err := logmethod.Restore(model, fn, d)
+	if err != nil {
+		big.Close()
+		return nil, fmt.Errorf("core: restore cascade: %w", err)
+	}
+	return &Table{
+		model:   model,
+		fn:      fn,
+		big:     big,
+		cascade: cascade,
+		beta:    beta,
+		merges:  merges,
+		growths: growths,
+	}, nil
+}

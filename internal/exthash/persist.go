@@ -1,0 +1,53 @@
+package exthash
+
+import (
+	"fmt"
+
+	"extbuf/internal/ckpt"
+	"extbuf/internal/hashfn"
+	"extbuf/internal/iomodel"
+)
+
+// SaveState serializes the table's volatile in-memory state — the
+// directory, the parallel local depths and the global depth — for a
+// checkpoint.
+func (t *Table) SaveState(e *ckpt.Encoder) {
+	e.BlockIDs(t.dir)
+	e.U8s(t.depth)
+	e.U64(uint64(t.global))
+	e.Int(t.n)
+}
+
+// Restore rebuilds a table from a SaveState payload on a model whose
+// store already holds the checkpointed blocks. It charges the same
+// directory-sized memory reservation as the live table held.
+func Restore(model *iomodel.Model, fn hashfn.Fn, d *ckpt.Decoder) (*Table, error) {
+	dir := d.BlockIDs()
+	depth := d.U8s()
+	global := uint(d.U64())
+	n := d.Int()
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("exthash: restore: %w", err)
+	}
+	if global > 28 || len(dir) != 1<<global || len(depth) != len(dir) {
+		return nil, fmt.Errorf("exthash: restore: directory size %d/%d inconsistent with global depth %d",
+			len(dir), len(depth), global)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("exthash: restore: negative entry count %d", n)
+	}
+	res := int64(overheadWords + 2*len(dir))
+	if err := model.Mem.Alloc(res); err != nil {
+		return nil, fmt.Errorf("exthash: %w", err)
+	}
+	return &Table{
+		d:      model.Disk,
+		mem:    model.Mem,
+		fn:     fn,
+		dir:    dir,
+		depth:  depth,
+		global: global,
+		n:      n,
+		memRes: res,
+	}, nil
+}

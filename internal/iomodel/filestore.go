@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 )
 
 // FileStore is a BlockStore persisting fixed-size blocks to a real file,
@@ -14,15 +15,29 @@ import (
 // table code that produces the paper's I/O counts runs unchanged against
 // it, and wall-clock and syscall costs become measurable.
 //
-// On-disk layout: block id occupies bytes [id*frameBytes, (id+1)*frameBytes)
-// of the file, as an 8-byte header (entry count uint32, next pointer
-// stored as next+1 uint32, both little-endian) followed by B() entries
-// of 16 bytes each (key, val). The +1 bias makes all-zero bytes — EOF
-// short reads and sparse holes left by out-of-order first writes —
-// decode as an empty block with a nil chain pointer, which is exactly
-// the state of an allocated-but-never-written block. The file is
-// truncated on open; FileStore is a fresh store, not a recovery
-// mechanism (crash recovery is future work layered on this seam).
+// On-disk frame layout: a frame is an 8-byte header (entry count uint32,
+// next pointer stored as next+1 uint32, both little-endian) followed by
+// B() entries of 16 bytes each (key, val). The +1 bias makes all-zero
+// bytes — EOF short reads and sparse holes left by out-of-order first
+// writes — decode as an empty block with a nil chain pointer, which is
+// exactly the state of an allocated-but-never-written block.
+//
+// # Placement: direct vs durable
+//
+// A store built with NewFileStore truncates its file and places block
+// id at byte offset id*frameBytes — a fresh scratch store, not a
+// recovery mechanism. A store built with OpenFileStore runs in durable
+// mode: the file is NOT truncated, and a logical→physical indirection
+// table decouples the block IDs tables chain through from file
+// placement. Durable flushes are copy-on-write: the first flush of a
+// block in a checkpoint epoch goes to a fresh physical slot, so every
+// slot referenced by the last completed checkpoint stays byte-identical
+// on disk until the next checkpoint commits. A crash at any write
+// therefore leaves the previous checkpoint fully intact — the property
+// the recovery protocol in package extbuf is built on. The indirection
+// table and allocator free lists are volatile; AllocState and
+// RestoreAllocState move them in and out of checkpoints, and EndEpoch
+// retires the superseded pre-checkpoint slots once a checkpoint commits.
 //
 // The page cache is an LRU of decoded blocks. A cache hit costs no
 // syscall; a miss reads the block with one pread, evicting the least
@@ -30,8 +45,15 @@ import (
 // populate a frame without reading the old contents. Stats exposes the
 // resulting syscall and hit counts so experiments can report real costs
 // next to the model's counters.
+//
+// Write errors are sticky: the first failed pwrite (real, or injected
+// by a Crasher) marks the store failed, further evictions quietly drop
+// their frames — the bytes are lost exactly as in a crash — and Sync
+// and Close report the failure instead of panicking, so a durable
+// table's Flush barrier surfaces it to the caller as an un-acknowledged
+// write.
 type FileStore struct {
-	f          *os.File
+	f          BlockFile
 	b          int
 	frameBytes int64
 	nslots     int // allocated slots, including freed ones
@@ -43,6 +65,15 @@ type FileStore struct {
 	stats      FileStats
 	removeName string // non-empty: unlink this path on Close (temp stores)
 	closed     bool
+	failed     error // sticky first write failure
+
+	// Durable-mode placement state (nil mapping = direct mode).
+	durable     bool
+	mapping     []int64            // logical id -> physical slot; -1 = never written
+	physHigh    int64              // physical slots ever placed (file extent, in frames)
+	physFree    []int64            // reusable physical slots
+	pendingFree []int64            // slots superseded this epoch; free after checkpoint
+	epochSlots  map[int64]struct{} // physical slots written this epoch (safe to overwrite)
 }
 
 var _ BlockStore = (*FileStore)(nil)
@@ -77,21 +108,42 @@ const blockHeaderBytes = 8
 const entryBytes = 16
 
 // NewFileStore creates (or truncates) the file at path and returns a
-// store with blocks of capacity b entries and a page cache of
-// cacheBlocks frames (DefaultCacheBlocks if cacheBlocks <= 0).
+// direct-placement store with blocks of capacity b entries and a page
+// cache of cacheBlocks frames (DefaultCacheBlocks if cacheBlocks <= 0).
 func NewFileStore(path string, b, cacheBlocks int) (*FileStore, error) {
-	if b < 1 {
-		panic("iomodel: block size must be >= 1")
-	}
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("iomodel: open block store: %w", err)
+	}
+	return newFileStoreOn(f, b, cacheBlocks, false), nil
+}
+
+// OpenFileStore opens (creating if absent, never truncating) the file
+// at path as a durable-mode store: copy-on-write placement behind a
+// logical→physical indirection table, ready for checkpoint/recovery.
+// A non-nil crasher interposes fault injection on every file write.
+func OpenFileStore(path string, b, cacheBlocks int, crasher *Crasher) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("iomodel: open block store: %w", err)
+	}
+	var bf BlockFile = f
+	if crasher != nil {
+		bf = crasher.WrapFile(bf)
+	}
+	s := newFileStoreOn(bf, b, cacheBlocks, true)
+	return s, nil
+}
+
+func newFileStoreOn(f BlockFile, b, cacheBlocks int, durable bool) *FileStore {
+	if b < 1 {
+		panic("iomodel: block size must be >= 1")
 	}
 	if cacheBlocks <= 0 {
 		cacheBlocks = DefaultCacheBlocks
 	}
 	fb := int64(blockHeaderBytes + b*entryBytes)
-	return &FileStore{
+	s := &FileStore{
 		f:          f,
 		b:          b,
 		frameBytes: fb,
@@ -99,7 +151,12 @@ func NewFileStore(path string, b, cacheBlocks int) (*FileStore, error) {
 		cache:      make(map[BlockID]*frame, cacheBlocks),
 		lru:        list.New(),
 		scratch:    make([]byte, fb),
-	}, nil
+		durable:    durable,
+	}
+	if durable {
+		s.epochSlots = make(map[int64]struct{})
+	}
+	return s
 }
 
 // NewTempFileStore is NewFileStore on a fresh temporary file that is
@@ -129,13 +186,21 @@ func (s *FileStore) Stats() FileStats { return s.stats }
 // B returns the block capacity in entries.
 func (s *FileStore) B() int { return s.b }
 
+// Durable reports whether the store runs in durable (copy-on-write)
+// mode.
+func (s *FileStore) Durable() bool { return s.durable }
+
+// Failed returns the sticky first write failure, or nil. A failed store
+// has lost writes; its in-memory cache no longer reflects the file.
+func (s *FileStore) Failed() error { return s.failed }
+
 // Alloc reserves a fresh empty block and returns its ID.
 func (s *FileStore) Alloc() BlockID {
 	if n := len(s.free); n > 0 {
 		id := s.free[n-1]
 		s.free = s.free[:n-1]
-		// The file still holds the freed block's stale bytes; install an
-		// empty dirty frame so readers see a fresh block.
+		// The file may still hold the freed block's stale bytes; install
+		// an empty dirty frame so readers see a fresh block.
 		fr := s.frameForWrite(id, false)
 		fr.entries = fr.entries[:0]
 		fr.next = NilBlock
@@ -143,20 +208,68 @@ func (s *FileStore) Alloc() BlockID {
 	}
 	id := BlockID(s.nslots)
 	s.nslots++
-	// Nothing is written yet: a read of a never-written slot hits EOF and
-	// decodes as an empty block, so allocation alone costs no syscall.
+	if s.durable {
+		s.mapping = append(s.mapping, -1)
+	}
+	// Nothing is written yet: a read of a never-written slot hits EOF
+	// (direct mode) or an unmapped slot (durable mode) and decodes as an
+	// empty block, so allocation alone costs no syscall.
 	return id
 }
 
 // Free releases a block back to the allocator, discarding any cached
-// (even dirty) frame: freed contents need never reach the file.
+// (even dirty) frame: freed contents need never reach the file. In
+// durable mode the block's physical slot is retired — after the next
+// checkpoint if the last checkpoint references it, immediately
+// otherwise.
 func (s *FileStore) Free(id BlockID) {
 	s.checkID(id)
 	if fr, ok := s.cache[id]; ok {
 		s.lru.Remove(fr.elem)
 		delete(s.cache, id)
 	}
+	if s.durable {
+		s.retirePhys(s.mapping[id])
+		s.mapping[id] = -1
+	}
 	s.free = append(s.free, id)
+}
+
+// retirePhys returns physical slot phys to the allocator: to the free
+// list if it was first written this epoch (no checkpoint references
+// it), to the pending list to be freed when the next checkpoint
+// commits otherwise.
+func (s *FileStore) retirePhys(phys int64) {
+	if phys < 0 {
+		return
+	}
+	if _, thisEpoch := s.epochSlots[phys]; thisEpoch {
+		delete(s.epochSlots, phys)
+		s.physFree = append(s.physFree, phys)
+	} else {
+		s.pendingFree = append(s.pendingFree, phys)
+	}
+}
+
+// allocPhys reserves a physical slot for a copy-on-write flush.
+func (s *FileStore) allocPhys() int64 {
+	if n := len(s.physFree); n > 0 {
+		p := s.physFree[n-1]
+		s.physFree = s.physFree[:n-1]
+		return p
+	}
+	p := s.physHigh
+	s.physHigh++
+	return p
+}
+
+// physFor returns the file slot holding block id, or -1 if the block
+// has never been flushed (durable mode only; direct mode is identity).
+func (s *FileStore) physFor(id BlockID) int64 {
+	if !s.durable {
+		return int64(id)
+	}
+	return s.mapping[id]
 }
 
 // ReadBlock appends the entries of block id to buf and returns it.
@@ -198,19 +311,92 @@ func (s *FileStore) SetNext(id, next BlockID) {
 // NumBlocks returns the number of allocated (live) blocks.
 func (s *FileStore) NumBlocks() int { return s.nslots - len(s.free) }
 
-// Sync flushes every dirty frame and fsyncs the file.
+// Sync flushes every dirty frame and fsyncs the file. A failed store
+// reports its sticky failure without issuing further writes. Dirty
+// frames are flushed in block-ID order — map iteration order would
+// randomize the write-syscall sequence per process, breaking the
+// determinism the crash-injection harness ("die at the Nth write")
+// depends on to replay a failure.
 func (s *FileStore) Sync() error {
+	if s.failed != nil {
+		return s.failed
+	}
+	dirty := make([]*frame, 0, len(s.cache))
 	for _, fr := range s.cache {
 		if fr.dirty {
-			if err := s.flush(fr); err != nil {
-				return err
-			}
+			dirty = append(dirty, fr)
+		}
+	}
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i].id < dirty[j].id })
+	for _, fr := range dirty {
+		if err := s.flush(fr); err != nil {
+			return err
 		}
 	}
 	if err := s.f.Sync(); err != nil {
 		return fmt.Errorf("iomodel: sync block store: %w", err)
 	}
 	return nil
+}
+
+// AllocState snapshots the allocator and placement state for a
+// checkpoint: logical slot count, logical free list, and (durable mode)
+// the logical→physical mapping. Call after Sync so the mapping reflects
+// every flushed frame.
+func (s *FileStore) AllocState() (nslots int, free []BlockID, mapping []int64) {
+	free = append([]BlockID(nil), s.free...)
+	if s.durable {
+		mapping = append([]int64(nil), s.mapping...)
+	}
+	return s.nslots, free, mapping
+}
+
+// RestoreAllocState installs a checkpoint's allocator and placement
+// state into a freshly opened durable store: the physical free list is
+// re-derived as every slot below the high-water mark that the mapping
+// does not reference. The cache must be empty (recovery runs before any
+// block access).
+func (s *FileStore) RestoreAllocState(nslots int, free []BlockID, mapping []int64) error {
+	if !s.durable {
+		return fmt.Errorf("iomodel: RestoreAllocState on a direct-mode store")
+	}
+	if len(mapping) != nslots {
+		return fmt.Errorf("iomodel: mapping covers %d slots, allocator has %d", len(mapping), nslots)
+	}
+	s.nslots = nslots
+	s.free = append(s.free[:0], free...)
+	s.mapping = append(s.mapping[:0], mapping...)
+	s.physHigh = 0
+	used := make(map[int64]struct{}, len(mapping))
+	for _, p := range mapping {
+		if p < 0 {
+			continue
+		}
+		used[p] = struct{}{}
+		if p >= s.physHigh {
+			s.physHigh = p + 1
+		}
+	}
+	s.physFree = s.physFree[:0]
+	for p := int64(0); p < s.physHigh; p++ {
+		if _, ok := used[p]; !ok {
+			s.physFree = append(s.physFree, p)
+		}
+	}
+	// Reuse low slots first: keeps the file extent tight after recovery.
+	sort.Slice(s.physFree, func(i, j int) bool { return s.physFree[i] > s.physFree[j] })
+	s.pendingFree = s.pendingFree[:0]
+	clear(s.epochSlots)
+	return nil
+}
+
+// EndEpoch commits the copy-on-write epoch after a checkpoint has been
+// made durable: physical slots superseded during the epoch become
+// reusable, and subsequent flushes start a fresh epoch.
+func (s *FileStore) EndEpoch() {
+	s.physFree = append(s.physFree, s.pendingFree...)
+	s.pendingFree = s.pendingFree[:0]
+	clear(s.epochSlots)
 }
 
 // Close flushes and closes the backing file, removing it if the store
@@ -271,13 +457,15 @@ func (s *FileStore) frameForWrite(id BlockID, preserveNext bool) *frame {
 }
 
 // install evicts if needed and inserts an empty frame for id at the
-// front of the LRU.
+// front of the LRU. Eviction of a dirty frame on a failed store drops
+// the frame: the write is lost, exactly as in the crash the failure
+// models, and the loss is reported by Sync/Close.
 func (s *FileStore) install(id BlockID) *frame {
 	for len(s.cache) >= s.cacheCap {
 		victim := s.lru.Back().Value.(*frame)
-		if victim.dirty {
-			if err := s.flush(victim); err != nil {
-				panic(err)
+		if victim.dirty && s.failed == nil {
+			if err := s.flush(victim); err != nil && s.failed == nil {
+				s.failed = err
 			}
 		}
 		s.lru.Remove(victim.elem)
@@ -291,38 +479,58 @@ func (s *FileStore) install(id BlockID) *frame {
 
 // loadHeader fills only fr's header (the next pointer) from the file
 // with one 8-byte pread, for whole-block overwrites that must not lose
-// the chain pointer. A slot past EOF decodes as a nil pointer.
+// the chain pointer. A slot past EOF — or never flushed in durable
+// mode — decodes as a nil pointer.
 func (s *FileStore) loadHeader(fr *frame) {
-	n, err := s.f.ReadAt(s.scratch[:blockHeaderBytes], int64(fr.id)*s.frameBytes)
+	phys := s.physFor(fr.id)
+	fr.next = NilBlock
+	if phys < 0 {
+		return
+	}
+	n, err := s.f.ReadAt(s.scratch[:blockHeaderBytes], phys*s.frameBytes)
 	if err != nil && err != io.EOF {
 		panic(fmt.Errorf("iomodel: read block %d header: %w", fr.id, err))
 	}
 	s.stats.ReadSyscalls++
 	s.stats.BytesRead += int64(n)
-	fr.next = NilBlock
 	if n >= blockHeaderBytes {
 		fr.next = decodeNext(s.scratch[4:8])
 	}
 }
 
-// load fills fr from the file with one pread. A slot past EOF (allocated
-// but never flushed) decodes as an empty block.
+// load fills fr from the file with one pread. A slot past EOF (or never
+// flushed in durable mode) decodes as an empty block.
 func (s *FileStore) load(fr *frame) {
-	n, err := s.f.ReadAt(s.scratch, int64(fr.id)*s.frameBytes)
+	fr.entries = fr.entries[:0]
+	fr.next = NilBlock
+	fr.dirty = false
+	phys := s.physFor(fr.id)
+	if phys < 0 {
+		return
+	}
+	n, err := s.f.ReadAt(s.scratch, phys*s.frameBytes)
 	if err != nil && err != io.EOF {
 		panic(fmt.Errorf("iomodel: read block %d: %w", fr.id, err))
 	}
 	s.stats.ReadSyscalls++
 	s.stats.BytesRead += int64(n)
-	fr.entries = fr.entries[:0]
-	fr.next = NilBlock
-	fr.dirty = false
 	if n < blockHeaderBytes {
 		return
 	}
 	count := int(binary.LittleEndian.Uint32(s.scratch[0:4]))
 	fr.next = decodeNext(s.scratch[4:8])
 	if count > s.b || blockHeaderBytes+count*entryBytes > n {
+		if s.failed != nil {
+			// The bytes were torn by the failure the store already
+			// carries. A really-crashed process would never read them;
+			// serve the block as empty so the doomed session degrades
+			// instead of panicking. Recovery never reads such a slot:
+			// copy-on-write keeps torn epoch writes out of every slot
+			// the last checkpoint references.
+			fr.entries = fr.entries[:0]
+			fr.next = NilBlock
+			return
+		}
 		panic(fmt.Sprintf("iomodel: corrupt block %d: count %d exceeds capacity/extent", fr.id, count))
 	}
 	for i := 0; i < count; i++ {
@@ -341,7 +549,22 @@ func decodeNext(b []byte) BlockID {
 }
 
 // flush writes fr to the file with one pwrite and clears its dirty bit.
+// In durable mode the write is copy-on-write: the first flush of a
+// block within an epoch goes to a fresh physical slot, preserving the
+// last checkpoint's image of the block.
 func (s *FileStore) flush(fr *frame) error {
+	if s.failed != nil {
+		return s.failed
+	}
+	phys := s.physFor(fr.id)
+	if s.durable {
+		if _, thisEpoch := s.epochSlots[phys]; phys < 0 || !thisEpoch {
+			s.retirePhys(phys)
+			phys = s.allocPhys()
+			s.epochSlots[phys] = struct{}{}
+			s.mapping[fr.id] = phys
+		}
+	}
 	binary.LittleEndian.PutUint32(s.scratch[0:4], uint32(len(fr.entries)))
 	binary.LittleEndian.PutUint32(s.scratch[4:8], uint32(int32(fr.next+1)))
 	for i, e := range fr.entries {
@@ -353,11 +576,15 @@ func (s *FileStore) flush(fr *frame) error {
 	for i := blockHeaderBytes + len(fr.entries)*entryBytes; i < len(s.scratch); i++ {
 		s.scratch[i] = 0
 	}
-	n, err := s.f.WriteAt(s.scratch, int64(fr.id)*s.frameBytes)
+	n, err := s.f.WriteAt(s.scratch, phys*s.frameBytes)
 	s.stats.WriteSyscalls++
 	s.stats.BytesWritten += int64(n)
 	if err != nil {
-		return fmt.Errorf("iomodel: write block %d: %w", fr.id, err)
+		err = fmt.Errorf("iomodel: write block %d: %w", fr.id, err)
+		if s.failed == nil {
+			s.failed = err
+		}
+		return err
 	}
 	fr.dirty = false
 	return nil

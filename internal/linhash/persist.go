@@ -1,0 +1,58 @@
+package linhash
+
+import (
+	"fmt"
+
+	"extbuf/internal/ckpt"
+	"extbuf/internal/hashfn"
+	"extbuf/internal/iomodel"
+)
+
+// SaveState serializes the table's volatile in-memory state — the
+// bucket heads in split order, the level, the split pointer and the
+// counters — for a checkpoint.
+func (t *Table) SaveState(e *ckpt.Encoder) {
+	e.BlockIDs(t.heads)
+	e.U64(uint64(t.level))
+	e.Int(t.split)
+	e.Int(t.n)
+	e.Int(t.blocks)
+	e.F64(t.maxLoad)
+}
+
+// Restore rebuilds a table from a SaveState payload on a model whose
+// store already holds the checkpointed blocks. It charges the same
+// memory reservation as New.
+func Restore(model *iomodel.Model, fn hashfn.Fn, d *ckpt.Decoder) (*Table, error) {
+	heads := d.BlockIDs()
+	level := uint(d.U64())
+	split := d.Int()
+	n := d.Int()
+	blocks := d.Int()
+	maxLoad := d.F64()
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("linhash: restore: %w", err)
+	}
+	if level > 28 || split < 0 || split >= 1<<level || len(heads) != (1<<level)+split {
+		return nil, fmt.Errorf("linhash: restore: %d heads inconsistent with level %d split %d",
+			len(heads), level, split)
+	}
+	if n < 0 || blocks < len(heads) {
+		return nil, fmt.Errorf("linhash: restore: implausible counters n=%d blocks=%d", n, blocks)
+	}
+	if err := model.Mem.Alloc(memoryWords); err != nil {
+		return nil, fmt.Errorf("linhash: %w", err)
+	}
+	return &Table{
+		d:       model.Disk,
+		mem:     model.Mem,
+		fn:      fn,
+		heads:   heads,
+		level:   level,
+		split:   split,
+		n:       n,
+		blocks:  blocks,
+		maxLoad: maxLoad,
+		memRes:  memoryWords,
+	}, nil
+}

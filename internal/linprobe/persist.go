@@ -1,0 +1,48 @@
+package linprobe
+
+import (
+	"fmt"
+
+	"extbuf/internal/ckpt"
+	"extbuf/internal/hashfn"
+	"extbuf/internal/iomodel"
+)
+
+// SaveState serializes the table's volatile in-memory state — the
+// block directory and counters — for a checkpoint.
+func (t *Table) SaveState(e *ckpt.Encoder) {
+	e.BlockIDs(t.blocks)
+	e.Int(t.n)
+	e.F64(t.maxLoad)
+}
+
+// Restore rebuilds a table from a SaveState payload on a model whose
+// store already holds the checkpointed blocks. It charges the same
+// memory reservation as New.
+func Restore(model *iomodel.Model, fn hashfn.Fn, d *ckpt.Decoder) (*Table, error) {
+	blocks := d.BlockIDs()
+	n := d.Int()
+	maxLoad := d.F64()
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("linprobe: restore: %w", err)
+	}
+	if len(blocks) < 1 || len(blocks) != hashfn.CeilPow2(len(blocks)) {
+		return nil, fmt.Errorf("linprobe: restore: block count %d is not a positive power of two", len(blocks))
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("linprobe: restore: negative entry count %d", n)
+	}
+	if err := model.Mem.Alloc(memoryWords); err != nil {
+		return nil, fmt.Errorf("linprobe: %w", err)
+	}
+	return &Table{
+		d:       model.Disk,
+		mem:     model.Mem,
+		fn:      fn,
+		blocks:  blocks,
+		bits:    uint(hashfn.Log2(len(blocks))),
+		n:       n,
+		maxLoad: maxLoad,
+		memRes:  memoryWords,
+	}, nil
+}

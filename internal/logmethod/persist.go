@@ -1,0 +1,75 @@
+package logmethod
+
+import (
+	"fmt"
+
+	"extbuf/internal/chainhash"
+	"extbuf/internal/ckpt"
+	"extbuf/internal/hashfn"
+	"extbuf/internal/iomodel"
+)
+
+// SaveState serializes the structure's volatile in-memory state for a
+// checkpoint: the parameters, the buffered H_0 contents (the paper's
+// RAM buffer — exactly the state a crash would lose without logging),
+// and every disk level's directory. H_0 pairs are written in map order,
+// so payloads are content-equal across runs, not byte-equal.
+func (t *Table) SaveState(e *ckpt.Encoder) {
+	e.Int(t.gamma)
+	e.Int(t.h0cap)
+	e.Int(t.n)
+	e.Int(t.migrations)
+	e.PairMap(t.h0)
+	e.Int(len(t.levels))
+	for _, lv := range t.levels {
+		e.Int(lv.cap)
+		lv.t.SaveState(e)
+	}
+}
+
+// Restore rebuilds a structure from a SaveState payload on a model
+// whose store already holds the checkpointed blocks. It charges the
+// same memory reservation as New.
+func Restore(model *iomodel.Model, fn hashfn.Fn, d *ckpt.Decoder) (*Table, error) {
+	gamma := d.Int()
+	h0cap := d.Int()
+	n := d.Int()
+	migrations := d.Int()
+	h0 := d.PairMap()
+	nlevels := d.Int()
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("logmethod: restore: %w", err)
+	}
+	if gamma < 2 || gamma != hashfn.CeilPow2(gamma) || h0cap < 1 || n < 0 ||
+		len(h0) > h0cap || nlevels < 0 || nlevels > 64 {
+		return nil, fmt.Errorf("logmethod: restore: implausible state (gamma=%d h0cap=%d n=%d levels=%d)",
+			gamma, h0cap, n, nlevels)
+	}
+	res := int64(h0cap) + int64(scratchWords*model.B()) + 16
+	if err := model.Mem.Alloc(res); err != nil {
+		return nil, fmt.Errorf("logmethod: %w", err)
+	}
+	t := &Table{
+		model:      model,
+		fn:         fn,
+		gamma:      gamma,
+		h0:         h0,
+		h0cap:      h0cap,
+		n:          n,
+		memRes:     res,
+		migrations: migrations,
+	}
+	if t.h0 == nil {
+		t.h0 = make(map[uint64]uint64, h0cap)
+	}
+	for i := 0; i < nlevels; i++ {
+		cap := d.Int()
+		ch, err := chainhash.Restore(model, fn, d)
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("logmethod: restore level %d: %w", i+1, err)
+		}
+		t.levels = append(t.levels, &level{t: ch, cap: cap})
+	}
+	return t, nil
+}

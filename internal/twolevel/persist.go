@@ -1,0 +1,72 @@
+package twolevel
+
+import (
+	"fmt"
+
+	"extbuf/internal/chainhash"
+	"extbuf/internal/ckpt"
+	"extbuf/internal/hashfn"
+	"extbuf/internal/iomodel"
+)
+
+// SaveState serializes the table's volatile in-memory state — the home
+// directory, the dirty-bucket set and the nested overflow table — for a
+// checkpoint.
+func (t *Table) SaveState(e *ckpt.Encoder) {
+	e.BlockIDs(t.homes)
+	e.Int(t.n)
+	e.Int(t.dirtyCap)
+	dirty := make([]int64, 0, len(t.dirty))
+	for i := range t.dirty {
+		dirty = append(dirty, int64(i))
+	}
+	e.I64s(dirty)
+	t.overflow.SaveState(e)
+}
+
+// Restore rebuilds a table from a SaveState payload on a model whose
+// store already holds the checkpointed blocks. It charges the same
+// memory reservation the live table held: the fixed control words plus
+// one word per dirty bucket.
+func Restore(model *iomodel.Model, fn hashfn.Fn, d *ckpt.Decoder) (*Table, error) {
+	homes := d.BlockIDs()
+	n := d.Int()
+	dirtyCap := d.Int()
+	dirtyList := d.I64s()
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("twolevel: restore: %w", err)
+	}
+	if len(homes) < 1 || n < 0 || dirtyCap < 0 || len(dirtyList) > dirtyCap {
+		return nil, fmt.Errorf("twolevel: restore: implausible state (homes=%d n=%d dirty=%d/%d)",
+			len(homes), n, len(dirtyList), dirtyCap)
+	}
+	res := int64(memoryWords + len(dirtyList))
+	if err := model.Mem.Alloc(res); err != nil {
+		return nil, fmt.Errorf("twolevel: %w", err)
+	}
+	ovf, err := chainhash.Restore(model, fn, d)
+	if err != nil {
+		model.Mem.Release(res)
+		return nil, fmt.Errorf("twolevel: overflow table: %w", err)
+	}
+	dirty := make(map[int]struct{}, len(dirtyList))
+	for _, i := range dirtyList {
+		if i < 0 || i >= int64(len(homes)) {
+			ovf.Close()
+			model.Mem.Release(res)
+			return nil, fmt.Errorf("twolevel: restore: dirty bucket %d out of range", i)
+		}
+		dirty[int(i)] = struct{}{}
+	}
+	return &Table{
+		d:        model.Disk,
+		mem:      model.Mem,
+		fn:       fn,
+		homes:    homes,
+		overflow: ovf,
+		dirty:    dirty,
+		dirtyCap: dirtyCap,
+		n:        n,
+		memRes:   res,
+	}, nil
+}

@@ -1,0 +1,285 @@
+// Package wal implements the per-table write-ahead log of the
+// durability subsystem: a flat file of logical operation records
+// (insert/upsert/delete with key and value) appended before the table's
+// buffer absorbs each operation, fsynced at every Flush barrier, and
+// truncated once a checkpoint has made the logged state durable.
+//
+// Recovery contract (see DESIGN.md, "Durability & recovery"): on open
+// the log is scanned, each record validated by its CRC, and the valid
+// prefix returned for replay. Records carry log sequence numbers (LSNs)
+// so a replayer can skip operations a checkpoint already contains — the
+// window between a checkpoint commit and the log truncation that
+// follows it. A torn append (a crash mid-record) fails the CRC of the
+// final record and cleanly ends the scan: a half-written operation is
+// never replayed, so no operation half-applies.
+//
+// On-disk format, all little-endian:
+//
+//	header  [4 magic "EXWL"] [4 version] [8 firstLSN] [4 crc32(prev 16)]
+//	record  [1 op] [8 key] [8 val] [4 crc32(op|key|val|lsn)]
+//
+// The LSN of record i is firstLSN + i; including it in the record CRC
+// (without storing it) ties each record to its position, so stale bytes
+// from a previous log generation can never validate.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"extbuf/internal/iomodel"
+)
+
+// Op is a logged logical operation.
+type Op uint8
+
+// Logged operation kinds.
+const (
+	OpInsert Op = 1
+	OpUpsert Op = 2
+	OpDelete Op = 3
+)
+
+// Record is one recovered log entry.
+type Record struct {
+	LSN      uint64
+	Op       Op
+	Key, Val uint64
+}
+
+const (
+	magic       = 0x4c575845 // "EXWL"
+	version     = 1
+	headerBytes = 20
+	recordBytes = 21
+)
+
+// errCorruptHeader marks an existing log file whose header fails
+// validation. Within the crash model this only happens when a crash
+// tore the header write itself, and the protocol writes headers only at
+// points with zero live records (fresh creation, post-checkpoint
+// truncation) — so Open heals the log by resetting it rather than
+// failing recovery.
+var errCorruptHeader = errors.New("wal: corrupt log header")
+
+// Log is an open write-ahead log. Appends are buffered in memory;
+// Sync flushes and fsyncs them — an operation is durable only after
+// the Sync that follows its Append returns nil. Not safe for concurrent
+// use; the owning table serializes access.
+type Log struct {
+	f      iomodel.BlockFile
+	buf    []byte
+	next   uint64 // LSN of the next append
+	size   int64  // bytes durably part of the file (header + records)
+	failed error  // sticky first write failure
+}
+
+// Open opens (creating if absent) the log at path, scanning any
+// existing records. It returns the log positioned to append after the
+// valid prefix, and that prefix for replay. A non-nil crasher
+// interposes fault injection on the file. A torn trailing record is
+// discarded, and a missing or torn header resets the log to start at
+// firstLSN — the LSN after the owning checkpoint's last absorbed
+// operation, so healed logs stay aligned with the LSN filter.
+func Open(path string, crasher *iomodel.Crasher, firstLSN uint64) (*Log, []Record, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: open: %w", err)
+	}
+	var bf iomodel.BlockFile = f
+	if crasher != nil {
+		bf = crasher.WrapFile(bf)
+	}
+	l := &Log{f: bf}
+	recs, err := l.recover(firstLSN)
+	if errors.Is(err, errCorruptHeader) {
+		// A header torn by a crash: the protocol guarantees no live
+		// records behind it (headers are only written into empty logs).
+		recs, err = nil, l.reset(firstLSN)
+	}
+	if err != nil {
+		bf.Close()
+		return nil, nil, err
+	}
+	return l, recs, nil
+}
+
+// recover scans the file: parse the header (writing a fresh one into an
+// empty file), then validate records until the first CRC failure or
+// short read.
+func (l *Log) recover(firstLSN uint64) ([]Record, error) {
+	var hdr [headerBytes]byte
+	n, err := l.f.ReadAt(hdr[:], 0)
+	if err != nil && err != io.EOF {
+		return nil, fmt.Errorf("wal: read header: %w", err)
+	}
+	if n == 0 {
+		// Fresh log: write a header continuing the checkpoint's LSNs.
+		return nil, l.reset(firstLSN)
+	}
+	if n < headerBytes ||
+		binary.LittleEndian.Uint32(hdr[0:4]) != magic ||
+		binary.LittleEndian.Uint32(hdr[4:8]) != version ||
+		binary.LittleEndian.Uint32(hdr[16:20]) != crc32.ChecksumIEEE(hdr[:16]) {
+		return nil, fmt.Errorf("%w: %q", errCorruptHeader, l.f.Name())
+	}
+	first := binary.LittleEndian.Uint64(hdr[8:16])
+	l.next = first
+	l.size = headerBytes
+	var recs []Record
+	var rec [recordBytes]byte
+	for off := int64(headerBytes); ; off += recordBytes {
+		n, err := l.f.ReadAt(rec[:], off)
+		if err != nil && err != io.EOF {
+			return nil, fmt.Errorf("wal: read record: %w", err)
+		}
+		if n < recordBytes {
+			break // clean end, or a torn tail below record size
+		}
+		if !validate(rec[:], l.next) {
+			break // torn or stale record: drop it and everything after
+		}
+		recs = append(recs, Record{
+			LSN: l.next,
+			Op:  Op(rec[0]),
+			Key: binary.LittleEndian.Uint64(rec[1:9]),
+			Val: binary.LittleEndian.Uint64(rec[9:17]),
+		})
+		l.next++
+		l.size += recordBytes
+	}
+	return recs, nil
+}
+
+// validate checks a record's CRC against its position LSN.
+func validate(rec []byte, lsn uint64) bool {
+	var lsnb [8]byte
+	binary.LittleEndian.PutUint64(lsnb[:], lsn)
+	h := crc32.NewIEEE()
+	h.Write(rec[:17])
+	h.Write(lsnb[:])
+	return binary.LittleEndian.Uint32(rec[17:21]) == h.Sum32()
+}
+
+// NextLSN returns the LSN the next Append will receive.
+func (l *Log) NextLSN() uint64 { return l.next }
+
+// Append logs one operation and returns its LSN. The record is
+// buffered; it is durable only after the next successful Sync. The
+// buffer is spilled to the file before the new record is added — never
+// after — so the newest record is always still in memory and Rollback
+// can retract it.
+func (l *Log) Append(op Op, key, val uint64) (uint64, error) {
+	if l.failed != nil {
+		return 0, l.failed
+	}
+	// Bound the append buffer: spill a page's worth to the file
+	// (without fsync) before admitting the next record. Partial spills
+	// are safe — each record carries its own CRC, so a crash tears at
+	// most the last record.
+	if len(l.buf) >= 4096 {
+		if err := l.spill(); err != nil {
+			return 0, err
+		}
+	}
+	lsn := l.next
+	var rec [recordBytes]byte
+	rec[0] = byte(op)
+	binary.LittleEndian.PutUint64(rec[1:9], key)
+	binary.LittleEndian.PutUint64(rec[9:17], val)
+	var lsnb [8]byte
+	binary.LittleEndian.PutUint64(lsnb[:], lsn)
+	h := crc32.NewIEEE()
+	h.Write(rec[:17])
+	h.Write(lsnb[:])
+	binary.LittleEndian.PutUint32(rec[17:21], h.Sum32())
+	l.buf = append(l.buf, rec[:]...)
+	l.next++
+	return lsn, nil
+}
+
+// Rollback retracts the most recently appended record, which Append
+// guarantees is still buffered. The write-ahead discipline logs before
+// applying; when the apply fails and the caller is told so, the record
+// must not survive to be replayed as if the operation had happened.
+func (l *Log) Rollback() {
+	if len(l.buf) >= recordBytes {
+		l.buf = l.buf[:len(l.buf)-recordBytes]
+		l.next--
+	}
+}
+
+// spill writes the buffered records at the end of the file without
+// fsyncing them.
+func (l *Log) spill() error {
+	if l.failed != nil {
+		return l.failed
+	}
+	if len(l.buf) == 0 {
+		return nil
+	}
+	n, err := l.f.WriteAt(l.buf, l.size)
+	l.size += int64(n)
+	if err != nil {
+		l.failed = fmt.Errorf("wal: append: %w", err)
+		return l.failed
+	}
+	l.buf = l.buf[:0]
+	return nil
+}
+
+// Sync makes every appended record durable: spill the buffer and fsync.
+func (l *Log) Sync() error {
+	if err := l.spill(); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	return nil
+}
+
+// Reset truncates the log after a checkpoint commit: all records are
+// discarded and the next append receives firstLSN. The truncation is
+// not fsynced — if a crash resurrects the old records, every one of
+// them carries an LSN at or below the new checkpoint's and is skipped
+// by the replay filter; the next Sync barrier makes the reset durable.
+func (l *Log) Reset(firstLSN uint64) error {
+	if l.failed != nil {
+		return l.failed
+	}
+	l.buf = l.buf[:0]
+	return l.reset(firstLSN)
+}
+
+func (l *Log) reset(firstLSN uint64) error {
+	if err := l.f.Truncate(0); err != nil {
+		l.failed = fmt.Errorf("wal: truncate: %w", err)
+		return l.failed
+	}
+	var hdr [headerBytes]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], magic)
+	binary.LittleEndian.PutUint32(hdr[4:8], version)
+	binary.LittleEndian.PutUint64(hdr[8:16], firstLSN)
+	binary.LittleEndian.PutUint32(hdr[16:20], crc32.ChecksumIEEE(hdr[:16]))
+	if _, err := l.f.WriteAt(hdr[:], 0); err != nil {
+		l.failed = fmt.Errorf("wal: write header: %w", err)
+		return l.failed
+	}
+	l.next = firstLSN
+	l.size = headerBytes
+	return nil
+}
+
+// Close flushes buffered records (without fsync) and closes the file.
+func (l *Log) Close() error {
+	err := l.spill()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

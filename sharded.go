@@ -106,7 +106,13 @@ type shardReq struct {
 // Backends shard too: with Backend "file" each shard persists to its own
 // file — cfg.Path plus a ".shardNNN" suffix (or a private temp file when
 // Path is empty) — modeling S independent spindles that seek in
-// parallel, just as each shard owns an independent memory budget.
+// parallel, just as each shard owns an independent memory budget. A
+// named Path makes every shard durable (its own write-ahead log and
+// checkpoint; see Config.Path): NewSharded on an existing Path reopens
+// and recovers every shard before any worker starts serving — the
+// recovery barrier — and refuses a shard count different from the one
+// recorded in the shards' superblocks (ErrSuperblockMismatch), since
+// the key partition depends on it.
 func NewSharded(structure string, cfg Config, shards int) (*Sharded, error) {
 	if shards < 1 {
 		return nil, fmt.Errorf("extbuf: shards must be >= 1, got %d", shards)
@@ -136,6 +142,8 @@ func NewSharded(structure string, cfg Config, shards int) (*Sharded, error) {
 		scfg.ExpectedItems = cfg.ExpectedItems/n + 1
 		if scfg.Path != "" {
 			scfg.Path = fmt.Sprintf("%s.shard%03d", cfg.Path, i)
+			scfg.shardCount = n
+			scfg.shardIndex = i
 		}
 		tab, err := Open(structure, scfg)
 		if err != nil {
