@@ -1,0 +1,171 @@
+// Steady-state allocation contract: once a table has reached its
+// working-set shape, the per-operation path — hash, chain walk, block
+// read/write-back through the store — allocates nothing on the mem
+// backend. Disk-owned scratch buffers (iomodel.Disk.AcquireBuf), the
+// pinned zero-copy read path (Disk.ReadPinned) and the preallocated
+// buffer-pool arena are what make this hold; these tests gate it so a
+// future change cannot quietly reintroduce per-op garbage.
+package extbuf_test
+
+import (
+	"testing"
+
+	"extbuf"
+	"extbuf/internal/workload"
+	"extbuf/internal/xrand"
+)
+
+// steadyTable builds a populated table of the given structure on the
+// mem backend, with keys to exercise.
+func steadyTable(t testing.TB, structure string, n int) (extbuf.Table, []uint64) {
+	cfg := extbuf.Config{BlockSize: 64, MemoryWords: 1024, Beta: 8,
+		ExpectedItems: n, Seed: 17}
+	if structure == "extendible" {
+		cfg.MemoryWords = int64(8*n/64 + 4096)
+	}
+	tab, err := extbuf.Open(structure, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := workload.Keys(xrand.New(23), n)
+	for i, k := range keys {
+		if err := tab.Insert(k, uint64(i)); err != nil {
+			tab.Close()
+			t.Fatal(err)
+		}
+	}
+	return tab, keys
+}
+
+// TestSteadyStateZeroAllocs is the acceptance gate: overwrites and
+// lookups on a warmed mem-backend table run allocation-free.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	cases := []struct {
+		structure string
+		op        string
+	}{
+		{"knuth", "upsert"},
+		{"knuth", "lookup"},
+		{"linprobe", "lookup"},
+		{"twolevel", "lookup"},
+		{"extendible", "lookup"},
+		{"buffered", "lookup"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.structure+"/"+tc.op, func(t *testing.T) {
+			tab, keys := steadyTable(t, tc.structure, 20000)
+			defer tab.Close()
+			i := 0
+			var run func()
+			switch tc.op {
+			case "upsert":
+				run = func() {
+					k := keys[i%len(keys)]
+					i++
+					if err := tab.Upsert(k, uint64(i)); err != nil {
+						t.Fatal(err)
+					}
+				}
+			case "lookup":
+				run = func() {
+					k := keys[i%len(keys)]
+					i++
+					if _, ok := tab.Lookup(k); !ok {
+						t.Fatal("lost key")
+					}
+				}
+			}
+			run() // warm the disk scratch freelist
+			if allocs := testing.AllocsPerRun(400, run); allocs != 0 {
+				t.Fatalf("steady-state %s %s: %.2f allocs/op, want 0",
+					tc.structure, tc.op, allocs)
+			}
+		})
+	}
+}
+
+// --- Steady-state micro-benchmarks (the CI alloc gate watches these) ---
+
+// BenchmarkSteadyStateUpsert measures the warmed overwrite path with
+// allocation reporting: 0 allocs/op on the mem backend.
+func BenchmarkSteadyStateUpsert(b *testing.B) {
+	for _, structure := range []string{"knuth", "twolevel"} {
+		b.Run(structure, func(b *testing.B) {
+			tab, keys := steadyTable(b, structure, 50000)
+			defer tab.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := tab.Upsert(keys[i%len(keys)], uint64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSteadyStateLookup measures the warmed read path with
+// allocation reporting: 0 allocs/op on the mem backend.
+func BenchmarkSteadyStateLookup(b *testing.B) {
+	for _, structure := range []string{"knuth", "buffered"} {
+		b.Run(structure, func(b *testing.B) {
+			tab, keys := steadyTable(b, structure, 50000)
+			defer tab.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := tab.Lookup(keys[i%len(keys)]); !ok {
+					b.Fatal("lost key")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSteadyStateEngineOps measures the sharded engine's pooled
+// single-op and batch submission paths with allocation reporting. The
+// batch path amortizes its per-batch bookkeeping over the pooled
+// request scratch, so allocs/op rounds to 0 at batch 256.
+func BenchmarkSteadyStateEngineOps(b *testing.B) {
+	for _, c := range []struct {
+		name  string
+		batch int
+	}{{"single", 1}, {"batch256", 256}} {
+		b.Run(c.name, func(b *testing.B) {
+			s, err := extbuf.NewSharded("knuth", extbuf.Config{
+				BlockSize: 64, MemoryWords: 1024, ExpectedItems: 50000, Seed: 29,
+			}, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			keys := workload.Keys(xrand.New(31), 50000)
+			vals := make([]uint64, len(keys))
+			kc := workload.Chunks(keys, c.batch)
+			vc := workload.Chunks(vals, c.batch)
+			for i := range kc {
+				if err := s.UpsertBatch(kc[i], vc[i]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			if c.batch == 1 {
+				for i := 0; i < b.N; i++ {
+					if err := s.Upsert(keys[i%len(keys)], uint64(i)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			} else {
+				for done := 0; done < b.N; {
+					chunk := kc[(done/c.batch)%len(kc)]
+					vchunk := vc[(done/c.batch)%len(vc)]
+					if err := s.UpsertBatch(chunk, vchunk); err != nil {
+						b.Fatal(err)
+					}
+					done += len(chunk)
+				}
+			}
+		})
+	}
+}

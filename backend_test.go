@@ -68,6 +68,17 @@ func TestBackendCountersIdentical(t *testing.T) {
 	if got := run(durable); got != want {
 		t.Fatalf("durable file backend counters %+v, mem %+v", got, want)
 	}
+
+	// Extreme cache pressure: a 2-frame buffer pool evicts on nearly
+	// every access (CLOCK sweeps, dirty write-backs, re-faults), yet the
+	// model counters must stay bit-identical — eviction is a cost-layer
+	// invisible mechanism.
+	tiny := base
+	tiny.Backend = "file"
+	tiny.CacheBlocks = 2
+	if got := run(tiny); got != want {
+		t.Fatalf("2-frame file backend counters %+v, mem %+v", got, want)
+	}
 }
 
 func TestFileBackendPersistsToPath(t *testing.T) {

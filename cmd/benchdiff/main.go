@@ -1,18 +1,25 @@
 // Command benchdiff gates CI on benchmark regressions: it parses two
 // `go test -bench` outputs (the PR head and the merge base), pairs
-// benchmarks by name, and compares per-benchmark median ns/op. The
-// geometric mean of the new/old ratios is the verdict: above the
-// threshold (default +10%) the command writes its JSON report and exits
-// nonzero, failing the job. benchstat renders the human-readable
-// comparison in the same CI job; benchdiff exists because benchstat has
-// no machine-checkable pass/fail threshold.
+// benchmarks by name, and compares per-benchmark median ns/op and
+// allocs/op. The geometric mean of the new/old ratios is the verdict —
+// one geomean per metric: above the threshold (default +10%) on either,
+// the command writes its JSON report and exits nonzero, failing the
+// job. benchstat renders the human-readable comparison in the same CI
+// job; benchdiff exists because benchstat has no machine-checkable
+// pass/fail threshold.
+//
+// Allocation ratios are smoothed as (new+1)/(old+1): zero-allocation
+// benchmarks pair cleanly (0 vs 0 → ratio 1), and a benchmark sliding
+// from 0 to 1 alloc/op registers as a 2x regression instead of a
+// division by zero. allocs/op requires running the benchmarks with
+// -benchmem; without it only ns/op is gated.
 //
 // Usage:
 //
 //	benchdiff -old main.txt -new pr.txt [-out BENCH.json] [-threshold 0.10]
 //
 // Benchmarks present in only one file are reported but excluded from
-// the geomean, so adding or removing benchmarks never trips the gate.
+// the geomeans, so adding or removing benchmarks never trips the gate.
 package main
 
 import (
@@ -35,7 +42,7 @@ func main() {
 		oldPath   = flag.String("old", "", "baseline `go test -bench` output (required)")
 		newPath   = flag.String("new", "", "candidate `go test -bench` output (required)")
 		outPath   = flag.String("out", "", "write the JSON report here (default: stdout only)")
-		threshold = flag.Float64("threshold", 0.10, "fail when geomean ns/op grows by more than this fraction")
+		threshold = flag.Float64("threshold", 0.10, "fail when geomean ns/op or allocs/op grows by more than this fraction")
 	)
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" {
@@ -64,16 +71,28 @@ func main() {
 		}
 	}
 	if rep.Regression {
-		log.Fatalf("geomean ns/op ratio %.4f exceeds 1+%.2f", rep.Geomean, *threshold)
+		log.Fatalf("geomean ratio exceeds 1+%.2f (ns/op %.4f, allocs/op %.4f)",
+			*threshold, rep.Geomean, rep.AllocGeomean)
 	}
+}
+
+// samples accumulates one benchmark's repetitions per metric.
+type samples struct {
+	ns     []float64
+	allocs []float64
 }
 
 // Benchmark is one paired benchmark's comparison.
 type Benchmark struct {
-	Name  string  `json:"name"`
-	OldNs float64 `json:"old_ns_per_op"`
-	NewNs float64 `json:"new_ns_per_op"`
-	Ratio float64 `json:"ratio"` // new/old; > 1 is a slowdown
+	Name      string  `json:"name"`
+	OldNs     float64 `json:"old_ns_per_op"`
+	NewNs     float64 `json:"new_ns_per_op"`
+	Ratio     float64 `json:"ratio"` // new/old ns; > 1 is a slowdown
+	OldAllocs float64 `json:"old_allocs_per_op,omitempty"`
+	NewAllocs float64 `json:"new_allocs_per_op,omitempty"`
+	// AllocRatio is (new+1)/(old+1); > 1 means more allocation. Zero
+	// when either side lacks -benchmem output.
+	AllocRatio float64 `json:"alloc_ratio,omitempty"`
 }
 
 // Report is the JSON artifact benchdiff emits.
@@ -82,21 +101,25 @@ type Report struct {
 	OldOnly    []string    `json:"old_only,omitempty"`
 	NewOnly    []string    `json:"new_only,omitempty"`
 	Geomean    float64     `json:"geomean_ratio"`
-	Threshold  float64     `json:"threshold"`
-	Regression bool        `json:"regression"`
+	// AllocGeomean is the geometric mean of the smoothed allocs/op
+	// ratios across benchmarks with -benchmem output on both sides
+	// (1.0 when there are none).
+	AllocGeomean float64 `json:"alloc_geomean_ratio"`
+	Threshold    float64 `json:"threshold"`
+	Regression   bool    `json:"regression"`
 }
 
-// parseBench extracts ns/op samples per benchmark name from a
-// `go test -bench` output file. Repetitions (-count) accumulate under
-// one name; the trailing -GOMAXPROCS suffix stays part of the name
-// since both files run on the same CI runner shape.
-func parseBench(path string) (map[string][]float64, error) {
+// parseBench extracts ns/op and allocs/op samples per benchmark name
+// from a `go test -bench` output file. Repetitions (-count) accumulate
+// under one name; the trailing -GOMAXPROCS suffix stays part of the
+// name since both files run on the same CI runner shape.
+func parseBench(path string) (map[string]*samples, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	runs := make(map[string][]float64)
+	runs := make(map[string]*samples)
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -104,17 +127,38 @@ func parseBench(path string) (map[string][]float64, error) {
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
-		// Layout: name iterations {value unit}...
+		// Layout: name iterations {value unit}... A recognized unit
+		// with an unparseable value is a corrupt file and must fail
+		// loudly — silently dropping the line would quietly exclude
+		// the benchmark from the gate.
+		var ns, allocs float64
+		var haveNs, haveAllocs bool
 		for i := 2; i+1 < len(fields); i += 2 {
-			if fields[i+1] != "ns/op" {
+			unit := fields[i+1]
+			if unit != "ns/op" && unit != "allocs/op" {
 				continue
 			}
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
-				return nil, fmt.Errorf("%s: bad ns/op in %q: %w", path, sc.Text(), err)
+				return nil, fmt.Errorf("%s: bad %s in %q: %w", path, unit, sc.Text(), err)
 			}
-			runs[fields[0]] = append(runs[fields[0]], v)
-			break
+			if unit == "ns/op" {
+				ns, haveNs = v, true
+			} else {
+				allocs, haveAllocs = v, true
+			}
+		}
+		if !haveNs {
+			continue
+		}
+		s := runs[fields[0]]
+		if s == nil {
+			s = &samples{}
+			runs[fields[0]] = s
+		}
+		s.ns = append(s.ns, ns)
+		if haveAllocs {
+			s.allocs = append(s.allocs, allocs)
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -139,7 +183,7 @@ func median(xs []float64) float64 {
 }
 
 // compare pairs the two run sets and renders the verdict.
-func compare(oldRuns, newRuns map[string][]float64, threshold float64) Report {
+func compare(oldRuns, newRuns map[string]*samples, threshold float64) Report {
 	rep := Report{Threshold: threshold}
 	names := make([]string, 0, len(oldRuns))
 	for name := range oldRuns {
@@ -147,21 +191,32 @@ func compare(oldRuns, newRuns map[string][]float64, threshold float64) Report {
 	}
 	sort.Strings(names)
 	logSum, pairs := 0.0, 0
+	allocLogSum, allocPairs := 0.0, 0
 	for _, name := range names {
-		if _, ok := newRuns[name]; !ok {
+		nr, ok := newRuns[name]
+		if !ok {
 			rep.OldOnly = append(rep.OldOnly, name)
 			continue
 		}
-		o, n := median(oldRuns[name]), median(newRuns[name])
+		or := oldRuns[name]
+		o, n := median(or.ns), median(nr.ns)
 		ratio := math.Inf(1)
 		if o > 0 {
 			ratio = n / o
 		}
-		rep.Benchmarks = append(rep.Benchmarks, Benchmark{Name: name, OldNs: o, NewNs: n, Ratio: ratio})
+		b := Benchmark{Name: name, OldNs: o, NewNs: n, Ratio: ratio}
 		if o > 0 && n > 0 {
 			logSum += math.Log(ratio)
 			pairs++
 		}
+		if len(or.allocs) > 0 && len(nr.allocs) > 0 {
+			b.OldAllocs = median(or.allocs)
+			b.NewAllocs = median(nr.allocs)
+			b.AllocRatio = (b.NewAllocs + 1) / (b.OldAllocs + 1)
+			allocLogSum += math.Log(b.AllocRatio)
+			allocPairs++
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
 	}
 	for name := range newRuns {
 		if _, ok := oldRuns[name]; !ok {
@@ -173,6 +228,10 @@ func compare(oldRuns, newRuns map[string][]float64, threshold float64) Report {
 	if pairs > 0 {
 		rep.Geomean = math.Exp(logSum / float64(pairs))
 	}
-	rep.Regression = rep.Geomean > 1+threshold
+	rep.AllocGeomean = 1.0
+	if allocPairs > 0 {
+		rep.AllocGeomean = math.Exp(allocLogSum / float64(allocPairs))
+	}
+	rep.Regression = rep.Geomean > 1+threshold || rep.AllocGeomean > 1+threshold
 	return rep
 }

@@ -16,10 +16,10 @@ func writeBench(t *testing.T, name, body string) string {
 }
 
 const oldOut = `goos: linux
-BenchmarkInsert/buffered-8   	  100000	      1000 ns/op	       0.55 diskIOs/op
-BenchmarkInsert/buffered-8   	  100000	      1200 ns/op	       0.55 diskIOs/op
-BenchmarkInsert/buffered-8   	  100000	      1100 ns/op	       0.55 diskIOs/op
-BenchmarkLookup/knuth-8      	  200000	       500 ns/op
+BenchmarkInsert/buffered-8   	  100000	      1000 ns/op	       0.55 diskIOs/op	     512 B/op	       3 allocs/op
+BenchmarkInsert/buffered-8   	  100000	      1200 ns/op	       0.55 diskIOs/op	     512 B/op	       3 allocs/op
+BenchmarkInsert/buffered-8   	  100000	      1100 ns/op	       0.55 diskIOs/op	     512 B/op	       3 allocs/op
+BenchmarkLookup/knuth-8      	  200000	       500 ns/op	       0 B/op	       0 allocs/op
 BenchmarkRemoved-8           	  100000	       700 ns/op
 PASS
 `
@@ -29,11 +29,18 @@ func TestParseBench(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := len(runs["BenchmarkInsert/buffered-8"]); got != 3 {
+	if got := len(runs["BenchmarkInsert/buffered-8"].ns); got != 3 {
 		t.Fatalf("reps = %d, want 3", got)
 	}
-	if m := median(runs["BenchmarkInsert/buffered-8"]); m != 1100 {
+	if m := median(runs["BenchmarkInsert/buffered-8"].ns); m != 1100 {
 		t.Fatalf("median = %v, want 1100", m)
+	}
+	if m := median(runs["BenchmarkInsert/buffered-8"].allocs); m != 3 {
+		t.Fatalf("allocs median = %v, want 3", m)
+	}
+	// A benchmark run without -benchmem still pairs on ns/op.
+	if got := len(runs["BenchmarkRemoved-8"].allocs); got != 0 {
+		t.Fatalf("allocs samples without -benchmem = %d, want 0", got)
 	}
 	if _, err := parseBench(writeBench(t, "empty.txt", "PASS\n")); err == nil {
 		t.Fatal("empty file accepted")
@@ -52,17 +59,23 @@ func TestCompareVerdicts(t *testing.T) {
 		fail    bool
 	}{
 		{"improvement", `
-BenchmarkInsert/buffered-8    100000    900 ns/op    0.5 diskIOs/op
-BenchmarkLookup/knuth-8       200000    450 ns/op
+BenchmarkInsert/buffered-8    100000    900 ns/op    0.5 diskIOs/op    512 B/op    3 allocs/op
+BenchmarkLookup/knuth-8       200000    450 ns/op    0 B/op    0 allocs/op
 `, 0.85, false},
 		{"regression", `
-BenchmarkInsert/buffered-8    100000    1500 ns/op    0.5 diskIOs/op
-BenchmarkLookup/knuth-8       200000    700 ns/op
+BenchmarkInsert/buffered-8    100000    1500 ns/op    0.5 diskIOs/op    512 B/op    3 allocs/op
+BenchmarkLookup/knuth-8       200000    700 ns/op    0 B/op    0 allocs/op
 `, 1.38, true},
 		{"within threshold", `
-BenchmarkInsert/buffered-8    100000    1150 ns/op    0.5 diskIOs/op
-BenchmarkLookup/knuth-8       200000    520 ns/op
+BenchmarkInsert/buffered-8    100000    1150 ns/op    0.5 diskIOs/op    512 B/op    3 allocs/op
+BenchmarkLookup/knuth-8       200000    520 ns/op    0 B/op    0 allocs/op
 `, 1.04, false},
+		// ns/op flat but allocations exploded: the alloc geomean alone
+		// must trip the gate ((4+1)/(3+1) and (2+1)/(0+1) → geomean ~1.94).
+		{"alloc regression", `
+BenchmarkInsert/buffered-8    100000    1000 ns/op    0.5 diskIOs/op    900 B/op    4 allocs/op
+BenchmarkLookup/knuth-8       200000    500 ns/op    64 B/op    2 allocs/op
+`, 1.0, true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

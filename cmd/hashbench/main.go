@@ -30,6 +30,11 @@
 //	          [-backend mem|file|latency] [-path FILE] [-cache 512]
 //	          [-seek 4ms] [-xfer 100us]
 //	          [-workers 8] [-batch 256] [-flush sync|async]
+//	          [-cpuprofile cpu.out] [-memprofile mem.out]
+//
+// Every mode reports an allocs/op column (runtime allocation counters
+// around the measured loops), and -cpuprofile/-memprofile write pprof
+// profiles so perf work needs no code edits.
 //
 // Structures: chainhash, linprobe, exthash, linhash, twolevel,
 // logmethod, core, staged (-workers mode accepts the extbuf.Open
@@ -41,6 +46,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"extbuf"
@@ -82,12 +89,16 @@ func main() {
 		batch     = flag.Int("batch", 1, "sharded engine: operations per batch")
 		fpolicy   = flag.String("flush", extbuf.FlushSync, "sharded engine: flush policy (sync or async)")
 		reopen    = flag.Bool("reopen", false, "durability mode: build, flush and close a durable table, then measure reopen/recovery time (requires -backend file and -path)")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the measured run to this file")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	flag.Parse()
+	startProfiles(*cpuProf, *memProf)
+	defer stopProfiles()
 
 	if *reopen {
 		if *backend != "file" || *path == "" {
-			log.Fatal("-reopen requires -backend file and a named -path (durable mode)")
+			fatalf("-reopen requires -backend file and a named -path (durable mode)")
 		}
 		runReopen(*structure, extbuf.Config{
 			BlockSize:     *b,
@@ -200,28 +211,32 @@ func main() {
 		lookup = func(k uint64) bool { _, ok, _ := tab.Lookup(k); return ok }
 		subject = tab
 	default:
-		log.Fatalf("unknown structure %q", *structure)
+		fatalf("unknown structure %q", *structure)
 	}
 
 	keys := workload.Keys(rng, *n)
 	c0 := model.Counters()
+	a0 := allocSnapshot()
 	insStart := time.Now()
 	for _, k := range keys {
 		fatal(insert(k))
 	}
 	insWall := time.Since(insStart)
+	insAllocs := a0.perOp(*n)
 	ins := model.Counters().Sub(c0)
 
 	qs := workload.SuccessfulQueries(rng, keys, *n, *q)
 	c1 := model.Counters()
+	a1 := allocSnapshot()
 	qryStart := time.Now()
 	for _, k := range qs {
 		if !lookup(k) {
 			cleanup()
-			log.Fatalf("lost key %d", k)
+			fatalf("lost key %d", k)
 		}
 	}
 	qryWall := time.Since(qryStart)
+	qryAllocs := a1.perOp(len(qs))
 	qry := model.Counters().Sub(c1)
 
 	// Snapshot the backend's real-cost rows before the zone audit: Audit
@@ -240,6 +255,8 @@ func main() {
 	t.AddRow("avg successful lookup I/Os", float64(qry.IOs())/float64(len(qs)))
 	t.AddRow("insert wall µs/op", float64(insWall.Microseconds())/float64(*n))
 	t.AddRow("lookup wall µs/op", float64(qryWall.Microseconds())/float64(len(qs)))
+	t.AddRow("insert allocs/op", insAllocs)
+	t.AddRow("lookup allocs/op", qryAllocs)
 	t.AddRow("zone |M|", rep.M)
 	t.AddRow("zone |F|", rep.F)
 	t.AddRow("zone |S|", rep.S)
@@ -259,7 +276,7 @@ func main() {
 // model's aggregated I/O counters.
 func runEngine(structure string, cfg extbuf.Config, workers, batch, n, q int) {
 	if batch < 1 {
-		log.Fatalf("batch must be >= 1, got %d", batch)
+		fatalf("batch must be >= 1, got %d", batch)
 	}
 	s, err := extbuf.NewSharded(structure, cfg, workers)
 	if err != nil {
@@ -284,39 +301,43 @@ func runEngine(structure string, cfg extbuf.Config, workers, batch, n, q int) {
 	valChunks := workload.Chunks(vals, batch)
 
 	c0 := s.Stats()
+	a0 := allocSnapshot()
 	insStart := time.Now()
 	for i := range keyChunks {
 		if err := s.InsertBatch(keyChunks[i], valChunks[i]); err != nil {
-			log.Fatalf("insert batch %d: %v", i, err)
+			fatalf("insert batch %d: %v", i, err)
 		}
 	}
 	// Under async write-behind the inserts may still be in flight;
 	// Flush is the completion barrier, so it belongs inside the clock.
 	if err := s.Flush(); err != nil {
-		log.Fatalf("flush: %v", err)
+		fatalf("flush: %v", err)
 	}
 	insWall := time.Since(insStart)
+	insAllocs := a0.perOp(n)
 	ins := sub(s.Stats(), c0)
 
 	qs := workload.SuccessfulQueries(rng, keys, n, q)
 	c1 := s.Stats()
+	a1 := allocSnapshot()
 	qryStart := time.Now()
 	for i, chunk := range workload.Chunks(qs, batch) {
 		_, found, err := s.LookupBatch(chunk)
 		if err != nil {
-			log.Fatalf("lookup batch %d: %v", i, err)
+			fatalf("lookup batch %d: %v", i, err)
 		}
 		for j, ok := range found {
 			if !ok {
-				log.Fatalf("lookup batch %d: lost key %d", i, chunk[j])
+				fatalf("lookup batch %d: lost key %d", i, chunk[j])
 			}
 		}
 	}
 	qryWall := time.Since(qryStart)
+	qryAllocs := a1.perOp(len(qs))
 	qry := sub(s.Stats(), c1)
 
 	if got := s.Len(); got != n {
-		log.Fatalf("Len = %d, want %d", got, n)
+		fatalf("Len = %d, want %d", got, n)
 	}
 
 	t := tablefmt.New(fmt.Sprintf("%s: b=%d m=%d n=%d backend=%s workers=%d batch=%d flush=%s",
@@ -327,6 +348,8 @@ func runEngine(structure string, cfg extbuf.Config, workers, batch, n, q int) {
 	t.AddRow("lookup throughput ops/s", float64(len(qs))/qryWall.Seconds())
 	t.AddRow("insert wall µs/op", float64(insWall.Microseconds())/float64(n))
 	t.AddRow("lookup wall µs/op", float64(qryWall.Microseconds())/float64(len(qs)))
+	t.AddRow("insert allocs/op", insAllocs)
+	t.AddRow("lookup allocs/op", qryAllocs)
 	t.AddRow("amortized insert I/Os", float64(ins.IOs())/float64(n))
 	t.AddRow("  reads", float64(ins.Reads)/float64(n))
 	t.AddRow("  cold writes", float64(ins.Writes)/float64(n))
@@ -337,7 +360,7 @@ func runEngine(structure string, cfg extbuf.Config, workers, batch, n, q int) {
 
 	closed = true
 	if err := s.Close(); err != nil {
-		log.Fatalf("close: %v", err)
+		fatalf("close: %v", err)
 	}
 }
 
@@ -399,13 +422,13 @@ func runReopen(structure string, cfg extbuf.Config, workers, batch, n, q int) {
 	e = open()
 	reopenWall := time.Since(reopenStart)
 	if got := e.Len(); got != n {
-		log.Fatalf("reopen lost items: Len = %d, want %d", got, n)
+		fatalf("reopen lost items: Len = %d, want %d", got, n)
 	}
 	qs := workload.SuccessfulQueries(rng, keys, n, q)
 	qryStart := time.Now()
 	for i, k := range qs {
 		if _, ok := e.Lookup(k); !ok {
-			log.Fatalf("reopen lost key %d (query %d)", k, i)
+			fatalf("reopen lost key %d (query %d)", k, i)
 		}
 	}
 	qryWall := time.Since(qryStart)
@@ -458,7 +481,7 @@ func openStore(backend string, b int, path string, cache int, seek, xfer time.Du
 		return iomodel.NewLatencyStore(iomodel.NewMemStore(b),
 			iomodel.LatencyConfig{Seek: seek, Transfer: xfer})
 	default:
-		log.Fatalf("unknown backend %q (want mem, file or latency)", backend)
+		fatalf("unknown backend %q (want mem, file or latency)", backend)
 		return nil
 	}
 }
@@ -479,6 +502,11 @@ func backendStatRows(store iomodel.BlockStore) []statRow {
 			{"file: pwrite syscalls", st.WriteSyscalls},
 			{"file: cache hits", st.CacheHits},
 			{"file: cache misses", st.CacheMisses},
+			{"file: pool evictions", st.Evictions},
+			{"file: dirty writebacks", st.DirtyWritebacks},
+			{"file: flush frames", st.FlushedFrames},
+			{"file: flush runs (coalesced)", st.FlushRuns},
+			{"file: fsyncs", st.Fsyncs},
 			{"file: MB read", float64(st.BytesRead) / (1 << 20)},
 			{"file: MB written", float64(st.BytesWritten) / (1 << 20)},
 		}
@@ -497,7 +525,83 @@ var cleanup = func() {}
 
 func fatal(err error) {
 	if err != nil {
-		cleanup()
-		log.Fatal(err)
+		fatalf("%v", err)
 	}
+}
+
+// fatalf is log.Fatalf behind the run's teardown: log.Fatal skips
+// defers, so the store cleanup and profile finalization run here —
+// a -cpuprofile of a failing run is still written.
+func fatalf(format string, args ...any) {
+	cleanup()
+	stopProfiles()
+	log.Fatalf(format, args...)
+}
+
+// stopProfiles finalizes any profiles started by startProfiles. It is
+// safe to call more than once (fatal paths call it before log.Fatal,
+// which skips defers).
+var stopProfiles = func() {}
+
+// startProfiles begins CPU profiling and/or arranges a heap profile at
+// exit, so perf work on this binary needs no code edits:
+//
+//	hashbench -cpuprofile cpu.out -memprofile mem.out ...
+//	go tool pprof cpu.out
+func startProfiles(cpuPath, memPath string) {
+	var stops []func()
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if memPath != "" {
+		stops = append(stops, func() {
+			f, err := os.Create(memPath)
+			if err != nil {
+				log.Printf("memprofile: %v", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("memprofile: %v", err)
+			}
+		})
+	}
+	done := false
+	stopProfiles = func() {
+		if done {
+			return
+		}
+		done = true
+		for _, stop := range stops {
+			stop()
+		}
+	}
+}
+
+// allocCounter samples runtime allocation counters so each measured
+// phase can report a real allocs/op column next to its wall clock.
+type allocCounter struct{ mallocs uint64 }
+
+func allocSnapshot() allocCounter {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return allocCounter{mallocs: ms.Mallocs}
+}
+
+// perOp returns the allocations per operation since the snapshot.
+func (c allocCounter) perOp(ops int) float64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return float64(ms.Mallocs-c.mallocs) / float64(ops)
 }

@@ -22,14 +22,15 @@ import (
 //
 //   - Every mutation is appended to the WAL before the structure
 //     absorbs it (buffered; not yet durable).
-//   - Flush is the acknowledgement barrier: (1) fsync the WAL — every
+//   - Flush is the acknowledgement barrier: (1) spill the WAL and (2)
+//     flush dirty blocks copy-on-write (coalesced into runs of adjacent
+//     slots) — slots referenced by the previous checkpoint are never
+//     overwritten (iomodel.FileStore durable mode) — then fsync both
+//     files concurrently through the shared group committer: every
 //     operation so far is now recoverable against the PREVIOUS
-//     checkpoint; (2) flush dirty blocks copy-on-write and fsync the
-//     block file — slots referenced by the previous checkpoint are
-//     never overwritten (iomodel.FileStore durable mode); (3) write the
-//     new superblock+checkpoint to a temp file, fsync, and atomically
-//     rename it over Path + ".ckpt"; (4) commit the copy-on-write
-//     epoch and truncate the WAL.
+//     checkpoint; (3) write the new superblock+checkpoint to a temp
+//     file, fsync, and atomically rename it over Path + ".ckpt"; (4)
+//     commit the copy-on-write epoch and truncate the WAL.
 //   - A crash strictly before (3)'s rename leaves the previous
 //     checkpoint and a WAL holding every operation since it. A crash
 //     after the rename leaves the new checkpoint, whose recorded LSN
@@ -77,6 +78,8 @@ type durableTable struct {
 	cfg       Config // effective configuration (post-merge, post-defaults)
 	structure string
 	crasher   *iomodel.Crasher
+	committer *wal.Committer // shared across shards by NewSharded
+	enc       ckpt.Encoder   // reused checkpoint encode buffer
 }
 
 // openDurable creates or recovers the durable table at cfg.Path.
@@ -151,6 +154,10 @@ func openDurable(structure string, cfg Config) (*durableTable, error) {
 			inner.Delete(r.Key)
 		}
 	}
+	committer := cfg.committer
+	if committer == nil {
+		committer = wal.NewCommitter(2)
+	}
 	return &durableTable{
 		inner:     inner,
 		store:     store,
@@ -158,6 +165,7 @@ func openDurable(structure string, cfg Config) (*durableTable, error) {
 		cfg:       cfg,
 		structure: structure,
 		crasher:   crasher,
+		committer: committer,
 	}, nil
 }
 
@@ -323,20 +331,32 @@ func (d *durableTable) Close() error {
 }
 
 // checkpoint runs the four-step commit protocol described at the top of
-// the file.
+// the file. The writes of steps (1) and (2) are issued first — in a
+// deterministic order, so crash injection can replay a failure — and
+// their fsyncs then run concurrently through the shared group
+// committer: neither file's durability depends on the other's (copy-on-
+// write keeps block flushes away from checkpointed slots whenever they
+// land), only step (3) requires both.
 func (d *durableTable) checkpoint() error {
-	// (1) Operations since the last checkpoint become durable against it.
-	if err := d.log.Sync(); err != nil {
+	// (1) Spill the log; (2) flush dirty blocks copy-on-write, coalesced
+	// into runs of adjacent slots. The previous checkpoint's slots stay
+	// intact either way.
+	if err := d.log.Spill(); err != nil {
 		return err
 	}
-	// (2) Dirty blocks reach the file copy-on-write; the previous
-	// checkpoint's slots stay intact.
-	if err := d.store.Sync(); err != nil {
+	if err := d.store.FlushDirty(); err != nil {
+		return err
+	}
+	// Group commit: both files reach durability together. After this,
+	// every operation so far is recoverable against the PREVIOUS
+	// checkpoint.
+	if err := d.committer.Commit(d.log.Fsync, d.store.Fsync); err != nil {
 		return err
 	}
 	// (3) Commit the new superblock atomically.
 	nextLSN := d.log.NextLSN()
-	e := &ckpt.Encoder{}
+	e := &d.enc
+	e.Reset()
 	e.String(d.structure)
 	e.Int(d.cfg.BlockSize)
 	e.I64(d.cfg.MemoryWords)

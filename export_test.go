@@ -1,0 +1,48 @@
+package extbuf
+
+import "extbuf/internal/iomodel"
+
+// Test-only exports: the differential model checker asserts that
+// buffer-pool pin reference counts balance after every operation
+// sequence, which needs a path from a public Table (or engine) down to
+// its block store's pin gauge.
+
+// poolPinned reports the pin gauge of the adapter's backing store. The
+// method lives on base, so every structure adapter promotes it.
+func (b base) poolPinned() (int, bool) {
+	switch st := b.model.Disk.Store().(type) {
+	case *iomodel.FileStore:
+		return st.PinnedFrames(), true
+	case *iomodel.MemStore:
+		return st.PinnedBlocks(), true
+	case *iomodel.LatencyStore:
+		if inner, ok := st.Inner().(*iomodel.MemStore); ok {
+			return inner.PinnedBlocks(), true
+		}
+	}
+	return 0, false
+}
+
+// PoolPinnedForTest walks tab to its block store(s) and returns the
+// summed pin gauge. ok is false when no store with a gauge was found.
+func PoolPinnedForTest(tab Table) (pinned int, ok bool) {
+	switch v := tab.(type) {
+	case *guard:
+		return PoolPinnedForTest(v.t)
+	case *durableTable:
+		return v.store.PinnedFrames(), true
+	case *Sharded:
+		found := false
+		for _, sh := range v.shards {
+			if p, shOK := PoolPinnedForTest(sh); shOK {
+				pinned += p
+				found = true
+			}
+		}
+		return pinned, found
+	}
+	if p, pOK := tab.(interface{ poolPinned() (int, bool) }); pOK {
+		return p.poolPinned()
+	}
+	return 0, false
+}

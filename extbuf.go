@@ -15,6 +15,7 @@ import (
 	"extbuf/internal/linprobe"
 	"extbuf/internal/logmethod"
 	"extbuf/internal/twolevel"
+	"extbuf/internal/wal"
 )
 
 // Stats reports cumulative I/O counts of a table's simulated disk.
@@ -135,6 +136,11 @@ type Config struct {
 	// silently misrouting keys.
 	shardCount int
 	shardIndex int
+	// committer is the shared group-commit fsync pool NewSharded hands
+	// every durable shard, so one Flush barrier overlaps all shards'
+	// WAL and block-file fsyncs. Nil (single tables) gets a private
+	// two-slot committer.
+	committer *wal.Committer
 }
 
 // CrashPlan describes a deterministic fault to inject into a durable

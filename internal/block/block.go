@@ -22,16 +22,22 @@ import (
 // read). An empty chain (head == NilBlock) costs 0 I/Os and reports not
 // found — callers that model a mandatory bucket probe should pass a real
 // head block.
+//
+// The walk reads each block pinned (Disk.ReadPinned): the scan runs
+// over the store's own frame with no copy and no allocation, and the
+// pin keeps the frame resident for exactly the scan.
 func Find(d *iomodel.Disk, head iomodel.BlockID, key uint64) (val uint64, found bool, ios int) {
-	var buf []iomodel.Entry
 	for id := head; id != iomodel.NilBlock; id = d.Next(id) {
-		buf = d.Read(id, buf[:0])
+		entries := d.ReadPinned(id)
 		ios++
-		for _, e := range buf {
-			if e.Key == key {
-				return e.Val, true, ios
+		for i := range entries {
+			if entries[i].Key == key {
+				v := entries[i].Val
+				d.Unpin(id)
+				return v, true, ios
 			}
 		}
+		d.Unpin(id)
 	}
 	return 0, false, ios
 }
@@ -52,7 +58,8 @@ func Find(d *iomodel.Disk, head iomodel.BlockID, key uint64) (val uint64, found 
 // head must be a valid block (tables pre-allocate one head block per
 // bucket).
 func Insert(d *iomodel.Disk, head iomodel.BlockID, e iomodel.Entry) (ios int, grew, replaced bool) {
-	var buf []iomodel.Entry
+	buf := d.AcquireBuf()
+	defer func() { d.ReleaseBuf(buf) }()
 	id := head
 	for {
 		buf = d.Read(id, buf[:0])
@@ -80,7 +87,9 @@ func Insert(d *iomodel.Disk, head iomodel.BlockID, e iomodel.Entry) (ios int, gr
 	nb := d.Alloc()
 	d.SetNext(id, nb)
 	d.WriteBack(id, buf)
-	d.Write(nb, []iomodel.Entry{e})
+	one := append(d.AcquireBuf(), e)
+	d.Write(nb, one)
+	d.ReleaseBuf(one)
 	ios++
 	return ios, true, false
 }
@@ -91,7 +100,8 @@ func Insert(d *iomodel.Disk, head iomodel.BlockID, e iomodel.Entry) (ios int, gr
 // it walks to the first block with space exactly like Insert but does not
 // pay to verify absence.
 func InsertNoDup(d *iomodel.Disk, head iomodel.BlockID, e iomodel.Entry) (ios int, grew bool) {
-	var buf []iomodel.Entry
+	buf := d.AcquireBuf()
+	defer func() { d.ReleaseBuf(buf) }()
 	id := head
 	for {
 		buf = d.Read(id, buf[:0])
@@ -110,7 +120,9 @@ func InsertNoDup(d *iomodel.Disk, head iomodel.BlockID, e iomodel.Entry) (ios in
 	nb := d.Alloc()
 	d.SetNext(id, nb)
 	d.WriteBack(id, buf)
-	d.Write(nb, []iomodel.Entry{e})
+	one := append(d.AcquireBuf(), e)
+	d.Write(nb, one)
+	d.ReleaseBuf(one)
 	ios++
 	return ios, true
 }
@@ -121,7 +133,8 @@ func InsertNoDup(d *iomodel.Disk, head iomodel.BlockID, e iomodel.Entry) (ios in
 // freed). It reports the I/Os spent and whether the key was present.
 func Delete(d *iomodel.Disk, head iomodel.BlockID, key uint64) (ios int, found bool) {
 	// First pass: locate the block holding the key, remembering the path.
-	var buf []iomodel.Entry
+	buf := d.AcquireBuf()
+	defer func() { d.ReleaseBuf(buf) }()
 	foundID := iomodel.NilBlock
 	foundIdx := -1
 	prev := iomodel.NilBlock
@@ -163,7 +176,7 @@ func Delete(d *iomodel.Disk, head iomodel.BlockID, key uint64) (ios int, found b
 		return ios, true
 	}
 	// Steal the final entry of the last block to fill the hole.
-	lastBuf := d.Read(lastID, nil)
+	lastBuf := d.Read(lastID, d.AcquireBuf())
 	ios++
 	steal := lastBuf[len(lastBuf)-1]
 	lastBuf = lastBuf[:len(lastBuf)-1]
@@ -172,6 +185,7 @@ func Delete(d *iomodel.Disk, head iomodel.BlockID, key uint64) (ios int, found b
 		unlink(d, lastPrev, lastID)
 		ios++
 	}
+	d.ReleaseBuf(lastBuf)
 	buf = d.Read(foundID, buf[:0])
 	ios++
 	buf[foundIdx] = steal
@@ -182,10 +196,11 @@ func Delete(d *iomodel.Disk, head iomodel.BlockID, key uint64) (ios int, found b
 // unlink detaches victim (known to follow prev) from the chain and frees
 // it. It costs one read of prev, accounted by the caller.
 func unlink(d *iomodel.Disk, prev, victim iomodel.BlockID) {
-	pbuf := d.Read(prev, nil)
+	pbuf := d.Read(prev, d.AcquireBuf())
 	d.SetNext(prev, d.Next(victim))
 	d.WriteBack(prev, pbuf)
 	d.Free(victim)
+	d.ReleaseBuf(pbuf)
 }
 
 // Collect appends every entry of the chain to buf and returns it together

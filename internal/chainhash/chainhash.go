@@ -19,6 +19,7 @@ package chainhash
 
 import (
 	"fmt"
+	"slices"
 
 	"extbuf/internal/block"
 	"extbuf/internal/hashfn"
@@ -37,6 +38,19 @@ type Table struct {
 	blocks  int     // blocks owned by this table (heads + overflow)
 	maxLoad float64 // grow when n/(blocks*b) would exceed this; 0 = fixed
 	memRes  int64   // words charged against mem
+
+	// Merge scratch, reused across MergeIn calls so bulk merges build
+	// no per-call maps or slices.
+	msort []mergeItem
+	mrun  []iomodel.Entry
+}
+
+// mergeItem tags an entry with its bucket and input position for the
+// sort-based grouping in MergeIn.
+type mergeItem struct {
+	bucket int32
+	seq    int32
+	e      iomodel.Entry
 }
 
 // memoryWords is the in-memory footprint charged by the table: base
@@ -144,7 +158,8 @@ func (t *Table) Delete(key uint64) (ok bool, ios int) {
 // paths that must not create a second copy of a key.
 func (t *Table) Update(key, val uint64) (ok bool, ios int) {
 	id := t.heads[t.bucket(key)]
-	var buf []iomodel.Entry
+	buf := t.d.AcquireBuf()
+	defer func() { t.d.ReleaseBuf(buf) }()
 	for ; id != iomodel.NilBlock; id = t.d.Next(id) {
 		buf = t.d.Read(id, buf[:0])
 		ios++
@@ -170,15 +185,40 @@ func (t *Table) MergeIn(entries []iomodel.Entry) int {
 	if len(entries) == 0 {
 		return 0
 	}
-	groups := make(map[int][]iomodel.Entry)
-	for _, e := range entries {
-		i := t.bucket(e.Key)
-		groups[i] = append(groups[i], e)
+	// Group by bucket with a reusable sort instead of a per-call map:
+	// no allocation in steady state, and the buckets are visited in
+	// ascending order, so the write sequence is deterministic (a map
+	// walk would randomize it per process, breaking crash-point
+	// replay). The input position breaks ties, preserving each
+	// bucket's input order.
+	t.msort = t.msort[:0]
+	for i, e := range entries {
+		t.msort = append(t.msort, mergeItem{bucket: int32(t.bucket(e.Key)), seq: int32(i), e: e})
 	}
+	// slices.SortFunc with a capture-free comparator: unlike
+	// sort.Slice, no swapper or closure allocation per merge.
+	slices.SortFunc(t.msort, func(a, b mergeItem) int {
+		if a.bucket != b.bucket {
+			return int(a.bucket) - int(b.bucket)
+		}
+		return int(a.seq) - int(b.seq)
+	})
 	ios := 0
 	b := t.d.B()
-	var buf []iomodel.Entry
-	for i, g := range groups {
+	buf := t.d.AcquireBuf()
+	defer func() { t.d.ReleaseBuf(buf) }()
+	for start := 0; start < len(t.msort); {
+		end := start + 1
+		for end < len(t.msort) && t.msort[end].bucket == t.msort[start].bucket {
+			end++
+		}
+		t.mrun = t.mrun[:0]
+		for _, it := range t.msort[start:end] {
+			t.mrun = append(t.mrun, it.e)
+		}
+		g := t.mrun
+		i := int(t.msort[start].bucket)
+		start = end
 		id := t.heads[i]
 		for {
 			buf = t.d.Read(id, buf[:0])

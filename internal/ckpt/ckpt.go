@@ -35,6 +35,11 @@ type Encoder struct {
 // Bytes returns the encoded payload.
 func (e *Encoder) Bytes() []byte { return e.buf }
 
+// Reset empties the encoder, retaining its buffer: a caller that
+// checkpoints repeatedly (the durable table's Flush barrier) reuses one
+// encoder instead of re-growing a fresh payload each time.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
 // Len returns the current payload length.
 func (e *Encoder) Len() int { return len(e.buf) }
 

@@ -181,12 +181,16 @@ func (t *Table) doubleDir() {
 
 // Lookup returns the value for key; every lookup costs exactly 1 I/O.
 func (t *Table) Lookup(key uint64) (val uint64, ok bool, ios int) {
-	buf := t.d.Read(t.dir[t.slot(key)], nil)
-	for _, e := range buf {
-		if e.Key == key {
-			return e.Val, true, 1
+	id := t.dir[t.slot(key)]
+	buf := t.d.ReadPinned(id)
+	for i := range buf {
+		if buf[i].Key == key {
+			v := buf[i].Val
+			t.d.Unpin(id)
+			return v, true, 1
 		}
 	}
+	t.d.Unpin(id)
 	return 0, false, 1
 }
 
@@ -196,7 +200,8 @@ func (t *Table) Lookup(key uint64) (val uint64, ok bool, ios int) {
 func (t *Table) Delete(key uint64) (ok bool, ios int) {
 	s := t.slot(key)
 	id := t.dir[s]
-	buf := t.d.Read(id, nil)
+	buf := t.d.Read(id, t.d.AcquireBuf())
+	defer func() { t.d.ReleaseBuf(buf) }()
 	ios++
 	hit := -1
 	for i, e := range buf {
@@ -239,15 +244,18 @@ func (t *Table) tryMerge(s int, curLen int) int {
 		}
 		buddyID := t.dir[buddyBase]
 		myID := t.dir[base]
-		buddy := t.d.Read(buddyID, nil)
+		buddy := t.d.Read(buddyID, t.d.AcquireBuf())
 		ios++
 		if curLen+len(buddy) > t.d.B() {
+			t.d.ReleaseBuf(buddy)
 			break
 		}
-		mine := t.d.Read(myID, nil)
+		mine := t.d.Read(myID, t.d.AcquireBuf())
 		ios++
 		merged := append(mine, buddy...)
 		t.d.WriteBack(myID, merged)
+		t.d.ReleaseBuf(buddy)
+		t.d.ReleaseBuf(merged)
 		t.d.Free(buddyID)
 		lo := base
 		if buddyBase < base {

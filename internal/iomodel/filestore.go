@@ -1,7 +1,6 @@
 package iomodel
 
 import (
-	"container/list"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -10,8 +9,8 @@ import (
 )
 
 // FileStore is a BlockStore persisting fixed-size blocks to a real file,
-// fronted by a write-back page cache of configurable capacity. It is the
-// backend that turns the simulation into a storage engine: the same
+// fronted by a write-back buffer pool of configurable capacity. It is
+// the backend that turns the simulation into a storage engine: the same
 // table code that produces the paper's I/O counts runs unchanged against
 // it, and wall-clock and syscall costs become measurable.
 //
@@ -39,12 +38,26 @@ import (
 // RestoreAllocState move them in and out of checkpoints, and EndEpoch
 // retires the superseded pre-checkpoint slots once a checkpoint commits.
 //
-// The page cache is an LRU of decoded blocks. A cache hit costs no
-// syscall; a miss reads the block with one pread, evicting the least
-// recently used frame first (one pwrite if dirty). Whole-block writes
-// populate a frame without reading the old contents. Stats exposes the
-// resulting syscall and hit counts so experiments can report real costs
-// next to the model's counters.
+// # Buffer pool
+//
+// The pool is a preallocated arena of cacheCap frames backed by one
+// contiguous entry array: faulting a block in recycles a frame from the
+// free list, so steady-state reads and writes allocate nothing. A cache
+// hit costs no syscall; a miss reads the block with one pread. Eviction
+// is CLOCK (second chance): each access sets the frame's reference bit,
+// and the sweep hand clears bits until it finds a cold frame, writing it
+// back first if dirty — no per-access list maintenance, unlike an LRU.
+// Frames can be pinned (PinBlock/UnpinBlock, reference counted): a
+// pinned frame is never evicted, so callers may hold its entries across
+// further store operations without a copy. Whole-block writes populate
+// a frame without reading the old contents.
+//
+// Dirty frames flushed at a Sync barrier are sorted by physical slot
+// and written as runs of adjacent blocks in single large pwrites
+// (bounded by maxRunBytes), so a checkpoint costs a handful of syscalls
+// instead of one per block. Stats exposes the syscall, pool and
+// coalescing counters so experiments can report real costs next to the
+// model's counters.
 //
 // Write errors are sticky: the first failed pwrite (real, or injected
 // by a Crasher) marks the store failed, further evictions quietly drop
@@ -59,13 +72,33 @@ type FileStore struct {
 	nslots     int // allocated slots, including freed ones
 	free       []BlockID
 	cacheCap   int
-	cache      map[BlockID]*frame
-	lru        *list.List // front = most recently used; values are *frame
-	scratch    []byte
-	stats      FileStats
-	removeName string // non-empty: unlink this path on Close (temp stores)
-	closed     bool
-	failed     error // sticky first write failure
+
+	// Buffer pool: frames is the arena, arena the shared entry backing,
+	// cache maps resident block IDs to frame indexes, freeFrames the
+	// recycle list, hand the CLOCK sweep position.
+	frames     []frame
+	arena      []Entry
+	cache      map[BlockID]int32
+	freeFrames []int32
+	hand       int
+	pinned     int // frames with pins > 0 (gauge)
+
+	// Most-recently-used memo: block accesses cluster heavily on the
+	// block just touched (read → write-back → header), so remembering
+	// one (id, frame) pair skips the cache map on the dominant path.
+	// Self-invalidating: recycling sets the frame's id to NilBlock, so
+	// a stale memo simply misses into the map.
+	lastID  BlockID
+	lastIdx int32
+
+	scratch     []byte   // one-frame encode/decode buffer
+	runBuf      []byte   // coalesced flush buffer, grown on demand
+	dirtyList   []*frame // scratch list reused by FlushDirty
+	clusterList []*frame // scratch list reused by eviction clustering
+	stats       FileStats
+	removeName  string // non-empty: unlink this path on Close (temp stores)
+	closed      bool
+	failed      error // sticky first write failure
 
 	// Durable-mode placement state (nil mapping = direct mode).
 	durable     bool
@@ -80,20 +113,32 @@ var _ BlockStore = (*FileStore)(nil)
 
 type frame struct {
 	id      BlockID
-	entries []Entry
+	entries []Entry // arena-backed; capacity is exactly B()
 	next    BlockID
 	dirty   bool
-	elem    *list.Element
+	ref     bool  // CLOCK reference bit
+	pins    int32 // > 0: never evict
 }
 
 // FileStats counts the real storage costs incurred by a FileStore.
 type FileStats struct {
 	ReadSyscalls  int64 // preads issued (cache misses that touched the file)
-	WriteSyscalls int64 // pwrites issued (dirty evictions and sync flushes)
-	CacheHits     int64 // block accesses served from the page cache
+	WriteSyscalls int64 // pwrites issued (evictions and coalesced flush runs)
+	CacheHits     int64 // block accesses served from the buffer pool
 	CacheMisses   int64 // block accesses that had to fault a frame in
 	BytesRead     int64
 	BytesWritten  int64
+
+	// Buffer-pool and coalescing counters.
+	Evictions       int64 // frames recycled to make room for a faulting block
+	DirtyWritebacks int64 // evicted frames that had to be written back first
+	// FlushedFrames counts every dirty frame written back — at flush
+	// barriers and through eviction write-clustering alike — and
+	// FlushRuns the pwrites they were batched into, so
+	// FlushedFrames/FlushRuns is the realized coalescing factor.
+	FlushedFrames int64
+	FlushRuns     int64
+	Fsyncs        int64 // fsyncs of the block file
 }
 
 // DefaultCacheBlocks is the page-cache capacity used when none is
@@ -106,6 +151,11 @@ const DefaultCacheBlocks = 512
 
 const blockHeaderBytes = 8
 const entryBytes = 16
+
+// maxRunBytes bounds one coalesced flush pwrite (and therefore the
+// reusable run buffer): runs of adjacent dirty slots longer than this
+// split into multiple syscalls.
+const maxRunBytes = 1 << 20
 
 // NewFileStore creates (or truncates) the file at path and returns a
 // direct-placement store with blocks of capacity b entries and a page
@@ -148,10 +198,21 @@ func newFileStoreOn(f BlockFile, b, cacheBlocks int, durable bool) *FileStore {
 		b:          b,
 		frameBytes: fb,
 		cacheCap:   cacheBlocks,
-		cache:      make(map[BlockID]*frame, cacheBlocks),
-		lru:        list.New(),
+		frames:     make([]frame, cacheBlocks),
+		arena:      make([]Entry, cacheBlocks*b),
+		cache:      make(map[BlockID]int32, cacheBlocks),
+		freeFrames: make([]int32, cacheBlocks),
 		scratch:    make([]byte, fb),
 		durable:    durable,
+	}
+	s.lastID = NilBlock
+	for i := range s.frames {
+		fr := &s.frames[i]
+		fr.id = NilBlock
+		fr.entries = s.arena[i*b : i*b : (i+1)*b]
+		// Hand frames out low-index-first: the free list is popped from
+		// the back.
+		s.freeFrames[cacheBlocks-1-i] = int32(i)
 	}
 	if durable {
 		s.epochSlots = make(map[int64]struct{})
@@ -194,6 +255,10 @@ func (s *FileStore) Durable() bool { return s.durable }
 // has lost writes; its in-memory cache no longer reflects the file.
 func (s *FileStore) Failed() error { return s.failed }
 
+// PinnedFrames returns the number of frames currently pinned — zero
+// whenever every PinBlock has been balanced by its UnpinBlock.
+func (s *FileStore) PinnedFrames() int { return s.pinned }
+
 // Alloc reserves a fresh empty block and returns its ID.
 func (s *FileStore) Alloc() BlockID {
 	if n := len(s.free); n > 0 {
@@ -221,18 +286,33 @@ func (s *FileStore) Alloc() BlockID {
 // (even dirty) frame: freed contents need never reach the file. In
 // durable mode the block's physical slot is retired — after the next
 // checkpoint if the last checkpoint references it, immediately
-// otherwise.
+// otherwise. Freeing a pinned block panics (the pinned slice would
+// alias a recycled frame).
 func (s *FileStore) Free(id BlockID) {
 	s.checkID(id)
-	if fr, ok := s.cache[id]; ok {
-		s.lru.Remove(fr.elem)
-		delete(s.cache, id)
+	if idx, ok := s.cache[id]; ok {
+		fr := &s.frames[idx]
+		if fr.pins > 0 {
+			panic(fmt.Sprintf("iomodel: freeing pinned block %d", id))
+		}
+		s.recycle(idx)
 	}
 	if s.durable {
 		s.retirePhys(s.mapping[id])
 		s.mapping[id] = -1
 	}
 	s.free = append(s.free, id)
+}
+
+// recycle detaches frame idx from the cache and returns it to the free
+// list.
+func (s *FileStore) recycle(idx int32) {
+	fr := &s.frames[idx]
+	delete(s.cache, fr.id)
+	fr.id = NilBlock
+	fr.dirty = false
+	fr.ref = false
+	s.freeFrames = append(s.freeFrames, idx)
 }
 
 // retirePhys returns physical slot phys to the allocator: to the free
@@ -296,6 +376,34 @@ func (s *FileStore) ClearBlock(id BlockID) {
 // slice is only valid until the next store operation.
 func (s *FileStore) PeekBlock(id BlockID) []Entry { return s.frameFor(id).entries }
 
+// PinBlock faults block id in (a read: hit/miss and pread accounting
+// apply) and returns its entries without copying, pinning the frame
+// against eviction until the matching UnpinBlock.
+func (s *FileStore) PinBlock(id BlockID) []Entry {
+	fr := s.frameFor(id)
+	if fr.pins == 0 {
+		s.pinned++
+	}
+	fr.pins++
+	return fr.entries
+}
+
+// UnpinBlock releases one pin of block id, panicking on underflow. The
+// frame is necessarily still resident — that is what the pin
+// guaranteed.
+func (s *FileStore) UnpinBlock(id BlockID) {
+	s.checkID(id)
+	idx, ok := s.cache[id]
+	if !ok || s.frames[idx].pins == 0 {
+		panic(fmt.Sprintf("iomodel: unpin of unpinned block %d", id))
+	}
+	fr := &s.frames[idx]
+	fr.pins--
+	if fr.pins == 0 {
+		s.pinned--
+	}
+}
+
 // Next returns the overflow-chain pointer of block id. Headers live with
 // their block, so an uncached header walk faults the block in — a real
 // read the simulated store performs for free.
@@ -311,32 +419,114 @@ func (s *FileStore) SetNext(id, next BlockID) {
 // NumBlocks returns the number of allocated (live) blocks.
 func (s *FileStore) NumBlocks() int { return s.nslots - len(s.free) }
 
-// Sync flushes every dirty frame and fsyncs the file. A failed store
-// reports its sticky failure without issuing further writes. Dirty
-// frames are flushed in block-ID order — map iteration order would
-// randomize the write-syscall sequence per process, breaking the
-// determinism the crash-injection harness ("die at the Nth write")
-// depends on to replay a failure.
-func (s *FileStore) Sync() error {
+// FlushDirty writes every dirty frame to the file without fsyncing,
+// coalescing adjacent physical slots into single large pwrites. Copy-
+// on-write slot assignment happens in block-ID order — deterministic,
+// so the crash-injection harness ("die at the Nth write") can replay a
+// failure — and the writes are then issued in physical-slot order so
+// runs of adjacent slots (the common case: fresh slots are allocated
+// sequentially) become one syscall each. A failed store reports its
+// sticky failure without issuing further writes.
+func (s *FileStore) FlushDirty() error {
 	if s.failed != nil {
 		return s.failed
 	}
-	dirty := make([]*frame, 0, len(s.cache))
-	for _, fr := range s.cache {
-		if fr.dirty {
+	dirty := s.dirtyList[:0]
+	for i := range s.frames {
+		fr := &s.frames[i]
+		if fr.id != NilBlock && fr.dirty {
 			dirty = append(dirty, fr)
 		}
 	}
+	err := s.writeRuns(dirty)
+	s.dirtyList = dirty[:0] // retain backing array for reuse
+	return err
+}
+
+// writeRuns flushes the given dirty frames: copy-on-write slots are
+// assigned in block-ID order (matching the allocation sequence a
+// per-block flush loop would produce, deterministically), then the
+// writes are issued in physical-slot order with runs of adjacent slots
+// coalesced into single pwrites.
+func (s *FileStore) writeRuns(dirty []*frame) error {
+	if len(dirty) == 0 {
+		return nil
+	}
 	sort.Slice(dirty, func(i, j int) bool { return dirty[i].id < dirty[j].id })
-	for _, fr := range dirty {
-		if err := s.flush(fr); err != nil {
+	if s.durable {
+		for _, fr := range dirty {
+			s.assignSlot(fr)
+		}
+	}
+	sort.Slice(dirty, func(i, j int) bool { return s.physFor(dirty[i].id) < s.physFor(dirty[j].id) })
+	maxRun := int(maxRunBytes / s.frameBytes)
+	if maxRun < 1 {
+		maxRun = 1
+	}
+	for start := 0; start < len(dirty); {
+		end := start + 1
+		for end < len(dirty) && end-start < maxRun &&
+			s.physFor(dirty[end].id) == s.physFor(dirty[end-1].id)+1 {
+			end++
+		}
+		if err := s.flushRun(dirty[start:end]); err != nil {
 			return err
 		}
+		start = end
+	}
+	return nil
+}
+
+// flushRun writes a run of frames occupying adjacent physical slots
+// with one pwrite and clears their dirty bits.
+func (s *FileStore) flushRun(run []*frame) error {
+	n := len(run) * int(s.frameBytes)
+	if cap(s.runBuf) < n {
+		s.runBuf = make([]byte, n)
+	}
+	buf := s.runBuf[:n]
+	for i, fr := range run {
+		s.encodeFrame(fr, buf[i*int(s.frameBytes):(i+1)*int(s.frameBytes)])
+	}
+	off := s.physFor(run[0].id) * s.frameBytes
+	wn, err := s.f.WriteAt(buf, off)
+	s.stats.WriteSyscalls++
+	s.stats.FlushRuns++
+	s.stats.FlushedFrames += int64(len(run))
+	s.stats.BytesWritten += int64(wn)
+	if err != nil {
+		err = fmt.Errorf("iomodel: write blocks %d..%d: %w", run[0].id, run[len(run)-1].id, err)
+		if s.failed == nil {
+			s.failed = err
+		}
+		return err
+	}
+	for _, fr := range run {
+		fr.dirty = false
+	}
+	return nil
+}
+
+// Fsync makes previously written frames durable with one fsync of the
+// block file.
+func (s *FileStore) Fsync() error {
+	if s.failed != nil {
+		return s.failed
 	}
 	if err := s.f.Sync(); err != nil {
 		return fmt.Errorf("iomodel: sync block store: %w", err)
 	}
+	s.stats.Fsyncs++
 	return nil
+}
+
+// Sync flushes every dirty frame (coalesced; see FlushDirty) and fsyncs
+// the file.
+func (s *FileStore) Sync() error {
+	if err := s.FlushDirty(); err != nil {
+		return err
+	}
+	return s.Fsync()
 }
 
 // AllocState snapshots the allocator and placement state for a
@@ -418,13 +608,22 @@ func (s *FileStore) Close() error {
 	return err
 }
 
-// frameFor returns the cache frame of block id, faulting it in from the
+// frameFor returns the pool frame of block id, faulting it in from the
 // file on a miss.
 func (s *FileStore) frameFor(id BlockID) *frame {
 	s.checkID(id)
-	if fr, ok := s.cache[id]; ok {
+	if id == s.lastID {
+		if fr := &s.frames[s.lastIdx]; fr.id == id {
+			s.stats.CacheHits++
+			fr.ref = true
+			return fr
+		}
+	}
+	if idx, ok := s.cache[id]; ok {
+		fr := &s.frames[idx]
 		s.stats.CacheHits++
-		s.lru.MoveToFront(fr.elem)
+		fr.ref = true
+		s.lastID, s.lastIdx = id, idx
 		return fr
 	}
 	s.stats.CacheMisses++
@@ -441,10 +640,20 @@ func (s *FileStore) frameFor(id BlockID) *frame {
 // The frame is marked dirty.
 func (s *FileStore) frameForWrite(id BlockID, preserveNext bool) *frame {
 	s.checkID(id)
-	fr, ok := s.cache[id]
-	if ok {
+	if id == s.lastID {
+		if fr := &s.frames[s.lastIdx]; fr.id == id {
+			s.stats.CacheHits++
+			fr.ref = true
+			fr.dirty = true
+			return fr
+		}
+	}
+	var fr *frame
+	if idx, ok := s.cache[id]; ok {
+		fr = &s.frames[idx]
 		s.stats.CacheHits++
-		s.lru.MoveToFront(fr.elem)
+		fr.ref = true
+		s.lastID, s.lastIdx = id, idx
 	} else {
 		s.stats.CacheMisses++
 		fr = s.install(id)
@@ -456,25 +665,107 @@ func (s *FileStore) frameForWrite(id BlockID, preserveNext bool) *frame {
 	return fr
 }
 
-// install evicts if needed and inserts an empty frame for id at the
-// front of the LRU. Eviction of a dirty frame on a failed store drops
-// the frame: the write is lost, exactly as in the crash the failure
-// models, and the loss is reported by Sync/Close.
+// install obtains a frame for id — from the free list, or by evicting —
+// and inserts it into the cache empty and referenced. Eviction of a
+// dirty frame on a failed store drops the frame: the write is lost,
+// exactly as in the crash the failure models, and the loss is reported
+// by Sync/Close.
 func (s *FileStore) install(id BlockID) *frame {
-	for len(s.cache) >= s.cacheCap {
-		victim := s.lru.Back().Value.(*frame)
-		if victim.dirty && s.failed == nil {
-			if err := s.flush(victim); err != nil && s.failed == nil {
-				s.failed = err
+	var idx int32
+	if n := len(s.freeFrames); n > 0 {
+		idx = s.freeFrames[n-1]
+		s.freeFrames = s.freeFrames[:n-1]
+	} else {
+		idx = s.evict()
+	}
+	fr := &s.frames[idx]
+	fr.id = id
+	fr.entries = fr.entries[:0]
+	fr.next = NilBlock
+	fr.dirty = false
+	fr.ref = true
+	s.cache[id] = idx
+	s.lastID, s.lastIdx = id, idx
+	return fr
+}
+
+// evict runs the CLOCK sweep: skip pinned frames, give referenced
+// frames a second chance, take the first cold frame (writing it back if
+// dirty). With every frame pinned there is nothing to evict — that is a
+// pool misconfiguration (capacity below the pin working set) and
+// panics.
+func (s *FileStore) evict() int32 {
+	if s.pinned >= s.cacheCap {
+		panic("iomodel: buffer pool exhausted: every frame is pinned")
+	}
+	for steps := 0; steps <= 2*len(s.frames); steps++ {
+		idx := int32(s.hand)
+		fr := &s.frames[idx]
+		s.hand++
+		if s.hand == len(s.frames) {
+			s.hand = 0
+		}
+		if fr.pins > 0 {
+			continue
+		}
+		if fr.ref {
+			fr.ref = false
+			continue
+		}
+		s.stats.Evictions++
+		if fr.dirty {
+			s.stats.DirtyWritebacks++
+			if s.failed == nil {
+				if err := s.flushCluster(fr); err != nil && s.failed == nil {
+					s.failed = err
+				}
 			}
 		}
-		s.lru.Remove(victim.elem)
-		delete(s.cache, victim.id)
+		delete(s.cache, fr.id)
+		fr.id = NilBlock
+		fr.dirty = false
+		return idx
 	}
-	fr := &frame{id: id, entries: make([]Entry, 0, s.b), next: NilBlock}
-	fr.elem = s.lru.PushFront(fr)
-	s.cache[id] = fr
-	return fr
+	panic("iomodel: CLOCK sweep found no evictable frame")
+}
+
+// maxClusterFrames bounds the write cluster gathered around a dirty
+// eviction victim.
+const maxClusterFrames = 128
+
+// flushCluster writes the eviction victim back together with the
+// contiguous run of dirty resident blocks around its block ID — write
+// clustering. Sequential producers (the buffered table's merges, bulk
+// loads) dirty long runs of consecutive blocks; flushing the whole run
+// in one coalesced pwrite when its first frame is evicted turns the
+// steady-state eviction stream from one syscall per block into one per
+// run. The neighbors stay resident (now clean); only the victim is
+// recycled by the caller.
+func (s *FileStore) flushCluster(victim *frame) error {
+	cluster := s.clusterList[:0]
+	cluster = append(cluster, victim)
+	for id := victim.id - 1; id >= 0 && len(cluster) < maxClusterFrames; id-- {
+		idx, ok := s.cache[id]
+		if !ok || !s.frames[idx].dirty {
+			break
+		}
+		cluster = append(cluster, &s.frames[idx])
+	}
+	for id := victim.id + 1; int(id) < s.nslots && len(cluster) < maxClusterFrames; id++ {
+		idx, ok := s.cache[id]
+		if !ok || !s.frames[idx].dirty {
+			break
+		}
+		cluster = append(cluster, &s.frames[idx])
+	}
+	var err error
+	if len(cluster) == 1 {
+		err = s.flushFrame(victim)
+	} else {
+		err = s.writeRuns(cluster)
+	}
+	s.clusterList = cluster[:0]
+	return err
 }
 
 // loadHeader fills only fr's header (the next pointer) from the file
@@ -548,36 +839,48 @@ func decodeNext(b []byte) BlockID {
 	return BlockID(int32(binary.LittleEndian.Uint32(b))) - 1
 }
 
-// flush writes fr to the file with one pwrite and clears its dirty bit.
-// In durable mode the write is copy-on-write: the first flush of a
-// block within an epoch goes to a fresh physical slot, preserving the
-// last checkpoint's image of the block.
-func (s *FileStore) flush(fr *frame) error {
+// assignSlot gives fr a physical slot for a copy-on-write flush: the
+// first flush of a block within an epoch goes to a fresh slot,
+// preserving the last checkpoint's image of the block. Durable mode
+// only.
+func (s *FileStore) assignSlot(fr *frame) {
+	phys := s.mapping[fr.id]
+	if _, thisEpoch := s.epochSlots[phys]; phys < 0 || !thisEpoch {
+		s.retirePhys(phys)
+		phys = s.allocPhys()
+		s.epochSlots[phys] = struct{}{}
+		s.mapping[fr.id] = phys
+	}
+}
+
+// encodeFrame serializes fr into buf, which must be frameBytes long.
+// The unused tail is zeroed so stale bytes never resurface as data.
+func (s *FileStore) encodeFrame(fr *frame, buf []byte) {
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(fr.entries)))
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(int32(fr.next+1)))
+	for i, e := range fr.entries {
+		off := blockHeaderBytes + i*entryBytes
+		binary.LittleEndian.PutUint64(buf[off:off+8], e.Key)
+		binary.LittleEndian.PutUint64(buf[off+8:off+16], e.Val)
+	}
+	clear(buf[blockHeaderBytes+len(fr.entries)*entryBytes:])
+}
+
+// flushFrame writes one frame with one pwrite and clears its dirty bit:
+// the eviction write-back path. (Flush barriers go through FlushDirty,
+// which coalesces.) In durable mode the write is copy-on-write.
+func (s *FileStore) flushFrame(fr *frame) error {
 	if s.failed != nil {
 		return s.failed
 	}
-	phys := s.physFor(fr.id)
 	if s.durable {
-		if _, thisEpoch := s.epochSlots[phys]; phys < 0 || !thisEpoch {
-			s.retirePhys(phys)
-			phys = s.allocPhys()
-			s.epochSlots[phys] = struct{}{}
-			s.mapping[fr.id] = phys
-		}
+		s.assignSlot(fr)
 	}
-	binary.LittleEndian.PutUint32(s.scratch[0:4], uint32(len(fr.entries)))
-	binary.LittleEndian.PutUint32(s.scratch[4:8], uint32(int32(fr.next+1)))
-	for i, e := range fr.entries {
-		off := blockHeaderBytes + i*entryBytes
-		binary.LittleEndian.PutUint64(s.scratch[off:off+8], e.Key)
-		binary.LittleEndian.PutUint64(s.scratch[off+8:off+16], e.Val)
-	}
-	// Zero the unused tail so stale bytes never resurface as data.
-	for i := blockHeaderBytes + len(fr.entries)*entryBytes; i < len(s.scratch); i++ {
-		s.scratch[i] = 0
-	}
-	n, err := s.f.WriteAt(s.scratch, phys*s.frameBytes)
+	s.encodeFrame(fr, s.scratch)
+	n, err := s.f.WriteAt(s.scratch, s.physFor(fr.id)*s.frameBytes)
 	s.stats.WriteSyscalls++
+	s.stats.FlushRuns++
+	s.stats.FlushedFrames++
 	s.stats.BytesWritten += int64(n)
 	if err != nil {
 		err = fmt.Errorf("iomodel: write block %d: %w", fr.id, err)

@@ -124,6 +124,7 @@ type Disk struct {
 	writeBacks atomic.Int64
 	lastRead   BlockID
 	strict     bool
+	bufFree    [][]Entry // reusable entry buffers for AcquireBuf
 }
 
 // NewDisk returns an empty simulated disk (MemStore backend) with blocks
@@ -206,6 +207,41 @@ func (d *Disk) Read(id BlockID, buf []Entry) []Entry {
 // only valid until the next disk operation.
 func (d *Disk) Peek(id BlockID) []Entry {
 	return d.store.PeekBlock(id)
+}
+
+// ReadPinned transfers block id into memory, costing 1 I/O like Read,
+// but returns the store's own frame without copying. The slice stays
+// valid — even across further disk operations — until the matching
+// Unpin releases it; a caching backend keeps the frame resident for
+// exactly that window. The slice must not be mutated. This is the
+// zero-copy read path for scan-and-discard callers (chain walks).
+func (d *Disk) ReadPinned(id BlockID) []Entry {
+	buf := d.store.PinBlock(id)
+	d.reads.Add(1)
+	d.lastRead = id
+	return buf
+}
+
+// Unpin releases the frame returned by ReadPinned(id). Pins must
+// balance; the backend panics on underflow.
+func (d *Disk) Unpin(id BlockID) { d.store.UnpinBlock(id) }
+
+// AcquireBuf returns an empty entry buffer with capacity for one block,
+// reused across calls so steady-state operations allocate nothing.
+// Return it with ReleaseBuf when done. The disk has a single operating
+// goroutine, so the freelist needs no locking.
+func (d *Disk) AcquireBuf() []Entry {
+	if n := len(d.bufFree); n > 0 {
+		buf := d.bufFree[n-1]
+		d.bufFree = d.bufFree[:n-1]
+		return buf[:0]
+	}
+	return make([]Entry, 0, d.b)
+}
+
+// ReleaseBuf returns a buffer obtained from AcquireBuf to the freelist.
+func (d *Disk) ReleaseBuf(buf []Entry) {
+	d.bufFree = append(d.bufFree, buf)
 }
 
 // Write replaces the contents of block id, costing 1 I/O. It panics if

@@ -78,6 +78,16 @@ func (s *LatencyStore) ClearBlock(id BlockID) { s.inner.ClearBlock(id) }
 // PeekBlock returns block id's contents without delay (audit-only API).
 func (s *LatencyStore) PeekBlock(id BlockID) []Entry { return s.inner.PeekBlock(id) }
 
+// PinBlock reads block id after the configured delay: a pinned read is
+// still a block transfer, so it is priced exactly like ReadBlock.
+func (s *LatencyStore) PinBlock(id BlockID) []Entry {
+	s.delay()
+	return s.inner.PinBlock(id)
+}
+
+// UnpinBlock releases one pin (free: no data moves).
+func (s *LatencyStore) UnpinBlock(id BlockID) { s.inner.UnpinBlock(id) }
+
 // Next returns the overflow-chain pointer of block id (header, free).
 func (s *LatencyStore) Next(id BlockID) BlockID { return s.inner.Next(id) }
 

@@ -11,6 +11,10 @@ type MemStore struct {
 	blocks [][]Entry
 	next   []BlockID
 	free   []BlockID
+	pins   []int32 // per-block pin counts; nothing is ever evicted, so
+	// pinning only tracks balance (the same contract FileStore enforces
+	// for real, kept here so bugs surface on the cheap backend too)
+	pinned int64
 }
 
 var _ BlockStore = (*MemStore)(nil)
@@ -39,12 +43,17 @@ func (s *MemStore) Alloc() BlockID {
 	id := BlockID(len(s.blocks))
 	s.blocks = append(s.blocks, make([]Entry, 0, s.b))
 	s.next = append(s.next, NilBlock)
+	s.pins = append(s.pins, 0)
 	return id
 }
 
-// Free releases a block back to the allocator.
+// Free releases a block back to the allocator. Freeing a pinned block
+// is a caller bug (the pinned slice would alias recycled storage).
 func (s *MemStore) Free(id BlockID) {
 	s.checkID(id)
+	if s.pins[id] > 0 {
+		panic(fmt.Sprintf("iomodel: freeing pinned block %d", id))
+	}
 	s.blocks[id] = s.blocks[id][:0]
 	s.next[id] = NilBlock
 	s.free = append(s.free, id)
@@ -74,6 +83,29 @@ func (s *MemStore) PeekBlock(id BlockID) []Entry {
 	s.checkID(id)
 	return s.blocks[id]
 }
+
+// PinBlock returns the live contents of block id without copying. The
+// in-memory store never evicts, so the pin only records balance.
+func (s *MemStore) PinBlock(id BlockID) []Entry {
+	s.checkID(id)
+	s.pins[id]++
+	s.pinned++
+	return s.blocks[id]
+}
+
+// UnpinBlock releases one pin of block id, panicking on underflow.
+func (s *MemStore) UnpinBlock(id BlockID) {
+	s.checkID(id)
+	if s.pins[id] == 0 {
+		panic(fmt.Sprintf("iomodel: unpin of unpinned block %d", id))
+	}
+	s.pins[id]--
+	s.pinned--
+}
+
+// PinnedBlocks returns the number of outstanding pins, for balance
+// assertions in tests.
+func (s *MemStore) PinnedBlocks() int { return int(s.pinned) }
 
 // Next returns the overflow-chain pointer of block id.
 func (s *MemStore) Next(id BlockID) BlockID {

@@ -35,6 +35,15 @@ type BlockStore interface {
 	// store operation and must not be mutated. It exists for audits and
 	// assertions, never operation logic.
 	PeekBlock(id BlockID) []Entry
+	// PinBlock returns the entries of block id without copying, like
+	// PeekBlock, but the returned slice stays valid until the matching
+	// UnpinBlock: a caching store must not evict or recycle the frame
+	// while it is pinned. Pins nest (a frame may be pinned more than
+	// once) and must balance. The slice must not be mutated.
+	PinBlock(id BlockID) []Entry
+	// UnpinBlock releases one pin taken by PinBlock. Unbalanced unpins
+	// are a caller bug and panic.
+	UnpinBlock(id BlockID)
 	// Next returns the overflow-chain pointer in the header of block id.
 	Next(id BlockID) BlockID
 	// SetNext updates the overflow-chain pointer of block id.

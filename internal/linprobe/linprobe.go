@@ -108,7 +108,8 @@ func (t *Table) next(i int) int {
 func (t *Table) Insert(key, val uint64) (int, error) {
 	ios := 0
 	i := t.home(key)
-	var buf []iomodel.Entry
+	buf := t.d.AcquireBuf()
+	defer func() { t.d.ReleaseBuf(buf) }()
 	for step := 0; step < len(t.blocks); step++ {
 		buf = t.d.Read(t.blocks[i], buf[:0])
 		ios++
@@ -143,16 +144,20 @@ func (t *Table) Insert(key, val uint64) (int, error) {
 // sound.
 func (t *Table) Lookup(key uint64) (val uint64, ok bool, ios int) {
 	i := t.home(key)
-	var buf []iomodel.Entry
 	for step := 0; step < len(t.blocks); step++ {
-		buf = t.d.Read(t.blocks[i], buf[:0])
+		// Pinned zero-copy scan; see block.Find.
+		buf := t.d.ReadPinned(t.blocks[i])
 		ios++
-		for _, e := range buf {
-			if e.Key == key {
-				return e.Val, true, ios
+		for j := range buf {
+			if buf[j].Key == key {
+				v := buf[j].Val
+				t.d.Unpin(t.blocks[i])
+				return v, true, ios
 			}
 		}
-		if len(buf) < t.d.B() {
+		full := len(buf) == t.d.B()
+		t.d.Unpin(t.blocks[i])
+		if !full {
 			return 0, false, ios
 		}
 		i = t.next(i)
@@ -165,7 +170,8 @@ func (t *Table) Lookup(key uint64) (val uint64, ok bool, ios int) {
 // present and the I/Os spent.
 func (t *Table) Delete(key uint64) (ok bool, ios int) {
 	i := t.home(key)
-	var buf []iomodel.Entry
+	buf := t.d.AcquireBuf()
+	defer func() { t.d.ReleaseBuf(buf) }()
 	for step := 0; step < len(t.blocks); step++ {
 		buf = t.d.Read(t.blocks[i], buf[:0])
 		ios++
@@ -194,7 +200,8 @@ func (t *Table) Delete(key uint64) (ok bool, ios int) {
 func (t *Table) repair(hole int) int {
 	ios := 0
 	k := t.next(hole)
-	var buf []iomodel.Entry
+	buf := t.d.AcquireBuf()
+	defer func() { t.d.ReleaseBuf(buf) }()
 	for step := 0; step < len(t.blocks); step++ {
 		if k == hole { // wrapped all the way around
 			return ios
@@ -215,10 +222,11 @@ func (t *Table) repair(hole int) int {
 			buf = buf[:len(buf)-1]
 			t.d.WriteBack(t.blocks[k], buf)
 			// Move e into the hole block.
-			hb := t.d.Read(t.blocks[hole], nil)
+			hb := t.d.Read(t.blocks[hole], t.d.AcquireBuf())
 			ios++
 			hb = append(hb, e)
 			t.d.WriteBack(t.blocks[hole], hb)
+			t.d.ReleaseBuf(hb)
 			hole = k
 			k = t.next(k)
 			continue

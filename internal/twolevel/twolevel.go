@@ -139,7 +139,8 @@ func (t *Table) home(key uint64) int {
 func (t *Table) Insert(key, val uint64) int {
 	h := t.home(key)
 	id := t.homes[h]
-	buf := t.d.Read(id, nil)
+	buf := t.d.Read(id, t.d.AcquireBuf())
+	defer func() { t.d.ReleaseBuf(buf) }()
 	ios := 1
 	for i := range buf {
 		if buf[i].Key == key {
@@ -189,15 +190,20 @@ func (t *Table) Insert(key, val uint64) int {
 // home block stops immediately — the key cannot be in overflow.
 func (t *Table) Lookup(key uint64) (val uint64, ok bool, ios int) {
 	h := t.home(key)
-	buf := t.d.Read(t.homes[h], nil)
+	id := t.homes[h]
+	buf := t.d.ReadPinned(id)
 	ios = 1
-	for _, e := range buf {
-		if e.Key == key {
-			return e.Val, true, ios
+	for i := range buf {
+		if buf[i].Key == key {
+			v := buf[i].Val
+			t.d.Unpin(id)
+			return v, true, ios
 		}
 	}
+	full := len(buf) == t.d.B()
+	t.d.Unpin(id)
 	_, isDirty := t.dirty[h]
-	if len(buf) < t.d.B() && !isDirty {
+	if !full && !isDirty {
 		return 0, false, ios
 	}
 	val, ok, c := t.overflow.Lookup(key)
@@ -210,7 +216,8 @@ func (t *Table) Lookup(key uint64) (val uint64, ok bool, ios int) {
 func (t *Table) Delete(key uint64) (ok bool, ios int) {
 	h := t.home(key)
 	id := t.homes[h]
-	buf := t.d.Read(id, nil)
+	buf := t.d.Read(id, t.d.AcquireBuf())
+	defer func() { t.d.ReleaseBuf(buf) }()
 	ios = 1
 	for i := range buf {
 		if buf[i].Key == key {

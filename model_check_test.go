@@ -100,6 +100,14 @@ func runModelCheck(t *testing.T, label string, seed uint64, tab checkedTable,
 			if err := tab.Flush(); err != nil {
 				fail("op %d: flush: %v", i, err)
 			}
+			// The barrier is a quiescent point (every worker idle), so
+			// the buffer-pool pin gauge must read zero: each ReadPinned
+			// during the preceding operations was balanced by its Unpin.
+			if table, isTable := tab.(extbuf.Table); isTable {
+				if pinned, ok := extbuf.PoolPinnedForTest(table); ok && pinned != 0 {
+					fail("op %d: %d buffer-pool pins leaked across flush barrier", i, pinned)
+				}
+			}
 		default: // close + reopen (durable backends only)
 			if reopen == nil {
 				continue
@@ -137,6 +145,15 @@ func runModelCheck(t *testing.T, label string, seed uint64, tab checkedTable,
 	}
 	if got := tab.Len(); got != len(ref) && !(lenUpperBound[label] && got >= len(ref)) {
 		fail("final audit: Len = %d, reference %d", got, len(ref))
+	}
+	// Final pin-balance audit behind a last quiescing barrier.
+	if err := tab.Flush(); err != nil {
+		fail("final flush: %v", err)
+	}
+	if table, isTable := tab.(extbuf.Table); isTable {
+		if pinned, ok := extbuf.PoolPinnedForTest(table); ok && pinned != 0 {
+			fail("final audit: %d buffer-pool pins leaked", pinned)
+		}
 	}
 	if err := tab.Close(); err != nil {
 		fail("final close: %v", err)

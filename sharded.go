@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"extbuf/internal/wal"
 	"extbuf/internal/xrand"
 )
 
@@ -53,6 +54,14 @@ type Sharded struct {
 	bits     uint
 	async    bool
 
+	// reqPool and scratchPool recycle the per-request and per-batch
+	// bookkeeping (request structs, partition index lists, error/length
+	// slots), so the steady-state submission path allocates nothing.
+	// Sync requests are returned by the submitter after its barrier;
+	// write-behind requests (nil wg) are returned by the serving worker.
+	reqPool     sync.Pool
+	scratchPool sync.Pool
+
 	// stateMu makes submission and shutdown race-free: submitters hold
 	// the read side across the closed check and their channel sends, and
 	// Close takes the write side to flip closed and close the channels,
@@ -84,6 +93,10 @@ const (
 // workers never contend. A nil wg marks a write-behind request: the
 // worker applies it without signalling and parks any error until the
 // next barrier.
+//
+// Requests are pooled. The trailing inline fields are the operand and
+// result storage of pooled single-operation requests (the slice fields
+// alias them), so a single op carries no per-call slices at all.
 type shardReq struct {
 	kind  opKind
 	keys  []uint64
@@ -95,6 +108,60 @@ type shardReq struct {
 	lens  []int64  // one slot per shard
 	shard int
 	wg    *sync.WaitGroup
+
+	// Inline storage for single-operation requests.
+	wg1   sync.WaitGroup
+	k1    [1]uint64
+	v1    [1]uint64
+	outV1 [1]uint64
+	ok1   [1]bool
+	e1    [1]error
+}
+
+// batchScratch is the pooled per-batch bookkeeping of a submitting
+// goroutine: partition index lists (backing arrays reused across
+// batches), per-shard error and length slots, and the request pointers
+// to recycle after the barrier.
+type batchScratch struct {
+	parts [][]int
+	errs  []error
+	lens  []int64
+	reqs  []*shardReq
+}
+
+// getReq returns a zeroed pooled request.
+func (s *Sharded) getReq() *shardReq { return s.reqPool.Get().(*shardReq) }
+
+// putReq recycles a request once no worker can touch it (after the
+// submitter's barrier for sync requests, after serve for write-behind
+// ones). Fields are cleared individually — the inline WaitGroup must
+// not be copied over.
+func (s *Sharded) putReq(r *shardReq) {
+	r.keys, r.vals, r.idx = nil, nil, nil
+	r.outV, r.outOK, r.errs, r.lens = nil, nil, nil, nil
+	r.shard = 0
+	r.wg = nil
+	// Clear the inline result and error slots: a submission refused at
+	// the closed check returns before any worker writes them, and the
+	// caller must then read zero values, not a previous op's results.
+	r.e1[0] = nil
+	r.outV1[0] = 0
+	r.ok1[0] = false
+	s.reqPool.Put(r)
+}
+
+// getScratch returns pooled per-batch bookkeeping with clean error
+// slots and empty request list.
+func (s *Sharded) getScratch() *batchScratch { return s.scratchPool.Get().(*batchScratch) }
+
+// putScratch recycles sc, clearing the error slots so a stale error
+// can never surface in a later batch.
+func (s *Sharded) putScratch(sc *batchScratch) {
+	for i := range sc.errs {
+		sc.errs[i] = nil
+	}
+	sc.reqs = sc.reqs[:0]
+	s.scratchPool.Put(sc)
 }
 
 // NewSharded builds a sharded table of the given structure ("buffered",
@@ -136,6 +203,18 @@ func NewSharded(structure string, cfg Config, shards int) (*Sharded, error) {
 		bits:     bits,
 		async:    cfg.FlushPolicy == FlushAsync,
 	}
+	s.reqPool.New = func() any { return new(shardReq) }
+	s.scratchPool.New = func() any {
+		return &batchScratch{
+			parts: make([][]int, n),
+			errs:  make([]error, n),
+			lens:  make([]int64, n),
+		}
+	}
+	// One group committer serves every durable shard: a Flush barrier
+	// then overlaps all shards' WAL and block-file fsyncs in one pool
+	// (two per shard) instead of each worker syncing serially.
+	committer := wal.NewCommitter(2 * n)
 	for i := range s.shards {
 		scfg := cfg
 		scfg.Seed = cfg.Seed + uint64(i)*0x9e3779b97f4a7c15
@@ -144,6 +223,7 @@ func NewSharded(structure string, cfg Config, shards int) (*Sharded, error) {
 			scfg.Path = fmt.Sprintf("%s.shard%03d", cfg.Path, i)
 			scfg.shardCount = n
 			scfg.shardIndex = i
+			scfg.committer = committer
 		}
 		tab, err := Open(structure, scfg)
 		if err != nil {
@@ -169,7 +249,13 @@ func (s *Sharded) worker(i int) {
 	defer s.workerWG.Done()
 	tab := s.shards[i]
 	for req := range s.reqs[i] {
+		writeBehind := req.wg == nil
 		s.serve(i, tab, req)
+		if writeBehind {
+			// No submitter waits on a write-behind request; the worker
+			// owns it after serve and recycles it.
+			s.putReq(req)
+		}
 	}
 }
 
@@ -227,23 +313,24 @@ func (s *Sharded) shard(key uint64) int {
 	return int(xrand.Mix64(key^s.salt) >> (64 - s.bits))
 }
 
-// partition maps each batch position to its shard, preserving input
-// order within every shard's index list.
-func (s *Sharded) partition(keys []uint64) [][]int {
-	parts := make([][]int, len(s.shards))
+// partitionInto maps each batch position to its shard, preserving
+// input order within every shard's index list. The lists are built in
+// parts (from a batchScratch), whose backing arrays are reused across
+// batches.
+func (s *Sharded) partitionInto(keys []uint64, parts [][]int) {
+	for i := range parts {
+		parts[i] = parts[i][:0]
+	}
 	if s.bits == 0 {
-		idx := make([]int, len(keys))
-		for i := range idx {
-			idx[i] = i
+		for i := range keys {
+			parts[0] = append(parts[0], i)
 		}
-		parts[0] = idx
-		return parts
+		return
 	}
 	for i, k := range keys {
 		sh := s.shard(k)
 		parts[sh] = append(parts[sh], i)
 	}
-	return parts
 }
 
 // singleIdx is the shared position list of every one-element batch.
@@ -254,42 +341,75 @@ var singleIdx = [1]int{0}
 // shard to finish, joining per-shard errors. The submission (closed
 // check plus channel sends) runs under the state read-lock; the wait
 // does not, since enqueued requests are served even while Close holds
-// the write side. One-element batches — the single-op wrappers' path —
-// skip the partition and the per-shard error slots.
+// the write side. One-element batches route through runOne.
 func (s *Sharded) runBatch(kind opKind, keys, vals []uint64, outV []uint64, outOK []bool) error {
-	var wg sync.WaitGroup
 	if len(keys) == 1 {
-		errs := make([]error, 1)
-		sh := s.shard(keys[0])
-		s.stateMu.RLock()
-		if s.closed {
-			s.stateMu.RUnlock()
-			return ErrClosed
-		}
-		wg.Add(1)
-		s.reqs[sh] <- &shardReq{kind: kind, keys: keys, vals: vals, idx: singleIdx[:],
-			outV: outV, outOK: outOK, errs: errs, wg: &wg}
-		s.stateMu.RUnlock()
-		wg.Wait()
-		return errs[0]
+		return s.runOne(kind, keys, vals, outV, outOK)
 	}
-	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	sc := s.getScratch()
+	defer s.putScratch(sc)
+	s.partitionInto(keys, sc.parts)
 	s.stateMu.RLock()
 	if s.closed {
 		s.stateMu.RUnlock()
 		return ErrClosed
 	}
-	for sh, idx := range s.partition(keys) {
+	for sh, idx := range sc.parts {
 		if len(idx) == 0 {
 			continue
 		}
+		req := s.getReq()
+		req.kind, req.keys, req.vals, req.idx = kind, keys, vals, idx
+		req.outV, req.outOK = outV, outOK
+		req.errs, req.shard, req.wg = sc.errs, sh, &wg
+		sc.reqs = append(sc.reqs, req)
 		wg.Add(1)
-		s.reqs[sh] <- &shardReq{kind: kind, keys: keys, vals: vals, idx: idx,
-			outV: outV, outOK: outOK, errs: errs, shard: sh, wg: &wg}
+		s.reqs[sh] <- req
 	}
 	s.stateMu.RUnlock()
 	wg.Wait()
-	return errors.Join(errs...)
+	err := errors.Join(sc.errs...)
+	for _, req := range sc.reqs {
+		s.putReq(req)
+	}
+	return err
+}
+
+// submitOne is the one synchronous single-operation choreography: the
+// pooled request's inline fields carry the operand (k1/v1) and error
+// slot, the closed check and send run under the state read-lock, and
+// the inline WaitGroup is the barrier. The caller owns req before and
+// after the call (reading result slots, then recycling it) — submitOne
+// never recycles. Steady state allocates nothing.
+func (s *Sharded) submitOne(kind opKind, req *shardReq) error {
+	req.kind = kind
+	req.keys, req.vals, req.idx = req.k1[:], req.v1[:], singleIdx[:]
+	req.errs, req.wg = req.e1[:], &req.wg1
+	s.stateMu.RLock()
+	if s.closed {
+		s.stateMu.RUnlock()
+		return ErrClosed
+	}
+	req.wg1.Add(1)
+	s.reqs[s.shard(req.k1[0])] <- req
+	s.stateMu.RUnlock()
+	req.wg1.Wait()
+	return req.e1[0]
+}
+
+// runOne adapts submitOne to batch-API callers with one-element
+// slices: results land in the caller's outV/outOK.
+func (s *Sharded) runOne(kind opKind, keys, vals []uint64, outV []uint64, outOK []bool) error {
+	req := s.getReq()
+	req.k1[0] = keys[0]
+	if vals != nil {
+		req.v1[0] = vals[0]
+	}
+	req.outV, req.outOK = outV, outOK
+	err := s.submitOne(kind, req)
+	s.putReq(req)
+	return err
 }
 
 // mutateBatch is the write path: synchronous fan-out under FlushSync,
@@ -301,26 +421,52 @@ func (s *Sharded) mutateBatch(kind opKind, keys, vals []uint64) error {
 	if !s.async {
 		return s.runBatch(kind, keys, vals, nil, nil)
 	}
+	if len(keys) == 1 {
+		return s.mutateOneAsync(kind, keys[0], vals[0])
+	}
 	// Write-behind requests outlive the call, so they need their own
 	// copy of the operands: the caller is free to reuse its slices the
-	// moment we return.
+	// moment we return. The copy is shared by every shard's request and
+	// released by the garbage collector once the last worker is done.
 	keys = append([]uint64(nil), keys...)
 	vals = append([]uint64(nil), vals...)
+	sc := s.getScratch()
+	defer s.putScratch(sc)
+	s.partitionInto(keys, sc.parts)
 	s.stateMu.RLock()
 	defer s.stateMu.RUnlock()
 	if s.closed {
 		return ErrClosed
 	}
-	if len(keys) == 1 {
-		s.reqs[s.shard(keys[0])] <- &shardReq{kind: kind, keys: keys, vals: vals, idx: singleIdx[:]}
-		return nil
-	}
-	for sh, idx := range s.partition(keys) {
+	for sh, idx := range sc.parts {
 		if len(idx) == 0 {
 			continue
 		}
-		s.reqs[sh] <- &shardReq{kind: kind, keys: keys, vals: vals, idx: idx}
+		req := s.getReq()
+		req.kind, req.keys, req.vals = kind, keys, vals
+		// The index list must outlive this call too: write-behind
+		// requests keep it until served, so it cannot come from the
+		// recycled scratch backing.
+		req.idx = append([]int(nil), idx...)
+		s.reqs[sh] <- req
 	}
+	return nil
+}
+
+// mutateOneAsync enqueues a single write-behind mutation with the
+// operand inlined in the pooled request — no copies, no slices.
+func (s *Sharded) mutateOneAsync(kind opKind, key, val uint64) error {
+	req := s.getReq()
+	req.kind = kind
+	req.k1[0], req.v1[0] = key, val
+	req.keys, req.vals, req.idx = req.k1[:], req.v1[:], singleIdx[:]
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
+	if s.closed {
+		s.putReq(req)
+		return ErrClosed
+	}
+	s.reqs[s.shard(key)] <- req
 	return nil
 }
 
@@ -364,29 +510,51 @@ func (s *Sharded) DeleteBatch(keys []uint64) ([]bool, error) {
 	return found, err
 }
 
-// Insert stores (key, val) in key's shard: a one-element InsertBatch.
+// one submits a single operation with results in the pooled request's
+// inline slots: the per-shard operation order is identical to a
+// one-element batch, with no allocation.
+func (s *Sharded) one(kind opKind, key, val uint64) (uint64, bool, error) {
+	req := s.getReq()
+	req.k1[0], req.v1[0] = key, val
+	req.outV, req.outOK = req.outV1[:], req.ok1[:]
+	err := s.submitOne(kind, req)
+	v, ok := req.outV1[0], req.ok1[0]
+	s.putReq(req)
+	return v, ok, err
+}
+
+// Insert stores (key, val) in key's shard, with the semantics of a
+// one-element InsertBatch.
 func (s *Sharded) Insert(key, val uint64) error {
-	return s.mutateBatch(opInsert, []uint64{key}, []uint64{val})
+	if s.async {
+		return s.mutateOneAsync(opInsert, key, val)
+	}
+	_, _, err := s.one(opInsert, key, val)
+	return err
 }
 
 // Upsert stores (key, val) whether or not key is present.
 func (s *Sharded) Upsert(key, val uint64) error {
-	return s.mutateBatch(opUpsert, []uint64{key}, []uint64{val})
+	if s.async {
+		return s.mutateOneAsync(opUpsert, key, val)
+	}
+	_, _, err := s.one(opUpsert, key, val)
+	return err
 }
 
 // Lookup returns the value stored for key. On a closed engine it
 // reports absence; use LookupBatch for an error-signalled variant.
 func (s *Sharded) Lookup(key uint64) (uint64, bool) {
-	vals, found, _ := s.LookupBatch([]uint64{key})
-	return vals[0], found[0]
+	v, ok, _ := s.one(opLookup, key, 0)
+	return v, ok
 }
 
 // Delete removes key, reporting whether it was present. On a closed
 // engine it reports a miss; use DeleteBatch for an error-signalled
 // variant.
 func (s *Sharded) Delete(key uint64) bool {
-	found, _ := s.DeleteBatch([]uint64{key})
-	return found[0]
+	_, ok, _ := s.one(opDelete, key, 0)
+	return ok
 }
 
 // Len returns the total number of stored entries across shards. It runs
@@ -394,21 +562,28 @@ func (s *Sharded) Delete(key uint64) bool {
 // it — including write-behind mutations still in the queues.
 func (s *Sharded) Len() int {
 	var wg sync.WaitGroup
-	lens := make([]int64, len(s.shards))
+	sc := s.getScratch()
+	defer s.putScratch(sc)
 	s.stateMu.RLock()
 	if s.closed {
 		s.stateMu.RUnlock()
 		return 0
 	}
 	for sh := range s.shards {
+		req := s.getReq()
+		req.kind, req.lens, req.shard, req.wg = opLen, sc.lens, sh, &wg
+		sc.reqs = append(sc.reqs, req)
 		wg.Add(1)
-		s.reqs[sh] <- &shardReq{kind: opLen, lens: lens, shard: sh, wg: &wg}
+		s.reqs[sh] <- req
 	}
 	s.stateMu.RUnlock()
 	wg.Wait()
 	var total int64
-	for _, n := range lens {
+	for _, n := range sc.lens {
 		total += n
+	}
+	for _, req := range sc.reqs {
+		s.putReq(req)
 	}
 	return int(total)
 }

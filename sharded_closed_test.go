@@ -1,0 +1,43 @@
+package extbuf_test
+
+import (
+	"testing"
+
+	"extbuf"
+)
+
+// TestClosedEngineSingleOpsReportAbsence is the regression guard for
+// the pooled single-op path: a request recycled through the pool must
+// not let a closed engine replay its previous operation's result
+// slots. Lookup on a closed engine reports absence and Delete a miss,
+// regardless of what the recycled request last carried.
+func TestClosedEngineSingleOpsReportAbsence(t *testing.T) {
+	s, err := extbuf.NewSharded("knuth", extbuf.Config{
+		BlockSize: 16, MemoryWords: 512, ExpectedItems: 256, Seed: 3,
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(42, 99); err != nil {
+		t.Fatal(err)
+	}
+	// Populate the request pool's inline result slots with a hit.
+	if v, ok := s.Lookup(42); !ok || v != 99 {
+		t.Fatalf("Lookup(42) = (%d,%v) before close", v, ok)
+	}
+	if !s.Delete(42) {
+		t.Fatal("Delete(42) missed before close")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Lookup(7777); ok || v != 0 {
+		t.Fatalf("Lookup on closed engine = (%d,%v), want (0,false)", v, ok)
+	}
+	if s.Delete(7777) {
+		t.Fatal("Delete on closed engine reported a hit")
+	}
+	if err := s.Insert(1, 1); err != extbuf.ErrClosed {
+		t.Fatalf("Insert on closed engine err = %v, want ErrClosed", err)
+	}
+}
