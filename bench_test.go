@@ -1,5 +1,5 @@
 // Benchmarks regenerating every artifact of the paper's evaluation (see
-// DESIGN.md §3 for the experiment index). Each experiment-level
+// DESIGN.md §4 for the experiment index). Each experiment-level
 // benchmark runs the corresponding harness driver and reports the key
 // measured quantity via ReportMetric, so
 //

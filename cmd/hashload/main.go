@@ -1,0 +1,498 @@
+// Command hashload is a closed-loop load generator for hashserved: a
+// fixed set of workers issue pipelined batch requests over a pooled
+// client connection and each waits for its response before sending the
+// next (closed loop), so offered load adapts to what the server
+// sustains. It reports throughput and per-request latency percentiles,
+// and can record an acked-write log for crash-recovery verification.
+//
+// Workload: each worker owns a disjoint key space and mixes fresh-key
+// insert batches with lookup (and optional delete) batches over the
+// keys it has already inserted, sampled uniformly or Zipf-skewed
+// toward recent inserts (-dist zipf), the recency skew of package
+// workload.
+//
+// Crash verification: with -acklog the generator writes a mutation log
+// — inserts after the server acks them WAL-durable, deletes when they
+// are issued (a delete may apply durably even if its ack is lost, so
+// issued deletes conservatively leave the verified set) — and
+// tolerates the server dying mid-run (the run ends early,
+// successfully, with the log intact). A second invocation with -verify
+// replays the log against a restarted server and fails if any acked
+// write is missing: the e2e CI gate's kill -9 check.
+//
+// Usage:
+//
+//	hashload -addr HOST:PORT [-conns 4] [-workers 16] [-pipeline 16]
+//	         [-batch 256] [-duration 10s] [-lookupfrac 0.5]
+//	         [-deletefrac 0] [-dist uniform|zipf] [-zipfexp 1.5]
+//	         [-seed 42] [-acklog FILE] [-summary FILE]
+//	hashload -addr HOST:PORT -verify FILE
+//
+// The run always ends with a machine-readable line:
+//
+//	SUMMARY ops=... errors=... seconds=... ops_per_sec=... acked_inserts=... p50_us=... p95_us=... p99_us=...
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"extbuf/client"
+	"extbuf/internal/stats"
+	"extbuf/internal/workload"
+	"extbuf/internal/xrand"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hashload: ")
+	var (
+		addr       = flag.String("addr", "", "server address (required)")
+		conns      = flag.Int("conns", 4, "pooled TCP connections")
+		workers    = flag.Int("workers", 16, "closed-loop worker goroutines")
+		pipeline   = flag.Int("pipeline", 16, "client per-connection in-flight bound")
+		batch      = flag.Int("batch", 256, "operations per request")
+		duration   = flag.Duration("duration", 10*time.Second, "run length")
+		lookupFrac = flag.Float64("lookupfrac", 0.5, "fraction of lookup batches")
+		deleteFrac = flag.Float64("deletefrac", 0, "fraction of delete batches")
+		dist       = flag.String("dist", "uniform", "lookup key distribution: uniform or zipf")
+		zipfExp    = flag.Float64("zipfexp", 1.5, "zipf exponent (-dist zipf)")
+		seed       = flag.Uint64("seed", 42, "workload seed")
+		ackPath    = flag.String("acklog", "", "append acked mutations to this log")
+		verifyPath = flag.String("verify", "", "verify an acked-write log against the server and exit")
+		sumPath    = flag.String("summary", "", "write a JSON summary here")
+	)
+	flag.Parse()
+	if *addr == "" {
+		log.Fatal("-addr is required")
+	}
+
+	cl, err := client.Dial(*addr, client.Options{
+		Conns:       *conns,
+		Pipeline:    *pipeline,
+		DialTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+
+	if *verifyPath != "" {
+		if err := verify(cl, *verifyPath, *batch); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	run(cl, runConfig{
+		workers:    *workers,
+		batch:      *batch,
+		duration:   *duration,
+		lookupFrac: *lookupFrac,
+		deleteFrac: *deleteFrac,
+		zipf:       *dist == "zipf",
+		zipfExp:    *zipfExp,
+		seed:       *seed,
+		ackPath:    *ackPath,
+		sumPath:    *sumPath,
+	})
+}
+
+type runConfig struct {
+	workers    int
+	batch      int
+	duration   time.Duration
+	lookupFrac float64
+	deleteFrac float64
+	zipf       bool
+	zipfExp    float64
+	seed       uint64
+	ackPath    string
+	sumPath    string
+}
+
+// ackLog serializes mutation records from all workers into one
+// buffered file. Lines: "i <key> <val>" for inserts — written only
+// after the server acked the batch durable — and "d <key>" for
+// deletes, written when the delete is ISSUED: an unacked delete may
+// still have applied durably, so issue-time logging conservatively
+// removes the key from the verified set instead of falsely claiming
+// it live (see verify).
+type ackLog struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+	f  *os.File
+}
+
+func openAckLog(path string) (*ackLog, error) {
+	if path == "" {
+		return nil, nil
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &ackLog{w: bufio.NewWriterSize(f, 1<<20), f: f}, nil
+}
+
+func (a *ackLog) inserts(keys, vals []uint64) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	for i := range keys {
+		fmt.Fprintf(a.w, "i %d %d\n", keys[i], vals[i])
+	}
+	a.mu.Unlock()
+}
+
+func (a *ackLog) deletes(keys []uint64) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	for _, k := range keys {
+		fmt.Fprintf(a.w, "d %d\n", k)
+	}
+	a.mu.Unlock()
+}
+
+func (a *ackLog) close() error {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err := a.w.Flush(); err != nil {
+		return err
+	}
+	return a.f.Close()
+}
+
+// workerResult carries one worker's tallies back to the aggregator.
+type workerResult struct {
+	ops          int64
+	errors       int64
+	ackedInserts int64
+	lat          stats.Histogram // per-request latency, µs
+	fatal        error           // connection-level failure that ended the worker
+}
+
+func run(cl *client.Client, cfg runConfig) {
+	ack, err := openAckLog(cfg.ackPath)
+	if err != nil {
+		log.Fatalf("acklog: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.duration)
+	defer cancel()
+
+	results := make([]workerResult, cfg.workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w] = worker(ctx, cancel, cl, cfg, w, ack)
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err := ack.close(); err != nil {
+		log.Fatalf("acklog: %v", err)
+	}
+
+	var total workerResult
+	disconnected := false
+	for i := range results {
+		r := &results[i]
+		total.ops += r.ops
+		total.errors += r.errors
+		total.ackedInserts += r.ackedInserts
+		for _, v := range r.lat.Values() {
+			total.lat.AddN(v, r.lat.Count(v))
+		}
+		if r.fatal != nil {
+			disconnected = true
+		}
+	}
+	if disconnected {
+		log.Printf("server connection lost mid-run (tolerated); acked log is authoritative")
+	}
+
+	secs := elapsed.Seconds()
+	opsPerSec := float64(total.ops) / secs
+	p50 := percentile(&total.lat, 0.50)
+	p95 := percentile(&total.lat, 0.95)
+	p99 := percentile(&total.lat, 0.99)
+
+	fmt.Printf("ops            %d\n", total.ops)
+	fmt.Printf("errors         %d\n", total.errors)
+	fmt.Printf("wall seconds   %.3f\n", secs)
+	fmt.Printf("throughput     %.0f ops/s\n", opsPerSec)
+	fmt.Printf("acked inserts  %d\n", total.ackedInserts)
+	fmt.Printf("request p50    %d µs\n", p50)
+	fmt.Printf("request p95    %d µs\n", p95)
+	fmt.Printf("request p99    %d µs\n", p99)
+	fmt.Printf("SUMMARY ops=%d errors=%d seconds=%.3f ops_per_sec=%.0f acked_inserts=%d p50_us=%d p95_us=%d p99_us=%d\n",
+		total.ops, total.errors, secs, opsPerSec, total.ackedInserts, p50, p95, p99)
+
+	if cfg.sumPath != "" {
+		js, _ := json.MarshalIndent(map[string]any{
+			"ops":           total.ops,
+			"errors":        total.errors,
+			"seconds":       secs,
+			"ops_per_sec":   opsPerSec,
+			"acked_inserts": total.ackedInserts,
+			"p50_us":        p50,
+			"p95_us":        p95,
+			"p99_us":        p99,
+			"disconnected":  disconnected,
+		}, "", "  ")
+		if err := os.WriteFile(cfg.sumPath, append(js, '\n'), 0o644); err != nil {
+			log.Fatalf("summary: %v", err)
+		}
+	}
+}
+
+// worker runs one closed loop until the context expires or the
+// connection dies. Worker w owns key space w<<40 | counter (mixed), so
+// inserts are globally fresh without coordination.
+func worker(ctx context.Context, cancel context.CancelFunc, cl *client.Client, cfg runConfig, w int, ack *ackLog) workerResult {
+	var res workerResult
+	rng := xrand.New(cfg.seed + uint64(w)*0x9e3779b97f4a7c15)
+	zipf := workload.MakeRecencyZipf(cfg.zipfExp)
+	var (
+		history []uint64 // keys this worker has inserted (acked or in flight)
+		counter uint64
+		keys    = make([]uint64, 0, cfg.batch)
+		vals    = make([]uint64, 0, cfg.batch)
+	)
+	nextKey := func() uint64 {
+		counter++
+		return xrand.Mix64(uint64(w)<<40 | counter)
+	}
+	pick := func() uint64 {
+		if cfg.zipf {
+			return history[len(history)-1-zipf.Rank(rng, len(history))]
+		}
+		return history[rng.Intn(len(history))]
+	}
+	for ctx.Err() == nil {
+		keys = keys[:0]
+		vals = vals[:0]
+		r := rng.Float64()
+		switch {
+		case len(history) >= cfg.batch && r < cfg.lookupFrac:
+			for i := 0; i < cfg.batch; i++ {
+				keys = append(keys, pick())
+			}
+			t0 := time.Now()
+			_, found, err := cl.LookupBatch(ctx, keys)
+			if done := tally(&res, cancel, ctx, err, cfg.batch, t0); done {
+				return res
+			}
+			if err == nil {
+				for i, ok := range found {
+					if !ok {
+						// A key this worker inserted must be visible: the
+						// engine guarantees read-your-writes through the
+						// pipeline. Count it as an error, loudly.
+						log.Printf("worker %d: lost key %d", w, keys[i])
+						res.errors++
+					}
+				}
+			}
+		case len(history) >= 2*cfg.batch && r < cfg.lookupFrac+cfg.deleteFrac:
+			for i := 0; i < cfg.batch; i++ {
+				j := rng.Intn(len(history))
+				keys = append(keys, history[j])
+				history[j] = history[len(history)-1]
+				history = history[:len(history)-1]
+			}
+			// Deletes are logged when ISSUED, not when acked: a delete can
+			// apply and turn durable (riding another wave's group commit)
+			// with its ack lost to the crash, and verifying such a key as
+			// "acked live" would report false loss. Logging at issue time
+			// only shrinks the verified set — never unsoundly grows it.
+			ack.deletes(keys)
+			t0 := time.Now()
+			_, err := cl.DeleteBatch(ctx, keys)
+			if done := tally(&res, cancel, ctx, err, cfg.batch, t0); done {
+				return res
+			}
+		default:
+			for i := 0; i < cfg.batch; i++ {
+				k := nextKey()
+				keys = append(keys, k)
+				vals = append(vals, k>>1)
+			}
+			t0 := time.Now()
+			err := cl.InsertBatch(ctx, keys, vals)
+			if done := tally(&res, cancel, ctx, err, cfg.batch, t0); done {
+				return res
+			}
+			if err == nil {
+				res.ackedInserts += int64(len(keys))
+				ack.inserts(keys, vals)
+				history = append(history, keys...)
+			}
+		}
+	}
+	return res
+}
+
+// tally records one request's outcome and latency. It returns true when
+// the worker should stop: the run deadline passed, or the connection
+// died (which also cancels the whole run — a dead server ends the run
+// for everyone, successfully, with the ack log intact).
+func tally(res *workerResult, cancel context.CancelFunc, ctx context.Context, err error, ops int, t0 time.Time) bool {
+	if err == nil {
+		res.ops += int64(ops)
+		res.lat.Add(int(time.Since(t0).Microseconds()))
+		return false
+	}
+	if ctx.Err() != nil {
+		return true // deadline, not a failure
+	}
+	var se *client.ServerError
+	if errors.As(err, &se) {
+		res.errors++
+		return false // per-request server error; keep going
+	}
+	// Connection-level failure: the server is gone.
+	res.errors++
+	res.fatal = err
+	cancel()
+	return true
+}
+
+// percentile returns the q-quantile of the histogram's values.
+func percentile(h *stats.Histogram, q float64) int {
+	total := h.Total()
+	if total == 0 {
+		return 0
+	}
+	want := int64(q * float64(total))
+	var seen int64
+	vs := h.Values()
+	sort.Ints(vs)
+	for _, v := range vs {
+		seen += h.Count(v)
+		if seen > want {
+			return v
+		}
+	}
+	return vs[len(vs)-1]
+}
+
+// verify replays an acked-write log against the server: every key the
+// log leaves live must be present with its logged value, and the
+// server's Len must cover the log's live set. Exits nonzero via error
+// on any acked-write loss.
+func verify(cl *client.Client, path string, batch int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	live := make(map[uint64]uint64)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		switch {
+		case len(fields) == 3 && fields[0] == "i":
+			k, err1 := strconv.ParseUint(fields[1], 10, 64)
+			v, err2 := strconv.ParseUint(fields[2], 10, 64)
+			if err1 != nil || err2 != nil {
+				return fmt.Errorf("acklog line %d: %q", line, sc.Text())
+			}
+			live[k] = v
+		case len(fields) == 2 && fields[0] == "d":
+			k, err1 := strconv.ParseUint(fields[1], 10, 64)
+			if err1 != nil {
+				return fmt.Errorf("acklog line %d: %q", line, sc.Text())
+			}
+			delete(live, k)
+		default:
+			return fmt.Errorf("acklog line %d: %q", line, sc.Text())
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	keys := make([]uint64, 0, batch)
+	wants := make([]uint64, 0, batch)
+	var checked, missing, mismatched int
+	flush := func() error {
+		if len(keys) == 0 {
+			return nil
+		}
+		vals, found, err := cl.LookupBatch(ctx, keys)
+		if err != nil {
+			return err
+		}
+		for i := range keys {
+			checked++
+			switch {
+			case !found[i]:
+				missing++
+				if missing <= 10 {
+					log.Printf("MISSING acked key %d", keys[i])
+				}
+			case vals[i] != wants[i]:
+				mismatched++
+				if mismatched <= 10 {
+					log.Printf("MISMATCH key %d: got %d, want %d", keys[i], vals[i], wants[i])
+				}
+			}
+		}
+		keys = keys[:0]
+		wants = wants[:0]
+		return nil
+	}
+	for k, v := range live {
+		keys = append(keys, k)
+		wants = append(wants, v)
+		if len(keys) == batch {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	n, err := cl.Len(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("verified %d acked writes: %d missing, %d mismatched; server Len=%d (acked live set %d)\n",
+		checked, missing, mismatched, n, len(live))
+	if missing > 0 || mismatched > 0 {
+		return fmt.Errorf("acked-write loss: %d missing, %d mismatched of %d", missing, mismatched, checked)
+	}
+	if n < len(live) {
+		return fmt.Errorf("server Len %d below acked live set %d", n, len(live))
+	}
+	fmt.Println("VERIFY OK")
+	return nil
+}

@@ -1,0 +1,164 @@
+// Command hashserved serves an extbuf sharded engine over TCP with the
+// repository's wire protocol (internal/wire), turning the library into
+// a network key/value service.
+//
+// The engine configuration mirrors hashbench: structure, block size,
+// memory budget, backend, shard count and flush policy. With
+// -backend file and a named -path the store is durable — mutations are
+// only acked to clients after a group-committed write-ahead-log fsync,
+// and restarting the server on the same path recovers every
+// acknowledged write.
+//
+// Shutdown: SIGTERM or SIGINT drains gracefully — stop accepting,
+// answer everything already received, then run the checkpoint (engine
+// Close), so a clean restart replays no log. kill -9 skips all of that
+// and exercises recovery instead; acked writes survive either way.
+//
+// Usage:
+//
+//	hashserved -addr 127.0.0.1:4090 -structure buffered -shards 4
+//	           [-backend mem|file|latency] [-path FILE] [-b 64] [-m 1024]
+//	           [-cache 512] [-flush sync|async] [-maxbatch 4096]
+//	           [-pipeline 64] [-addrfile FILE] [-drain 30s] [-leakcheck]
+//
+// -addrfile writes the bound address (useful with -addr :0) to a file
+// once listening, for scripts. -leakcheck verifies at shutdown that no
+// goroutines outlive the drain — the soak CI job runs with it under
+// the race detector.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"runtime"
+	"runtime/pprof"
+	"syscall"
+	"time"
+
+	"extbuf"
+	"extbuf/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hashserved: ")
+	var (
+		addr      = flag.String("addr", "127.0.0.1:4090", "TCP listen address")
+		addrFile  = flag.String("addrfile", "", "write the bound address to this file once listening")
+		structure = flag.String("structure", "buffered", "structure to serve (see extbuf.Structures)")
+		shards    = flag.Int("shards", 4, "shard worker count")
+		b         = flag.Int("b", 64, "block size in items")
+		mWords    = flag.Int64("m", 1024, "per-shard memory budget in words")
+		backend   = flag.String("backend", "mem", "block store: mem, file or latency")
+		path      = flag.String("path", "", "file backend: backing path (named path = durable)")
+		cache     = flag.Int("cache", 0, "file backend: page-cache capacity in blocks (0 = default)")
+		fpolicy   = flag.String("flush", extbuf.FlushSync, "engine flush policy (sync or async)")
+		expected  = flag.Int("expected", 1<<20, "expected items (pre-sizes fixed-capacity structures)")
+		seed      = flag.Uint64("seed", 1, "hash seed")
+		maxBatch  = flag.Int("maxbatch", server.DefaultMaxBatch, "max operations per request frame / aggregation")
+		pipeline  = flag.Int("pipeline", server.DefaultPipeline, "per-connection in-flight request bound")
+		drain     = flag.Duration("drain", 30*time.Second, "graceful drain budget at shutdown")
+		leakCheck = flag.Bool("leakcheck", false, "fail shutdown if goroutines outlive the drain")
+		quiet     = flag.Bool("quiet", false, "suppress per-connection diagnostics")
+	)
+	flag.Parse()
+
+	baseline := runtime.NumGoroutine()
+
+	eng, err := extbuf.NewSharded(*structure, extbuf.Config{
+		BlockSize:     *b,
+		MemoryWords:   *mWords,
+		ExpectedItems: *expected,
+		Seed:          *seed,
+		Backend:       *backend,
+		Path:          *path,
+		CacheBlocks:   *cache,
+		FlushPolicy:   *fpolicy,
+	}, *shards)
+	if err != nil {
+		log.Fatalf("open engine: %v", err)
+	}
+	log.Printf("engine: structure=%s shards=%d backend=%s path=%q recovered_len=%d",
+		*structure, eng.NumShards(), *backend, *path, eng.Len())
+
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	srv := server.New(server.Config{
+		Engine:   eng,
+		MaxBatch: *maxBatch,
+		Pipeline: *pipeline,
+		Logf:     logf,
+	})
+
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen %s: %v", *addr, err)
+	}
+	log.Printf("listening on %s", lis.Addr())
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(lis.Addr().String()+"\n"), 0o644); err != nil {
+			log.Fatalf("addrfile: %v", err)
+		}
+	}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(lis) }()
+
+	select {
+	case sig := <-sigCh:
+		log.Printf("%v: draining (budget %v)", sig, *drain)
+	case err := <-serveErr:
+		log.Fatalf("serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+	}
+	// The PR 3/4 checkpoint: Close flushes every shard's WAL and blocks,
+	// commits superblocks and truncates the logs, so the next open
+	// replays nothing.
+	ckptStart := time.Now()
+	if err := eng.Close(); err != nil {
+		log.Fatalf("close engine: %v", err)
+	}
+	log.Printf("checkpointed in %v", time.Since(ckptStart).Round(time.Millisecond))
+
+	if *leakCheck {
+		if err := checkGoroutines(baseline); err != nil {
+			log.Print(err)
+			pprof.Lookup("goroutine").WriteTo(os.Stderr, 1)
+			os.Exit(3)
+		}
+		log.Printf("leakcheck ok: %d goroutines", runtime.NumGoroutine())
+	}
+}
+
+// checkGoroutines waits for the goroutine count to settle back to the
+// pre-engine baseline (plus the signal handler's helper), reporting an
+// error if anything the server or engine started outlives shutdown.
+func checkGoroutines(baseline int) error {
+	// signal.Notify keeps one helper goroutine alive; allow it.
+	limit := baseline + 1
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= limit {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("leakcheck: %d goroutines alive, want <= %d", n, limit)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

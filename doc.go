@@ -33,6 +33,12 @@
 //     contents, parameters and block topology intact — and Flush is a
 //     crash-safe acknowledgement barrier; deterministic crash injection
 //     (Config.Crash) makes recovery testable in-process (DESIGN.md §1b);
+//   - a network serving layer: cmd/hashserved serves a Sharded engine
+//     over TCP with a CRC-framed pipelined wire protocol
+//     (internal/wire, internal/server), extbuf/client is the pooled
+//     async client, and cmd/hashload the closed-loop load generator;
+//     mutations are acked behind a group-committed WAL fsync (Sync),
+//     so a kill -9 loses no acknowledged write (DESIGN.md §2);
 //   - the paper's lower-bound machinery — zone audits, characteristic
 //     vectors, bin-ball games — and an experiment harness regenerating
 //     Figure 1 and every theorem/lemma table (cmd/figure1, cmd/zones,

@@ -316,6 +316,22 @@ func (d *durableTable) Len() int                         { return d.inner.Len() 
 func (d *durableTable) Stats() Stats                     { return d.inner.Stats() }
 func (d *durableTable) MemoryUsed() int64                { return d.inner.MemoryUsed() }
 
+// StoreStats reports the block file's pool/syscall counters plus the
+// write-ahead log's spill and fsync counts.
+func (d *durableTable) StoreStats() StoreStats {
+	st := fromFileStats(d.store.Stats())
+	st.WALSpills = d.log.Spills()
+	st.WALFsyncs = d.log.Fsyncs()
+	return st
+}
+
+// Sync is the acknowledgement barrier: spill and fsync the write-ahead
+// log, making every logged operation recoverable against the last
+// checkpoint. Unlike Flush it writes no blocks and commits no
+// checkpoint — one buffered write plus one fsync, the group-commit unit
+// the serving layer acks client writes behind.
+func (d *durableTable) Sync() error { return d.log.Sync() }
+
 // Flush is the durability barrier: it commits a checkpoint, after which
 // every previously submitted operation survives any crash.
 func (d *durableTable) Flush() error { return d.checkpoint() }
@@ -385,7 +401,11 @@ func (d *durableTable) checkpoint() error {
 // writeFileAtomic writes data to path via a temp file, fsync and
 // rename, so path always holds either the old or the new content. A
 // non-nil crasher injects faults into the writes, modeling a crash
-// mid-checkpoint (the rename never runs; the old file survives).
+// mid-checkpoint (the rename never runs; the old file survives). On any
+// failure before the rename the temp file is removed: a table whose
+// Flush failed must still release every resource it acquired when the
+// caller moves on to Close (a lingering ".ckpt.tmp" would otherwise
+// survive the table and shadow disk space until the next checkpoint).
 func writeFileAtomic(path string, data []byte, crasher *iomodel.Crasher) error {
 	tmpPath := path + ".tmp"
 	f, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
@@ -398,16 +418,20 @@ func writeFileAtomic(path string, data []byte, crasher *iomodel.Crasher) error {
 	}
 	if _, err := bf.Write(data); err != nil {
 		bf.Close()
+		os.Remove(tmpPath)
 		return fmt.Errorf("extbuf: checkpoint write: %w", err)
 	}
 	if err := bf.Sync(); err != nil {
 		bf.Close()
+		os.Remove(tmpPath)
 		return fmt.Errorf("extbuf: checkpoint sync: %w", err)
 	}
 	if err := bf.Close(); err != nil {
+		os.Remove(tmpPath)
 		return fmt.Errorf("extbuf: checkpoint close: %w", err)
 	}
 	if err := os.Rename(tmpPath, path); err != nil {
+		os.Remove(tmpPath)
 		return fmt.Errorf("extbuf: checkpoint rename: %w", err)
 	}
 	// Make the rename itself durable (best-effort: some platforms

@@ -31,6 +31,65 @@ type Stats struct {
 // IOs returns the seek-dominated I/O count.
 func (s Stats) IOs() int64 { return s.Reads + s.Writes }
 
+// StoreStats reports the real storage costs behind a table — what the
+// bytes actually cost, next to the model counters of Stats. On the file
+// backend these are the buffer pool's syscall, cache and coalescing
+// counters (iomodel.FileStats); a durable table adds its write-ahead
+// log's spill and fsync counts. Scratch backends (mem, latency) have no
+// real costs and report zeros. The serving layer exposes this struct
+// over the wire via the STATS request.
+type StoreStats struct {
+	ReadSyscalls    int64 // preads issued (cache misses that touched the file)
+	WriteSyscalls   int64 // pwrites issued (evictions and coalesced flush runs)
+	CacheHits       int64 // block accesses served from the buffer pool
+	CacheMisses     int64 // block accesses that had to fault a frame in
+	BytesRead       int64
+	BytesWritten    int64
+	Evictions       int64 // frames recycled to make room for a faulting block
+	DirtyWritebacks int64 // evicted frames that had to be written back first
+	FlushedFrames   int64 // dirty frames written back (flush barriers + clustering)
+	FlushRuns       int64 // pwrites the flushed frames were batched into
+	Fsyncs          int64 // fsyncs of the block file
+	WALSpills       int64 // write-ahead log spill writes (durable tables)
+	WALFsyncs       int64 // write-ahead log fsyncs (durable tables)
+}
+
+// Add returns s + o field-wise, for aggregating shards.
+func (s StoreStats) Add(o StoreStats) StoreStats {
+	s.ReadSyscalls += o.ReadSyscalls
+	s.WriteSyscalls += o.WriteSyscalls
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.BytesRead += o.BytesRead
+	s.BytesWritten += o.BytesWritten
+	s.Evictions += o.Evictions
+	s.DirtyWritebacks += o.DirtyWritebacks
+	s.FlushedFrames += o.FlushedFrames
+	s.FlushRuns += o.FlushRuns
+	s.Fsyncs += o.Fsyncs
+	s.WALSpills += o.WALSpills
+	s.WALFsyncs += o.WALFsyncs
+	return s
+}
+
+// fromFileStats maps the file backend's counter struct onto the public
+// one.
+func fromFileStats(st iomodel.FileStats) StoreStats {
+	return StoreStats{
+		ReadSyscalls:    st.ReadSyscalls,
+		WriteSyscalls:   st.WriteSyscalls,
+		CacheHits:       st.CacheHits,
+		CacheMisses:     st.CacheMisses,
+		BytesRead:       st.BytesRead,
+		BytesWritten:    st.BytesWritten,
+		Evictions:       st.Evictions,
+		DirtyWritebacks: st.DirtyWritebacks,
+		FlushedFrames:   st.FlushedFrames,
+		FlushRuns:       st.FlushRuns,
+		Fsyncs:          st.Fsyncs,
+	}
+}
+
 // Table is a dynamic external hash table storing one-word keys and
 // values, the paper's atomic items. Implementations are not safe for
 // concurrent use.
@@ -53,14 +112,29 @@ type Table interface {
 	// MemoryUsed returns the words of main memory the table currently
 	// charges against its budget.
 	MemoryUsed() int64
+	// Sync is the lightweight acknowledgement barrier: once it returns
+	// nil, every operation submitted before it survives a crash. A
+	// durable table (file backend with a named Path) spills and fsyncs
+	// its write-ahead log — no checkpoint, no block flush — so recovery
+	// replays the log against the last checkpoint; the serving layer
+	// group-commits client acks behind exactly this barrier. Scratch
+	// backends degrade to a backend sync (a no-op in memory).
+	Sync() error
 	// Flush forces any state buffered by the storage backend down to
 	// durable storage. For a durable table (file backend with a named
-	// Path) this is the acknowledgement barrier: it fsyncs the
-	// write-ahead log, flushes dirty blocks, commits a checkpoint and
-	// truncates the log, so every operation submitted before Flush
-	// survives a crash once it returns nil. For scratch backends it
-	// degrades to a backend sync (a no-op in memory).
+	// Path) this is the checkpoint barrier: it fsyncs the write-ahead
+	// log, flushes dirty blocks, commits a checkpoint and truncates the
+	// log, so every operation submitted before Flush survives a crash
+	// once it returns nil — and subsequent recovery pays no log replay.
+	// For scratch backends it degrades to a backend sync (a no-op in
+	// memory).
 	Flush() error
+	// StoreStats returns the real-cost counters of the table's storage
+	// backend: the file backend's buffer-pool and syscall counters plus,
+	// for a durable table, the write-ahead log's spill and fsync counts.
+	// Backends without real costs (mem, latency) report zeros. Like
+	// Stats, it stays readable after Close.
+	StoreStats() StoreStats
 	// Close flushes (checkpointing a durable table), releases the
 	// table's memory reservations and the storage backend's resources,
 	// and returns any error the backend reports. The table must not be
@@ -309,7 +383,16 @@ func (b base) Stats() Stats {
 
 func (b base) MemoryUsed() int64 { return b.model.Mem.Used() }
 
+func (b base) Sync() error { return b.model.Disk.Store().Sync() }
+
 func (b base) Flush() error { return b.model.Disk.Store().Sync() }
+
+func (b base) StoreStats() StoreStats {
+	if fs, ok := b.model.Disk.Store().(*iomodel.FileStore); ok {
+		return fromFileStats(fs.Stats())
+	}
+	return StoreStats{}
+}
 
 // tableAdapter is a structure adapter plus the checkpoint hook the
 // durability layer serializes it through.
@@ -748,7 +831,16 @@ func (g *guard) Len() int {
 
 func (g *guard) Stats() Stats { return g.t.Stats() }
 
+func (g *guard) StoreStats() StoreStats { return g.t.StoreStats() }
+
 func (g *guard) MemoryUsed() int64 { return g.t.MemoryUsed() }
+
+func (g *guard) Sync() error {
+	if g.closed {
+		return ErrClosed
+	}
+	return g.t.Sync()
+}
 
 func (g *guard) Flush() error {
 	if g.closed {

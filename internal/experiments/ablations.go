@@ -22,7 +22,7 @@ import (
 //  3. The hash family: ideal mixer vs 2-universal multiply-shift vs
 //     simple tabulation. The paper assumes ideal hashing; the results
 //     should be (and are) insensitive to the family, supporting the
-//     substitution in DESIGN.md §4.
+//     substitution in DESIGN.md §5.
 func Ablations(cfg Config) (*tablefmt.Table, error) {
 	t := tablefmt.New("Ablations (Theorem 2 structure, beta=b^0.5)",
 		"ablation", "variant", "tu", "tq")

@@ -1,5 +1,5 @@
 // Package experiments is the reproduction harness: one driver per
-// experiment ID in DESIGN.md §3, each regenerating the corresponding
+// experiment ID in DESIGN.md §4, each regenerating the corresponding
 // artifact of Wei, Yi, Zhang, "Dynamic External Hashing: The Limit of
 // Buffering" (SPAA 2009) as a plain-text table.
 //

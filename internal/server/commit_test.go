@@ -1,0 +1,131 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestGroupCommitterWaveErrors pins the error-attribution contract: a
+// commit returns the error of ITS covering sync wave — waiters of a
+// failed wave all see the failure, waiters of a later clean wave see
+// nil, and a clean later wave never launders an earlier wave's error
+// away.
+func TestGroupCommitterWaveErrors(t *testing.T) {
+	gate := make(chan error)
+	var syncs atomic.Int64
+	g := &groupCommitter{sync: func() error {
+		syncs.Add(1)
+		return <-gate
+	}}
+
+	commit := func() chan error {
+		ch := make(chan error, 1)
+		go func() { ch <- g.commit() }()
+		return ch
+	}
+
+	// A starts wave 1 and blocks inside sync.
+	a := commit()
+	waitFor(t, func() bool { return syncs.Load() == 1 })
+
+	// B and C enqueue while wave 1 is in flight: they target wave 2.
+	b := commit()
+	c := commit()
+	time.Sleep(20 * time.Millisecond) // let them park on the cond
+
+	boom := errors.New("boom")
+	gate <- boom // wave 1 completes with an error -> A
+	waitFor(t, func() bool { return syncs.Load() == 2 })
+	gate <- nil // wave 2 completes clean -> B and C
+
+	if err := <-a; err != boom {
+		t.Fatalf("wave-1 waiter got %v, want boom", err)
+	}
+	if err := <-b; err != nil {
+		t.Fatalf("wave-2 waiter got %v, want nil", err)
+	}
+	if err := <-c; err != nil {
+		t.Fatalf("wave-2 waiter got %v, want nil", err)
+	}
+	if n := syncs.Load(); n != 2 {
+		t.Fatalf("ran %d syncs for 3 commits, want 2 (B and C share a wave)", n)
+	}
+
+	// The reverse order: a clean wave followed by a failing one must
+	// deliver the failure to exactly its own waiters.
+	d := commit()
+	waitFor(t, func() bool { return syncs.Load() == 3 })
+	e := commit()
+	time.Sleep(20 * time.Millisecond)
+	gate <- nil // wave 3 clean -> D
+	waitFor(t, func() bool { return syncs.Load() == 4 })
+	gate <- boom // wave 4 fails -> E
+	if err := <-d; err != nil {
+		t.Fatalf("wave-3 waiter got %v, want nil", err)
+	}
+	if err := <-e; err != boom {
+		t.Fatalf("wave-4 waiter got %v, want boom", err)
+	}
+
+	// No wave bookkeeping may outlive its waiters.
+	g.mu.Lock()
+	leftover := len(g.waves)
+	g.mu.Unlock()
+	if leftover != 0 {
+		t.Fatalf("%d wave entries leaked", leftover)
+	}
+}
+
+// TestGroupCommitterConcurrent hammers the committer from many
+// goroutines against a slow sync and checks every commit completes and
+// waves were actually shared.
+func TestGroupCommitterConcurrent(t *testing.T) {
+	var syncs atomic.Int64
+	g := &groupCommitter{sync: func() error {
+		syncs.Add(1)
+		time.Sleep(time.Millisecond)
+		return nil
+	}}
+	const callers = 32
+	const rounds = 20
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < rounds; j++ {
+				if err := g.commit(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	total := int64(callers * rounds)
+	if n := syncs.Load(); n >= total {
+		t.Fatalf("%d syncs for %d commits — no grouping", n, total)
+	} else {
+		t.Logf("grouping: %d commits -> %d syncs", total, n)
+	}
+	g.mu.Lock()
+	leftover := len(g.waves)
+	g.mu.Unlock()
+	if leftover != 0 {
+		t.Fatalf("%d wave entries leaked", leftover)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,419 @@
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"extbuf/internal/wire"
+)
+
+// connBufBytes sizes each connection's buffered reader and writer.
+const connBufBytes = 64 << 10
+
+// request is one decoded request frame, pooled per connection. keys and
+// vals retain capacity across requests, so a steady-state connection
+// decodes without allocating.
+type request struct {
+	op      wire.Op
+	id      uint32
+	keys    []uint64
+	vals    []uint64
+	errText string // set when the reader rejected the frame (op == wire.OpErr)
+}
+
+// conn is one client connection: a reader decoding frames into a
+// bounded apply queue, an applier coalescing queued requests into
+// engine batch calls, and a writer streaming the encoded responses
+// back. The queue bound is the connection's backpressure (the reader
+// simply stops reading); response order is request order because the
+// single applier drains the queue FIFO.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+
+	applyCh chan *request
+	writeCh chan []byte
+
+	// freelists, all single-producer/single-consumer friendly.
+	reqFree chan *request
+	bufFree chan []byte
+
+	// applier scratch, reused across aggregated batches.
+	batch []*request
+	keys  []uint64
+	vals  []uint64
+	found []bool
+	pay   []byte
+
+	draining atomic.Bool
+}
+
+func newConn(s *Server, nc net.Conn) *conn {
+	return &conn{
+		srv:     s,
+		nc:      nc,
+		applyCh: make(chan *request, s.pipeline),
+		writeCh: make(chan []byte, s.pipeline),
+		reqFree: make(chan *request, s.pipeline+1),
+		bufFree: make(chan []byte, s.pipeline+1),
+	}
+}
+
+// beginDrain tells the connection to stop reading new requests; the
+// already-queued ones are applied and answered before the connection
+// closes. The poked read deadline unblocks a reader parked in Read.
+func (c *conn) beginDrain() {
+	c.draining.Store(true)
+	c.nc.SetReadDeadline(time.Now())
+}
+
+// run owns the connection lifecycle: it runs the reader inline and the
+// applier and writer as goroutines, wired so that reader exit closes
+// the apply queue, applier exit closes the write queue, and writer exit
+// closes the socket. run returns once all three are done.
+func (c *conn) run() {
+	writerDone := make(chan struct{})
+	go c.applier()
+	go func() {
+		defer close(writerDone)
+		c.writer()
+	}()
+	c.reader()
+	<-writerDone
+}
+
+// reader decodes request frames into the apply queue until the client
+// disconnects, a drain begins, or the stream turns invalid. Frame-level
+// corruption (bad magic or CRC) closes the connection — after it the
+// stream offsets cannot be trusted — while a well-framed but invalid
+// batch payload is answered with ERR and the stream continues.
+func (c *conn) reader() {
+	defer close(c.applyCh)
+	r := wire.NewReader(bufio.NewReaderSize(c.nc, connBufBytes))
+	for {
+		f, err := r.Next()
+		if err != nil {
+			switch {
+			case err == io.EOF: // clean disconnect at a frame boundary
+			case c.draining.Load(): // drain deadline kicked the read loose
+			default:
+				c.srv.logf("conn %s: read: %v", c.nc.RemoteAddr(), err)
+			}
+			return
+		}
+		req := c.getReq()
+		req.op, req.id = f.Op, f.ID
+		var derr error
+		switch f.Op {
+		case wire.OpInsert, wire.OpUpsert:
+			if derr = c.checkBatch(f.Payload); derr == nil {
+				req.keys, req.vals, derr = wire.DecodeKVInto(f.Payload, req.keys, req.vals)
+			}
+		case wire.OpLookup, wire.OpDelete:
+			if derr = c.checkBatch(f.Payload); derr == nil {
+				req.keys, derr = wire.DecodeKeysInto(f.Payload, req.keys)
+			}
+		case wire.OpLen, wire.OpSync, wire.OpFlush, wire.OpStats, wire.OpPing:
+			// empty payloads
+		default:
+			derr = fmt.Errorf("unknown request op %v", f.Op)
+		}
+		if derr != nil {
+			// Mark the request bad before handing it over; the applier
+			// answers it with ERR in order, like any other response.
+			req.op = wire.OpErr
+			req.errText = derr.Error()
+			req.keys = req.keys[:0]
+			req.vals = req.vals[:0]
+			c.srv.logf("conn %s: rejected frame id %d: %v", c.nc.RemoteAddr(), f.ID, derr)
+			c.applyCh <- req
+			continue
+		}
+		c.applyCh <- req // bounded: this send is the backpressure point
+	}
+}
+
+// checkBatch rejects a batch request whose count prefix exceeds the
+// server's limit BEFORE any entries are decoded, so the per-connection
+// memory bound really is Pipeline x MaxBatch — not Pipeline times the
+// protocol's absolute wire.MaxBatch.
+func (c *conn) checkBatch(payload []byte) error {
+	if len(payload) < 4 {
+		return fmt.Errorf("%w: %d-byte batch payload", wire.ErrFrame, len(payload))
+	}
+	if n := binary.LittleEndian.Uint32(payload); int64(n) > int64(c.srv.maxBatch) {
+		return fmt.Errorf("batch of %d operations exceeds server limit %d", n, c.srv.maxBatch)
+	}
+	return nil
+}
+
+// applier drains the apply queue, coalescing runs of same-kind batch
+// requests into one engine call each, and emits responses in request
+// order.
+func (c *conn) applier() {
+	defer close(c.writeCh)
+	var pending *request
+	chOpen := true
+	next := func(block bool) *request {
+		if pending != nil {
+			r := pending
+			pending = nil
+			return r
+		}
+		if !chOpen {
+			return nil
+		}
+		if block {
+			r, ok := <-c.applyCh
+			if !ok {
+				chOpen = false
+				return nil
+			}
+			return r
+		}
+		select {
+		case r, ok := <-c.applyCh:
+			if !ok {
+				chOpen = false
+				return nil
+			}
+			return r
+		default:
+			return nil
+		}
+	}
+	for {
+		first := next(true)
+		if first == nil {
+			return
+		}
+		switch first.op {
+		case wire.OpInsert, wire.OpUpsert, wire.OpLookup, wire.OpDelete:
+			// Aggregate the pipelined run of same-kind requests into one
+			// engine batch — this is what maps client pipelining 1:1 onto
+			// the engine's shard fan-out.
+			c.batch = append(c.batch[:0], first)
+			ops := len(first.keys)
+			for ops < c.srv.maxBatch {
+				r2 := next(false)
+				if r2 == nil {
+					break
+				}
+				if r2.op != first.op || ops+len(r2.keys) > c.srv.maxBatch {
+					pending = r2
+					break
+				}
+				c.batch = append(c.batch, r2)
+				ops += len(r2.keys)
+			}
+			c.serveBatch(first.op, c.batch)
+		default:
+			c.serveSingle(first)
+		}
+	}
+}
+
+// serveBatch applies one aggregated run of same-kind requests with a
+// single engine call and answers every request in it.
+func (c *conn) serveBatch(op wire.Op, batch []*request) {
+	// Concatenate the requests' operands. A run of one request uses its
+	// slices directly — the common case when the client is not
+	// pipelining — so aggregation costs nothing when it buys nothing.
+	keys, vals := batch[0].keys, batch[0].vals
+	if len(batch) > 1 {
+		c.keys = c.keys[:0]
+		c.vals = c.vals[:0]
+		for _, r := range batch {
+			c.keys = append(c.keys, r.keys...)
+			c.vals = append(c.vals, r.vals...)
+		}
+		keys, vals = c.keys, c.vals
+	}
+	var err error
+	switch op {
+	case wire.OpInsert, wire.OpUpsert:
+		if op == wire.OpInsert {
+			err = c.srv.engine.InsertBatch(keys, vals)
+		} else {
+			err = c.srv.engine.UpsertBatch(keys, vals)
+		}
+		if err == nil && c.srv.durable {
+			// The ack barrier: group-committed WAL fsync. Acks below are
+			// only sent when the operations are crash-durable. Scratch
+			// backends skip the barrier — there is no durability to buy,
+			// so acks really are immediate.
+			err = c.srv.commit.commit()
+		}
+		for _, r := range batch {
+			if err != nil {
+				c.respondErr(r.id, err)
+			} else {
+				c.respond(wire.OpAck, r.id, nil)
+			}
+			c.putReq(r)
+		}
+	case wire.OpLookup:
+		found := c.foundOut(len(keys))
+		outV := c.valsOut(len(keys))
+		err = c.srv.engine.LookupBatchInto(keys, outV, found)
+		off := 0
+		for _, r := range batch {
+			n := len(r.keys)
+			if err != nil {
+				c.respondErr(r.id, err)
+			} else {
+				c.pay = wire.AppendValues(c.pay[:0], outV[off:off+n], found[off:off+n])
+				c.respond(wire.OpValues, r.id, c.pay)
+			}
+			off += n
+			c.putReq(r)
+		}
+	case wire.OpDelete:
+		found := c.foundOut(len(keys))
+		err = c.srv.engine.DeleteBatchInto(keys, found)
+		if err == nil && c.srv.durable {
+			err = c.srv.commit.commit() // deletes are mutations: ack behind the barrier
+		}
+		off := 0
+		for _, r := range batch {
+			n := len(r.keys)
+			if err != nil {
+				c.respondErr(r.id, err)
+			} else {
+				c.pay = wire.AppendFounds(c.pay[:0], found[off:off+n])
+				c.respond(wire.OpFounds, r.id, c.pay)
+			}
+			off += n
+			c.putReq(r)
+		}
+	}
+}
+
+// foundOut returns the reusable found-flag result buffer at length n.
+func (c *conn) foundOut(n int) []bool {
+	if cap(c.found) < n {
+		c.found = make([]bool, n)
+	}
+	return c.found[:n]
+}
+
+// valsOut returns a reusable uint64 result buffer of length n, disjoint
+// from the key scratch.
+func (c *conn) valsOut(n int) []uint64 {
+	if cap(c.vals) < n {
+		c.vals = make([]uint64, n)
+	}
+	return c.vals[:n]
+}
+
+// serveSingle answers the non-batch requests.
+func (c *conn) serveSingle(r *request) {
+	switch r.op {
+	case wire.OpLen:
+		c.pay = wire.AppendCount(c.pay[:0], uint64(c.srv.engine.Len()))
+		c.respond(wire.OpCount, r.id, c.pay)
+	case wire.OpSync:
+		if err := c.srv.commit.commit(); err != nil {
+			c.respondErr(r.id, err)
+		} else {
+			c.respond(wire.OpAck, r.id, nil)
+		}
+	case wire.OpFlush:
+		if err := c.srv.engine.Flush(); err != nil {
+			c.respondErr(r.id, err)
+		} else {
+			c.respond(wire.OpAck, r.id, nil)
+		}
+	case wire.OpStats:
+		c.pay = wire.AppendStats(c.pay[:0], wire.Stats{
+			Len:        int64(c.srv.engine.Len()),
+			MemoryUsed: c.srv.engine.MemoryUsed(),
+			Ops:        c.srv.engine.Stats(),
+			Store:      c.srv.engine.StoreStats(),
+		})
+		c.respond(wire.OpStatsR, r.id, c.pay)
+	case wire.OpPing:
+		c.respond(wire.OpAck, r.id, nil)
+	case wire.OpErr:
+		// A request the reader rejected during decode; answer with its
+		// recorded error text.
+		c.respondErr(r.id, errors.New(r.errText))
+	default:
+		c.respondErr(r.id, fmt.Errorf("unknown request op %v", r.op))
+	}
+	c.putReq(r)
+}
+
+// respond encodes one response frame into a pooled buffer and queues it
+// for the writer.
+func (c *conn) respond(op wire.Op, id uint32, payload []byte) {
+	var buf []byte
+	select {
+	case buf = <-c.bufFree:
+		buf = buf[:0]
+	default:
+	}
+	c.writeCh <- wire.AppendFrame(buf, op, id, payload)
+}
+
+// respondErr answers a request with an ERR frame carrying err's text.
+func (c *conn) respondErr(id uint32, err error) {
+	c.pay = append(c.pay[:0], err.Error()...)
+	c.respond(wire.OpErr, id, c.pay)
+}
+
+// writer streams queued response frames to the socket, flushing
+// whenever the queue runs dry (the pipelining flush rule: one syscall
+// per burst, not per response). On a write error it keeps draining the
+// queue so the applier never blocks, and closes the socket on exit —
+// which is what finally unblocks the reader of a half-dead connection.
+func (c *conn) writer() {
+	defer c.nc.Close()
+	bw := bufio.NewWriterSize(c.nc, connBufBytes)
+	var werr error
+	for buf := range c.writeCh {
+		if werr == nil {
+			if _, err := bw.Write(buf); err != nil {
+				werr = err
+			} else if len(c.writeCh) == 0 {
+				if err := bw.Flush(); err != nil {
+					werr = err
+				}
+			}
+		}
+		select {
+		case c.bufFree <- buf:
+		default:
+		}
+	}
+	if werr == nil {
+		bw.Flush()
+	}
+}
+
+// getReq returns a pooled request with empty operand slices.
+func (c *conn) getReq() *request {
+	select {
+	case r := <-c.reqFree:
+		r.keys = r.keys[:0]
+		r.vals = r.vals[:0]
+		r.errText = ""
+		return r
+	default:
+		return &request{}
+	}
+}
+
+// putReq recycles a request.
+func (c *conn) putReq(r *request) {
+	select {
+	case c.reqFree <- r:
+	default:
+	}
+}

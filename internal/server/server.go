@@ -1,0 +1,333 @@
+// Package server implements the serving layer: a TCP server speaking
+// the wire protocol (package wire) in front of the sharded pipelined
+// engine (extbuf.Sharded). See DESIGN.md, "Serving layer".
+//
+// Each connection runs three goroutines — reader, applier, writer — so
+// a client that pipelines requests gets them aggregated: the applier
+// coalesces consecutive same-kind requests into single engine batch
+// calls (InsertBatch/UpsertBatch/LookupBatchInto/DeleteBatchInto),
+// which fan out across the engine's shard workers exactly like any
+// other batch. Responses stream back strictly in request order, so the
+// id-matching on the client side never reorders.
+//
+// Durability of acks: a mutation is acknowledged only after an engine
+// Sync barrier (write-ahead-log fsync on durable backends) that started
+// after it was applied. Connections share one group committer, so
+// concurrent mutation batches across all connections ride the same
+// fsync — the serving-layer analogue of the WAL group commit inside the
+// checkpoint path. On scratch backends Sync is a no-op and acks are
+// immediate.
+//
+// Backpressure: each connection's in-flight requests are bounded by a
+// fixed-depth apply queue; when a client pipelines past it the reader
+// stops reading and TCP flow control pushes back. Behind the queue, the
+// engine's own bounded shard channels bound the batches in flight, so
+// server memory is a constant multiple of (connections x pipeline x
+// batch) regardless of offered load.
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"syscall"
+	"time"
+
+	"extbuf"
+	"extbuf/internal/wire"
+)
+
+// Engine is the store the server fronts: the batch, barrier and stats
+// surface of extbuf.Sharded (which satisfies it), narrow enough that
+// tests can fake it.
+type Engine interface {
+	InsertBatch(keys, vals []uint64) error
+	UpsertBatch(keys, vals []uint64) error
+	LookupBatchInto(keys, vals []uint64, found []bool) error
+	DeleteBatchInto(keys []uint64, found []bool) error
+	Len() int
+	MemoryUsed() int64
+	Stats() extbuf.Stats
+	StoreStats() extbuf.StoreStats
+	Sync() error
+	Flush() error
+	// Durable reports whether Sync buys crash durability. When false
+	// (scratch backends) the server acks mutations without any barrier.
+	Durable() bool
+}
+
+var _ Engine = (*extbuf.Sharded)(nil)
+
+// ErrServerClosed is returned by Serve after Shutdown or Close.
+var ErrServerClosed = errors.New("server: closed")
+
+// Config parametrizes a Server.
+type Config struct {
+	// Engine is the store to serve (required).
+	Engine Engine
+	// MaxBatch caps the operations in one request frame AND the
+	// operations the applier aggregates into one engine call (default
+	// 4096; hard-capped by wire.MaxBatch). Oversized request frames are
+	// rejected with an ERR response.
+	MaxBatch int
+	// Pipeline bounds each connection's queued-but-unapplied requests
+	// (default 64). Together with MaxBatch it bounds per-connection
+	// memory; past it, TCP backpressure holds the client.
+	Pipeline int
+	// Logf receives connection-level diagnostics (nil: discard).
+	Logf func(format string, args ...any)
+}
+
+// DefaultMaxBatch is the per-frame and per-aggregation operation cap
+// used when Config.MaxBatch is zero.
+const DefaultMaxBatch = 4096
+
+// DefaultPipeline is the per-connection in-flight request bound used
+// when Config.Pipeline is zero.
+const DefaultPipeline = 64
+
+// Server serves the wire protocol over any net.Listener.
+type Server struct {
+	engine   Engine
+	maxBatch int
+	pipeline int
+	logf     func(string, ...any)
+	durable  bool
+	commit   *groupCommitter
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[*conn]struct{}
+	draining  bool
+
+	connWG sync.WaitGroup
+}
+
+// New returns a server for cfg. It does not listen; pass listeners to
+// Serve.
+func New(cfg Config) *Server {
+	if cfg.Engine == nil {
+		panic("server: Config.Engine is required")
+	}
+	maxBatch := cfg.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = DefaultMaxBatch
+	}
+	if maxBatch > wire.MaxBatch {
+		maxBatch = wire.MaxBatch // the protocol decoders reject anything larger
+	}
+	pipeline := cfg.Pipeline
+	if pipeline <= 0 {
+		pipeline = DefaultPipeline
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Server{
+		engine:    cfg.Engine,
+		maxBatch:  maxBatch,
+		pipeline:  pipeline,
+		logf:      logf,
+		durable:   cfg.Engine.Durable(),
+		commit:    &groupCommitter{sync: cfg.Engine.Sync},
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[*conn]struct{}),
+	}
+}
+
+// Serve accepts connections on lis until Shutdown. It always returns a
+// non-nil error: ErrServerClosed after a Shutdown, the accept error
+// otherwise. Multiple Serve calls (distinct listeners) are allowed.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		lis.Close()
+		return ErrServerClosed
+	}
+	s.listeners[lis] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, lis)
+		s.mu.Unlock()
+	}()
+	var backoff time.Duration
+	for {
+		nc, err := lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return ErrServerClosed
+			}
+			// Transient accept failures — a timeout, or fd exhaustion
+			// under a connection burst — must not take down a healthy
+			// server (established connections keep being served either
+			// way). Back off and retry; anything else is fatal.
+			if isTransientAccept(err) {
+				if backoff == 0 {
+					backoff = 5 * time.Millisecond
+				} else if backoff *= 2; backoff > time.Second {
+					backoff = time.Second
+				}
+				s.logf("accept: %v; retrying in %v", err, backoff)
+				time.Sleep(backoff)
+				continue
+			}
+			return err
+		}
+		backoff = 0
+		c := newConn(s, nc)
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			nc.Close()
+			return ErrServerClosed
+		}
+		s.conns[c] = struct{}{}
+		s.connWG.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.connWG.Done()
+			c.run()
+			s.mu.Lock()
+			delete(s.conns, c)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// isTransientAccept reports whether an Accept error is worth retrying:
+// a timeout, or the process running out of file descriptors (the
+// burst subsides as existing connections close).
+func isTransientAccept(err error) bool {
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		return true
+	}
+	return errors.Is(err, syscall.EMFILE) || errors.Is(err, syscall.ENFILE)
+}
+
+// Shutdown drains the server gracefully: it stops accepting, tells
+// every connection to stop reading new requests, lets already-received
+// requests complete (applied, committed and responded), then closes the
+// connections. If ctx expires first the remaining connections are
+// closed forcibly and ctx.Err is returned. The engine is not touched —
+// the caller owns its lifecycle and typically runs the checkpoint
+// (engine Close) right after a nil return.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	for lis := range s.listeners {
+		lis.Close()
+	}
+	for c := range s.conns {
+		c.beginDrain()
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.nc.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// groupCommitter batches the ack barrier across connections: a commit
+// call returns once an engine Sync that STARTED after the call began
+// has completed, and at most one Sync runs at a time — every mutation
+// applied while one is in flight shares the next one. This is the
+// serving-layer group commit: N concurrent connections cost one WAL
+// fsync per round, not N.
+//
+// Errors are tracked per sync wave, not in a single last-error slot: a
+// waiter must see the error of ITS covering wave even if a later wave
+// completed cleanly in between — a Sync that consumed a deferred
+// write-behind apply error reports it exactly once, and dropping it
+// would ack a write that never applied.
+type groupCommitter struct {
+	sync func() error
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	started   uint64 // syncs started
+	completed uint64 // syncs completed
+	inFlight  bool
+	waves     map[uint64]*commitWave
+}
+
+// commitWave is one sync's bookkeeping: its waiters (refs) and, once
+// done, its error. Entries are deleted when the last waiter has read
+// the result, so the map stays at the handful of in-flight waves.
+type commitWave struct {
+	refs int
+	err  error
+	done bool
+}
+
+// commit blocks until a covering Sync completes and returns that very
+// sync's error.
+func (g *groupCommitter) commit() error {
+	g.mu.Lock()
+	if g.cond == nil {
+		g.cond = sync.NewCond(&g.mu)
+		g.waves = make(map[uint64]*commitWave)
+	}
+	// The next sync to start is numbered started+1; it necessarily
+	// begins after our mutations were applied, so its completion makes
+	// them durable. An in-flight sync (numbered started) may have begun
+	// before them and does not count.
+	target := g.started + 1
+	w := g.waves[target]
+	if w == nil {
+		w = &commitWave{}
+		g.waves[target] = w
+	}
+	w.refs++
+	for !w.done {
+		if !g.inFlight {
+			// Become the runner of the next wave (which is ours: waves
+			// start in order and every earlier one has completed).
+			g.inFlight = true
+			g.started++
+			mine := g.waves[g.started]
+			if mine == nil {
+				mine = &commitWave{}
+				g.waves[g.started] = mine
+			}
+			num := g.started
+			g.mu.Unlock()
+			err := g.sync()
+			g.mu.Lock()
+			mine.err = err
+			mine.done = true
+			g.completed = num
+			g.inFlight = false
+			g.cond.Broadcast()
+		} else {
+			g.cond.Wait()
+		}
+	}
+	err := w.err
+	w.refs--
+	if w.refs == 0 {
+		delete(g.waves, target)
+	}
+	g.mu.Unlock()
+	return err
+}

@@ -1,0 +1,505 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"extbuf"
+	"extbuf/client"
+	"extbuf/internal/server"
+	"extbuf/internal/wire"
+)
+
+// startServer boots a server over a fresh mem-backend sharded engine on
+// a loopback listener and returns its address plus a teardown that
+// drains the server and closes the engine.
+func startServer(t testing.TB, cfg extbuf.Config, shards int, scfg server.Config) (string, *extbuf.Sharded, func()) {
+	t.Helper()
+	eng, err := extbuf.NewSharded("buffered", cfg, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg.Engine = eng
+	if scfg.Logf == nil {
+		scfg.Logf = t.Logf
+	}
+	srv := server.New(scfg)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(lis) }()
+	return lis.Addr().String(), eng, func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-serveErr; err != server.ErrServerClosed {
+			t.Errorf("Serve returned %v, want ErrServerClosed", err)
+		}
+		if err := eng.Close(); err != nil {
+			t.Errorf("engine close: %v", err)
+		}
+	}
+}
+
+func TestServeRoundTrip(t *testing.T) {
+	addr, _, stop := startServer(t, extbuf.Config{}, 4, server.Config{})
+	defer stop()
+
+	cl, err := client.Dial(addr, client.Options{Conns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+
+	keys := make([]uint64, 500)
+	vals := make([]uint64, 500)
+	for i := range keys {
+		keys[i] = uint64(i + 1)
+		vals[i] = uint64(i) * 7
+	}
+	if err := cl.InsertBatch(ctx, keys, vals); err != nil {
+		t.Fatalf("InsertBatch: %v", err)
+	}
+	if n, err := cl.Len(ctx); err != nil || n != 500 {
+		t.Fatalf("Len = %d, %v; want 500", n, err)
+	}
+	got, found, err := cl.LookupBatch(ctx, append([]uint64{9999}, keys...))
+	if err != nil {
+		t.Fatalf("LookupBatch: %v", err)
+	}
+	if found[0] {
+		t.Fatal("absent key reported found")
+	}
+	for i := range keys {
+		if !found[i+1] || got[i+1] != vals[i] {
+			t.Fatalf("key %d: (%d,%v), want (%d,true)", keys[i], got[i+1], found[i+1], vals[i])
+		}
+	}
+	if err := cl.UpsertBatch(ctx, keys[:10], make([]uint64, 10)); err != nil {
+		t.Fatalf("UpsertBatch: %v", err)
+	}
+	if got, _, _ := cl.LookupBatch(ctx, keys[:1]); got[0] != 0 {
+		t.Fatalf("upserted value = %d, want 0", got[0])
+	}
+	deleted, err := cl.DeleteBatch(ctx, keys[:20])
+	if err != nil {
+		t.Fatalf("DeleteBatch: %v", err)
+	}
+	for i, ok := range deleted {
+		if !ok {
+			t.Fatalf("delete %d missed", i)
+		}
+	}
+	if n, _ := cl.Len(ctx); n != 480 {
+		t.Fatalf("Len after delete = %d, want 480", n)
+	}
+	if err := cl.Ping(ctx); err != nil {
+		t.Fatalf("Ping: %v", err)
+	}
+	if err := cl.Sync(ctx); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := cl.Flush(ctx); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st.Len != 480 {
+		t.Fatalf("Stats.Len = %d, want 480", st.Len)
+	}
+	if st.Ops.IOs() == 0 {
+		t.Fatal("Stats.Ops.IOs = 0, want > 0")
+	}
+}
+
+// TestPipelinedAggregation floods one connection with async inserts and
+// lookups and checks every response arrives, in a consistent state. The
+// engine call counter proves the server coalesced pipelined requests
+// into fewer engine batches.
+func TestPipelinedAggregation(t *testing.T) {
+	eng := &countingEngine{}
+	srv := server.New(server.Config{Engine: eng, Logf: t.Logf})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis)
+	defer srv.Shutdown(context.Background())
+
+	cl, err := client.Dial(lis.Addr().String(), client.Options{Pipeline: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const requests = 200
+	pendings := make([]*client.Pending, 0, requests)
+	keys := []uint64{1, 2, 3, 4}
+	vals := []uint64{5, 6, 7, 8}
+	for i := 0; i < requests; i++ {
+		p, err := cl.GoInsert(keys, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pendings = append(pendings, p)
+	}
+	ctx := context.Background()
+	for i, p := range pendings {
+		if err := p.Wait(ctx); err != nil {
+			t.Fatalf("pending %d: %v", i, err)
+		}
+	}
+	if got := eng.inserted.Load(); got != requests*4 {
+		t.Fatalf("engine saw %d inserted ops, want %d", got, requests*4)
+	}
+	calls := eng.insertCalls.Load()
+	if calls >= requests {
+		t.Fatalf("engine saw %d InsertBatch calls for %d pipelined requests — no aggregation", calls, requests)
+	}
+	t.Logf("aggregation: %d requests -> %d engine calls, %d syncs", requests, calls, eng.syncs.Load())
+	if eng.syncs.Load() == 0 {
+		t.Fatal("mutations acked without any Sync barrier")
+	}
+}
+
+// countingEngine fakes the engine to observe aggregation and the
+// ack-after-Sync discipline.
+type countingEngine struct {
+	mu          sync.Mutex
+	m           map[uint64]uint64
+	insertCalls atomic.Int64
+	inserted    atomic.Int64
+	syncs       atomic.Int64
+	unsynced    atomic.Int64 // ops applied since the last Sync
+}
+
+func (e *countingEngine) InsertBatch(keys, vals []uint64) error {
+	e.insertCalls.Add(1)
+	e.inserted.Add(int64(len(keys)))
+	e.unsynced.Add(int64(len(keys)))
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.m == nil {
+		e.m = make(map[uint64]uint64)
+	}
+	for i := range keys {
+		e.m[keys[i]] = vals[i]
+	}
+	return nil
+}
+func (e *countingEngine) UpsertBatch(keys, vals []uint64) error { return e.InsertBatch(keys, vals) }
+func (e *countingEngine) LookupBatchInto(keys, vals []uint64, found []bool) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, k := range keys {
+		vals[i], found[i] = e.m[k], false
+		if _, ok := e.m[k]; ok {
+			found[i] = true
+		}
+	}
+	return nil
+}
+func (e *countingEngine) DeleteBatchInto(keys []uint64, found []bool) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, k := range keys {
+		_, found[i] = e.m[k]
+		delete(e.m, k)
+	}
+	return nil
+}
+func (e *countingEngine) Len() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.m)
+}
+func (e *countingEngine) MemoryUsed() int64             { return 0 }
+func (e *countingEngine) Stats() extbuf.Stats           { return extbuf.Stats{} }
+func (e *countingEngine) StoreStats() extbuf.StoreStats { return extbuf.StoreStats{} }
+func (e *countingEngine) Sync() error {
+	e.syncs.Add(1)
+	e.unsynced.Store(0)
+	time.Sleep(200 * time.Microsecond) // a believable fsync, so commits pile up
+	return nil
+}
+func (e *countingEngine) Flush() error { return e.Sync() }
+
+// Durable: the fake claims durability so the tests exercise the
+// group-commit ack barrier.
+func (e *countingEngine) Durable() bool { return true }
+
+// TestOversizedBatchRejected sends a well-framed request above the
+// server's MaxBatch and expects an ERR response — with the connection
+// still usable afterwards.
+func TestOversizedBatchRejected(t *testing.T) {
+	addr, _, stop := startServer(t, extbuf.Config{}, 1, server.Config{MaxBatch: 8})
+	defer stop()
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+
+	keys := make([]uint64, 9) // one past MaxBatch
+	frame := wire.AppendFrame(nil, wire.OpLookup, 1, wire.AppendKeys(nil, keys))
+	frame = wire.AppendFrame(frame, wire.OpLen, 2, nil) // pipelined follow-up
+	if _, err := nc.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	r := wire.NewReader(nc)
+	f, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Op != wire.OpErr || f.ID != 1 {
+		t.Fatalf("response = %v id %d, want ERR id 1", f.Op, f.ID)
+	}
+	f, err = r.Next()
+	if err != nil || f.Op != wire.OpCount || f.ID != 2 {
+		t.Fatalf("follow-up = %+v, %v; want COUNT id 2 (connection must survive)", f, err)
+	}
+}
+
+// TestCorruptStreamClosesConn sends bytes that fail frame validation
+// and expects the server to drop the connection rather than guess at
+// resynchronization.
+func TestCorruptStreamClosesConn(t *testing.T) {
+	addr, _, stop := startServer(t, extbuf.Config{}, 1, server.Config{})
+	defer stop()
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	good := wire.AppendFrame(nil, wire.OpPing, 1, nil)
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0xff // break the magic
+	if _, err := nc.Write(bad); err != nil {
+		t.Fatal(err)
+	}
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 64)
+	if n, err := nc.Read(buf); err != io.EOF {
+		t.Fatalf("read after corrupt frame: n=%d err=%v, want EOF", n, err)
+	}
+}
+
+// TestShutdownDrains verifies graceful drain: requests in flight when
+// Shutdown begins are still answered.
+func TestShutdownDrains(t *testing.T) {
+	eng, err := extbuf.NewSharded("buffered", extbuf.Config{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	srv := server.New(server.Config{Engine: eng, Logf: t.Logf})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(lis) }()
+
+	cl, err := client.Dial(lis.Addr().String(), client.Options{Pipeline: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Pipeline a burst, let the server pick it up, then shut down. The
+	// drain contract: every request the server received is answered,
+	// every ack corresponds to an applied operation, and nothing hangs —
+	// requests still in flight on the wire fail cleanly instead.
+	var pendings []*client.Pending
+	for i := 0; i < 100; i++ {
+		p, err := cl.GoInsert([]uint64{uint64(i + 1)}, []uint64{uint64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pendings = append(pendings, p)
+	}
+	time.Sleep(100 * time.Millisecond) // let the reader ingest the burst
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-serveErr; err != server.ErrServerClosed {
+		t.Fatalf("Serve = %v, want ErrServerClosed", err)
+	}
+	acked := 0
+	for _, p := range pendings {
+		if err := p.Wait(ctx); err == nil {
+			acked++
+		}
+	}
+	if acked == 0 {
+		t.Fatal("no pipelined request survived a drain that started after ingestion")
+	}
+	if n := eng.Len(); n != acked {
+		t.Fatalf("engine Len = %d but %d requests were acked", n, acked)
+	}
+}
+
+// TestConcurrentClients hammers the server from several pooled clients
+// under the race detector.
+func TestConcurrentClients(t *testing.T) {
+	addr, eng, stop := startServer(t, extbuf.Config{}, 4, server.Config{})
+	defer stop()
+
+	const clients = 4
+	const perClient = 2000
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for cidx := 0; cidx < clients; cidx++ {
+		wg.Add(1)
+		go func(cidx int) {
+			defer wg.Done()
+			cl, err := client.Dial(addr, client.Options{Conns: 2})
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer cl.Close()
+			ctx := context.Background()
+			keys := make([]uint64, 100)
+			vals := make([]uint64, 100)
+			for i := 0; i < perClient/100; i++ {
+				for j := range keys {
+					keys[j] = uint64(cidx)<<32 | uint64(i*100+j+1)
+					vals[j] = keys[j] * 3
+				}
+				if err := cl.InsertBatch(ctx, keys, vals); err != nil {
+					errCh <- fmt.Errorf("insert: %w", err)
+					return
+				}
+				got, found, err := cl.LookupBatch(ctx, keys)
+				if err != nil {
+					errCh <- fmt.Errorf("lookup: %w", err)
+					return
+				}
+				for j := range keys {
+					if !found[j] || got[j] != vals[j] {
+						errCh <- fmt.Errorf("key %d: (%d,%v)", keys[j], got[j], found[j])
+						return
+					}
+				}
+			}
+		}(cidx)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if n := eng.Len(); n != clients*perClient {
+		t.Fatalf("engine Len = %d, want %d", n, clients*perClient)
+	}
+}
+
+// TestStatsOverWire checks that the file backend's real-cost counters
+// travel the wire.
+func TestStatsOverWire(t *testing.T) {
+	dir := t.TempDir()
+	addr, _, stop := startServer(t, extbuf.Config{Backend: "file", Path: dir + "/t"}, 2, server.Config{})
+	defer stop()
+
+	cl, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+	keys := make([]uint64, 1000)
+	vals := make([]uint64, 1000)
+	for i := range keys {
+		keys[i] = uint64(i + 1)
+		vals[i] = uint64(i)
+	}
+	if err := cl.InsertBatch(ctx, keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len != 1000 {
+		t.Fatalf("Len = %d, want 1000", st.Len)
+	}
+	if st.Store.WALFsyncs == 0 || st.Store.Fsyncs == 0 {
+		t.Fatalf("durable acks travelled without fsyncs: %+v", st.Store)
+	}
+	if st.Store.BytesWritten == 0 {
+		t.Fatalf("no bytes written reported: %+v", st.Store)
+	}
+}
+
+// BenchmarkServerPipeline measures end-to-end loopback throughput of
+// pipelined insert batches — the number the e2e smoke gate watches.
+func BenchmarkServerPipeline(b *testing.B) {
+	addr, _, stop := startServer(b, extbuf.Config{}, 4, server.Config{
+		Logf: func(string, ...any) {},
+	})
+	defer stop()
+	cl, err := client.Dial(addr, client.Options{Conns: 2, Pipeline: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+	const batch = 256
+	keys := make([]uint64, batch)
+	vals := make([]uint64, batch)
+	var ctr uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	depth := 0
+	var pendings []*client.Pending
+	for i := 0; i < b.N; i++ {
+		for j := range keys {
+			ctr++
+			keys[j] = ctr
+			vals[j] = ctr * 3
+		}
+		p, err := cl.GoUpsert(keys, vals)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pendings = append(pendings, p)
+		depth++
+		if depth == 32 {
+			for _, p := range pendings {
+				if err := p.Wait(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+			pendings = pendings[:0]
+			depth = 0
+		}
+	}
+	for _, p := range pendings {
+		if err := p.Wait(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "ops/s")
+}

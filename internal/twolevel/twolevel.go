@@ -12,7 +12,7 @@
 // alpha = 1 - 1/sqrt(b), i.e. a Theta(1/sqrt(b)) fraction of all items,
 // so lookups and inserts touch the overflow table with probability
 // O(1/sqrt(b)) — the same bounds as JP via a much simpler scheme
-// (DESIGN.md §4, substitution 3).
+// (DESIGN.md §5, substitution 3).
 //
 // # Deletions and the dirty set
 //

@@ -1,0 +1,57 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The protocol encode/decode benchmarks feed the CI benchdiff gate
+// alongside the engine benchmarks: a regression in framing cost is a
+// regression in every byte the server moves.
+
+func BenchmarkWireEncodeKV(b *testing.B) {
+	keys := make([]uint64, 256)
+	vals := make([]uint64, 256)
+	for i := range keys {
+		keys[i] = uint64(i) * 0x9e3779b97f4a7c15
+		vals[i] = uint64(i)
+	}
+	var payload, frame []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		payload = AppendKV(payload[:0], keys, vals)
+		frame = AppendFrame(frame[:0], OpInsert, uint32(i), payload)
+	}
+	b.SetBytes(int64(len(frame)))
+}
+
+func BenchmarkWireDecodeKV(b *testing.B) {
+	keys := make([]uint64, 256)
+	vals := make([]uint64, 256)
+	for i := range keys {
+		keys[i] = uint64(i) * 0x9e3779b97f4a7c15
+		vals[i] = uint64(i)
+	}
+	frame := AppendFrame(nil, OpInsert, 1, AppendKV(nil, keys, vals))
+	rd := bytes.NewReader(frame)
+	r := NewReader(rd)
+	kbuf := make([]uint64, 0, 256)
+	vbuf := make([]uint64, 0, 256)
+	b.SetBytes(int64(len(frame)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd.Reset(frame)
+		f, err := r.Next()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var derr error
+		kbuf, vbuf, derr = DecodeKVInto(f.Payload, kbuf[:0], vbuf[:0])
+		if derr != nil {
+			b.Fatal(derr)
+		}
+	}
+	_ = vbuf
+}

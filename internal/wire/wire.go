@@ -1,0 +1,440 @@
+// Package wire defines the serving layer's binary protocol: the framed,
+// CRC-checked messages hashserved and its clients exchange over TCP
+// (see DESIGN.md, "Serving layer").
+//
+// The format follows the repository's durability codec conventions
+// (package ckpt): little-endian fixed-width words, length-prefixed
+// sequences, no compression, no reflection. Every message is one frame:
+//
+//	frame   [4 magic "EXWF"] [1 version] [1 op] [2 reserved=0]
+//	        [4 id] [4 payload length n] [n payload] [4 crc]
+//
+// with crc = CRC-32 (IEEE) over the 16-byte header plus the payload, so
+// a torn or bit-flipped frame is detected before any of it is
+// interpreted. The id is an opaque request identifier: responses echo
+// the id of the request they answer, which is what lets a client
+// pipeline many requests down one connection and match the (in-order)
+// responses coming back.
+//
+// Request payload grammar (count is uint32, keys/values uint64):
+//
+//	INSERT, UPSERT   count, then count x (key, val)
+//	LOOKUP, DELETE   count, then count x key
+//	LEN, SYNC, FLUSH, STATS, PING   empty
+//
+// Response payload grammar:
+//
+//	ACK     empty (mutation applied and WAL-durable; also answers
+//	        SYNC, FLUSH and PING)
+//	VALUES  count, then count x (val, found byte)     answers LOOKUP
+//	FOUNDS  count, then count x found byte            answers DELETE
+//	COUNT   one uint64                                answers LEN
+//	STATS   field count, then that many int64s in the
+//	        order documented on the Stats struct      answers STATS
+//	ERR     UTF-8 error text (whole payload)
+//
+// Batches are bounded: a frame whose payload exceeds MaxPayload, or a
+// count prefix above MaxBatch (or beyond the payload that carries it),
+// is rejected during decode with ErrTooLarge — a reader never allocates
+// in proportion to an attacker-chosen length.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"extbuf"
+)
+
+// Op discriminates frame types. Requests and responses share the space;
+// responses start at OpAck.
+type Op uint8
+
+// Request opcodes.
+const (
+	OpInsert Op = 1 // payload: count, count x (key, val)
+	OpUpsert Op = 2 // payload: count, count x (key, val)
+	OpLookup Op = 3 // payload: count, count x key
+	OpDelete Op = 4 // payload: count, count x key
+	OpLen    Op = 5 // empty
+	OpSync   Op = 6 // empty: WAL acknowledgement barrier
+	OpFlush  Op = 7 // empty: full checkpoint barrier
+	OpStats  Op = 8 // empty
+	OpPing   Op = 9 // empty
+)
+
+// Response opcodes.
+const (
+	OpAck    Op = 16 // empty
+	OpValues Op = 17 // count, count x (val, found byte)
+	OpFounds Op = 18 // count, count x found byte
+	OpCount  Op = 19 // one uint64
+	OpStatsR Op = 20 // field count, count x int64
+	OpErr    Op = 21 // UTF-8 error text
+)
+
+// String names the opcode for logs and errors.
+func (o Op) String() string {
+	switch o {
+	case OpInsert:
+		return "INSERT"
+	case OpUpsert:
+		return "UPSERT"
+	case OpLookup:
+		return "LOOKUP"
+	case OpDelete:
+		return "DELETE"
+	case OpLen:
+		return "LEN"
+	case OpSync:
+		return "SYNC"
+	case OpFlush:
+		return "FLUSH"
+	case OpStats:
+		return "STATS"
+	case OpPing:
+		return "PING"
+	case OpAck:
+		return "ACK"
+	case OpValues:
+		return "VALUES"
+	case OpFounds:
+		return "FOUNDS"
+	case OpCount:
+		return "COUNT"
+	case OpStatsR:
+		return "STATSR"
+	case OpErr:
+		return "ERR"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+const (
+	// Version is the protocol version carried by every frame. A reader
+	// rejects frames of any other version.
+	Version = 1
+
+	magic = 0x46575845 // "EXWF", little-endian
+
+	// HeaderBytes is the fixed frame header size.
+	HeaderBytes = 16
+	// trailerBytes is the CRC trailer size.
+	trailerBytes = 4
+
+	// MaxBatch bounds the operations in one request frame.
+	MaxBatch = 1 << 16
+	// MaxPayload bounds a frame payload: the largest legal batch (a
+	// key/value batch of MaxBatch pairs plus its count prefix). Anything
+	// longer is rejected before it is read.
+	MaxPayload = 4 + MaxBatch*16
+)
+
+// ErrFrame is returned (wrapped) for a structurally invalid frame: bad
+// magic, unsupported version, nonzero reserved bytes, or a CRC
+// mismatch.
+var ErrFrame = errors.New("wire: invalid frame")
+
+// ErrTooLarge is returned for a frame payload above MaxPayload or a
+// batch count above MaxBatch (or beyond its payload) — the reader's
+// allocation bound.
+var ErrTooLarge = errors.New("wire: frame exceeds protocol limits")
+
+// Frame is one decoded message. Payload aliases the Reader's internal
+// buffer and is valid only until the next call to Next.
+type Frame struct {
+	Op      Op
+	ID      uint32
+	Payload []byte
+}
+
+// AppendFrame appends one encoded frame to dst and returns the extended
+// slice. The payload is copied; callers reuse their payload scratch
+// immediately.
+func AppendFrame(dst []byte, op Op, id uint32, payload []byte) []byte {
+	if len(payload) > MaxPayload {
+		panic(fmt.Sprintf("wire: payload of %d bytes exceeds MaxPayload", len(payload)))
+	}
+	start := len(dst)
+	dst = binary.LittleEndian.AppendUint32(dst, magic)
+	dst = append(dst, Version, byte(op), 0, 0)
+	dst = binary.LittleEndian.AppendUint32(dst, id)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = append(dst, payload...)
+	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(dst[start:]))
+}
+
+// Reader decodes a frame stream. It owns a reusable frame buffer, so a
+// steady-state connection loop performs no per-frame allocation.
+type Reader struct {
+	r   io.Reader
+	buf []byte
+}
+
+// NewReader returns a Reader decoding frames from r. Callers that can
+// batch reads should hand in a buffered reader; Reader issues one Read
+// sequence per frame section.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// Next reads and validates one frame. The returned Frame's Payload
+// aliases the Reader's buffer — valid only until the next call. A clean
+// end of stream between frames returns io.EOF; a stream ending inside a
+// frame returns io.ErrUnexpectedEOF (a torn frame).
+func (r *Reader) Next() (Frame, error) {
+	if cap(r.buf) < HeaderBytes {
+		r.buf = make([]byte, 4096)
+	}
+	hdr := r.buf[:HeaderBytes]
+	if _, err := io.ReadFull(r.r, hdr); err != nil {
+		return Frame{}, err // io.EOF at a frame boundary, ErrUnexpectedEOF inside the header
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != magic {
+		return Frame{}, fmt.Errorf("%w: bad magic %#x", ErrFrame, binary.LittleEndian.Uint32(hdr[0:4]))
+	}
+	if hdr[4] != Version {
+		return Frame{}, fmt.Errorf("%w: unsupported version %d", ErrFrame, hdr[4])
+	}
+	if hdr[6] != 0 || hdr[7] != 0 {
+		return Frame{}, fmt.Errorf("%w: nonzero reserved bytes", ErrFrame)
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[12:16]))
+	if n > MaxPayload {
+		return Frame{}, fmt.Errorf("%w: payload of %d bytes", ErrTooLarge, n)
+	}
+	total := HeaderBytes + n + trailerBytes
+	if cap(r.buf) < total {
+		grown := make([]byte, total)
+		copy(grown, hdr)
+		r.buf = grown
+	} else {
+		r.buf = r.buf[:cap(r.buf)]
+	}
+	if _, err := io.ReadFull(r.r, r.buf[HeaderBytes:total]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF // the stream died inside the frame
+		}
+		return Frame{}, err
+	}
+	body := r.buf[:HeaderBytes+n]
+	want := binary.LittleEndian.Uint32(r.buf[HeaderBytes+n : total])
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return Frame{}, fmt.Errorf("%w: crc %#x, want %#x", ErrFrame, got, want)
+	}
+	return Frame{
+		Op:      Op(r.buf[5]),
+		ID:      binary.LittleEndian.Uint32(r.buf[8:12]),
+		Payload: r.buf[HeaderBytes : HeaderBytes+n],
+	}, nil
+}
+
+// AppendKV appends a key/value batch payload (INSERT/UPSERT). It panics
+// if the slices differ in length or exceed MaxBatch — both are caller
+// bugs, checked before anything reaches a socket.
+func AppendKV(dst []byte, keys, vals []uint64) []byte {
+	if len(keys) != len(vals) {
+		panic("wire: key/value batch length mismatch")
+	}
+	if len(keys) > MaxBatch {
+		panic("wire: batch exceeds MaxBatch")
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(keys)))
+	for i := range keys {
+		dst = binary.LittleEndian.AppendUint64(dst, keys[i])
+		dst = binary.LittleEndian.AppendUint64(dst, vals[i])
+	}
+	return dst
+}
+
+// DecodeKVInto appends the decoded key/value batch of p to keys and
+// vals and returns the extended slices. The count prefix is validated
+// against MaxBatch and the payload length before anything is copied.
+func DecodeKVInto(p []byte, keys, vals []uint64) ([]uint64, []uint64, error) {
+	n, body, err := batchHeader(p, 16)
+	if err != nil {
+		return keys, vals, err
+	}
+	for i := 0; i < n; i++ {
+		keys = append(keys, binary.LittleEndian.Uint64(body[i*16:]))
+		vals = append(vals, binary.LittleEndian.Uint64(body[i*16+8:]))
+	}
+	return keys, vals, nil
+}
+
+// AppendKeys appends a key batch payload (LOOKUP/DELETE). It panics if
+// the batch exceeds MaxBatch.
+func AppendKeys(dst []byte, keys []uint64) []byte {
+	if len(keys) > MaxBatch {
+		panic("wire: batch exceeds MaxBatch")
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(keys)))
+	for _, k := range keys {
+		dst = binary.LittleEndian.AppendUint64(dst, k)
+	}
+	return dst
+}
+
+// DecodeKeysInto appends the decoded key batch of p to keys.
+func DecodeKeysInto(p []byte, keys []uint64) ([]uint64, error) {
+	n, body, err := batchHeader(p, 8)
+	if err != nil {
+		return keys, err
+	}
+	for i := 0; i < n; i++ {
+		keys = append(keys, binary.LittleEndian.Uint64(body[i*8:]))
+	}
+	return keys, nil
+}
+
+// AppendValues appends a VALUES response payload: vals[i] and found[i]
+// answer the i-th looked-up key.
+func AppendValues(dst []byte, vals []uint64, found []bool) []byte {
+	if len(vals) != len(found) {
+		panic("wire: value/found length mismatch")
+	}
+	if len(vals) > MaxBatch {
+		panic("wire: batch exceeds MaxBatch")
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(vals)))
+	for i := range vals {
+		dst = binary.LittleEndian.AppendUint64(dst, vals[i])
+		if found[i] {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	}
+	return dst
+}
+
+// DecodeValuesInto appends the decoded VALUES payload to vals and
+// found.
+func DecodeValuesInto(p []byte, vals []uint64, found []bool) ([]uint64, []bool, error) {
+	n, body, err := batchHeader(p, 9)
+	if err != nil {
+		return vals, found, err
+	}
+	for i := 0; i < n; i++ {
+		vals = append(vals, binary.LittleEndian.Uint64(body[i*9:]))
+		found = append(found, body[i*9+8] != 0)
+	}
+	return vals, found, nil
+}
+
+// AppendFounds appends a FOUNDS response payload (DELETE results).
+func AppendFounds(dst []byte, found []bool) []byte {
+	if len(found) > MaxBatch {
+		panic("wire: batch exceeds MaxBatch")
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(found)))
+	for _, ok := range found {
+		if ok {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	}
+	return dst
+}
+
+// DecodeFoundsInto appends the decoded FOUNDS payload to found.
+func DecodeFoundsInto(p []byte, found []bool) ([]bool, error) {
+	n, body, err := batchHeader(p, 1)
+	if err != nil {
+		return found, err
+	}
+	for i := 0; i < n; i++ {
+		found = append(found, body[i] != 0)
+	}
+	return found, nil
+}
+
+// batchHeader validates a count-prefixed payload whose entries are
+// stride bytes each and returns the count and entry bytes.
+func batchHeader(p []byte, stride int) (int, []byte, error) {
+	if len(p) < 4 {
+		return 0, nil, fmt.Errorf("%w: %d-byte batch payload", ErrFrame, len(p))
+	}
+	n := int(binary.LittleEndian.Uint32(p))
+	if n > MaxBatch {
+		return 0, nil, fmt.Errorf("%w: batch of %d operations", ErrTooLarge, n)
+	}
+	if len(p) != 4+n*stride {
+		return 0, nil, fmt.Errorf("%w: batch of %d needs %d payload bytes, frame has %d",
+			ErrFrame, n, 4+n*stride, len(p))
+	}
+	return n, p[4:], nil
+}
+
+// AppendCount appends a COUNT response payload.
+func AppendCount(dst []byte, n uint64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, n)
+}
+
+// DecodeCount decodes a COUNT response payload.
+func DecodeCount(p []byte) (uint64, error) {
+	if len(p) != 8 {
+		return 0, fmt.Errorf("%w: %d-byte COUNT payload", ErrFrame, len(p))
+	}
+	return binary.LittleEndian.Uint64(p), nil
+}
+
+// Stats is the wire form of the server's STATS reply: the engine's
+// length and memory gauges, its model counters (extbuf.Stats), and the
+// aggregated backend real-cost counters (extbuf.StoreStats) — carried
+// as those structs directly, so the engine, server and client never
+// copy counters field by field. Encoded as a field count and then the
+// fields as int64s in statsFields order, so a newer server may append
+// fields without breaking an older decoder.
+type Stats struct {
+	Len        int64
+	MemoryUsed int64
+	Ops        extbuf.Stats
+	Store      extbuf.StoreStats
+}
+
+// statsFields lists the encoded fields in wire order. The order is the
+// protocol; append only.
+func (s *Stats) statsFields() []*int64 {
+	return []*int64{
+		&s.Len, &s.MemoryUsed, &s.Ops.Reads, &s.Ops.Writes, &s.Ops.WriteBacks,
+		&s.Store.ReadSyscalls, &s.Store.WriteSyscalls, &s.Store.CacheHits, &s.Store.CacheMisses,
+		&s.Store.BytesRead, &s.Store.BytesWritten, &s.Store.Evictions, &s.Store.DirtyWritebacks,
+		&s.Store.FlushedFrames, &s.Store.FlushRuns, &s.Store.Fsyncs, &s.Store.WALSpills, &s.Store.WALFsyncs,
+	}
+}
+
+// AppendStats appends a STATS response payload.
+func AppendStats(dst []byte, s Stats) []byte {
+	fields := s.statsFields()
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(fields)))
+	for _, f := range fields {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(*f))
+	}
+	return dst
+}
+
+// DecodeStats decodes a STATS response payload. Extra trailing fields
+// from a newer server are ignored; missing fields decode as zero.
+func DecodeStats(p []byte) (Stats, error) {
+	var s Stats
+	if len(p) < 4 {
+		return s, fmt.Errorf("%w: %d-byte STATS payload", ErrFrame, len(p))
+	}
+	n := int(binary.LittleEndian.Uint32(p))
+	if n > 1024 {
+		return s, fmt.Errorf("%w: STATS with %d fields", ErrTooLarge, n)
+	}
+	if len(p) != 4+n*8 {
+		return s, fmt.Errorf("%w: STATS of %d fields needs %d payload bytes, frame has %d",
+			ErrFrame, n, 4+n*8, len(p))
+	}
+	fields := s.statsFields()
+	for i := 0; i < n && i < len(fields); i++ {
+		*fields[i] = int64(binary.LittleEndian.Uint64(p[4+i*8:]))
+	}
+	return s, nil
+}

@@ -1,0 +1,225 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+
+	"extbuf"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	keys := []uint64{1, 2, 3, 1 << 60}
+	vals := []uint64{10, 20, 30, 40}
+	payload := AppendKV(nil, keys, vals)
+	buf := AppendFrame(nil, OpInsert, 7, payload)
+	buf = AppendFrame(buf, OpLen, 8, nil)
+
+	r := NewReader(bytes.NewReader(buf))
+	f, err := r.Next()
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	if f.Op != OpInsert || f.ID != 7 {
+		t.Fatalf("frame = %v id %d, want INSERT id 7", f.Op, f.ID)
+	}
+	gotK, gotV, err := DecodeKVInto(f.Payload, nil, nil)
+	if err != nil {
+		t.Fatalf("DecodeKVInto: %v", err)
+	}
+	for i := range keys {
+		if gotK[i] != keys[i] || gotV[i] != vals[i] {
+			t.Fatalf("pair %d = (%d,%d), want (%d,%d)", i, gotK[i], gotV[i], keys[i], vals[i])
+		}
+	}
+	f, err = r.Next()
+	if err != nil || f.Op != OpLen || f.ID != 8 || len(f.Payload) != 0 {
+		t.Fatalf("second frame = %+v, %v; want empty LEN id 8", f, err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("end of stream: %v, want io.EOF", err)
+	}
+}
+
+func TestPayloadRoundTrips(t *testing.T) {
+	keys := []uint64{5, 6, 7}
+	gotK, err := DecodeKeysInto(AppendKeys(nil, keys), nil)
+	if err != nil || len(gotK) != 3 || gotK[2] != 7 {
+		t.Fatalf("keys = %v, %v", gotK, err)
+	}
+
+	vals := []uint64{1, 0, 9}
+	found := []bool{true, false, true}
+	gotV, gotF, err := DecodeValuesInto(AppendValues(nil, vals, found), nil, nil)
+	if err != nil {
+		t.Fatalf("DecodeValuesInto: %v", err)
+	}
+	for i := range vals {
+		if gotV[i] != vals[i] || gotF[i] != found[i] {
+			t.Fatalf("value %d = (%d,%v), want (%d,%v)", i, gotV[i], gotF[i], vals[i], found[i])
+		}
+	}
+
+	gotF, err = DecodeFoundsInto(AppendFounds(nil, found), nil)
+	if err != nil || len(gotF) != 3 || gotF[0] != true || gotF[1] != false {
+		t.Fatalf("founds = %v, %v", gotF, err)
+	}
+
+	n, err := DecodeCount(AppendCount(nil, 12345))
+	if err != nil || n != 12345 {
+		t.Fatalf("count = %d, %v", n, err)
+	}
+
+	st := Stats{Len: 3, MemoryUsed: 4, Ops: extbuf.Stats{Reads: 5},
+		Store: extbuf.StoreStats{Fsyncs: 6, WALFsyncs: 7}}
+	got, err := DecodeStats(AppendStats(nil, st))
+	if err != nil || got != st {
+		t.Fatalf("stats = %+v, %v; want %+v", got, err, st)
+	}
+}
+
+// TestTornFrames verifies that every truncation of a valid frame stream
+// fails cleanly: io.EOF exactly at the frame boundary, a torn-frame
+// error anywhere inside.
+func TestTornFrames(t *testing.T) {
+	buf := AppendFrame(nil, OpLookup, 3, AppendKeys(nil, []uint64{1, 2, 3}))
+	for cut := 0; cut < len(buf); cut++ {
+		r := NewReader(bytes.NewReader(buf[:cut]))
+		_, err := r.Next()
+		if cut == 0 {
+			if err != io.EOF {
+				t.Fatalf("cut 0: %v, want io.EOF", err)
+			}
+			continue
+		}
+		if err != io.ErrUnexpectedEOF {
+			t.Fatalf("cut %d: %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+	r := NewReader(bytes.NewReader(buf))
+	if _, err := r.Next(); err != nil {
+		t.Fatalf("uncut frame: %v", err)
+	}
+}
+
+// TestCorruptFrames flips bytes across a valid frame and expects every
+// corruption to be rejected — by the magic, version, reserved or CRC
+// check — and never mis-decoded.
+func TestCorruptFrames(t *testing.T) {
+	orig := AppendFrame(nil, OpDelete, 9, AppendKeys(nil, []uint64{42}))
+	for i := range orig {
+		mut := append([]byte(nil), orig...)
+		mut[i] ^= 0x5a
+		r := NewReader(bytes.NewReader(mut))
+		f, err := r.Next()
+		if err == nil {
+			// The only mutation that can still parse is none; flipping any
+			// byte must break the CRC.
+			t.Fatalf("byte %d: corrupt frame decoded as %+v", i, f)
+		}
+		if !errors.Is(err, ErrFrame) && !errors.Is(err, ErrTooLarge) &&
+			err != io.ErrUnexpectedEOF {
+			t.Fatalf("byte %d: unexpected error %v", i, err)
+		}
+	}
+}
+
+// TestOversizedRejected covers both allocation bounds: a frame header
+// announcing a payload beyond MaxPayload, and a batch count prefix
+// beyond MaxBatch inside a well-formed frame.
+func TestOversizedRejected(t *testing.T) {
+	// Hand-build a header with an oversized payload length and a valid CRC.
+	hdr := binary.LittleEndian.AppendUint32(nil, magic)
+	hdr = append(hdr, Version, byte(OpInsert), 0, 0)
+	hdr = binary.LittleEndian.AppendUint32(hdr, 1)
+	hdr = binary.LittleEndian.AppendUint32(hdr, MaxPayload+1)
+	r := NewReader(bytes.NewReader(hdr))
+	if _, err := r.Next(); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized payload: %v, want ErrTooLarge", err)
+	}
+
+	// A valid frame whose batch count lies about the payload size.
+	payload := binary.LittleEndian.AppendUint32(nil, MaxBatch+1)
+	frame := AppendFrame(nil, OpLookup, 2, payload)
+	f, err := NewReader(bytes.NewReader(frame)).Next()
+	if err != nil {
+		t.Fatalf("frame decode: %v", err)
+	}
+	if _, err := DecodeKeysInto(f.Payload, nil); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized batch: %v, want ErrTooLarge", err)
+	}
+
+	// A plausible count that exceeds the bytes actually present.
+	payload = binary.LittleEndian.AppendUint32(nil, 3)
+	payload = binary.LittleEndian.AppendUint64(payload, 1) // only one key follows
+	frame = AppendFrame(nil, OpLookup, 3, payload)
+	f, err = NewReader(bytes.NewReader(frame)).Next()
+	if err != nil {
+		t.Fatalf("frame decode: %v", err)
+	}
+	if _, err := DecodeKeysInto(f.Payload, nil); !errors.Is(err, ErrFrame) {
+		t.Fatalf("short batch: %v, want ErrFrame", err)
+	}
+}
+
+// TestStatsForwardCompat checks the decoder against both a shorter
+// (older server) and longer (newer server) field list.
+func TestStatsForwardCompat(t *testing.T) {
+	full := AppendStats(nil, Stats{Len: 11, MemoryUsed: 22, Ops: extbuf.Stats{Reads: 33}})
+	// Older: first two fields only.
+	short := binary.LittleEndian.AppendUint32(nil, 2)
+	short = append(short, full[4:4+16]...)
+	got, err := DecodeStats(short)
+	if err != nil || got.Len != 11 || got.MemoryUsed != 22 || got.Ops.Reads != 0 {
+		t.Fatalf("short stats = %+v, %v", got, err)
+	}
+	// Newer: one extra trailing field.
+	n := binary.LittleEndian.Uint32(full)
+	longer := binary.LittleEndian.AppendUint32(nil, n+1)
+	longer = append(longer, full[4:]...)
+	longer = binary.LittleEndian.AppendUint64(longer, 999)
+	got, err = DecodeStats(longer)
+	if err != nil || got.Len != 11 || got.Ops.Reads != 33 {
+		t.Fatalf("long stats = %+v, %v", got, err)
+	}
+}
+
+// FuzzWireFrame throws arbitrary bytes at the frame reader and the
+// batch decoders: nothing may panic, allocate unboundedly, or accept a
+// frame that fails to re-encode to the same bytes.
+func FuzzWireFrame(f *testing.F) {
+	f.Add(AppendFrame(nil, OpInsert, 1, AppendKV(nil, []uint64{1, 2}, []uint64{3, 4})))
+	f.Add(AppendFrame(nil, OpLookup, 2, AppendKeys(nil, []uint64{5})))
+	f.Add(AppendFrame(nil, OpValues, 3, AppendValues(nil, []uint64{6}, []bool{true})))
+	f.Add(AppendFrame(nil, OpStatsR, 4, AppendStats(nil, Stats{Len: 7})))
+	f.Add(AppendFrame(nil, OpLen, 5, nil))
+	f.Add([]byte{})
+	f.Add([]byte{0x45, 0x58, 0x57, 0x46})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		for {
+			fr, err := r.Next()
+			if err != nil {
+				break // any error is fine; panics are not
+			}
+			// A frame that validated must re-encode byte-identically.
+			re := AppendFrame(nil, fr.Op, fr.ID, fr.Payload)
+			fr2, err := NewReader(bytes.NewReader(re)).Next()
+			if err != nil {
+				t.Fatalf("re-encoded frame failed to decode: %v", err)
+			}
+			if fr2.Op != fr.Op || fr2.ID != fr.ID || !bytes.Equal(fr2.Payload, fr.Payload) {
+				t.Fatalf("frame did not round-trip: %+v vs %+v", fr, fr2)
+			}
+			// The payload decoders must be total on arbitrary payloads.
+			DecodeKVInto(fr.Payload, nil, nil)
+			DecodeKeysInto(fr.Payload, nil)
+			DecodeValuesInto(fr.Payload, nil, nil)
+			DecodeFoundsInto(fr.Payload, nil)
+			DecodeCount(fr.Payload)
+			DecodeStats(fr.Payload)
+		}
+	})
+}

@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# e2e.sh — the serving layer's end-to-end gate, run by the e2e CI job.
+#
+# Phase 1 (smoke): boot hashserved on the mem backend, drive it with
+# hashload for a few seconds, and require >= MIN_OPS sustained ops/s
+# with zero errors.
+#
+# Phase 2 (kill -9): boot a durable hashserved (file backend) on a temp
+# dir, run hashload with an acked-write log, kill -9 the server mid-
+# traffic, restart it on the same dir, and verify every acked write
+# survived. Finishes with a SIGTERM graceful-drain shutdown.
+#
+# Usage: scripts/e2e.sh [bindir]   (defaults to ./bin; binaries are
+# built if missing)
+set -euo pipefail
+
+BIN=${1:-bin}
+MIN_OPS=${MIN_OPS:-100000}
+SMOKE_SECS=${SMOKE_SECS:-5s}
+KILL_SECS=${KILL_SECS:-10s}
+WORK=$(mktemp -d)
+OK=0
+# On failure the work dir is kept (CI uploads /tmp/tmp.*/ as a debug
+# artifact); only a fully green run cleans up after itself.
+cleanup() {
+  kill -9 "${SRV_PID:-}" 2>/dev/null || true
+  if [ "$OK" = 1 ]; then
+    rm -rf "$WORK"
+  else
+    echo "e2e FAILED; logs kept in $WORK" >&2
+  fi
+}
+trap cleanup EXIT
+
+mkdir -p "$BIN"
+[ -x "$BIN/hashserved" ] || go build -o "$BIN/hashserved" ./cmd/hashserved
+[ -x "$BIN/hashload" ] || go build -o "$BIN/hashload" ./cmd/hashload
+
+wait_addr() { # wait_addr FILE -> prints address
+  for _ in $(seq 1 100); do
+    if [ -s "$1" ]; then cat "$1"; return 0; fi
+    sleep 0.1
+  done
+  echo "server never wrote $1" >&2
+  return 1
+}
+
+echo "=== e2e phase 1: mem-backend smoke (gate: >= $MIN_OPS ops/s, 0 errors) ==="
+"$BIN/hashserved" -addr 127.0.0.1:0 -backend mem -shards 4 \
+  -addrfile "$WORK/addr1" -quiet >"$WORK/srv1.log" 2>&1 &
+SRV_PID=$!
+ADDR=$(wait_addr "$WORK/addr1")
+"$BIN/hashload" -addr "$ADDR" -duration "$SMOKE_SECS" -conns 4 -workers 16 \
+  -batch 256 -lookupfrac 0.5 -summary "$WORK/smoke.json" | tee "$WORK/smoke.out"
+kill -TERM "$SRV_PID"
+wait "$SRV_PID"
+SRV_PID=
+
+read -r OPS ERRS < <(awk '/^SUMMARY /{
+  for (i = 1; i <= NF; i++) {
+    if ($i ~ /^ops_per_sec=/) { split($i, a, "="); ops = a[2] }
+    if ($i ~ /^errors=/)      { split($i, b, "="); errs = b[2] }
+  }
+  printf "%d %d\n", ops, errs
+}' "$WORK/smoke.out")
+echo "smoke: $OPS ops/s, $ERRS errors"
+if [ "$ERRS" -ne 0 ]; then
+  echo "FAIL: smoke run reported $ERRS errors" >&2
+  exit 1
+fi
+if [ "$OPS" -lt "$MIN_OPS" ]; then
+  echo "FAIL: smoke throughput $OPS ops/s below gate $MIN_OPS" >&2
+  exit 1
+fi
+
+echo "=== e2e phase 2: durable backend, kill -9 mid-traffic, verify acked writes ==="
+DATA="$WORK/data"
+mkdir -p "$DATA"
+"$BIN/hashserved" -addr 127.0.0.1:0 -backend file -path "$DATA/t" -shards 4 \
+  -addrfile "$WORK/addr2" -quiet >"$WORK/srv2.log" 2>&1 &
+SRV_PID=$!
+ADDR=$(wait_addr "$WORK/addr2")
+"$BIN/hashload" -addr "$ADDR" -duration "$KILL_SECS" -conns 4 -workers 8 \
+  -batch 128 -lookupfrac 0.3 -acklog "$WORK/acks.log" \
+  -summary "$WORK/kill.json" >"$WORK/load2.log" 2>&1 &
+LOAD_PID=$!
+sleep 4
+echo "kill -9 $SRV_PID (server, mid-traffic)"
+kill -9 "$SRV_PID"
+SRV_PID=
+wait "$LOAD_PID" || { echo "FAIL: hashload did not tolerate the server dying" >&2; cat "$WORK/load2.log" >&2; exit 1; }
+grep '^SUMMARY ' "$WORK/load2.log"
+ACKED=$(wc -l <"$WORK/acks.log")
+echo "acked mutations logged: $ACKED"
+if [ "$ACKED" -eq 0 ]; then
+  echo "FAIL: no acked writes before the kill — gate proved nothing" >&2
+  exit 1
+fi
+
+echo "--- restarting server on the same path (crash recovery) ---"
+"$BIN/hashserved" -addr 127.0.0.1:0 -backend file -path "$DATA/t" -shards 4 \
+  -addrfile "$WORK/addr3" -quiet >"$WORK/srv3.log" 2>&1 &
+SRV_PID=$!
+ADDR=$(wait_addr "$WORK/addr3")
+grep recovered_len "$WORK/srv3.log" || true
+"$BIN/hashload" -addr "$ADDR" -verify "$WORK/acks.log"
+
+echo "--- graceful SIGTERM drain of the recovered server ---"
+kill -TERM "$SRV_PID"
+wait "$SRV_PID"
+SRV_PID=
+grep checkpointed "$WORK/srv3.log"
+
+OK=1
+echo "=== e2e OK ==="

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# soak.sh — the nightly soak gate: a race-instrumented hashserved under
+# sustained mixed load (inserts, zipf lookups, deletes) on the durable
+# backend, finished with a SIGTERM graceful drain and a goroutine-leak
+# check (the server exits 3 if anything outlives shutdown). Any data
+# race aborts the server and fails the run.
+#
+# Usage: scripts/soak.sh [seconds]   (default 300)
+set -euo pipefail
+
+SECS=${1:-300}
+BIN=${BIN:-bin}
+WORK=$(mktemp -d)
+OK=0
+cleanup() {
+  kill -9 "${SRV_PID:-}" 2>/dev/null || true
+  if [ "$OK" = 1 ]; then
+    rm -rf "$WORK"
+  else
+    echo "soak FAILED; logs kept in $WORK" >&2
+  fi
+}
+trap cleanup EXIT
+
+mkdir -p "$BIN"
+go build -race -o "$BIN/hashserved.race" ./cmd/hashserved
+go build -o "$BIN/hashload" ./cmd/hashload
+
+"$BIN/hashserved.race" -addr 127.0.0.1:0 -backend file -path "$WORK/t" \
+  -shards 4 -leakcheck -quiet -addrfile "$WORK/addr" >"$WORK/srv.log" 2>&1 &
+SRV_PID=$!
+for _ in $(seq 1 100); do [ -s "$WORK/addr" ] && break; sleep 0.1; done
+ADDR=$(cat "$WORK/addr")
+echo "soaking $ADDR for ${SECS}s (race-built server)"
+
+"$BIN/hashload" -addr "$ADDR" -duration "${SECS}s" -conns 4 -workers 8 \
+  -batch 128 -lookupfrac 0.45 -deletefrac 0.10 -dist zipf \
+  -summary "$WORK/soak.json" | tee "$WORK/soak.out"
+
+ERRS=$(awk '/^SUMMARY /{for(i=1;i<=NF;i++) if ($i ~ /^errors=/) {split($i,a,"="); print a[2]}}' "$WORK/soak.out")
+if [ "$ERRS" -ne 0 ]; then
+  echo "FAIL: soak reported $ERRS errors" >&2
+  cat "$WORK/srv.log" >&2
+  exit 1
+fi
+
+echo "--- SIGTERM drain + leak check ---"
+kill -TERM "$SRV_PID"
+if ! wait "$SRV_PID"; then
+  echo "FAIL: server shutdown failed (race, or leaked goroutines; see log)" >&2
+  cat "$WORK/srv.log" >&2
+  exit 1
+fi
+SRV_PID=
+grep -E "checkpointed|leakcheck" "$WORK/srv.log"
+OK=1
+echo "soak OK"

@@ -53,6 +53,7 @@ type Sharded struct {
 	salt     uint64
 	bits     uint
 	async    bool
+	durable  bool
 
 	// reqPool and scratchPool recycle the per-request and per-batch
 	// bookkeeping (request structs, partition index lists, error/length
@@ -83,7 +84,9 @@ const (
 	opLookup
 	opDelete
 	opLen
+	opSync
 	opFlush
+	opStats
 )
 
 // shardReq is one shard's share of a batch: the positions idx of the
@@ -98,16 +101,17 @@ const (
 // result storage of pooled single-operation requests (the slice fields
 // alias them), so a single op carries no per-call slices at all.
 type shardReq struct {
-	kind  opKind
-	keys  []uint64
-	vals  []uint64 // insert/upsert payloads, parallel to keys
-	idx   []int    // this shard's positions within keys/vals
-	outV  []uint64 // lookup values, parallel to keys
-	outOK []bool   // lookup/delete hits, parallel to keys
-	errs  []error  // one slot per shard
-	lens  []int64  // one slot per shard
-	shard int
-	wg    *sync.WaitGroup
+	kind   opKind
+	keys   []uint64
+	vals   []uint64     // insert/upsert payloads, parallel to keys
+	idx    []int        // this shard's positions within keys/vals
+	outV   []uint64     // lookup values, parallel to keys
+	outOK  []bool       // lookup/delete hits, parallel to keys
+	errs   []error      // one slot per shard
+	lens   []int64      // one slot per shard
+	stores []StoreStats // one slot per shard (opStats)
+	shard  int
+	wg     *sync.WaitGroup
 
 	// Inline storage for single-operation requests.
 	wg1   sync.WaitGroup
@@ -123,10 +127,11 @@ type shardReq struct {
 // batches), per-shard error and length slots, and the request pointers
 // to recycle after the barrier.
 type batchScratch struct {
-	parts [][]int
-	errs  []error
-	lens  []int64
-	reqs  []*shardReq
+	parts  [][]int
+	errs   []error
+	lens   []int64
+	stores []StoreStats
+	reqs   []*shardReq
 }
 
 // getReq returns a zeroed pooled request.
@@ -139,6 +144,7 @@ func (s *Sharded) getReq() *shardReq { return s.reqPool.Get().(*shardReq) }
 func (s *Sharded) putReq(r *shardReq) {
 	r.keys, r.vals, r.idx = nil, nil, nil
 	r.outV, r.outOK, r.errs, r.lens = nil, nil, nil, nil
+	r.stores = nil
 	r.shard = 0
 	r.wg = nil
 	// Clear the inline result and error slots: a submission refused at
@@ -202,13 +208,15 @@ func NewSharded(structure string, cfg Config, shards int) (*Sharded, error) {
 		salt:     xrand.Mix64(cfg.Seed ^ 0xa5a5a5a5a5a5a5a5),
 		bits:     bits,
 		async:    cfg.FlushPolicy == FlushAsync,
+		durable:  cfg.durable(),
 	}
 	s.reqPool.New = func() any { return new(shardReq) }
 	s.scratchPool.New = func() any {
 		return &batchScratch{
-			parts: make([][]int, n),
-			errs:  make([]error, n),
-			lens:  make([]int64, n),
+			parts:  make([][]int, n),
+			errs:   make([]error, n),
+			lens:   make([]int64, n),
+			stores: make([]StoreStats, n),
 		}
 	}
 	// One group committer serves every durable shard: a Flush barrier
@@ -292,6 +300,23 @@ func (s *Sharded) serve(i int, tab Table, req *shardReq) {
 		}
 	case opLen:
 		req.lens[req.shard] = int64(tab.Len())
+	case opSync:
+		// An acknowledgement barrier must surface every deferred
+		// write-behind error — but it reports them WITHOUT consuming
+		// them. Concurrent Sync barriers race with write-behind applies
+		// in the shard queue, so a barrier cannot know whose operations
+		// a parked error belongs to; if the first barrier swallowed it,
+		// a later waiter whose own apply failed could be told "durable".
+		// Instead every Sync until the next Flush/Close keeps failing —
+		// conservative, and sound: after an unacknowledged apply failure
+		// no clean ack may cover this shard. Flush remains the consuming
+		// barrier.
+		var errs []error
+		errs = append(errs, s.deferred[i]...)
+		if err := tab.Sync(); err != nil {
+			errs = append(errs, err)
+		}
+		req.errs[req.shard] = errors.Join(errs...)
 	case opFlush:
 		errs := s.deferred[i]
 		s.deferred[i] = nil
@@ -299,12 +324,19 @@ func (s *Sharded) serve(i int, tab Table, req *shardReq) {
 			errs = append(errs, err)
 		}
 		req.errs[req.shard] = errors.Join(errs...)
+	case opStats:
+		req.stores[req.shard] = tab.StoreStats()
 	}
 	req.wg.Done()
 }
 
 // NumShards returns the shard count.
 func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// Durable reports whether the shards run on the durable file backend —
+// i.e. whether Sync buys crash durability. The serving layer skips its
+// ack barrier entirely when this is false.
+func (s *Sharded) Durable() bool { return s.durable }
 
 func (s *Sharded) shard(key uint64) int {
 	if s.bits == 0 {
@@ -496,8 +528,21 @@ func (s *Sharded) UpsertBatch(keys, vals []uint64) error {
 func (s *Sharded) LookupBatch(keys []uint64) (vals []uint64, found []bool, err error) {
 	vals = make([]uint64, len(keys))
 	found = make([]bool, len(keys))
-	err = s.runBatch(opLookup, keys, nil, vals, found)
+	err = s.LookupBatchInto(keys, vals, found)
 	return vals, found, err
+}
+
+// LookupBatchInto is LookupBatch with caller-provided result storage:
+// vals[i] and found[i] receive the result for keys[i]. Both slices must
+// be at least len(keys) long (ErrBatchLength otherwise). Reusing the
+// slices across calls keeps a serving loop allocation-free; the serving
+// layer's request pipeline is built on exactly this entry point.
+func (s *Sharded) LookupBatchInto(keys, vals []uint64, found []bool) error {
+	if len(vals) < len(keys) || len(found) < len(keys) {
+		return fmt.Errorf("%w: %d keys, %d value and %d found slots",
+			ErrBatchLength, len(keys), len(vals), len(found))
+	}
+	return s.runBatch(opLookup, keys, nil, vals, found)
 }
 
 // DeleteBatch removes every key, reporting per key (in input order)
@@ -506,8 +551,18 @@ func (s *Sharded) LookupBatch(keys []uint64) (vals []uint64, found []bool, err e
 // is non-nil only when the engine is closed (ErrClosed).
 func (s *Sharded) DeleteBatch(keys []uint64) ([]bool, error) {
 	found := make([]bool, len(keys))
-	err := s.runBatch(opDelete, keys, nil, nil, found)
+	err := s.DeleteBatchInto(keys, found)
 	return found, err
+}
+
+// DeleteBatchInto is DeleteBatch with caller-provided result storage:
+// found[i] reports whether keys[i] was present. found must be at least
+// len(keys) long (ErrBatchLength otherwise).
+func (s *Sharded) DeleteBatchInto(keys []uint64, found []bool) error {
+	if len(found) < len(keys) {
+		return fmt.Errorf("%w: %d keys, %d found slots", ErrBatchLength, len(keys), len(found))
+	}
+	return s.runBatch(opDelete, keys, nil, nil, found)
 }
 
 // one submits a single operation with results in the pooled request's
@@ -588,11 +643,29 @@ func (s *Sharded) Len() int {
 	return int(total)
 }
 
-// Flush is the engine's barrier: it waits for every shard to drain the
-// requests queued before it, syncs all shards' storage backends in
-// parallel (overlapping their syscalls), and returns the join of any
-// errors deferred by write-behind mutations since the last barrier.
-func (s *Sharded) Flush() error {
+// Sync is the engine's acknowledgement barrier: it waits for every
+// shard to drain the requests queued before it and makes them durable
+// without a checkpoint — each durable shard spills and fsyncs its
+// write-ahead log, with the per-shard fsyncs naturally overlapping
+// across the worker goroutines. Once Sync returns nil, every operation
+// submitted before it (including write-behind mutations) survives a
+// crash. Errors deferred by write-behind mutations are reported here
+// but NOT consumed: every Sync fails until a Flush or Close clears
+// them, so concurrent acknowledgement barriers can never race a failed
+// apply out of view. The serving layer group-commits client acks
+// behind this barrier.
+func (s *Sharded) Sync() error { return s.barrier(opSync) }
+
+// Flush is the engine's checkpoint barrier: it waits for every shard to
+// drain the requests queued before it, syncs all shards' storage
+// backends in parallel (overlapping their syscalls; durable shards
+// commit a full checkpoint), and returns the join of any errors
+// deferred by write-behind mutations since the last barrier.
+func (s *Sharded) Flush() error { return s.barrier(opFlush) }
+
+// barrier broadcasts a drain request (opSync or opFlush) to every shard
+// and joins the per-shard errors.
+func (s *Sharded) barrier(kind opKind) error {
 	var wg sync.WaitGroup
 	errs := make([]error, len(s.shards))
 	s.stateMu.RLock()
@@ -600,18 +673,18 @@ func (s *Sharded) Flush() error {
 		s.stateMu.RUnlock()
 		return ErrClosed
 	}
-	s.sendFlush(errs, &wg)
+	s.sendBarrier(kind, errs, &wg)
 	s.stateMu.RUnlock()
 	wg.Wait()
 	return errors.Join(errs...)
 }
 
-// sendFlush enqueues the flush barrier on every shard. Callers hold
+// sendBarrier enqueues a barrier request on every shard. Callers hold
 // stateMu (either side) so the channels cannot close mid-broadcast.
-func (s *Sharded) sendFlush(errs []error, wg *sync.WaitGroup) {
+func (s *Sharded) sendBarrier(kind opKind, errs []error, wg *sync.WaitGroup) {
 	for sh := range s.shards {
 		wg.Add(1)
-		s.reqs[sh] <- &shardReq{kind: opFlush, errs: errs, shard: sh, wg: wg}
+		s.reqs[sh] <- &shardReq{kind: kind, errs: errs, shard: sh, wg: wg}
 	}
 }
 
@@ -628,6 +701,41 @@ func (s *Sharded) Stats() Stats {
 		out.WriteBacks += st.WriteBacks
 	}
 	return out
+}
+
+// StoreStats returns the aggregated backend real-cost counters of all
+// shards (file-backend syscall/pool counters plus per-shard WAL
+// spill/fsync counts; zeros on scratch backends). Unlike Stats the
+// backend counters are not atomic, so the snapshot rides through the
+// pipeline like Len: it reflects every operation submitted before it
+// and briefly occupies each shard worker. A closed engine returns
+// zeros.
+func (s *Sharded) StoreStats() StoreStats {
+	var wg sync.WaitGroup
+	sc := s.getScratch()
+	defer s.putScratch(sc)
+	s.stateMu.RLock()
+	if s.closed {
+		s.stateMu.RUnlock()
+		return StoreStats{}
+	}
+	for sh := range s.shards {
+		req := s.getReq()
+		req.kind, req.stores, req.shard, req.wg = opStats, sc.stores, sh, &wg
+		sc.reqs = append(sc.reqs, req)
+		wg.Add(1)
+		s.reqs[sh] <- req
+	}
+	s.stateMu.RUnlock()
+	wg.Wait()
+	var total StoreStats
+	for _, st := range sc.stores {
+		total = total.Add(st)
+	}
+	for _, req := range sc.reqs {
+		s.putReq(req)
+	}
+	return total
 }
 
 // MemoryUsed returns the summed memory charge of all shards, read
@@ -663,7 +771,7 @@ func (s *Sharded) Close() error {
 	var flushWG sync.WaitGroup
 	flushErrs := make([]error, len(s.shards))
 	s.stateMu.Lock()
-	s.sendFlush(flushErrs, &flushWG)
+	s.sendBarrier(opFlush, flushErrs, &flushWG)
 	s.closed = true
 	for i := range s.reqs {
 		close(s.reqs[i])
