@@ -28,8 +28,10 @@
 //	hashbench -structure core [-b 64] [-m 1024] [-n 50000] [-beta 8]
 //	          [-gamma 2] [-delta 0.1] [-q 4000] [-seed 42] [-hash ideal]
 //	          [-backend mem|file|latency] [-path FILE] [-cache 512]
-//	          [-seek 4ms] [-xfer 100us]
+//	          [-seek 4ms] [-xfer 100us] [-profile nvme|ssd|hdd]
 //	          [-workers 8] [-batch 256] [-flush sync|async]
+//	          [-wbworkers 8] [-walpath FILE] [-recoverypar 8]
+//	          [-reopen [-crashtail 100000]]
 //	          [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // Every mode reports an allocs/op column (runtime allocation counters
@@ -85,10 +87,15 @@ func main() {
 		cache     = flag.Int("cache", iomodel.DefaultCacheBlocks, "file backend: page-cache capacity in blocks")
 		seek      = flag.Duration("seek", 100*time.Microsecond, "latency backend: per-transfer seek delay")
 		xfer      = flag.Duration("xfer", 25*time.Microsecond, "latency backend: per-transfer data delay")
+		profile   = flag.String("profile", "", "latency backend: fio-style device profile (nvme, ssd or hdd; overrides -seek/-xfer)")
 		workers   = flag.Int("workers", 0, "sharded engine: shard worker count (0 = classic single-structure mode)")
 		batch     = flag.Int("batch", 1, "sharded engine: operations per batch")
 		fpolicy   = flag.String("flush", extbuf.FlushSync, "sharded engine: flush policy (sync or async)")
+		wbWorkers = flag.Int("wbworkers", 0, "file backend: async writeback workers (0 = default, 1 = synchronous)")
+		walPath   = flag.String("walpath", "", "durable mode: dedicated WAL file path (default: -path plus .wal)")
+		recovPar  = flag.Int("recoverypar", 0, "durable mode: recovery parallelism across shards and WAL replay (0 = GOMAXPROCS)")
 		reopen    = flag.Bool("reopen", false, "durability mode: build, flush and close a durable table, then measure reopen/recovery time (requires -backend file and -path)")
+		crashtail = flag.Int("crashtail", 0, "reopen mode: items inserted after the checkpoint and acked via Sync only, with the handle then abandoned (simulated crash) — recovery must replay them from the WAL")
 		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the measured run to this file")
 		memProf   = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
@@ -101,36 +108,43 @@ func main() {
 			fatalf("-reopen requires -backend file and a named -path (durable mode)")
 		}
 		runReopen(*structure, extbuf.Config{
-			BlockSize:     *b,
-			MemoryWords:   *mWords,
-			Beta:          *beta,
-			Gamma:         *gamma,
-			ExpectedItems: *n,
-			Seed:          *seed,
-			HashFamily:    *family,
-			Backend:       *backend,
-			Path:          *path,
-			CacheBlocks:   *cache,
-			FlushPolicy:   *fpolicy,
-		}, *workers, *batch, *n, *q)
+			BlockSize:           *b,
+			MemoryWords:         *mWords,
+			Beta:                *beta,
+			Gamma:               *gamma,
+			ExpectedItems:       *n,
+			Seed:                *seed,
+			HashFamily:          *family,
+			Backend:             *backend,
+			Path:                *path,
+			WALPath:             *walPath,
+			CacheBlocks:         *cache,
+			FlushPolicy:         *fpolicy,
+			WritebackWorkers:    *wbWorkers,
+			RecoveryParallelism: *recovPar,
+		}, *workers, *batch, *n, *q, *crashtail)
 		return
 	}
 
 	if *workers > 0 {
 		runEngine(*structure, extbuf.Config{
-			BlockSize:     *b,
-			MemoryWords:   *mWords,
-			Beta:          *beta,
-			Gamma:         *gamma,
-			ExpectedItems: *n,
-			Seed:          *seed,
-			HashFamily:    *family,
-			Backend:       *backend,
-			Path:          *path,
-			CacheBlocks:   *cache,
-			SeekDelay:     *seek,
-			TransferDelay: *xfer,
-			FlushPolicy:   *fpolicy,
+			BlockSize:           *b,
+			MemoryWords:         *mWords,
+			Beta:                *beta,
+			Gamma:               *gamma,
+			ExpectedItems:       *n,
+			Seed:                *seed,
+			HashFamily:          *family,
+			Backend:             *backend,
+			Path:                *path,
+			WALPath:             *walPath,
+			CacheBlocks:         *cache,
+			SeekDelay:           *seek,
+			TransferDelay:       *xfer,
+			DeviceProfile:       *profile,
+			FlushPolicy:         *fpolicy,
+			WritebackWorkers:    *wbWorkers,
+			RecoveryParallelism: *recovPar,
 		}, *workers, *batch, *n, *q)
 		return
 	}
@@ -142,7 +156,7 @@ func main() {
 		words += int64(8 * *n / *b)
 	}
 
-	store := openStore(*backend, *b, *path, *cache, *seek, *xfer)
+	store := openStore(*backend, *b, *path, *cache, *seek, *xfer, *profile, *wbWorkers)
 	model := iomodel.NewModelOn(store, words)
 	// log.Fatal exits without running defers, so fatal() also routes
 	// through this cleanup: a temp-file store must not outlive a failed
@@ -366,17 +380,23 @@ func runEngine(structure string, cfg extbuf.Config, workers, batch, n, q int) {
 
 // runReopen measures the durability subsystem end to end: build a
 // durable table (or sharded engine) at cfg.Path, insert n items, Flush
-// (the acknowledgement barrier — WAL fsync + checkpoint), Close, then
-// reopen the same path with the clock running and verify q lookups. The
-// reopen wall time is the recovery cost a restarting server pays:
-// superblock read, allocator/directory restore and WAL replay (empty
-// after a clean Close; kill the process between Flushes to measure
-// replay on top).
-func runReopen(structure string, cfg extbuf.Config, workers, batch, n, q int) {
+// (the checkpoint barrier), then reopen the same path with the clock
+// running and verify q lookups. The reopen wall time is the recovery
+// cost a restarting server pays: superblock read, allocator/directory
+// restore and WAL replay.
+//
+// With -crashtail T the run simulates a crash between checkpoints:
+// after the checkpoint it inserts T more items acked only by Sync (WAL
+// fsync, no checkpoint) and abandons the handle without Close — the
+// on-disk state is then exactly a kill -9 after the ack, and the
+// measured recovery includes replaying those T records from the log
+// (in parallel when -recoverypar allows).
+func runReopen(structure string, cfg extbuf.Config, workers, batch, n, q, crashtail int) {
 	type engine interface {
 		Insert(key, val uint64) error
 		Lookup(key uint64) (uint64, bool)
 		Len() int
+		Sync() error
 		Flush() error
 		Close() error
 	}
@@ -392,54 +412,68 @@ func runReopen(structure string, cfg extbuf.Config, workers, batch, n, q int) {
 	}
 
 	rng := xrand.New(cfg.Seed)
-	keys := workload.Keys(rng, n)
+	all := workload.Keys(rng, n+crashtail)
+	keys, tail := all[:n], all[n:]
+
+	insertMany := func(e engine, ks []uint64, base int) {
+		if workers > 0 {
+			s := e.(*extbuf.Sharded)
+			vals := make([]uint64, len(ks))
+			for i := range vals {
+				vals[i] = uint64(base + i)
+			}
+			keyChunks := workload.Chunks(ks, batch)
+			valChunks := workload.Chunks(vals, batch)
+			for i := range keyChunks {
+				fatal(s.InsertBatch(keyChunks[i], valChunks[i]))
+			}
+			return
+		}
+		for i, k := range ks {
+			fatal(e.Insert(k, uint64(base+i)))
+		}
+	}
 
 	e := open()
 	buildStart := time.Now()
-	if workers > 0 {
-		s := e.(*extbuf.Sharded)
-		vals := make([]uint64, len(keys))
-		for i := range vals {
-			vals[i] = uint64(i)
-		}
-		keyChunks := workload.Chunks(keys, batch)
-		valChunks := workload.Chunks(vals, batch)
-		for i := range keyChunks {
-			fatal(s.InsertBatch(keyChunks[i], valChunks[i]))
-		}
-	} else {
-		for i, k := range keys {
-			fatal(e.Insert(k, uint64(i)))
-		}
-	}
+	insertMany(e, keys, 0)
 	buildWall := time.Since(buildStart)
 	flushStart := time.Now()
 	fatal(e.Flush())
 	flushWall := time.Since(flushStart)
-	fatal(e.Close())
+	if crashtail > 0 {
+		// Crash-tail phase: these items are acked by the Sync barrier
+		// only, then the handle is abandoned — no Close, no checkpoint.
+		// Recovery below must replay them from the WAL.
+		insertMany(e, tail, n)
+		fatal(e.Sync())
+	} else {
+		fatal(e.Close())
+	}
 
 	reopenStart := time.Now()
-	e = open()
+	e2 := open()
 	reopenWall := time.Since(reopenStart)
-	if got := e.Len(); got != n {
-		fatalf("reopen lost items: Len = %d, want %d", got, n)
+	if got := e2.Len(); got != n+crashtail {
+		fatalf("reopen lost items: Len = %d, want %d", got, n+crashtail)
 	}
-	qs := workload.SuccessfulQueries(rng, keys, n, q)
+	qs := workload.SuccessfulQueries(rng, all, n+crashtail, q)
 	qryStart := time.Now()
 	for i, k := range qs {
-		if _, ok := e.Lookup(k); !ok {
+		if _, ok := e2.Lookup(k); !ok {
 			fatalf("reopen lost key %d (query %d)", k, i)
 		}
 	}
 	qryWall := time.Since(qryStart)
-	fatal(e.Close())
+	fatal(e2.Close())
 
-	t := tablefmt.New(fmt.Sprintf("%s reopen: b=%d m=%d n=%d workers=%d path=%s",
-		structure, cfg.BlockSize, cfg.MemoryWords, n, workers, cfg.Path), "metric", "value")
+	t := tablefmt.New(fmt.Sprintf("%s reopen: b=%d m=%d n=%d crashtail=%d workers=%d recoverypar=%d path=%s",
+		structure, cfg.BlockSize, cfg.MemoryWords, n, crashtail, workers, cfg.RecoveryParallelism, cfg.Path), "metric", "value")
 	t.AddRow("build wall ms", float64(buildWall.Microseconds())/1000)
 	t.AddRow("flush (checkpoint) wall ms", float64(flushWall.Microseconds())/1000)
 	t.AddRow("reopen (recovery) wall ms", float64(reopenWall.Microseconds())/1000)
-	t.AddRow("reopen items", n)
+	t.AddRow("reopen items", n+crashtail)
+	t.AddRow("replayed tail items", crashtail)
 	t.AddRow("post-reopen lookup µs/op", float64(qryWall.Microseconds())/float64(len(qs)))
 	t.Render(os.Stdout)
 }
@@ -461,7 +495,7 @@ func orDefault(s, def string) string {
 }
 
 // openStore builds the block store selected by -backend.
-func openStore(backend string, b int, path string, cache int, seek, xfer time.Duration) iomodel.BlockStore {
+func openStore(backend string, b int, path string, cache int, seek, xfer time.Duration, profile string, wbWorkers int) iomodel.BlockStore {
 	switch backend {
 	case "mem":
 		return iomodel.NewMemStore(b)
@@ -476,10 +510,24 @@ func openStore(backend string, b int, path string, cache int, seek, xfer time.Du
 			fs, err = iomodel.NewFileStore(path, b, cache)
 		}
 		fatal(err)
+		if wbWorkers != 1 {
+			n := wbWorkers
+			if n == 0 {
+				if n = runtime.GOMAXPROCS(0); n > 4 {
+					n = 4
+				}
+			}
+			fs.SetWritebackWorkers(n)
+		}
 		return fs
 	case "latency":
-		return iomodel.NewLatencyStore(iomodel.NewMemStore(b),
-			iomodel.LatencyConfig{Seek: seek, Transfer: xfer})
+		lcfg := iomodel.LatencyConfig{Seek: seek, Transfer: xfer}
+		if profile != "" {
+			var err error
+			lcfg, err = iomodel.DeviceProfile(profile)
+			fatal(err)
+		}
+		return iomodel.NewLatencyStore(iomodel.NewMemStore(b), lcfg)
 	default:
 		fatalf("unknown backend %q (want mem, file or latency)", backend)
 		return nil
@@ -507,12 +555,15 @@ func backendStatRows(store iomodel.BlockStore) []statRow {
 			{"file: flush frames", st.FlushedFrames},
 			{"file: flush runs (coalesced)", st.FlushRuns},
 			{"file: fsyncs", st.Fsyncs},
+			{"file: fsyncs elided", st.FsyncsElided},
+			{"file: ghost hits (scan-resistant promotions)", st.GhostHits},
 			{"file: MB read", float64(st.BytesRead) / (1 << 20)},
 			{"file: MB written", float64(st.BytesWritten) / (1 << 20)},
 		}
 	case *iomodel.LatencyStore:
 		return []statRow{
 			{"latency: delayed transfers", s.DelayedOps()},
+			{"latency: sequential transfers", s.SeqOps()},
 			{"latency: injected wait", s.Waited().String()},
 		}
 	}

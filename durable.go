@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
 
 	"extbuf/internal/ckpt"
 	"extbuf/internal/hashfn"
@@ -37,13 +40,18 @@ import (
 //     makes any surviving WAL records no-ops. Recovery therefore always
 //     sees one consistent checkpoint plus a CRC-validated log suffix.
 //
-// Superblock payload (framed by ckpt.Frame, version 1): structure name,
+// Superblock payload (framed by ckpt.Frame, version 2): structure name,
 // construction parameters, shard layout, last-applied LSN, the block
-// allocator + logical→physical placement state, and the structure's
-// serialized directory state.
+// allocator + logical→physical placement state, the configured WAL
+// path, and the structure's serialized directory state. Version 1
+// files (no WAL path field) are still read; new checkpoints are
+// written as version 2.
 
 // superblockVersion is the on-disk checkpoint format version.
-const superblockVersion = 1
+const superblockVersion = 2
+
+// minSuperblockVersion is the oldest checkpoint format still readable.
+const minSuperblockVersion = 1
 
 // ckptSuffix and walSuffix name a durable table's sidecar files.
 const (
@@ -67,6 +75,7 @@ type superblock struct {
 	nslots        int
 	free          []iomodel.BlockID
 	mapping       []int64
+	walPath       string // configured Config.WALPath ("" = beside the block file)
 }
 
 // durableTable layers write-ahead logging and checkpointing over a
@@ -110,6 +119,10 @@ func openDurable(structure string, cfg Config) (*durableTable, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Asynchronous writeback: enabled for production stores, forced
+	// synchronous under crash injection (SetWritebackWorkers refuses a
+	// crasher-wrapped store; the harness counts write syscalls).
+	store.SetWritebackWorkers(cfg.writebackWorkers())
 	model := iomodel.NewModelOn(store, cfg.MemoryWords)
 	fn := hashfn.Family(cfg.HashFamily, cfg.Seed)
 
@@ -130,29 +143,15 @@ func openDurable(structure string, cfg Config) (*durableTable, error) {
 		return nil, err
 	}
 
-	log, records, err := wal.Open(cfg.Path+walSuffix, crasher, lastLSN+1)
+	log, records, err := wal.Open(cfg.walPath(), crasher, lastLSN+1)
 	if err != nil {
 		inner.Close()
 		return nil, err
 	}
-	// Replay the log suffix the checkpoint has not absorbed. Inserts
-	// replay as upserts: a record at or below the checkpoint LSN was
-	// truncated away, but re-applying a full suffix must stay idempotent
-	// when a crash landed between checkpoint commit and log truncation.
-	for _, r := range records {
-		if r.LSN <= lastLSN {
-			continue
-		}
-		switch r.Op {
-		case wal.OpInsert, wal.OpUpsert:
-			if err := inner.Upsert(r.Key, r.Val); err != nil {
-				inner.Close()
-				log.Close()
-				return nil, fmt.Errorf("extbuf: replay lsn %d: %w", r.LSN, err)
-			}
-		case wal.OpDelete:
-			inner.Delete(r.Key)
-		}
+	if err := replayRecords(records, lastLSN, fn, inner, cfg.RecoveryParallelism); err != nil {
+		inner.Close()
+		log.Close()
+		return nil, err
 	}
 	committer := cfg.committer
 	if committer == nil {
@@ -167,6 +166,118 @@ func openDurable(structure string, cfg Config) (*durableTable, error) {
 		crasher:   crasher,
 		committer: committer,
 	}, nil
+}
+
+// walPath resolves the write-ahead log file: Config.WALPath if set (a
+// dedicated WAL device/path), otherwise beside the block file.
+func (c Config) walPath() string {
+	if c.WALPath != "" {
+		return c.WALPath
+	}
+	return c.Path + walSuffix
+}
+
+// replayParallelThreshold is the record count below which replay stays
+// serial: partitioning and sorting a handful of records costs more
+// than it saves.
+const replayParallelThreshold = 4096
+
+// replayOp is one collapsed replay operation: the final state of a key
+// in the log suffix, tagged with its hash for bucket-ordered apply.
+type replayOp struct {
+	key, val uint64
+	hash     uint64
+	del      bool
+}
+
+// replayRecords applies the log suffix the checkpoint has not
+// absorbed. Inserts replay as upserts: a record at or below the
+// checkpoint LSN was truncated away, but re-applying a full suffix
+// must stay idempotent when a crash landed between checkpoint commit
+// and log truncation.
+//
+// Large suffixes run through a parallel pipeline: records are
+// partitioned by hash prefix into par groups, each group is collapsed
+// to one operation per key (last write wins — per-key sequences of
+// sets and deletes depend only on the final one) and sorted by hash
+// concurrently, and the groups are then applied in hash order. The
+// CPU work (hashing, dedup, sort) saturates cores, and the hash-
+// ordered apply walks the structure's buckets sequentially instead of
+// faulting the pool randomly, so the replayed I/O coalesces. Applying
+// the collapsed suffix is content-equivalent to applying the full one;
+// only the physical block layout may differ.
+func replayRecords(records []wal.Record, lastLSN uint64, fn hashfn.Fn, inner tableAdapter, par int) error {
+	// Drop the prefix the checkpoint already absorbed.
+	live := records
+	for len(live) > 0 && live[0].LSN <= lastLSN {
+		live = live[1:]
+	}
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if len(live) < replayParallelThreshold || par <= 1 {
+		for _, r := range live {
+			switch r.Op {
+			case wal.OpInsert, wal.OpUpsert:
+				if err := inner.Upsert(r.Key, r.Val); err != nil {
+					return fmt.Errorf("extbuf: replay lsn %d: %w", r.LSN, err)
+				}
+			case wal.OpDelete:
+				inner.Delete(r.Key)
+			}
+		}
+		return nil
+	}
+	// Partition count: power of two <= par, so a hash-prefix shift
+	// assigns each key a group and groups cover disjoint bucket ranges.
+	shift := uint(64)
+	groups := 1
+	for groups*2 <= par && groups < 64 {
+		groups *= 2
+		shift--
+	}
+	parts := make([][]wal.Record, groups)
+	for _, r := range live {
+		g := fn.Hash(r.Key) >> shift
+		parts[g] = append(parts[g], r)
+	}
+	collapsed := make([][]replayOp, groups)
+	var wg sync.WaitGroup
+	for g := range parts {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			part := parts[g]
+			idx := make(map[uint64]int, len(part))
+			ops := make([]replayOp, 0, len(part))
+			for _, r := range part {
+				op := replayOp{key: r.Key, val: r.Val, del: r.Op == wal.OpDelete}
+				if i, seen := idx[r.Key]; seen {
+					op.hash = ops[i].hash
+					ops[i] = op
+					continue
+				}
+				op.hash = fn.Hash(r.Key)
+				idx[r.Key] = len(ops)
+				ops = append(ops, op)
+			}
+			sort.Slice(ops, func(i, j int) bool { return ops[i].hash < ops[j].hash })
+			collapsed[g] = ops
+		}(g)
+	}
+	wg.Wait()
+	for _, ops := range collapsed {
+		for _, op := range ops {
+			if op.del {
+				inner.Delete(op.key)
+				continue
+			}
+			if err := inner.Upsert(op.key, op.val); err != nil {
+				return fmt.Errorf("extbuf: replay key %d: %w", op.key, err)
+			}
+		}
+	}
+	return nil
 }
 
 // readSuperblock loads and validates the checkpoint at path. A missing
@@ -185,7 +296,7 @@ func readSuperblock(path string) (*superblock, *ckpt.Decoder, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("extbuf: superblock %s: %w", path, err)
 	}
-	if version != superblockVersion {
+	if version < minSuperblockVersion || version > superblockVersion {
 		return nil, nil, fmt.Errorf("extbuf: superblock %s: unsupported version %d", path, version)
 	}
 	d := ckpt.NewDecoder(payload)
@@ -205,6 +316,9 @@ func readSuperblock(path string) (*superblock, *ckpt.Decoder, error) {
 	}
 	sb.free = d.BlockIDs()
 	sb.mapping = d.I64s()
+	if version >= 2 {
+		sb.walPath = d.String()
+	}
 	if err := d.Err(); err != nil {
 		return nil, nil, fmt.Errorf("extbuf: superblock %s: %w", path, err)
 	}
@@ -271,6 +385,15 @@ func (sb *superblock) mergeConfig(structure string, cfg Config) (Config, error) 
 	default:
 		return cfg, mismatch("HashFamily", sb.hashFamily, cfg.HashFamily)
 	}
+	// Reopening without a WALPath adopts the stored one — otherwise the
+	// table would silently recover against a fresh empty log beside the
+	// block file, losing the real log's tail on the other device.
+	switch cfg.WALPath {
+	case "", sb.walPath:
+		cfg.WALPath = sb.walPath
+	default:
+		return cfg, mismatch("WALPath", sb.walPath, cfg.WALPath)
+	}
 	return cfg, nil
 }
 
@@ -322,6 +445,7 @@ func (d *durableTable) StoreStats() StoreStats {
 	st := fromFileStats(d.store.Stats())
 	st.WALSpills = d.log.Spills()
 	st.WALFsyncs = d.log.Fsyncs()
+	st.WALFsyncsElided = d.log.FsyncsElided()
 	return st
 }
 
@@ -388,6 +512,7 @@ func (d *durableTable) checkpoint() error {
 	e.Int(nslots)
 	e.BlockIDs(free)
 	e.I64s(mapping)
+	e.String(d.cfg.WALPath)
 	d.inner.saveState(e)
 	if err := writeFileAtomic(d.cfg.Path+ckptSuffix, ckpt.Frame(superblockVersion, e.Bytes()), d.crasher); err != nil {
 		return err

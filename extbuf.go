@@ -3,6 +3,7 @@ package extbuf
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"time"
 
 	"extbuf/internal/chainhash"
@@ -50,8 +51,11 @@ type StoreStats struct {
 	FlushedFrames   int64 // dirty frames written back (flush barriers + clustering)
 	FlushRuns       int64 // pwrites the flushed frames were batched into
 	Fsyncs          int64 // fsyncs of the block file
+	FsyncsElided    int64 // block-file barrier fsyncs skipped (nothing written since the last)
+	GhostHits       int64 // faults of recently evicted blocks (scan-resistant promotions)
 	WALSpills       int64 // write-ahead log spill writes (durable tables)
 	WALFsyncs       int64 // write-ahead log fsyncs (durable tables)
+	WALFsyncsElided int64 // write-ahead log barrier fsyncs skipped (durable tables)
 }
 
 // Add returns s + o field-wise, for aggregating shards.
@@ -67,8 +71,11 @@ func (s StoreStats) Add(o StoreStats) StoreStats {
 	s.FlushedFrames += o.FlushedFrames
 	s.FlushRuns += o.FlushRuns
 	s.Fsyncs += o.Fsyncs
+	s.FsyncsElided += o.FsyncsElided
+	s.GhostHits += o.GhostHits
 	s.WALSpills += o.WALSpills
 	s.WALFsyncs += o.WALFsyncs
+	s.WALFsyncsElided += o.WALFsyncsElided
 	return s
 }
 
@@ -87,6 +94,8 @@ func fromFileStats(st iomodel.FileStats) StoreStats {
 		FlushedFrames:   st.FlushedFrames,
 		FlushRuns:       st.FlushRuns,
 		Fsyncs:          st.Fsyncs,
+		FsyncsElided:    st.FsyncsElided,
+		GhostHits:       st.GhostHits,
 	}
 }
 
@@ -179,14 +188,49 @@ type Config struct {
 	// removed when the table is closed (no durability machinery, the
 	// pre-durability behavior).
 	Path string
+	// WALPath names the write-ahead log file of a durable table,
+	// placing it on a different path (typically a different device)
+	// than the block file, so group-commit WAL fsyncs never queue
+	// behind checkpoint writeback on one fd. Empty (the default) keeps
+	// the log beside the block file at Path + ".wal". The setting is
+	// recorded in the superblock: reopening with an empty WALPath
+	// adopts the stored one, and an explicitly different WALPath fails
+	// with ErrSuperblockMismatch instead of silently recovering without
+	// the log's tail. NewSharded appends the same ".shardNNN" suffix it
+	// appends to Path.
+	WALPath string
 	// CacheBlocks is the "file" backend's page-cache capacity in blocks
 	// (default iomodel.DefaultCacheBlocks).
 	CacheBlocks int
+	// WritebackWorkers sets the "file" backend's asynchronous writeback
+	// pool: flush-barrier and eviction writes are encoded on the table
+	// goroutine but submitted as concurrent pwrites by this many
+	// workers, keeping the device queue full. 0 (the default) selects
+	// min(4, GOMAXPROCS): enough concurrent submissions to keep a
+	// flash device's queue busy, degrading to fully synchronous writes
+	// on a single-CPU machine where the pool is pure overhead. 1
+	// forces synchronous writes.
+	// Crash-injected tables (Crash != nil) always write synchronously —
+	// the crash harness counts write syscalls, so submission order must
+	// stay deterministic.
+	WritebackWorkers int
+	// RecoveryParallelism bounds the concurrency of the recovery cold
+	// path: NewSharded opens (and replays) this many shards at once,
+	// and within each shard the WAL replay pipeline partitions records
+	// by hash bucket across this many goroutines before applying them
+	// in bucket order. 0 (the default) uses GOMAXPROCS; 1 recovers
+	// serially.
+	RecoveryParallelism int
 	// SeekDelay and TransferDelay are the "latency" backend's per-block
 	// delays. If both are zero the backend defaults to a 100µs seek and
 	// 25µs transfer.
 	SeekDelay     time.Duration
 	TransferDelay time.Duration
+	// DeviceProfile selects a built-in fio-style preset for the
+	// "latency" backend ("nvme", "ssd" or "hdd": seek vs sequential
+	// transfer cost and a device queue depth), overriding SeekDelay and
+	// TransferDelay. Empty uses the explicit delays.
+	DeviceProfile string
 	// FlushPolicy selects when mutations submitted to the Sharded
 	// engine complete: FlushSync (default) makes every Insert/Upsert
 	// call — single or batch — return only after its shard workers have
@@ -321,6 +365,28 @@ func (c Config) validateBlockSize() error {
 	return nil
 }
 
+// defaultWritebackWorkers is the asynchronous writeback pool size used
+// when Config.WritebackWorkers is zero: enough concurrent submissions
+// to keep a flash device's queue busy, few enough that a many-shard
+// engine does not drown in idle goroutines — and none at all on a
+// single-CPU machine, where every handoff to a worker is a context
+// switch on the only core and the pool can only slow the store down.
+func defaultWritebackWorkers() int {
+	if n := runtime.GOMAXPROCS(0); n < 4 {
+		return n
+	}
+	return 4
+}
+
+// writebackWorkers resolves the effective pool size (see the Config
+// field).
+func (c Config) writebackWorkers() int {
+	if c.WritebackWorkers == 0 {
+		return defaultWritebackWorkers()
+	}
+	return c.WritebackWorkers
+}
+
 // store builds the scratch (non-durable) block-store backend selected
 // by c.Backend; durable file stores are opened by openDurable.
 func (c Config) store() (iomodel.BlockStore, error) {
@@ -328,10 +394,21 @@ func (c Config) store() (iomodel.BlockStore, error) {
 	case "", "mem":
 		return iomodel.NewMemStore(c.BlockSize), nil
 	case "file":
-		return iomodel.NewTempFileStore(c.BlockSize, c.CacheBlocks)
+		s, err := iomodel.NewTempFileStore(c.BlockSize, c.CacheBlocks)
+		if err != nil {
+			return nil, err
+		}
+		s.SetWritebackWorkers(c.writebackWorkers())
+		return s, nil
 	case "latency":
-		return iomodel.NewLatencyStore(iomodel.NewMemStore(c.BlockSize),
-			iomodel.LatencyConfig{Seek: c.SeekDelay, Transfer: c.TransferDelay}), nil
+		lcfg := iomodel.LatencyConfig{Seek: c.SeekDelay, Transfer: c.TransferDelay}
+		if c.DeviceProfile != "" {
+			var err error
+			if lcfg, err = iomodel.DeviceProfile(c.DeviceProfile); err != nil {
+				return nil, err
+			}
+		}
+		return iomodel.NewLatencyStore(iomodel.NewMemStore(c.BlockSize), lcfg), nil
 	default:
 		return nil, fmt.Errorf("%w %q (want mem, file or latency)", ErrUnknownBackend, c.Backend)
 	}

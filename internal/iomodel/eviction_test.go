@@ -1,0 +1,149 @@
+package iomodel
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestScanResistantEviction is the regression test for the 2Q/CLOCK-
+// Pro-lite policy: a sequential scan over 4x the pool capacity,
+// repeated for several passes, must not evict a concurrently
+// re-referenced hot set. The hot set's hit rate (measured via
+// FileStats around each hot sweep) must stay above a floor, the ghost
+// list must have promoted at least one re-faulted hot block, and the
+// scan itself must not have earned hot status (its re-touch interval
+// exceeds the ghost window).
+func TestScanResistantEviction(t *testing.T) {
+	const (
+		cacheCap = 64
+		hotN     = cacheCap / 4
+		scanN    = 4 * cacheCap
+		passes   = 6
+		interval = 48 // scan reads between hot sweeps
+	)
+	st, err := NewTempFileStore(4, cacheCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	alloc := func(n int) []BlockID {
+		ids := make([]BlockID, n)
+		for i := range ids {
+			ids[i] = st.Alloc()
+			st.WriteBlock(ids[i], []Entry{{Key: uint64(ids[i]), Val: 1}})
+		}
+		return ids
+	}
+	hot := alloc(hotN)
+	scan := alloc(scanN)
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	readHot := func() (misses int64) {
+		before := st.Stats().CacheMisses
+		for _, id := range hot {
+			st.ReadBlock(id, nil)
+		}
+		return st.Stats().CacheMisses - before
+	}
+	// Warmup pass: fault the hot set back in (the allocation of the
+	// scan blocks evicted it) and let the ghost list learn it.
+	readHot()
+	for s, n := 0, 0; s < scanN; s++ {
+		st.ReadBlock(scan[s], nil)
+		if n++; n == interval {
+			n = 0
+			readHot()
+		}
+	}
+
+	var hotReads, hotMisses int64
+	for p := 0; p < passes; p++ {
+		for s, n := 0, 0; s < scanN; s++ {
+			st.ReadBlock(scan[s], nil)
+			if n++; n == interval {
+				n = 0
+				hotReads += hotN
+				hotMisses += readHot()
+			}
+		}
+	}
+	stats := st.Stats()
+	hitRate := 1 - float64(hotMisses)/float64(hotReads)
+	t.Logf("hot reads %d, misses %d (hit rate %.3f); GhostHits %d, Evictions %d",
+		hotReads, hotMisses, hitRate, stats.GhostHits, stats.Evictions)
+	if hitRate < 0.75 {
+		t.Fatalf("scan evicted the hot set: hit rate %.3f < 0.75 over %d hot reads", hitRate, hotReads)
+	}
+	if stats.GhostHits == 0 {
+		t.Fatal("no ghost promotions: the scan-resistance mechanism never engaged")
+	}
+	// The scan's own re-touch interval (4x capacity) exceeds the ghost
+	// window (1x capacity), so the scan must not promote itself.
+	if stats.GhostHits > int64(hotN*(passes+2)) {
+		t.Fatalf("GhostHits = %d: the scan itself earned hot status", stats.GhostHits)
+	}
+	if stats.Evictions < int64(passes*scanN/2) {
+		t.Fatalf("Evictions = %d: the scan did not actually stress the pool", stats.Evictions)
+	}
+}
+
+// BenchmarkWriteback measures a flush barrier over fresh dirty blocks
+// with synchronous vs pooled writeback submission.
+func BenchmarkWriteback(b *testing.B) {
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			const blocks = 2048
+			st, err := NewTempFileStore(64, blocks+16)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			st.SetWritebackWorkers(workers)
+			ids := make([]BlockID, blocks)
+			entries := make([]Entry, 32)
+			for i := range ids {
+				ids[i] = st.Alloc()
+			}
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				for i, id := range ids {
+					entries[0] = Entry{Key: uint64(i), Val: uint64(n)}
+					st.WriteBlock(id, entries)
+				}
+				if err := st.Sync(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(blocks), "blocks/op")
+		})
+	}
+}
+
+// BenchmarkEvictionScan measures steady-state eviction traffic: a
+// working set far larger than the pool read sequentially, with the
+// scan-resistant sweep and write clustering on the miss path.
+func BenchmarkEvictionScan(b *testing.B) {
+	const cacheCap = 256
+	const blocks = 4 * cacheCap
+	st, err := NewTempFileStore(64, cacheCap)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	ids := make([]BlockID, blocks)
+	for i := range ids {
+		ids[i] = st.Alloc()
+		st.WriteBlock(ids[i], []Entry{{Key: uint64(i), Val: 1}})
+	}
+	if err := st.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	var buf []Entry
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		buf = st.ReadBlock(ids[n%blocks], buf[:0])
+	}
+	_ = buf
+}

@@ -100,6 +100,25 @@ type FileStore struct {
 	closed      bool
 	failed      error // sticky first write failure
 
+	// Asynchronous writeback (nil = synchronous writes). wrote tracks
+	// whether any bytes reached (or were submitted to) the file since
+	// the last fsync, so a barrier with nothing new to harden elides
+	// its fsync instead of queueing a no-op behind the device.
+	wb         *writeback
+	wrote      bool
+	hasCrasher bool // write order must stay deterministic: no async pool
+
+	// Scan-resistant eviction (2Q/CLOCK-Pro-lite): a bounded ghost ring
+	// remembers recently evicted block IDs; a block faulting back in
+	// from the ghost list enters the pool "hot" and survives one extra
+	// CLOCK lap (demotion before eviction). First-touch blocks — a
+	// sequential scan's entire footprint — enter cold and are evicted
+	// after a single lap, so a scan cannot displace the re-referenced
+	// hot set.
+	ghost    map[BlockID]struct{}
+	ghostLog []BlockID // FIFO ring over ghost membership
+	ghostPos int
+
 	// Durable-mode placement state (nil mapping = direct mode).
 	durable     bool
 	mapping     []int64            // logical id -> physical slot; -1 = never written
@@ -117,6 +136,8 @@ type frame struct {
 	next    BlockID
 	dirty   bool
 	ref     bool  // CLOCK reference bit
+	hot     bool  // survives one extra CLOCK lap (demotion before eviction)
+	wasHot  bool  // ghost-promoted this residency: re-references restore hot
 	pins    int32 // > 0: never evict
 }
 
@@ -139,6 +160,13 @@ type FileStats struct {
 	FlushedFrames int64
 	FlushRuns     int64
 	Fsyncs        int64 // fsyncs of the block file
+	// FsyncsElided counts barrier fsyncs skipped because nothing had
+	// been written since the previous fsync — the one-fsync-per-fd-per-
+	// barrier dedupe.
+	FsyncsElided int64
+	// GhostHits counts faults of blocks found on the eviction ghost
+	// list: re-references the scan-resistant policy promoted to hot.
+	GhostHits int64
 }
 
 // DefaultCacheBlocks is the page-cache capacity used when none is
@@ -182,6 +210,7 @@ func OpenFileStore(path string, b, cacheBlocks int, crasher *Crasher) (*FileStor
 		bf = crasher.WrapFile(bf)
 	}
 	s := newFileStoreOn(bf, b, cacheBlocks, true)
+	s.hasCrasher = crasher != nil
 	return s, nil
 }
 
@@ -217,7 +246,31 @@ func newFileStoreOn(f BlockFile, b, cacheBlocks int, durable bool) *FileStore {
 	if durable {
 		s.epochSlots = make(map[int64]struct{})
 	}
+	// The ghost list remembers one cache-capacity's worth of eviction
+	// history: a block re-faulted within that window is hot.
+	s.ghost = make(map[BlockID]struct{}, cacheBlocks)
+	s.ghostLog = make([]BlockID, cacheBlocks)
+	for i := range s.ghostLog {
+		s.ghostLog[i] = NilBlock
+	}
 	return s
+}
+
+// SetWritebackWorkers switches the store's flush-barrier and eviction
+// writeback from synchronous pwrites to a pool of n concurrent
+// submission workers (see writeback). n <= 1 keeps writes synchronous.
+// The call is ignored on a crash-injected store — the crash harness
+// kills the process at the Nth write syscall, so write order must stay
+// deterministic — and must be made before any write reaches the store.
+func (s *FileStore) SetWritebackWorkers(n int) {
+	if n <= 1 || s.hasCrasher || s.wb != nil {
+		return
+	}
+	runBytes := int(maxRunBytes)
+	if fb := int(s.frameBytes); fb > runBytes {
+		runBytes = fb
+	}
+	s.wb = newWriteback(s.f, n, runBytes)
 }
 
 // NewTempFileStore is NewFileStore on a fresh temporary file that is
@@ -301,6 +354,9 @@ func (s *FileStore) Free(id BlockID) {
 		s.retirePhys(s.mapping[id])
 		s.mapping[id] = -1
 	}
+	// Forget eviction history: the ID's next use is a fresh block, not
+	// a re-reference.
+	delete(s.ghost, id)
 	s.free = append(s.free, id)
 }
 
@@ -312,6 +368,8 @@ func (s *FileStore) recycle(idx int32) {
 	fr.id = NilBlock
 	fr.dirty = false
 	fr.ref = false
+	fr.hot = false
+	fr.wasHot = false
 	s.freeFrames = append(s.freeFrames, idx)
 }
 
@@ -469,12 +527,44 @@ func (s *FileStore) writeRuns(dirty []*frame) error {
 			s.physFor(dirty[end].id) == s.physFor(dirty[end-1].id)+1 {
 			end++
 		}
-		if err := s.flushRun(dirty[start:end]); err != nil {
+		if s.wb != nil {
+			s.submitRun(dirty[start:end])
+		} else if err := s.flushRun(dirty[start:end]); err != nil {
 			return err
 		}
 		start = end
 	}
 	return nil
+}
+
+// submitRun hands a run of frames occupying adjacent physical slots to
+// the writeback pool: the frames are encoded here, on the store's
+// goroutine, into a pool-owned buffer, then the pwrite is issued by a
+// worker. The frames are clean the moment the snapshot is taken — later
+// mutations re-dirty them and flush again — and write errors surface at
+// the next drain barrier (Fsync/Close). Counters are charged at submit,
+// so Stats reads stay deterministic at barriers.
+func (s *FileStore) submitRun(run []*frame) {
+	n := len(run) * int(s.frameBytes)
+	buf := s.wb.getBuf(n)
+	for i, fr := range run {
+		s.encodeFrame(fr, buf[i*int(s.frameBytes):(i+1)*int(s.frameBytes)])
+		fr.dirty = false
+	}
+	first := s.physFor(run[0].id)
+	s.stats.WriteSyscalls++
+	s.stats.FlushRuns++
+	s.stats.FlushedFrames += int64(len(run))
+	s.stats.BytesWritten += int64(n)
+	s.wrote = true
+	s.wb.submit(wbJob{
+		buf:   buf,
+		off:   first * s.frameBytes,
+		first: first,
+		n:     len(run),
+		id0:   run[0].id,
+		id1:   run[len(run)-1].id,
+	})
 }
 
 // flushRun writes a run of frames occupying adjacent physical slots
@@ -494,6 +584,7 @@ func (s *FileStore) flushRun(run []*frame) error {
 	s.stats.FlushRuns++
 	s.stats.FlushedFrames += int64(len(run))
 	s.stats.BytesWritten += int64(wn)
+	s.wrote = true
 	if err != nil {
 		err = fmt.Errorf("iomodel: write blocks %d..%d: %w", run[0].id, run[len(run)-1].id, err)
 		if s.failed == nil {
@@ -508,15 +599,29 @@ func (s *FileStore) flushRun(run []*frame) error {
 }
 
 // Fsync makes previously written frames durable with one fsync of the
-// block file.
+// block file. It is the drain barrier for asynchronous writeback: every
+// submitted write completes (and joins its error) before the fsync is
+// issued. A barrier with nothing written since the last fsync elides
+// the syscall — the one-fsync-per-fd-per-barrier dedupe — and counts
+// the elision in FsyncsElided.
 func (s *FileStore) Fsync() error {
+	if s.wb != nil {
+		if err := s.wb.drain(); err != nil && s.failed == nil {
+			s.failed = err
+		}
+	}
 	if s.failed != nil {
 		return s.failed
+	}
+	if !s.wrote {
+		s.stats.FsyncsElided++
+		return nil
 	}
 	if err := s.f.Sync(); err != nil {
 		return fmt.Errorf("iomodel: sync block store: %w", err)
 	}
 	s.stats.Fsyncs++
+	s.wrote = false
 	return nil
 }
 
@@ -597,6 +702,12 @@ func (s *FileStore) Close() error {
 	}
 	s.closed = true
 	err := s.Sync()
+	if s.wb != nil {
+		if werr := s.wb.shutdown(); werr != nil && err == nil {
+			err = werr
+		}
+		s.wb = nil
+	}
 	if cerr := s.f.Close(); err == nil {
 		err = cerr
 	}
@@ -616,6 +727,7 @@ func (s *FileStore) frameFor(id BlockID) *frame {
 		if fr := &s.frames[s.lastIdx]; fr.id == id {
 			s.stats.CacheHits++
 			fr.ref = true
+			fr.hot = fr.wasHot
 			return fr
 		}
 	}
@@ -623,6 +735,7 @@ func (s *FileStore) frameFor(id BlockID) *frame {
 		fr := &s.frames[idx]
 		s.stats.CacheHits++
 		fr.ref = true
+		fr.hot = fr.wasHot
 		s.lastID, s.lastIdx = id, idx
 		return fr
 	}
@@ -644,6 +757,7 @@ func (s *FileStore) frameForWrite(id BlockID, preserveNext bool) *frame {
 		if fr := &s.frames[s.lastIdx]; fr.id == id {
 			s.stats.CacheHits++
 			fr.ref = true
+			fr.hot = fr.wasHot
 			fr.dirty = true
 			return fr
 		}
@@ -653,6 +767,7 @@ func (s *FileStore) frameForWrite(id BlockID, preserveNext bool) *frame {
 		fr = &s.frames[idx]
 		s.stats.CacheHits++
 		fr.ref = true
+		fr.hot = fr.wasHot
 		s.lastID, s.lastIdx = id, idx
 	} else {
 		s.stats.CacheMisses++
@@ -684,21 +799,36 @@ func (s *FileStore) install(id BlockID) *frame {
 	fr.next = NilBlock
 	fr.dirty = false
 	fr.ref = true
+	// Scan resistance: a first-touch block enters cold (one CLOCK lap
+	// to live); a block returning within the ghost window proved reuse
+	// and enters hot.
+	fr.hot = false
+	fr.wasHot = false
+	if _, returning := s.ghost[id]; returning {
+		delete(s.ghost, id)
+		fr.hot = true
+		fr.wasHot = true
+		s.stats.GhostHits++
+	}
 	s.cache[id] = idx
 	s.lastID, s.lastIdx = id, idx
 	return fr
 }
 
-// evict runs the CLOCK sweep: skip pinned frames, give referenced
-// frames a second chance, take the first cold frame (writing it back if
-// dirty). With every frame pinned there is nothing to evict — that is a
-// pool misconfiguration (capacity below the pin working set) and
-// panics.
+// evict runs the scan-resistant CLOCK sweep: skip pinned frames, give
+// referenced frames a second chance, demote unreferenced hot frames to
+// cold (their extra lap), and take the first cold unreferenced frame
+// (writing it back if dirty). The evicted ID is recorded on the ghost
+// list so a prompt re-fault earns hot status. With every frame pinned
+// there is nothing to evict — that is a pool misconfiguration (capacity
+// below the pin working set) and panics.
 func (s *FileStore) evict() int32 {
 	if s.pinned >= s.cacheCap {
 		panic("iomodel: buffer pool exhausted: every frame is pinned")
 	}
-	for steps := 0; steps <= 2*len(s.frames); steps++ {
+	// Worst case (all frames hot and referenced) a frame needs three
+	// visits before eviction: ref clear, demotion, eviction.
+	for steps := 0; steps <= 4*len(s.frames); steps++ {
 		idx := int32(s.hand)
 		fr := &s.frames[idx]
 		s.hand++
@@ -712,6 +842,10 @@ func (s *FileStore) evict() int32 {
 			fr.ref = false
 			continue
 		}
+		if fr.hot {
+			fr.hot = false
+			continue
+		}
 		s.stats.Evictions++
 		if fr.dirty {
 			s.stats.DirtyWritebacks++
@@ -721,12 +855,31 @@ func (s *FileStore) evict() int32 {
 				}
 			}
 		}
+		s.ghostAdd(fr.id)
 		delete(s.cache, fr.id)
 		fr.id = NilBlock
 		fr.dirty = false
+		fr.wasHot = false
 		return idx
 	}
 	panic("iomodel: CLOCK sweep found no evictable frame")
+}
+
+// ghostAdd records an evicted block ID on the bounded ghost ring,
+// displacing the oldest entry.
+func (s *FileStore) ghostAdd(id BlockID) {
+	if _, present := s.ghost[id]; present {
+		return
+	}
+	if old := s.ghostLog[s.ghostPos]; old != NilBlock {
+		delete(s.ghost, old)
+	}
+	s.ghostLog[s.ghostPos] = id
+	s.ghostPos++
+	if s.ghostPos == len(s.ghostLog) {
+		s.ghostPos = 0
+	}
+	s.ghost[id] = struct{}{}
 }
 
 // maxClusterFrames bounds the write cluster gathered around a dirty
@@ -759,7 +912,7 @@ func (s *FileStore) flushCluster(victim *frame) error {
 		cluster = append(cluster, &s.frames[idx])
 	}
 	var err error
-	if len(cluster) == 1 {
+	if len(cluster) == 1 && s.wb == nil {
 		err = s.flushFrame(victim)
 	} else {
 		err = s.writeRuns(cluster)
@@ -777,6 +930,9 @@ func (s *FileStore) loadHeader(fr *frame) {
 	fr.next = NilBlock
 	if phys < 0 {
 		return
+	}
+	if s.wb != nil {
+		s.wb.waitSlot(phys)
 	}
 	n, err := s.f.ReadAt(s.scratch[:blockHeaderBytes], phys*s.frameBytes)
 	if err != nil && err != io.EOF {
@@ -798,6 +954,9 @@ func (s *FileStore) load(fr *frame) {
 	phys := s.physFor(fr.id)
 	if phys < 0 {
 		return
+	}
+	if s.wb != nil {
+		s.wb.waitSlot(phys)
 	}
 	n, err := s.f.ReadAt(s.scratch, phys*s.frameBytes)
 	if err != nil && err != io.EOF {
@@ -882,6 +1041,7 @@ func (s *FileStore) flushFrame(fr *frame) error {
 	s.stats.FlushRuns++
 	s.stats.FlushedFrames++
 	s.stats.BytesWritten += int64(n)
+	s.wrote = true
 	if err != nil {
 		err = fmt.Errorf("iomodel: write block %d: %w", fr.id, err)
 		if s.failed == nil {

@@ -1,15 +1,72 @@
 package iomodel
 
-import "time"
+import (
+	"fmt"
+	"sort"
+	"time"
+)
 
 // LatencyConfig sets the delays a LatencyStore injects per block
 // transfer: Seek models head positioning, Transfer the block's time on
 // the bus. Both apply to every ReadBlock and WriteBlock; header access,
 // allocation and Peek stay free, matching the model's convention that
 // only block transfers cost.
+//
+// The zero values of the optional fields reproduce the original flat
+// pricing: every transfer costs Seek + Transfer. SeqTransfer and
+// QueueDepth refine the device model in the fio style:
+//
+//   - SeqTransfer, if > 0, prices an access whose block ID immediately
+//     follows the previous access: Seek is waived and SeqTransfer
+//     replaces Transfer, so coalesced/clustered I/O patterns are
+//     rewarded the way real devices reward them.
+//   - QueueDepth, if > 0, bounds how many transfers the device absorbs
+//     concurrently: when more callers than QueueDepth arrive, the
+//     excess queue behind a semaphore, making measured latency
+//     queue-depth-sensitive (an hdd with QueueDepth 1 serializes; an
+//     nvme with QueueDepth 8 absorbs a worker pool).
 type LatencyConfig struct {
-	Seek     time.Duration
-	Transfer time.Duration
+	Seek        time.Duration
+	Transfer    time.Duration
+	SeqTransfer time.Duration
+	QueueDepth  int
+}
+
+// DeviceProfiles lists the built-in fio-style presets accepted by
+// DeviceProfile, roughly calibrated to the three device classes
+// experiments care about.
+var deviceProfiles = map[string]LatencyConfig{
+	// NVMe flash: cheap "seeks" (no head), deep queues.
+	"nvme": {Seek: 20 * time.Microsecond, Transfer: 5 * time.Microsecond,
+		SeqTransfer: 2 * time.Microsecond, QueueDepth: 8},
+	// SATA SSD: flat latency, shallow queue.
+	"ssd": {Seek: 80 * time.Microsecond, Transfer: 25 * time.Microsecond,
+		SeqTransfer: 10 * time.Microsecond, QueueDepth: 4},
+	// Spinning disk: seeks dominate, sequential streams are nearly
+	// free by comparison, one head — queue depth 1.
+	"hdd": {Seek: 4 * time.Millisecond, Transfer: 60 * time.Microsecond,
+		SeqTransfer: 60 * time.Microsecond, QueueDepth: 1},
+}
+
+// DeviceProfile returns the named built-in latency preset (nvme, ssd
+// or hdd).
+func DeviceProfile(name string) (LatencyConfig, error) {
+	cfg, ok := deviceProfiles[name]
+	if !ok {
+		return LatencyConfig{}, fmt.Errorf("iomodel: unknown device profile %q (want one of %v)",
+			name, DeviceProfileNames())
+	}
+	return cfg, nil
+}
+
+// DeviceProfileNames returns the built-in profile names, sorted.
+func DeviceProfileNames() []string {
+	names := make([]string, 0, len(deviceProfiles))
+	for name := range deviceProfiles {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // LatencyStore wraps another BlockStore and sleeps for a configurable
@@ -22,14 +79,21 @@ type LatencyStore struct {
 	inner  BlockStore
 	cfg    LatencyConfig
 	ops    int64
+	seqOps int64
 	waited time.Duration
+	lastID BlockID       // previous delayed access, for sequential detection
+	queue  chan struct{} // device queue-depth semaphore (nil: unbounded)
 }
 
 var _ BlockStore = (*LatencyStore)(nil)
 
 // NewLatencyStore wraps inner with the given delays.
 func NewLatencyStore(inner BlockStore, cfg LatencyConfig) *LatencyStore {
-	return &LatencyStore{inner: inner, cfg: cfg}
+	s := &LatencyStore{inner: inner, cfg: cfg, lastID: NilBlock}
+	if cfg.QueueDepth > 0 {
+		s.queue = make(chan struct{}, cfg.QueueDepth)
+	}
+	return s
 }
 
 // Waited returns the total injected delay so far.
@@ -38,15 +102,30 @@ func (s *LatencyStore) Waited() time.Duration { return s.waited }
 // DelayedOps returns the number of block transfers that were delayed.
 func (s *LatencyStore) DelayedOps() int64 { return s.ops }
 
+// SeqOps returns the number of delayed transfers priced at the
+// sequential rate (block ID adjacent to the previous access).
+func (s *LatencyStore) SeqOps() int64 { return s.seqOps }
+
 // Inner returns the wrapped store.
 func (s *LatencyStore) Inner() BlockStore { return s.inner }
 
-func (s *LatencyStore) delay() {
+func (s *LatencyStore) delay(id BlockID) {
 	d := s.cfg.Seek + s.cfg.Transfer
+	if s.cfg.SeqTransfer > 0 && s.lastID != NilBlock && id == s.lastID+1 {
+		d = s.cfg.SeqTransfer
+		s.seqOps++
+	}
+	s.lastID = id
 	if d <= 0 {
 		return
 	}
+	if s.queue != nil {
+		s.queue <- struct{}{}
+	}
 	time.Sleep(d)
+	if s.queue != nil {
+		<-s.queue
+	}
 	s.waited += d
 	s.ops++
 }
@@ -62,13 +141,13 @@ func (s *LatencyStore) Free(id BlockID) { s.inner.Free(id) }
 
 // ReadBlock reads block id after the configured delay.
 func (s *LatencyStore) ReadBlock(id BlockID, buf []Entry) []Entry {
-	s.delay()
+	s.delay(id)
 	return s.inner.ReadBlock(id, buf)
 }
 
 // WriteBlock writes block id after the configured delay.
 func (s *LatencyStore) WriteBlock(id BlockID, entries []Entry) {
-	s.delay()
+	s.delay(id)
 	s.inner.WriteBlock(id, entries)
 }
 
@@ -81,7 +160,7 @@ func (s *LatencyStore) PeekBlock(id BlockID) []Entry { return s.inner.PeekBlock(
 // PinBlock reads block id after the configured delay: a pinned read is
 // still a block transfer, so it is priced exactly like ReadBlock.
 func (s *LatencyStore) PinBlock(id BlockID) []Entry {
-	s.delay()
+	s.delay(id)
 	return s.inner.PinBlock(id)
 }
 

@@ -1,0 +1,165 @@
+package iomodel
+
+import (
+	"fmt"
+	"sync"
+)
+
+// writeback is the asynchronous I/O submission engine behind a
+// FileStore: a bounded pool of workers that issue the store's encoded
+// flush runs as concurrent pwrites, keeping the device queue full
+// instead of serializing every run behind the previous one's
+// completion. The store remains single-threaded — encoding happens on
+// the store's goroutine at submit time into a pool-owned buffer, so
+// workers never touch frames — and the pool provides the two ordering
+// guarantees the store's correctness needs:
+//
+//   - per-slot write ordering: submit blocks while an earlier write to
+//     any of the run's physical slots is still in flight, so two writes
+//     of the same slot can never land out of order;
+//   - read-after-write: waitSlot blocks a pread of a slot until the
+//     in-flight write covering it has completed.
+//
+// Errors are sticky and surface at the drain barrier (Fsync/Close),
+// matching the store's crash-like loss semantics for failed writes.
+// A store wrapped by a Crasher never uses a pool: crash injection
+// counts write syscalls, so write order must stay deterministic.
+type writeback struct {
+	f    BlockFile
+	jobs chan wbJob
+	wg   sync.WaitGroup
+
+	mu       sync.Mutex
+	done     sync.Cond
+	inflight map[int64]struct{} // physical slots with a queued or in-progress write
+	pending  int                // submitted jobs not yet completed
+	firstErr error              // first write failure, sticky
+	bufs     [][]byte           // run-buffer free list, recycled across jobs
+	bufBytes int                // capacity of each pooled buffer
+}
+
+// wbJob is one submitted pwrite: an encoded run of n frames occupying
+// adjacent physical slots [first, first+n), at byte offset off.
+type wbJob struct {
+	buf      []byte
+	off      int64
+	first    int64
+	n        int
+	id0, id1 BlockID // logical block range, for error messages
+}
+
+// newWriteback starts a pool of workers issuing writes against f.
+// bufBytes is the buffer capacity per job (the store's run bound).
+func newWriteback(f BlockFile, workers, bufBytes int) *writeback {
+	w := &writeback{
+		f:        f,
+		jobs:     make(chan wbJob, 2*workers),
+		inflight: make(map[int64]struct{}, 4*workers),
+		bufBytes: bufBytes,
+	}
+	w.done.L = &w.mu
+	w.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go w.run()
+	}
+	return w
+}
+
+// run is one worker: issue the pwrite, record the outcome, release the
+// job's slots and buffer, and wake every waiter.
+func (w *writeback) run() {
+	defer w.wg.Done()
+	for job := range w.jobs {
+		_, err := w.f.WriteAt(job.buf, job.off)
+		w.mu.Lock()
+		if err != nil && w.firstErr == nil {
+			w.firstErr = fmt.Errorf("iomodel: write blocks %d..%d: %w", job.id0, job.id1, err)
+		}
+		for i := 0; i < job.n; i++ {
+			delete(w.inflight, job.first+int64(i))
+		}
+		w.pending--
+		w.bufs = append(w.bufs, job.buf[:0])
+		w.done.Broadcast()
+		w.mu.Unlock()
+	}
+}
+
+// getBuf returns an n-byte run buffer, recycled from a completed job
+// when one is free. Store-goroutine only.
+func (w *writeback) getBuf(n int) []byte {
+	w.mu.Lock()
+	if k := len(w.bufs); k > 0 {
+		buf := w.bufs[k-1]
+		w.bufs = w.bufs[:k-1]
+		w.mu.Unlock()
+		return buf[:n]
+	}
+	w.mu.Unlock()
+	c := w.bufBytes
+	if n > c {
+		c = n
+	}
+	return make([]byte, n, c)
+}
+
+// submit queues one encoded run for writing. It blocks while an earlier
+// in-flight write overlaps any of the run's slots (per-slot ordering),
+// and while the job queue is full (backpressure). Store-goroutine only.
+func (w *writeback) submit(job wbJob) {
+	w.mu.Lock()
+	for w.overlaps(job.first, job.n) {
+		w.done.Wait()
+	}
+	for i := 0; i < job.n; i++ {
+		w.inflight[job.first+int64(i)] = struct{}{}
+	}
+	w.pending++
+	w.mu.Unlock()
+	w.jobs <- job
+}
+
+// overlaps reports whether any slot of [first, first+n) has an
+// in-flight write. Callers hold w.mu.
+func (w *writeback) overlaps(first int64, n int) bool {
+	for i := 0; i < n; i++ {
+		if _, busy := w.inflight[first+int64(i)]; busy {
+			return true
+		}
+	}
+	return false
+}
+
+// waitSlot blocks until no in-flight write covers physical slot phys,
+// so a following pread observes the completed write.
+func (w *writeback) waitSlot(phys int64) {
+	w.mu.Lock()
+	for {
+		if _, busy := w.inflight[phys]; !busy {
+			break
+		}
+		w.done.Wait()
+	}
+	w.mu.Unlock()
+}
+
+// drain blocks until every submitted write has completed and returns
+// the sticky first error. This is the barrier Fsync and Close join
+// asynchronous errors at.
+func (w *writeback) drain() error {
+	w.mu.Lock()
+	for w.pending > 0 {
+		w.done.Wait()
+	}
+	err := w.firstErr
+	w.mu.Unlock()
+	return err
+}
+
+// shutdown drains outstanding writes and stops the workers.
+func (w *writeback) shutdown() error {
+	err := w.drain()
+	close(w.jobs)
+	w.wg.Wait()
+	return err
+}

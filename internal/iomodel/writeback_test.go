@@ -1,0 +1,210 @@
+package iomodel
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// fillStore writes n fresh blocks of distinct content through st.
+func fillStore(t *testing.T, st *FileStore, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		id := st.Alloc()
+		st.WriteBlock(id, []Entry{{Key: uint64(i), Val: uint64(i) * 3}})
+	}
+}
+
+// verifyStore checks the n blocks written by fillStore.
+func verifyStore(t *testing.T, st *FileStore, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		got := st.ReadBlock(BlockID(i), nil)
+		if len(got) != 1 || got[0].Key != uint64(i) || got[0].Val != uint64(i)*3 {
+			t.Fatalf("block %d = %v, want [{%d %d}]", i, got, i, i*3)
+		}
+	}
+}
+
+// TestWritebackRoundTrip drives a store with an async pool through
+// write/flush/evict/read cycles far past the pool capacity and checks
+// every block's content — under -race this also exercises the
+// worker/submitter/reader synchronization.
+func TestWritebackRoundTrip(t *testing.T) {
+	for _, durable := range []bool{false, true} {
+		t.Run(fmt.Sprintf("durable=%v", durable), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "wb.blocks")
+			var st *FileStore
+			var err error
+			if durable {
+				st, err = OpenFileStore(path, 4, 32, nil)
+			} else {
+				st, err = NewFileStore(path, 4, 32)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			st.SetWritebackWorkers(4)
+			const blocks = 400 // >> 32-frame pool: constant eviction traffic
+			fillStore(t, st, blocks)
+			if err := st.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			// Rewrite half the blocks, interleaved with reads of the other
+			// half: reads must wait out in-flight writes to their slots.
+			for i := 0; i < blocks; i += 2 {
+				st.WriteBlock(BlockID(i), []Entry{{Key: uint64(i), Val: uint64(i) * 3}})
+				if got := st.ReadBlock(BlockID(blocks-1-i), nil); len(got) != 1 {
+					t.Fatalf("read during writeback: block %d = %v", blocks-1-i, got)
+				}
+			}
+			if err := st.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			verifyStore(t, st, blocks)
+			st2 := st.Stats()
+			if st2.WriteSyscalls == 0 || st2.FlushedFrames < blocks {
+				t.Fatalf("stats did not account async writes: %+v", st2)
+			}
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestWritebackBarrierJoinsErrors checks that an asynchronous write
+// failure surfaces at the next Fsync barrier and sticks.
+func TestWritebackBarrierJoinsErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wb.blocks")
+	st, err := NewFileStore(path, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetWritebackWorkers(2)
+	fillStore(t, st, 8)
+	// Close the fd out from under the store: every subsequent pwrite
+	// fails, modeling a dying device.
+	st.f.Close()
+	if err := st.FlushDirty(); err != nil {
+		t.Fatalf("FlushDirty reported synchronously, want deferral to the barrier: %v", err)
+	}
+	if err := st.Fsync(); err == nil {
+		t.Fatal("Fsync acked despite failed async writes")
+	}
+	if st.Failed() == nil {
+		t.Fatal("write failure did not stick")
+	}
+	if err := st.Fsync(); err == nil {
+		t.Fatal("second Fsync acked after the first reported a failure")
+	}
+	st.Close()
+}
+
+// TestWritebackCrasherStaysSynchronous checks that a crash-injected
+// store refuses the pool: the crash matrix counts write syscalls, so
+// submission order must stay deterministic.
+func TestWritebackCrasherStaysSynchronous(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wb.blocks")
+	st, err := OpenFileStore(path, 4, 16, NewCrasher(CrashPlan{FailAfterWrites: 1 << 30}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	st.SetWritebackWorkers(8)
+	if st.wb != nil {
+		t.Fatal("crash-injected store accepted an async writeback pool")
+	}
+}
+
+// TestFsyncElided asserts the one-fsync-per-fd-per-barrier dedupe: a
+// barrier with nothing written since the last fsync skips the syscall
+// and counts the elision.
+func TestFsyncElided(t *testing.T) {
+	st, err := NewTempFileStore(4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	fillStore(t, st, 4)
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	base := st.Stats()
+	if base.Fsyncs != 1 || base.FsyncsElided != 0 {
+		t.Fatalf("first barrier: Fsyncs=%d FsyncsElided=%d, want 1/0", base.Fsyncs, base.FsyncsElided)
+	}
+	// Nothing written since: the second and third barrier fsyncs are
+	// deduped away.
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Fsync(); err != nil {
+		t.Fatal(err)
+	}
+	got := st.Stats()
+	if got.Fsyncs != 1 || got.FsyncsElided != 2 {
+		t.Fatalf("idle barriers: Fsyncs=%d FsyncsElided=%d, want 1/2", got.Fsyncs, got.FsyncsElided)
+	}
+	// New bytes re-arm the fsync.
+	st.WriteBlock(0, []Entry{{Key: 9, Val: 9}})
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got = st.Stats()
+	if got.Fsyncs != 2 {
+		t.Fatalf("dirty barrier: Fsyncs=%d, want 2", got.Fsyncs)
+	}
+}
+
+// TestDeviceProfiles checks the fio-style presets: lookup, unknown
+// names, and that sequential access is priced below seek-heavy access.
+func TestDeviceProfiles(t *testing.T) {
+	for _, name := range DeviceProfileNames() {
+		cfg, err := DeviceProfile(name)
+		if err != nil {
+			t.Fatalf("profile %s: %v", name, err)
+		}
+		if cfg.Seek <= 0 || cfg.Transfer <= 0 || cfg.SeqTransfer <= 0 || cfg.QueueDepth <= 0 {
+			t.Fatalf("profile %s is not fully specified: %+v", name, cfg)
+		}
+		if cfg.SeqTransfer > cfg.Seek+cfg.Transfer {
+			t.Fatalf("profile %s prices sequential above random: %+v", name, cfg)
+		}
+	}
+	if _, err := DeviceProfile("floppy"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+// TestLatencyStoreSequentialPricing checks that adjacent-block access
+// hits the sequential rate and is counted.
+func TestLatencyStoreSequentialPricing(t *testing.T) {
+	ls := NewLatencyStore(NewMemStore(4), LatencyConfig{
+		Seek: 2 * time.Millisecond, Transfer: time.Millisecond,
+		SeqTransfer: 10 * time.Microsecond, QueueDepth: 2,
+	})
+	d := NewDiskOn(ls)
+	ids := make([]BlockID, 8)
+	for i := range ids {
+		ids[i] = d.Alloc()
+	}
+	for _, id := range ids {
+		d.Write(id, []Entry{{Key: uint64(id)}})
+	}
+	seq := ls.SeqOps()
+	if seq < int64(len(ids)-1) {
+		t.Fatalf("sequential writes priced sequentially: SeqOps=%d, want >= %d", seq, len(ids)-1)
+	}
+	// A strided pass breaks adjacency: no new sequential ops.
+	for i := len(ids) - 1; i >= 0; i -= 2 {
+		d.Read(ids[i], nil)
+	}
+	if got := ls.SeqOps(); got != seq {
+		t.Fatalf("strided reads counted as sequential: SeqOps=%d, want %d", got, seq)
+	}
+	if ls.Waited() == 0 || ls.DelayedOps() == 0 {
+		t.Fatal("latency store injected no delay")
+	}
+}

@@ -84,7 +84,9 @@ type Log struct {
 	size     int64  // bytes written to the file (header + records)
 	prealloc int64  // file extent reserved ahead of size via Truncate
 	syncs    int64  // fsyncs issued (Fsync/Sync)
+	elided   int64  // barrier fsyncs skipped: nothing written since the last
 	spills   int64  // spill WriteAt syscalls issued
+	dirty    bool   // bytes written (spill/truncate/header) since the last fsync
 	failed   error  // sticky first write failure
 }
 
@@ -252,6 +254,7 @@ func (l *Log) spillN(n int) error {
 	wn, err := l.f.WriteAt(l.buf[:n], l.size)
 	l.size += int64(wn)
 	l.spills++
+	l.dirty = true
 	if err != nil {
 		l.failed = fmt.Errorf("wal: append: %w", err)
 		return l.failed
@@ -279,6 +282,7 @@ func (l *Log) reserve(size int64) error {
 		return l.failed
 	}
 	l.prealloc = p
+	l.dirty = true
 	return nil
 }
 
@@ -288,15 +292,22 @@ func (l *Log) reserve(size int64) error {
 func (l *Log) Spill() error { return l.spill() }
 
 // Fsync makes previously spilled records durable. It does not spill;
-// pair it with Spill (or use Sync for both).
+// pair it with Spill (or use Sync for both). A barrier that wrote
+// nothing since the last fsync elides the syscall — one fsync per fd
+// per group-commit round — counting the elision in FsyncsElided.
 func (l *Log) Fsync() error {
 	if l.failed != nil {
 		return l.failed
+	}
+	if !l.dirty {
+		l.elided++
+		return nil
 	}
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
 	l.syncs++
+	l.dirty = false
 	return nil
 }
 
@@ -313,6 +324,10 @@ func (l *Log) Sync() error {
 // paper's I/O counts.
 func (l *Log) Fsyncs() int64 { return l.syncs }
 
+// FsyncsElided returns the number of barrier fsyncs skipped because
+// nothing had been written since the previous fsync.
+func (l *Log) FsyncsElided() int64 { return l.elided }
+
 // Spills returns the number of spill WriteAt syscalls issued.
 func (l *Log) Spills() int64 { return l.spills }
 
@@ -326,6 +341,12 @@ func (l *Log) Reset(firstLSN uint64) error {
 		return l.failed
 	}
 	l.buf = l.buf[:0]
+	// An empty log already at firstLSN is byte-identical to the reset
+	// result: skip the truncate + header rewrite so an idle checkpoint
+	// stays clean and its barrier fsync can be elided.
+	if l.next == firstLSN && l.size == headerBytes {
+		return nil
+	}
 	return l.reset(firstLSN)
 }
 
@@ -346,6 +367,7 @@ func (l *Log) reset(firstLSN uint64) error {
 	l.next = firstLSN
 	l.size = headerBytes
 	l.prealloc = headerBytes
+	l.dirty = true
 	return nil
 }
 

@@ -404,6 +404,7 @@ func (s *Stats) statsFields() []*int64 {
 		&s.Store.ReadSyscalls, &s.Store.WriteSyscalls, &s.Store.CacheHits, &s.Store.CacheMisses,
 		&s.Store.BytesRead, &s.Store.BytesWritten, &s.Store.Evictions, &s.Store.DirtyWritebacks,
 		&s.Store.FlushedFrames, &s.Store.FlushRuns, &s.Store.Fsyncs, &s.Store.WALSpills, &s.Store.WALFsyncs,
+		&s.Store.FsyncsElided, &s.Store.GhostHits, &s.Store.WALFsyncsElided,
 	}
 }
 

@@ -10,6 +10,13 @@
 # traffic, restart it on the same dir, and verify every acked write
 # survived. Finishes with a SIGTERM graceful-drain shutdown.
 #
+# Phase 3 (recovery time): hashbench -reopen builds a durable table of
+# REOPEN_N items with a REOPEN_TAIL-item WAL tail (simulated crash after
+# the last checkpoint) and measures the reopen/recovery wall time, which
+# must stay under REOPEN_MAX_MS — a generous ceiling that catches
+# recovery becoming accidentally serial or quadratic, not a tight perf
+# gate.
+#
 # Usage: scripts/e2e.sh [bindir]   (defaults to ./bin; binaries are
 # built if missing)
 set -euo pipefail
@@ -18,6 +25,9 @@ BIN=${1:-bin}
 MIN_OPS=${MIN_OPS:-100000}
 SMOKE_SECS=${SMOKE_SECS:-5s}
 KILL_SECS=${KILL_SECS:-10s}
+REOPEN_N=${REOPEN_N:-10000000}
+REOPEN_TAIL=${REOPEN_TAIL:-500000}
+REOPEN_MAX_MS=${REOPEN_MAX_MS:-30000}
 WORK=$(mktemp -d)
 OK=0
 # On failure the work dir is kept (CI uploads /tmp/tmp.*/ as a debug
@@ -35,6 +45,7 @@ trap cleanup EXIT
 mkdir -p "$BIN"
 [ -x "$BIN/hashserved" ] || go build -o "$BIN/hashserved" ./cmd/hashserved
 [ -x "$BIN/hashload" ] || go build -o "$BIN/hashload" ./cmd/hashload
+[ -x "$BIN/hashbench" ] || go build -o "$BIN/hashbench" ./cmd/hashbench
 
 wait_addr() { # wait_addr FILE -> prints address
   for _ in $(seq 1 100); do
@@ -110,6 +121,24 @@ kill -TERM "$SRV_PID"
 wait "$SRV_PID"
 SRV_PID=
 grep checkpointed "$WORK/srv3.log"
+
+echo "=== e2e phase 3: 10M-item recovery time (gate: reopen <= ${REOPEN_MAX_MS} ms) ==="
+RDATA="$WORK/reopen"
+mkdir -p "$RDATA"
+"$BIN/hashbench" -structure knuth -backend file -path "$RDATA/t" \
+  -reopen -workers 4 -batch 256 -flush async \
+  -n "$REOPEN_N" -q 10000 -crashtail "$REOPEN_TAIL" \
+  -walpath "$RDATA/wal" | tee "$WORK/reopen.out"
+REOPEN_MS=$(awk '/reopen \(recovery\) wall ms/ { printf "%d\n", $NF }' "$WORK/reopen.out")
+echo "recovery: ${REOPEN_MS} ms for $REOPEN_N items + $REOPEN_TAIL replayed"
+if [ -z "$REOPEN_MS" ]; then
+  echo "FAIL: could not parse recovery wall time from hashbench output" >&2
+  exit 1
+fi
+if [ "$REOPEN_MS" -gt "$REOPEN_MAX_MS" ]; then
+  echo "FAIL: recovery took ${REOPEN_MS} ms, gate is ${REOPEN_MAX_MS} ms" >&2
+  exit 1
+fi
 
 OK=1
 echo "=== e2e OK ==="

@@ -3,6 +3,7 @@ package extbuf
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"extbuf/internal/wal"
@@ -223,24 +224,60 @@ func NewSharded(structure string, cfg Config, shards int) (*Sharded, error) {
 	// then overlaps all shards' WAL and block-file fsyncs in one pool
 	// (two per shard) instead of each worker syncing serially.
 	committer := wal.NewCommitter(2 * n)
+	// Open the shards concurrently, bounded by RecoveryParallelism:
+	// each durable shard's open reads its checkpoint, rebuilds its
+	// structure and replays its WAL tail — fully independent work, so
+	// the recovery cold path scales near-linearly with the bound until
+	// cores (or the device) saturate. Fresh builds parallelize the same
+	// way. Errors keep the serial contract: the lowest-index failure is
+	// reported, and every shard that did open is closed.
+	par := cfg.RecoveryParallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > n {
+		par = n
+	}
+	sem := make(chan struct{}, par)
+	errs := make([]error, n)
+	var openWG sync.WaitGroup
 	for i := range s.shards {
-		scfg := cfg
-		scfg.Seed = cfg.Seed + uint64(i)*0x9e3779b97f4a7c15
-		scfg.ExpectedItems = cfg.ExpectedItems/n + 1
-		if scfg.Path != "" {
-			scfg.Path = fmt.Sprintf("%s.shard%03d", cfg.Path, i)
-			scfg.shardCount = n
-			scfg.shardIndex = i
-			scfg.committer = committer
+		openWG.Add(1)
+		go func(i int) {
+			defer openWG.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			scfg := cfg
+			scfg.Seed = cfg.Seed + uint64(i)*0x9e3779b97f4a7c15
+			scfg.ExpectedItems = cfg.ExpectedItems/n + 1
+			if scfg.Path != "" {
+				scfg.Path = fmt.Sprintf("%s.shard%03d", cfg.Path, i)
+				if scfg.WALPath != "" {
+					scfg.WALPath = fmt.Sprintf("%s.shard%03d", cfg.WALPath, i)
+				}
+				scfg.shardCount = n
+				scfg.shardIndex = i
+				scfg.committer = committer
+			}
+			tab, err := Open(structure, scfg)
+			if err != nil {
+				errs[i] = fmt.Errorf("extbuf: shard %d: %w", i, err)
+				return
+			}
+			s.shards[i] = tab
+		}(i)
+	}
+	openWG.Wait()
+	for _, err := range errs {
+		if err == nil {
+			continue
 		}
-		tab, err := Open(structure, scfg)
-		if err != nil {
-			for _, built := range s.shards[:i] {
+		for _, built := range s.shards {
+			if built != nil {
 				built.Close()
 			}
-			return nil, fmt.Errorf("extbuf: shard %d: %w", i, err)
 		}
-		s.shards[i] = tab
+		return nil, err
 	}
 	for i := range s.shards {
 		s.reqs[i] = make(chan *shardReq, shardQueueDepth)
