@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -49,6 +50,61 @@ type ServerError struct{ Msg string }
 
 func (e *ServerError) Error() string { return "server: " + e.Msg }
 
+// IsReadOnly reports whether err is a server rejection of a mutation
+// sent to a read-only replica — the signal to re-route writes to the
+// primary (or the newly promoted node).
+func IsReadOnly(err error) bool {
+	var se *ServerError
+	return errors.As(err, &se) && strings.HasPrefix(se.Msg, wire.ErrTextReadOnly)
+}
+
+// IsBehind reports whether err is a replica's rejection of a
+// token-carrying read it could not satisfy in time — the signal to
+// retry the read against the primary.
+func IsBehind(err error) bool {
+	var se *ServerError
+	return errors.As(err, &se) && strings.HasPrefix(se.Msg, wire.ErrTextBehind)
+}
+
+// ReadToken is the position returned by an acknowledged mutation: the
+// last ship-log LSN the mutation occupies, plus the replication epoch
+// it was committed in. Passing it to Lookup guarantees read-your-writes
+// against any node — a replica that has not yet applied the LSN waits
+// (briefly) or answers with a BEHIND error instead of serving stale
+// state. The zero ReadToken places no constraint. Tokens combine with
+// Max, so one token can cover many writes.
+//
+// On a server without replication tokens are zero; reads behave as
+// before.
+type ReadToken struct {
+	LSN   uint64
+	Epoch uint64
+}
+
+// Max returns the later of two tokens — covering both writes.
+func (t ReadToken) Max(o ReadToken) ReadToken {
+	if o.LSN > t.LSN {
+		t.LSN = o.LSN
+	}
+	if o.Epoch > t.Epoch {
+		t.Epoch = o.Epoch
+	}
+	return t
+}
+
+// NodeInfo is a node's replication identity (the INFO reply).
+type NodeInfo struct {
+	// Epoch counts promotions; clients prefer the node with the highest
+	// epoch after a failover.
+	Epoch uint64
+	// AppliedLSN is the node's applied horizon.
+	AppliedLSN uint64
+	// Writable reports whether the node accepts mutations.
+	Writable bool
+	// Role is "primary" or "follower".
+	Role string
+}
+
 // Options configures Dial.
 type Options struct {
 	// Conns is the connection pool size (default 1). Requests are
@@ -68,11 +124,17 @@ type Stats struct {
 	MemoryUsed int64
 	Ops        extbuf.Stats
 	Store      extbuf.StoreStats
+	Repl       extbuf.ReplStats
 }
 
 // Client is a pooled, pipelined hashserved client. It is safe for
 // concurrent use.
 type Client struct {
+	addr     string
+	pipeline int
+	timeout  time.Duration
+
+	cmu    sync.RWMutex
 	conns  []*poolConn
 	next   atomic.Uint32
 	closed atomic.Bool
@@ -92,46 +154,87 @@ func Dial(addr string, opts Options) (*Client, error) {
 	if timeout <= 0 {
 		timeout = 5 * time.Second
 	}
-	c := &Client{}
+	c := &Client{addr: addr, pipeline: pipeline, timeout: timeout}
 	for i := 0; i < n; i++ {
-		nc, err := net.DialTimeout("tcp", addr, timeout)
+		pc, err := c.dialConn()
 		if err != nil {
 			c.Close()
-			return nil, fmt.Errorf("client: dial %s: %w", addr, err)
-		}
-		if tc, ok := nc.(*net.TCPConn); ok {
-			tc.SetNoDelay(true)
-		}
-		pc := &poolConn{
-			nc:      nc,
-			bw:      bufio.NewWriterSize(nc, 64<<10),
-			pending: make(map[uint32]*Pending),
-			sem:     make(chan struct{}, pipeline),
+			return nil, err
 		}
 		c.conns = append(c.conns, pc)
-		go pc.readLoop()
 	}
 	return c, nil
+}
+
+// dialConn opens one pool connection and starts its reader.
+func (c *Client) dialConn() (*poolConn, error) {
+	nc, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", c.addr, err)
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	pc := &poolConn{
+		nc:      nc,
+		bw:      bufio.NewWriterSize(nc, 64<<10),
+		pending: make(map[uint32]*Pending),
+		sem:     make(chan struct{}, c.pipeline),
+	}
+	go pc.readLoop()
+	return pc, nil
 }
 
 // Close tears down every connection; outstanding Pendings fail.
 func (c *Client) Close() error {
 	c.closed.Store(true)
-	for _, pc := range c.conns {
+	c.cmu.RLock()
+	conns := append([]*poolConn(nil), c.conns...)
+	c.cmu.RUnlock()
+	for _, pc := range conns {
 		pc.fail(ErrClosed)
 	}
 	return nil
 }
 
-// pick returns the next pool connection round-robin.
+// pick returns the next live pool connection round-robin, skipping
+// connections that have died. When every connection is dead it redials
+// one — so a client outlives server restarts and transient network
+// failures instead of being poisoned by the first broken socket.
 func (c *Client) pick() (*poolConn, error) {
 	if c.closed.Load() {
 		return nil, ErrClosed
 	}
 	// Modulo in uint32 space: converting the wrapping counter to int
 	// first would go negative on 32-bit platforms after 2^31 requests.
-	i := (c.next.Add(1) - 1) % uint32(len(c.conns))
-	return c.conns[i], nil
+	start := c.next.Add(1) - 1
+	c.cmu.RLock()
+	n := uint32(len(c.conns))
+	for k := uint32(0); k < n; k++ {
+		pc := c.conns[(start+k)%n]
+		if !pc.isDead() {
+			c.cmu.RUnlock()
+			return pc, nil
+		}
+	}
+	c.cmu.RUnlock()
+
+	// Every connection is dead: replace the slot we landed on.
+	c.cmu.Lock()
+	defer c.cmu.Unlock()
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	i := start % uint32(len(c.conns))
+	if !c.conns[i].isDead() { // another goroutine already redialed
+		return c.conns[i], nil
+	}
+	pc, err := c.dialConn()
+	if err != nil {
+		return nil, err
+	}
+	c.conns[i] = pc
+	return pc, nil
 }
 
 // GoInsert pipelines an INSERT batch and returns its Pending. The key
@@ -191,44 +294,138 @@ func (c *Client) goEmpty(op wire.Op) (*Pending, error) {
 	return pc.send(op, nil)
 }
 
-// InsertBatch stores (keys[i], vals[i]) for every i and returns after
-// the server acks the batch as applied and WAL-durable.
-func (c *Client) InsertBatch(ctx context.Context, keys, vals []uint64) error {
-	p, err := c.GoInsert(keys, vals)
-	if err != nil {
-		return err
-	}
-	return p.Wait(ctx)
+// GoInsertT pipelines a token-returning INSERT batch; collect the
+// token with Pending.Token.
+func (c *Client) GoInsertT(keys, vals []uint64) (*Pending, error) {
+	return c.goKV(wire.OpInsertAt, keys, vals)
 }
 
-// UpsertBatch stores (keys[i], vals[i]) whether or not the keys are
-// present.
-func (c *Client) UpsertBatch(ctx context.Context, keys, vals []uint64) error {
-	p, err := c.GoUpsert(keys, vals)
-	if err != nil {
-		return err
-	}
-	return p.Wait(ctx)
+// GoUpsertT pipelines a token-returning UPSERT batch.
+func (c *Client) GoUpsertT(keys, vals []uint64) (*Pending, error) {
+	return c.goKV(wire.OpUpsertAt, keys, vals)
 }
 
-// LookupBatch returns the value and presence of every key, in input
-// order.
-func (c *Client) LookupBatch(ctx context.Context, keys []uint64) ([]uint64, []bool, error) {
-	p, err := c.GoLookup(keys)
+// GoDeleteT pipelines a token-returning DELETE batch; collect results
+// with Pending.DeletedT.
+func (c *Client) GoDeleteT(keys []uint64) (*Pending, error) {
+	return c.goKeys(wire.OpDeleteAt, keys)
+}
+
+// GoLookupAt pipelines a LOOKUP constrained by a read token; collect
+// results with Pending.Lookup.
+func (c *Client) GoLookupAt(keys []uint64, at ReadToken) (*Pending, error) {
+	if len(keys) > wire.MaxBatch {
+		return nil, ErrTooLarge
+	}
+	pc, err := c.pick()
+	if err != nil {
+		return nil, err
+	}
+	return pc.send(wire.OpLookupAt, func(dst []byte) []byte {
+		return wire.AppendLookupAt(dst, at.LSN, keys)
+	})
+}
+
+// Insert stores (keys[i], vals[i]) for every i; a nil error means the
+// server acked the batch as applied, WAL-durable, and (under semi-sync
+// replication) applied by the required followers. The returned token
+// makes the batch visible to any Lookup that carries it.
+func (c *Client) Insert(ctx context.Context, keys, vals []uint64) (ReadToken, error) {
+	p, err := c.GoInsertT(keys, vals)
+	if err != nil {
+		return ReadToken{}, err
+	}
+	return p.Token(ctx)
+}
+
+// Upsert stores (keys[i], vals[i]) whether or not the keys are
+// present, returning the batch's read token.
+func (c *Client) Upsert(ctx context.Context, keys, vals []uint64) (ReadToken, error) {
+	p, err := c.GoUpsertT(keys, vals)
+	if err != nil {
+		return ReadToken{}, err
+	}
+	return p.Token(ctx)
+}
+
+// Delete removes every key, reporting per key whether it was present,
+// plus the batch's read token.
+func (c *Client) Delete(ctx context.Context, keys []uint64) ([]bool, ReadToken, error) {
+	p, err := c.GoDeleteT(keys)
+	if err != nil {
+		return nil, ReadToken{}, err
+	}
+	return p.DeletedT(ctx)
+}
+
+// Lookup returns the value and presence of every key, in input order,
+// observing at least the state the token stands for: a replica that
+// has not applied at.LSN yet waits for it (or fails BEHIND — see
+// IsBehind). The zero token reads whatever state the node has.
+func (c *Client) Lookup(ctx context.Context, keys []uint64, at ReadToken) ([]uint64, []bool, error) {
+	p, err := c.GoLookupAt(keys, at)
 	if err != nil {
 		return nil, nil, err
 	}
 	return p.Lookup(ctx)
 }
 
+// Info reports the node's replication identity. It fails with a
+// ServerError when the server runs without replication.
+func (c *Client) Info(ctx context.Context) (NodeInfo, error) {
+	p, err := c.goEmpty(wire.OpInfo)
+	if err != nil {
+		return NodeInfo{}, err
+	}
+	return p.info(ctx, wire.OpInfoR)
+}
+
+// Promote asks the node to become writable in a fresh epoch — the
+// failover step after the primary is lost. It returns the node's
+// post-promotion identity. Promoting an already-writable node is a
+// no-op reporting its current identity.
+func (c *Client) Promote(ctx context.Context) (NodeInfo, error) {
+	p, err := c.goEmpty(wire.OpPromote)
+	if err != nil {
+		return NodeInfo{}, err
+	}
+	return p.info(ctx, wire.OpInfoR)
+}
+
+// InsertBatch stores (keys[i], vals[i]) for every i and returns after
+// the server acks the batch as applied and WAL-durable.
+//
+// Deprecated: use Insert, which also returns the batch's ReadToken.
+func (c *Client) InsertBatch(ctx context.Context, keys, vals []uint64) error {
+	_, err := c.Insert(ctx, keys, vals)
+	return err
+}
+
+// UpsertBatch stores (keys[i], vals[i]) whether or not the keys are
+// present.
+//
+// Deprecated: use Upsert, which also returns the batch's ReadToken.
+func (c *Client) UpsertBatch(ctx context.Context, keys, vals []uint64) error {
+	_, err := c.Upsert(ctx, keys, vals)
+	return err
+}
+
+// LookupBatch returns the value and presence of every key, in input
+// order.
+//
+// Deprecated: use Lookup, which can carry a ReadToken for
+// read-your-writes against replicas.
+func (c *Client) LookupBatch(ctx context.Context, keys []uint64) ([]uint64, []bool, error) {
+	return c.Lookup(ctx, keys, ReadToken{})
+}
+
 // DeleteBatch removes every key, reporting per key whether it was
 // present.
+//
+// Deprecated: use Delete, which also returns the batch's ReadToken.
 func (c *Client) DeleteBatch(ctx context.Context, keys []uint64) ([]bool, error) {
-	p, err := c.GoDelete(keys)
-	if err != nil {
-		return nil, err
-	}
-	return p.Deleted(ctx)
+	founds, _, err := c.Delete(ctx, keys)
+	return founds, err
 }
 
 // Len returns the number of entries stored by the server.
@@ -324,6 +521,55 @@ func (p *Pending) Deleted(ctx context.Context) ([]bool, error) {
 	return wire.DecodeFoundsInto(p.payload, nil)
 }
 
+// Token blocks for the response of a token-returning mutation
+// (GoInsertT, GoUpsertT) and decodes its ReadToken.
+func (p *Pending) Token(ctx context.Context) (ReadToken, error) {
+	if err := p.wait(ctx); err != nil {
+		return ReadToken{}, err
+	}
+	if p.op != wire.OpAckT {
+		return ReadToken{}, fmt.Errorf("client: unexpected %v response", p.op)
+	}
+	lsn, epoch, err := wire.DecodeAckT(p.payload)
+	return ReadToken{LSN: lsn, Epoch: epoch}, err
+}
+
+// DeletedT blocks for a GoDeleteT response and decodes it.
+func (p *Pending) DeletedT(ctx context.Context) ([]bool, ReadToken, error) {
+	if err := p.wait(ctx); err != nil {
+		return nil, ReadToken{}, err
+	}
+	if p.op != wire.OpFoundsT {
+		return nil, ReadToken{}, fmt.Errorf("client: unexpected %v response", p.op)
+	}
+	lsn, epoch, founds, err := wire.DecodeFoundsTInto(p.payload, nil)
+	return founds, ReadToken{LSN: lsn, Epoch: epoch}, err
+}
+
+// info blocks for an INFO-shaped response and decodes it.
+func (p *Pending) info(ctx context.Context, want wire.Op) (NodeInfo, error) {
+	if err := p.wait(ctx); err != nil {
+		return NodeInfo{}, err
+	}
+	if p.op != want {
+		return NodeInfo{}, fmt.Errorf("client: unexpected %v response", p.op)
+	}
+	wi, err := wire.DecodeInfo(p.payload)
+	if err != nil {
+		return NodeInfo{}, err
+	}
+	role := "primary"
+	if wi.Role == wire.RoleFollower {
+		role = "follower"
+	}
+	return NodeInfo{
+		Epoch:      wi.Epoch,
+		AppliedLSN: wi.AppliedLSN,
+		Writable:   wi.Writable,
+		Role:       role,
+	}, nil
+}
+
 func (p *Pending) count(ctx context.Context) (uint64, error) {
 	if err := p.wait(ctx); err != nil {
 		return 0, err
@@ -345,7 +591,7 @@ func (p *Pending) stats(ctx context.Context) (Stats, error) {
 	if err != nil {
 		return Stats{}, err
 	}
-	return Stats{Len: ws.Len, MemoryUsed: ws.MemoryUsed, Ops: ws.Ops, Store: ws.Store}, nil
+	return Stats{Len: ws.Len, MemoryUsed: ws.MemoryUsed, Ops: ws.Ops, Store: ws.Store, Repl: ws.Repl}, nil
 }
 
 // wait blocks for response delivery or ctx expiry. On expiry the
@@ -383,6 +629,13 @@ type poolConn struct {
 	dead    error
 
 	sem chan struct{}
+}
+
+// isDead reports whether the connection has failed.
+func (pc *poolConn) isDead() bool {
+	pc.pmu.Lock()
+	defer pc.pmu.Unlock()
+	return pc.dead != nil
 }
 
 // send encodes one request frame (payload built by appendPayload into

@@ -1,0 +1,257 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Cluster fronts a replicated set of hashserved nodes with automatic
+// failover. It routes every request to the node it currently believes
+// is the primary; when that node dies (connection failure) or turns out
+// to be a read-only replica (a READONLY rejection after a promotion
+// moved the primary), it re-probes every address with INFO, adopts the
+// writable node with the highest replication epoch, and retries the
+// request once. Token-carrying Lookups additionally retry on BEHIND —
+// the replica-lag rejection — against the primary, which can always
+// satisfy its own tokens.
+//
+// The epoch ratchet is what makes failover safe against a stale
+// primary: a node that was primary in epoch N and missed its own
+// demotion still answers INFO with epoch N, and the probe prefers the
+// promoted node's N+1.
+type Cluster struct {
+	addrs []string
+	opts  Options
+
+	mu      sync.Mutex
+	clients []*Client // lazily dialed, index-parallel with addrs
+	cur     int       // index of the believed primary
+	epoch   uint64    // highest epoch observed
+	closed  bool
+}
+
+// DialCluster connects to the first reachable node of addrs and probes
+// for the primary. Nodes that are down at dial time are retried on
+// every failover.
+func DialCluster(addrs []string, opts Options) (*Cluster, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("client: DialCluster needs at least one address")
+	}
+	c := &Cluster{
+		addrs:   addrs,
+		opts:    opts,
+		clients: make([]*Client, len(addrs)),
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), c.probeTimeout())
+	defer cancel()
+	c.mu.Lock()
+	_, err := c.reprobeLocked(ctx)
+	c.mu.Unlock()
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Cluster) probeTimeout() time.Duration {
+	if c.opts.DialTimeout > 0 {
+		return c.opts.DialTimeout
+	}
+	return 5 * time.Second
+}
+
+// Close tears down every dialed node client.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for _, cl := range c.clients {
+		if cl != nil {
+			cl.Close()
+		}
+	}
+	return nil
+}
+
+// Addr reports the address of the node currently treated as primary.
+func (c *Cluster) Addr() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.addrs[c.cur]
+}
+
+// Epoch reports the highest replication epoch the cluster client has
+// observed.
+func (c *Cluster) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// clientLocked returns (dialing if needed) the client for addrs[i].
+func (c *Cluster) clientLocked(i int) (*Client, error) {
+	if c.clients[i] == nil {
+		cl, err := Dial(c.addrs[i], c.opts)
+		if err != nil {
+			return nil, err
+		}
+		c.clients[i] = cl
+	}
+	return c.clients[i], nil
+}
+
+// primary returns the client for the believed primary.
+func (c *Cluster) primary() (*Client, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	return c.clientLocked(c.cur)
+}
+
+// reprobeLocked asks every address for INFO and adopts the writable
+// node with the highest epoch (preferring, among candidates, one at
+// least as new as every epoch we have ever seen). Callers hold c.mu.
+func (c *Cluster) reprobeLocked(ctx context.Context) (*Client, error) {
+	if c.closed {
+		return nil, ErrClosed
+	}
+	best := -1
+	var bestEpoch uint64
+	var firstErr error
+	for i := range c.addrs {
+		cl, err := c.clientLocked(i)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		ictx, cancel := context.WithTimeout(ctx, c.probeTimeout())
+		info, err := cl.Info(ictx)
+		cancel()
+		if err != nil {
+			// A node without replication has no INFO but is trivially
+			// writable — a single-node "cluster" still works.
+			var se *ServerError
+			if errors.As(err, &se) {
+				info = NodeInfo{Writable: true}
+			} else {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+		}
+		if info.Epoch > c.epoch {
+			c.epoch = info.Epoch
+		}
+		if info.Writable && (best == -1 || info.Epoch > bestEpoch) {
+			best, bestEpoch = i, info.Epoch
+		}
+	}
+	if best == -1 {
+		if firstErr != nil {
+			return nil, fmt.Errorf("client: no writable node: %w", firstErr)
+		}
+		return nil, errors.New("client: no writable node among replicas (promote one)")
+	}
+	c.cur = best
+	return c.clientLocked(best)
+}
+
+// retriable reports whether err warrants a failover retry: connection
+// loss, or a routing rejection (READONLY from a demoted-or-never
+// primary; BEHIND from a lagging replica). Context expiry and genuine
+// server errors are not retried.
+func retriable(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if IsReadOnly(err) || IsBehind(err) {
+		return true
+	}
+	var se *ServerError
+	return !errors.As(err, &se) // anything connection-level
+}
+
+// do runs op against the believed primary, failing over and retrying
+// once per remaining address on retriable errors.
+func (c *Cluster) do(ctx context.Context, op func(cl *Client) error) error {
+	cl, err := c.primary()
+	if err == nil {
+		if err = op(cl); err == nil || !retriable(err) {
+			return err
+		}
+	}
+	for attempt := 0; attempt < len(c.addrs); attempt++ {
+		c.mu.Lock()
+		cl, perr := c.reprobeLocked(ctx)
+		c.mu.Unlock()
+		if perr != nil {
+			return errors.Join(err, perr)
+		}
+		if err = op(cl); err == nil || !retriable(err) {
+			return err
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+	}
+	return err
+}
+
+// Insert stores the batch on the primary, failing over if it has
+// moved. See Client.Insert.
+func (c *Cluster) Insert(ctx context.Context, keys, vals []uint64) (ReadToken, error) {
+	var t ReadToken
+	err := c.do(ctx, func(cl *Client) error {
+		var e error
+		t, e = cl.Insert(ctx, keys, vals)
+		return e
+	})
+	return t, err
+}
+
+// Upsert stores the batch on the primary, failing over if it has
+// moved. See Client.Upsert.
+func (c *Cluster) Upsert(ctx context.Context, keys, vals []uint64) (ReadToken, error) {
+	var t ReadToken
+	err := c.do(ctx, func(cl *Client) error {
+		var e error
+		t, e = cl.Upsert(ctx, keys, vals)
+		return e
+	})
+	return t, err
+}
+
+// Delete removes the keys on the primary, failing over if it has
+// moved. See Client.Delete.
+func (c *Cluster) Delete(ctx context.Context, keys []uint64) ([]bool, ReadToken, error) {
+	var founds []bool
+	var t ReadToken
+	err := c.do(ctx, func(cl *Client) error {
+		var e error
+		founds, t, e = cl.Delete(ctx, keys)
+		return e
+	})
+	return founds, t, err
+}
+
+// Lookup reads from the believed primary (which trivially satisfies
+// any token), failing over on connection loss. See Client.Lookup.
+func (c *Cluster) Lookup(ctx context.Context, keys []uint64, at ReadToken) ([]uint64, []bool, error) {
+	var vals []uint64
+	var founds []bool
+	err := c.do(ctx, func(cl *Client) error {
+		var e error
+		vals, founds, e = cl.Lookup(ctx, keys, at)
+		return e
+	})
+	return vals, founds, err
+}

@@ -20,17 +20,26 @@
 // replays the log against a restarted server and fails if any acked
 // write is missing: the e2e CI gate's kill -9 check.
 //
+// Replication: -replica ADDR points at a read replica; workers then
+// re-read a sample of their acked insert batches there carrying the
+// batch's ReadToken, verifying read-your-writes across the replication
+// stream (missing or wrong values are token violations; a BEHIND
+// rejection is the protocol's honest escape valve and counted
+// separately). -promote asks the node at -addr to become the writable
+// primary and exits — the failover step after a primary dies.
+//
 // Usage:
 //
 //	hashload -addr HOST:PORT [-conns 4] [-workers 16] [-pipeline 16]
 //	         [-batch 256] [-duration 10s] [-lookupfrac 0.5]
 //	         [-deletefrac 0] [-dist uniform|zipf] [-zipfexp 1.5]
-//	         [-seed 42] [-acklog FILE] [-summary FILE]
+//	         [-seed 42] [-acklog FILE] [-summary FILE] [-replica HOST:PORT]
 //	hashload -addr HOST:PORT -verify FILE
+//	hashload -addr HOST:PORT -promote
 //
 // The run always ends with a machine-readable line:
 //
-//	SUMMARY ops=... errors=... seconds=... ops_per_sec=... acked_inserts=... p50_us=... p95_us=... p99_us=...
+//	SUMMARY ops=... errors=... seconds=... ops_per_sec=... acked_inserts=... p50_us=... p95_us=... p99_us=... token_checks=... token_behind=... token_violations=...
 package main
 
 import (
@@ -72,6 +81,8 @@ func main() {
 		ackPath    = flag.String("acklog", "", "append acked mutations to this log")
 		verifyPath = flag.String("verify", "", "verify an acked-write log against the server and exit")
 		sumPath    = flag.String("summary", "", "write a JSON summary here")
+		replica    = flag.String("replica", "", "read replica address: verify token reads there during the run")
+		promote    = flag.Bool("promote", false, "promote the node at -addr to writable primary and exit")
 	)
 	flag.Parse()
 	if *addr == "" {
@@ -88,6 +99,18 @@ func main() {
 	}
 	defer cl.Close()
 
+	if *promote {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		info, err := cl.Promote(ctx)
+		if err != nil {
+			log.Fatalf("promote: %v", err)
+		}
+		fmt.Printf("PROMOTED role=%s writable=%v epoch=%d applied_lsn=%d\n",
+			info.Role, info.Writable, info.Epoch, info.AppliedLSN)
+		return
+	}
+
 	if *verifyPath != "" {
 		if err := verify(cl, *verifyPath, *batch); err != nil {
 			log.Fatal(err)
@@ -95,7 +118,20 @@ func main() {
 		return
 	}
 
-	run(cl, runConfig{
+	var rcl *client.Client
+	if *replica != "" {
+		rcl, err = client.Dial(*replica, client.Options{
+			Conns:       *conns,
+			Pipeline:    *pipeline,
+			DialTimeout: 10 * time.Second,
+		})
+		if err != nil {
+			log.Fatalf("replica: %v", err)
+		}
+		defer rcl.Close()
+	}
+
+	run(cl, rcl, runConfig{
 		workers:    *workers,
 		batch:      *batch,
 		duration:   *duration,
@@ -185,11 +221,14 @@ type workerResult struct {
 	ops          int64
 	errors       int64
 	ackedInserts int64
+	tokenChecks  int64           // token-carrying replica reads issued
+	tokenBehind  int64           // replica answered BEHIND (allowed; client re-routes)
+	tokenViols   int64           // replica read missed an acked, token-covered write
 	lat          stats.Histogram // per-request latency, µs
 	fatal        error           // connection-level failure that ended the worker
 }
 
-func run(cl *client.Client, cfg runConfig) {
+func run(cl, rcl *client.Client, cfg runConfig) {
 	ack, err := openAckLog(cfg.ackPath)
 	if err != nil {
 		log.Fatalf("acklog: %v", err)
@@ -205,7 +244,7 @@ func run(cl *client.Client, cfg runConfig) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			results[w] = worker(ctx, cancel, cl, cfg, w, ack)
+			results[w] = worker(ctx, cancel, cl, rcl, cfg, w, ack)
 		}(w)
 	}
 	wg.Wait()
@@ -221,6 +260,9 @@ func run(cl *client.Client, cfg runConfig) {
 		total.ops += r.ops
 		total.errors += r.errors
 		total.ackedInserts += r.ackedInserts
+		total.tokenChecks += r.tokenChecks
+		total.tokenBehind += r.tokenBehind
+		total.tokenViols += r.tokenViols
 		for _, v := range r.lat.Values() {
 			total.lat.AddN(v, r.lat.Count(v))
 		}
@@ -246,20 +288,28 @@ func run(cl *client.Client, cfg runConfig) {
 	fmt.Printf("request p50    %d µs\n", p50)
 	fmt.Printf("request p95    %d µs\n", p95)
 	fmt.Printf("request p99    %d µs\n", p99)
-	fmt.Printf("SUMMARY ops=%d errors=%d seconds=%.3f ops_per_sec=%.0f acked_inserts=%d p50_us=%d p95_us=%d p99_us=%d\n",
-		total.ops, total.errors, secs, opsPerSec, total.ackedInserts, p50, p95, p99)
+	if total.tokenChecks > 0 {
+		fmt.Printf("token checks   %d (%d behind, %d violations)\n",
+			total.tokenChecks, total.tokenBehind, total.tokenViols)
+	}
+	fmt.Printf("SUMMARY ops=%d errors=%d seconds=%.3f ops_per_sec=%.0f acked_inserts=%d p50_us=%d p95_us=%d p99_us=%d token_checks=%d token_behind=%d token_violations=%d\n",
+		total.ops, total.errors, secs, opsPerSec, total.ackedInserts, p50, p95, p99,
+		total.tokenChecks, total.tokenBehind, total.tokenViols)
 
 	if cfg.sumPath != "" {
 		js, _ := json.MarshalIndent(map[string]any{
-			"ops":           total.ops,
-			"errors":        total.errors,
-			"seconds":       secs,
-			"ops_per_sec":   opsPerSec,
-			"acked_inserts": total.ackedInserts,
-			"p50_us":        p50,
-			"p95_us":        p95,
-			"p99_us":        p99,
-			"disconnected":  disconnected,
+			"ops":              total.ops,
+			"errors":           total.errors,
+			"seconds":          secs,
+			"ops_per_sec":      opsPerSec,
+			"acked_inserts":    total.ackedInserts,
+			"p50_us":           p50,
+			"p95_us":           p95,
+			"p99_us":           p99,
+			"disconnected":     disconnected,
+			"token_checks":     total.tokenChecks,
+			"token_behind":     total.tokenBehind,
+			"token_violations": total.tokenViols,
 		}, "", "  ")
 		if err := os.WriteFile(cfg.sumPath, append(js, '\n'), 0o644); err != nil {
 			log.Fatalf("summary: %v", err)
@@ -270,7 +320,7 @@ func run(cl *client.Client, cfg runConfig) {
 // worker runs one closed loop until the context expires or the
 // connection dies. Worker w owns key space w<<40 | counter (mixed), so
 // inserts are globally fresh without coordination.
-func worker(ctx context.Context, cancel context.CancelFunc, cl *client.Client, cfg runConfig, w int, ack *ackLog) workerResult {
+func worker(ctx context.Context, cancel context.CancelFunc, cl, rcl *client.Client, cfg runConfig, w int, ack *ackLog) workerResult {
 	var res workerResult
 	rng := xrand.New(cfg.seed + uint64(w)*0x9e3779b97f4a7c15)
 	zipf := workload.MakeRecencyZipf(cfg.zipfExp)
@@ -340,7 +390,7 @@ func worker(ctx context.Context, cancel context.CancelFunc, cl *client.Client, c
 				vals = append(vals, k>>1)
 			}
 			t0 := time.Now()
-			err := cl.InsertBatch(ctx, keys, vals)
+			tok, err := cl.Insert(ctx, keys, vals)
 			if done := tally(&res, cancel, ctx, err, cfg.batch, t0); done {
 				return res
 			}
@@ -348,10 +398,52 @@ func worker(ctx context.Context, cancel context.CancelFunc, cl *client.Client, c
 				res.ackedInserts += int64(len(keys))
 				ack.inserts(keys, vals)
 				history = append(history, keys...)
+				// Read-your-writes across replication: re-read a sample of
+				// acked batches on the replica, carrying the batch's token.
+				// The token obliges the replica to serve these exact writes
+				// (or answer BEHIND); anything else is a violation.
+				if rcl != nil && rng.Intn(4) == 0 {
+					rcl = replicaCheck(ctx, rcl, &res, w, keys, vals, tok)
+				}
 			}
 		}
 	}
 	return res
+}
+
+// replicaCheck re-reads one acked insert batch on the replica with its
+// token, tallying violations. It returns the replica client to keep
+// using — nil after a connection-level failure (the replica died; the
+// run against the primary continues, checks just stop).
+func replicaCheck(ctx context.Context, rcl *client.Client, res *workerResult, w int, keys, vals []uint64, tok client.ReadToken) *client.Client {
+	res.tokenChecks++
+	got, found, err := rcl.Lookup(ctx, keys, tok)
+	switch {
+	case err == nil:
+		for i := range keys {
+			if !found[i] || got[i] != vals[i] {
+				res.tokenViols++
+				if res.tokenViols <= 10 {
+					log.Printf("worker %d: TOKEN VIOLATION key %d on replica: (%d,%v), want (%d,true) at lsn %d",
+						w, keys[i], got[i], found[i], vals[i], tok.LSN)
+				}
+			}
+		}
+	case client.IsBehind(err):
+		res.tokenBehind++
+	case ctx.Err() != nil:
+		// Run over; not a replica problem.
+	default:
+		var se *client.ServerError
+		if errors.As(err, &se) {
+			res.tokenViols++
+			log.Printf("worker %d: replica error for token read: %v", w, err)
+		} else {
+			log.Printf("worker %d: replica connection lost (checks stop): %v", w, err)
+			return nil
+		}
+	}
+	return rcl
 }
 
 // tally records one request's outcome and latency. It returns true when

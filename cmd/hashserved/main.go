@@ -20,11 +20,20 @@
 //	           [-backend mem|file|latency] [-path FILE] [-b 64] [-m 1024]
 //	           [-cache 512] [-flush sync|async] [-maxbatch 4096]
 //	           [-pipeline 64] [-addrfile FILE] [-drain 30s] [-leakcheck]
+//	           [-repl] [-follow ADDR] [-syncfollowers N] [-synctimeout 5s]
 //
 // -addrfile writes the bound address (useful with -addr :0) to a file
 // once listening, for scripts. -leakcheck verifies at shutdown that no
 // goroutines outlive the drain — the soak CI job runs with it under
 // the race detector.
+//
+// Replication (-repl, implied by -follow or -syncfollowers): the node
+// keeps a ship log next to -path and either sources it to followers
+// (primary) or, with -follow, starts as a read-only replica streaming
+// from that address. -syncfollowers N withholds mutation acks until N
+// followers confirm applying them — the semi-synchronous commit that
+// makes failover lossless for acked writes. A follower is promoted at
+// runtime with the client's Promote call (hashload -promote).
 package main
 
 import (
@@ -68,8 +77,15 @@ func main() {
 		drain     = flag.Duration("drain", 30*time.Second, "graceful drain budget at shutdown")
 		leakCheck = flag.Bool("leakcheck", false, "fail shutdown if goroutines outlive the drain")
 		quiet     = flag.Bool("quiet", false, "suppress per-connection diagnostics")
+		repl      = flag.Bool("repl", false, "enable WAL-shipping replication (implied by -follow / -syncfollowers)")
+		follow    = flag.String("follow", "", "start as a read-only follower replaying from this primary address")
+		syncFoll  = flag.Int("syncfollowers", 0, "withhold mutation acks until this many followers confirm applying")
+		syncTmo   = flag.Duration("synctimeout", 5*time.Second, "semi-sync: bound on the follower-ack wait")
 	)
 	flag.Parse()
+	if *follow != "" || *syncFoll > 0 {
+		*repl = true
+	}
 
 	baseline := runtime.NumGoroutine()
 
@@ -96,18 +112,57 @@ func main() {
 	if *quiet {
 		logf = func(string, ...any) {}
 	}
-	srv := server.New(server.Config{
+	scfg := server.Config{
 		Engine:   eng,
 		MaxBatch: *maxBatch,
 		Pipeline: *pipeline,
 		Logf:     logf,
-	})
+	}
+	if *repl {
+		// The ship log and epoch state live next to the store; a mem
+		// backend (no -path) keeps them in a scratch dir — replication
+		// still works, it is just not crash-durable, like the engine.
+		base := *path
+		if base == "" {
+			dir, err := os.MkdirTemp("", "hashserved-repl-")
+			if err != nil {
+				log.Fatalf("repl scratch dir: %v", err)
+			}
+			defer os.RemoveAll(dir)
+			base = dir + "/node"
+		}
+		scfg.Repl = &server.ReplConfig{
+			ShipPath:      base + ".ship",
+			StatePath:     base + ".replstate",
+			Follow:        *follow,
+			SyncFollowers: *syncFoll,
+			SyncTimeout:   *syncTmo,
+		}
+	}
+	srv, err := server.NewServer(scfg)
+	if err != nil {
+		log.Fatalf("server: %v", err)
+	}
+	if *repl {
+		role := "primary"
+		if *follow != "" {
+			role = "follower of " + *follow
+		}
+		info, _ := srv.Info()
+		log.Printf("replication: role=%s epoch=%d applied_lsn=%d syncfollowers=%d",
+			role, info.Epoch, info.AppliedLSN, *syncFoll)
+	}
 
 	lis, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("listen %s: %v", *addr, err)
 	}
 	log.Printf("listening on %s", lis.Addr())
+	if *follow != "" {
+		if _, err := srv.Follow(*follow); err != nil {
+			log.Fatalf("follow %s: %v", *follow, err)
+		}
+	}
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(lis.Addr().String()+"\n"), 0o644); err != nil {
 			log.Fatalf("addrfile: %v", err)
@@ -130,6 +185,9 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("drain incomplete: %v", err)
+	}
+	if err := srv.CloseRepl(); err != nil {
+		log.Printf("close repl: %v", err)
 	}
 	// The PR 3/4 checkpoint: Close flushes every shard's WAL and blocks,
 	// commits superblocks and truncates the logs, so the next open

@@ -1,0 +1,157 @@
+package extbuf
+
+// Engine is the full serving surface of a table: the single-key Table
+// operations plus the order-preserving batch operations and the
+// Durable capability probe. Both Sharded (worker-per-shard pipeline)
+// and every table returned by Open/New* (via the close guard) satisfy
+// it, so layers that used to special-case the two — the network server,
+// the replication follower apply loop, load generators — program
+// against one interface and work with either.
+//
+// Batch semantics are those Sharded established: positions i of keys,
+// vals and found correspond; InsertBatch and UpsertBatch require
+// len(keys) == len(vals) (ErrBatchLength otherwise); the *Into variants
+// write results into caller-provided slices of exactly len(keys) and
+// allocate nothing. A batch is not atomic — on error a prefix of it may
+// have applied — but per-key ordering is preserved between batches.
+type Engine interface {
+	Table
+
+	// InsertBatch inserts each (keys[i], vals[i]) pair in order.
+	InsertBatch(keys, vals []uint64) error
+	// UpsertBatch upserts each (keys[i], vals[i]) pair in order.
+	UpsertBatch(keys, vals []uint64) error
+	// LookupBatch looks up every key, allocating the result slices.
+	LookupBatch(keys []uint64) (vals []uint64, found []bool, err error)
+	// LookupBatchInto looks up every key into caller-provided slices
+	// (len(vals) == len(found) == len(keys)); it allocates nothing.
+	LookupBatchInto(keys, vals []uint64, found []bool) error
+	// DeleteBatch deletes every key, allocating the found slice.
+	DeleteBatch(keys []uint64) ([]bool, error)
+	// DeleteBatchInto deletes every key into a caller-provided found
+	// slice of len(keys); it allocates nothing.
+	DeleteBatchInto(keys []uint64, found []bool) error
+	// Durable reports whether Sync buys crash durability (the durable
+	// file backend). Serving layers skip the commit barrier when false.
+	Durable() bool
+}
+
+var (
+	_ Engine = (*Sharded)(nil)
+	_ Engine = (*guard)(nil)
+)
+
+// OpenEngine constructs a single (unsharded) table by structure name —
+// exactly like Open — and returns it as an Engine. Single tables are
+// not safe for concurrent use; front them with one goroutine (or use
+// NewSharded) when serving. See Open for structure names and reopen
+// semantics.
+func OpenEngine(structure string, cfg Config) (Engine, error) {
+	t, err := Open(structure, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Open's single construction path always wraps in *guard, which
+	// satisfies Engine; assert so a future refactor that breaks the
+	// invariant fails loudly here rather than at a call site.
+	return t.(Engine), nil
+}
+
+// ReplStats reports a node's replication state and traffic counters,
+// exposed over the wire via the STATS request (append-only payload
+// extension). On a node with replication disabled all fields are zero.
+type ReplStats struct {
+	// Epoch is the replication epoch: bumped by every promotion, so
+	// clients can detect that the writable node moved and re-route.
+	Epoch int64
+	// CurrentLSN is the highest LSN this node has assigned (primary)
+	// or applied (follower).
+	CurrentLSN int64
+	// FollowerLag is the primary's view of its slowest subscribed
+	// follower: CurrentLSN minus that follower's acknowledged LSN.
+	// Zero when no follower is subscribed or the node is a follower.
+	FollowerLag int64
+	// FramesShipped counts replication batches sent to followers.
+	FramesShipped int64
+	// FramesReplayed counts replication batches this node applied as
+	// a follower.
+	FramesReplayed int64
+}
+
+// batch runs a per-key mutation over a batch, enforcing the length
+// contract shared with Sharded.
+func (g *guard) mutateBatch(keys, vals []uint64, op func(k, v uint64) error) error {
+	if len(keys) != len(vals) {
+		return ErrBatchLength
+	}
+	if g.closed {
+		return ErrClosed
+	}
+	for i, k := range keys {
+		if err := op(k, vals[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InsertBatch inserts each pair in order on the guarded table.
+func (g *guard) InsertBatch(keys, vals []uint64) error {
+	return g.mutateBatch(keys, vals, g.t.Insert)
+}
+
+// UpsertBatch upserts each pair in order on the guarded table.
+func (g *guard) UpsertBatch(keys, vals []uint64) error {
+	return g.mutateBatch(keys, vals, g.t.Upsert)
+}
+
+// LookupBatch looks up every key, allocating the result slices.
+func (g *guard) LookupBatch(keys []uint64) ([]uint64, []bool, error) {
+	vals := make([]uint64, len(keys))
+	found := make([]bool, len(keys))
+	if err := g.LookupBatchInto(keys, vals, found); err != nil {
+		return nil, nil, err
+	}
+	return vals, found, nil
+}
+
+// LookupBatchInto looks up every key into caller-provided slices.
+func (g *guard) LookupBatchInto(keys, vals []uint64, found []bool) error {
+	if len(vals) != len(keys) || len(found) != len(keys) {
+		return ErrBatchLength
+	}
+	if g.closed {
+		return ErrClosed
+	}
+	for i, k := range keys {
+		vals[i], found[i] = g.t.Lookup(k)
+	}
+	return nil
+}
+
+// DeleteBatch deletes every key, allocating the found slice.
+func (g *guard) DeleteBatch(keys []uint64) ([]bool, error) {
+	found := make([]bool, len(keys))
+	if err := g.DeleteBatchInto(keys, found); err != nil {
+		return nil, err
+	}
+	return found, nil
+}
+
+// DeleteBatchInto deletes every key into a caller-provided found slice.
+func (g *guard) DeleteBatchInto(keys []uint64, found []bool) error {
+	if len(found) != len(keys) {
+		return ErrBatchLength
+	}
+	if g.closed {
+		return ErrClosed
+	}
+	for i, k := range keys {
+		found[i] = g.t.Delete(k)
+	}
+	return nil
+}
+
+// Durable reports whether the guarded table was opened on the durable
+// file backend.
+func (g *guard) Durable() bool { return g.durable }

@@ -562,7 +562,7 @@ func open(structure string, cfg Config) (Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &guard{t: t}, nil
+		return &guard{t: t, durable: true}, nil
 	}
 	cfg = cfg.withDefaults()
 	if err := cfg.validateFor(structure); err != nil {
@@ -867,8 +867,9 @@ func (w *twoTable) saveState(e *ckpt.Encoder) { w.t.SaveState(e) }
 // ErrClosed instead of panicking on released resources. Stats stays
 // readable after Close so experiments can harvest counters last.
 type guard struct {
-	t      Table
-	closed bool
+	t       Table
+	durable bool
+	closed  bool
 }
 
 func (g *guard) Insert(key, val uint64) error {

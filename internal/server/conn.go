@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"extbuf/internal/wal"
 	"extbuf/internal/wire"
 )
 
@@ -24,6 +25,7 @@ type request struct {
 	id      uint32
 	keys    []uint64
 	vals    []uint64
+	lsn     uint64 // LOOKUPAT's read token / REPL_SUBSCRIBE's start LSN
 	errText string // set when the reader rejected the frame (op == wire.OpErr)
 }
 
@@ -40,6 +42,11 @@ type conn struct {
 	applyCh chan *request
 	writeCh chan []byte
 
+	// readerDone closes when the reader exits — disconnect or drain —
+	// which is what tells a replication streamer parked at the log tail
+	// to stop.
+	readerDone chan struct{}
+
 	// freelists, all single-producer/single-consumer friendly.
 	reqFree chan *request
 	bufFree chan []byte
@@ -51,17 +58,22 @@ type conn struct {
 	found []bool
 	pay   []byte
 
+	// replication streamer scratch.
+	recs  []wal.Record
+	wrecs []wire.ReplRec
+
 	draining atomic.Bool
 }
 
 func newConn(s *Server, nc net.Conn) *conn {
 	return &conn{
-		srv:     s,
-		nc:      nc,
-		applyCh: make(chan *request, s.pipeline),
-		writeCh: make(chan []byte, s.pipeline),
-		reqFree: make(chan *request, s.pipeline+1),
-		bufFree: make(chan []byte, s.pipeline+1),
+		srv:        s,
+		nc:         nc,
+		applyCh:    make(chan *request, s.pipeline),
+		writeCh:    make(chan []byte, s.pipeline),
+		readerDone: make(chan struct{}),
+		reqFree:    make(chan *request, s.pipeline+1),
+		bufFree:    make(chan []byte, s.pipeline+1),
 	}
 }
 
@@ -95,6 +107,7 @@ func (c *conn) run() {
 // batch payload is answered with ERR and the stream continues.
 func (c *conn) reader() {
 	defer close(c.applyCh)
+	defer close(c.readerDone)
 	r := wire.NewReader(bufio.NewReaderSize(c.nc, connBufBytes))
 	for {
 		f, err := r.Next()
@@ -111,15 +124,36 @@ func (c *conn) reader() {
 		req.op, req.id = f.Op, f.ID
 		var derr error
 		switch f.Op {
-		case wire.OpInsert, wire.OpUpsert:
+		case wire.OpInsert, wire.OpUpsert, wire.OpInsertAt, wire.OpUpsertAt:
 			if derr = c.checkBatch(f.Payload); derr == nil {
 				req.keys, req.vals, derr = wire.DecodeKVInto(f.Payload, req.keys, req.vals)
 			}
-		case wire.OpLookup, wire.OpDelete:
+		case wire.OpLookup, wire.OpDelete, wire.OpDeleteAt:
 			if derr = c.checkBatch(f.Payload); derr == nil {
 				req.keys, derr = wire.DecodeKeysInto(f.Payload, req.keys)
 			}
-		case wire.OpLen, wire.OpSync, wire.OpFlush, wire.OpStats, wire.OpPing:
+		case wire.OpLookupAt:
+			if len(f.Payload) < 8 {
+				derr = fmt.Errorf("%w: %d-byte LOOKUPAT payload", wire.ErrFrame, len(f.Payload))
+			} else {
+				req.lsn = binary.LittleEndian.Uint64(f.Payload)
+				if derr = c.checkBatch(f.Payload[8:]); derr == nil {
+					req.keys, derr = wire.DecodeKeysInto(f.Payload[8:], req.keys)
+				}
+			}
+		case wire.OpReplSubscribe:
+			req.lsn, derr = wire.DecodeLSN(f.Payload)
+		case wire.OpReplAck:
+			// Follower progress on a subscribed connection: record it and
+			// move on — no response, no apply-queue trip, so the reader
+			// stays responsive while the applier streams.
+			if lsn, aerr := wire.DecodeLSN(f.Payload); aerr == nil && c.srv.repl != nil {
+				c.srv.repl.ackFrom(c, lsn)
+			}
+			c.putReq(req)
+			continue
+		case wire.OpLen, wire.OpSync, wire.OpFlush, wire.OpStats, wire.OpPing,
+			wire.OpInfo, wire.OpPromote:
 			// empty payloads
 		default:
 			derr = fmt.Errorf("unknown request op %v", f.Op)
@@ -194,7 +228,8 @@ func (c *conn) applier() {
 			return
 		}
 		switch first.op {
-		case wire.OpInsert, wire.OpUpsert, wire.OpLookup, wire.OpDelete:
+		case wire.OpInsert, wire.OpUpsert, wire.OpLookup, wire.OpDelete,
+			wire.OpInsertAt, wire.OpUpsertAt, wire.OpDeleteAt:
 			// Aggregate the pipelined run of same-kind requests into one
 			// engine batch — this is what maps client pipelining 1:1 onto
 			// the engine's shard fan-out.
@@ -213,6 +248,10 @@ func (c *conn) applier() {
 				ops += len(r2.keys)
 			}
 			c.serveBatch(first.op, c.batch)
+		case wire.OpLookupAt:
+			c.serveLookupAt(first)
+		case wire.OpReplSubscribe:
+			c.serveRepl(first)
 		default:
 			c.serveSingle(first)
 		}
@@ -237,25 +276,47 @@ func (c *conn) serveBatch(op wire.Op, batch []*request) {
 	}
 	var err error
 	switch op {
-	case wire.OpInsert, wire.OpUpsert:
-		if op == wire.OpInsert {
-			err = c.srv.engine.InsertBatch(keys, vals)
+	case wire.OpInsert, wire.OpUpsert, wire.OpInsertAt, wire.OpUpsertAt:
+		var last uint64
+		if !c.srv.writableNow() {
+			err = errNotWritable
 		} else {
-			err = c.srv.engine.UpsertBatch(keys, vals)
-		}
-		if err == nil && c.srv.durable {
-			// The ack barrier: group-committed WAL fsync. Acks below are
-			// only sent when the operations are crash-durable. Scratch
-			// backends skip the barrier — there is no durability to buy,
-			// so acks really are immediate.
-			err = c.srv.commit.commit()
-		}
-		for _, r := range batch {
-			if err != nil {
-				c.respondErr(r.id, err)
+			if op == wire.OpInsert || op == wire.OpInsertAt {
+				err = c.srv.engine.InsertBatch(keys, vals)
 			} else {
+				err = c.srv.engine.UpsertBatch(keys, vals)
+			}
+			last, err = c.shipMutation(err, shipOpFor(op), keys, vals)
+			if err == nil {
+				// The ack barrier: group-committed WAL + ship-log fsync,
+				// then the semi-sync follower wait. Acks below are only
+				// sent when the operations are crash-durable (and, under
+				// semi-sync, follower-applied). Scratch backends skip the
+				// fsync — there is no durability to buy.
+				err = c.srv.commitMutation(last)
+			}
+		}
+		epoch := c.srv.epochNow()
+		off := uint64(0)
+		for _, r := range batch {
+			n := uint64(len(r.keys))
+			switch {
+			case err != nil:
+				c.respondErr(r.id, err)
+			case op == wire.OpInsertAt || op == wire.OpUpsertAt:
+				// The request's token is the LSN of ITS last record
+				// within the aggregated run; 0 (no constraint) when the
+				// node does not replicate.
+				var token uint64
+				if last > 0 {
+					token = last - uint64(len(keys)) + off + n
+				}
+				c.pay = wire.AppendAckT(c.pay[:0], token, epoch)
+				c.respond(wire.OpAckT, r.id, c.pay)
+			default:
 				c.respond(wire.OpAck, r.id, nil)
 			}
+			off += n
 			c.putReq(r)
 		}
 	case wire.OpLookup:
@@ -274,18 +335,33 @@ func (c *conn) serveBatch(op wire.Op, batch []*request) {
 			off += n
 			c.putReq(r)
 		}
-	case wire.OpDelete:
+	case wire.OpDelete, wire.OpDeleteAt:
 		found := c.foundOut(len(keys))
-		err = c.srv.engine.DeleteBatchInto(keys, found)
-		if err == nil && c.srv.durable {
-			err = c.srv.commit.commit() // deletes are mutations: ack behind the barrier
+		var last uint64
+		if !c.srv.writableNow() {
+			err = errNotWritable
+		} else {
+			err = c.srv.engine.DeleteBatchInto(keys, found)
+			last, err = c.shipMutation(err, wal.OpDelete, keys, nil)
+			if err == nil {
+				err = c.srv.commitMutation(last) // deletes are mutations: ack behind the barrier
+			}
 		}
+		epoch := c.srv.epochNow()
 		off := 0
 		for _, r := range batch {
 			n := len(r.keys)
-			if err != nil {
+			switch {
+			case err != nil:
 				c.respondErr(r.id, err)
-			} else {
+			case op == wire.OpDeleteAt:
+				var token uint64
+				if last > 0 {
+					token = last - uint64(len(keys)) + uint64(off+n)
+				}
+				c.pay = wire.AppendFoundsT(c.pay[:0], token, epoch, found[off:off+n])
+				c.respond(wire.OpFoundsT, r.id, c.pay)
+			default:
 				c.pay = wire.AppendFounds(c.pay[:0], found[off:off+n])
 				c.respond(wire.OpFounds, r.id, c.pay)
 			}
@@ -293,6 +369,29 @@ func (c *conn) serveBatch(op wire.Op, batch []*request) {
 			c.putReq(r)
 		}
 	}
+}
+
+// shipMutation appends an applied mutation batch to the ship log and
+// returns the LSN of its last record. With replication off (or after an
+// apply error, which must never ship) it passes applyErr through and
+// returns the no-token LSN 0.
+func (c *conn) shipMutation(applyErr error, op wal.Op, keys, vals []uint64) (uint64, error) {
+	if applyErr != nil || c.srv.repl == nil || len(keys) == 0 {
+		return 0, applyErr
+	}
+	first, err := c.srv.repl.ship.Append(op, keys, vals)
+	if err != nil {
+		return 0, err
+	}
+	return first + uint64(len(keys)) - 1, nil
+}
+
+// shipOpFor maps a mutation request op onto its ship-log record op.
+func shipOpFor(op wire.Op) wal.Op {
+	if op == wire.OpInsert || op == wire.OpInsertAt {
+		return wal.OpInsert
+	}
+	return wal.OpUpsert
 }
 
 // foundOut returns the reusable found-flag result buffer at length n.
@@ -310,6 +409,96 @@ func (c *conn) valsOut(n int) []uint64 {
 		c.vals = make([]uint64, n)
 	}
 	return c.vals[:n]
+}
+
+// serveLookupAt answers a token-carrying lookup: wait (bounded) until
+// this node has applied at least the token's LSN — read-your-writes on
+// a replica — then serve the batch like any LOOKUP. A node without
+// replication serves immediately: it cannot be behind a token it (or a
+// primary it follows) never issued.
+func (c *conn) serveLookupAt(r *request) {
+	defer c.putReq(r)
+	if c.srv.repl != nil && r.lsn > 0 {
+		if err := c.srv.repl.waitApplied(r.lsn, c.srv.repl.tokenWait); err != nil {
+			c.respondErr(r.id, err)
+			return
+		}
+	}
+	found := c.foundOut(len(r.keys))
+	outV := c.valsOut(len(r.keys))
+	if err := c.srv.engine.LookupBatchInto(r.keys, outV, found); err != nil {
+		c.respondErr(r.id, err)
+		return
+	}
+	c.pay = wire.AppendValues(c.pay[:0], outV, found)
+	c.respond(wire.OpValues, r.id, c.pay)
+}
+
+// replReadBatch is the streamer's ship-log read granularity (records
+// per REPLBATCH frame), bounded by wire.MaxReplBatch.
+const replReadBatch = 4096
+
+// serveRepl turns the connection into a replication stream: read the
+// ship log from the subscriber's requested LSN, send each chunk as a
+// REPLBATCH echoing the subscribe id, and at the tail block on the
+// log's change channel — sending empty heartbeat batches so the
+// follower can distinguish "idle" from "dead". The applier never
+// returns to the request loop: a subscribed connection serves nothing
+// else (REPL_ACK frames are handled by the reader). Exits when the
+// reader does — disconnect or drain — which closes the write queue and
+// the socket behind it.
+func (c *conn) serveRepl(r *request) {
+	id, cur := r.id, r.lsn
+	c.putReq(r)
+	repl := c.srv.repl
+	if repl == nil {
+		c.respondErr(id, errors.New("replication is not enabled"))
+		return
+	}
+	repl.subscribe(c)
+	defer repl.unsubscribe(c)
+	if cap(c.recs) < replReadBatch {
+		c.recs = make([]wal.Record, replReadBatch)
+	}
+	hb := time.NewTicker(repl.heartbeat)
+	defer hb.Stop()
+	for {
+		select {
+		case <-c.readerDone:
+			return // the subscriber hung up (or the server is draining)
+		default:
+		}
+		n, err := repl.ship.Read(cur, c.recs[:replReadBatch])
+		if err != nil {
+			// A subscribe below the log's start (or a corrupt log) cannot
+			// be served; the follower must re-seed from a checkpoint.
+			c.respondErr(id, err)
+			return
+		}
+		if n == 0 {
+			ch := repl.ship.Changed()
+			if repl.ship.NextLSN() > cur {
+				continue // an append raced the channel grab
+			}
+			select {
+			case <-ch:
+			case <-hb.C:
+				c.pay = wire.AppendReplBatch(c.pay[:0], c.srv.epochNow(), cur, nil)
+				c.respond(wire.OpReplBatch, id, c.pay)
+			case <-c.readerDone:
+				return
+			}
+			continue
+		}
+		c.wrecs = c.wrecs[:0]
+		for _, rec := range c.recs[:n] {
+			c.wrecs = append(c.wrecs, wire.ReplRec{Op: uint8(rec.Op), Key: rec.Key, Val: rec.Val})
+		}
+		c.pay = wire.AppendReplBatch(c.pay[:0], c.srv.epochNow(), cur, c.wrecs)
+		c.respond(wire.OpReplBatch, id, c.pay)
+		repl.addShipped()
+		cur += uint64(n)
+	}
 }
 
 // serveSingle answers the non-batch requests.
@@ -336,10 +525,25 @@ func (c *conn) serveSingle(r *request) {
 			MemoryUsed: c.srv.engine.MemoryUsed(),
 			Ops:        c.srv.engine.Stats(),
 			Store:      c.srv.engine.StoreStats(),
+			Repl:       c.srv.replStats(),
 		})
 		c.respond(wire.OpStatsR, r.id, c.pay)
 	case wire.OpPing:
 		c.respond(wire.OpAck, r.id, nil)
+	case wire.OpInfo:
+		if info, ok := c.srv.Info(); ok {
+			c.pay = wire.AppendInfo(c.pay[:0], info)
+			c.respond(wire.OpInfoR, r.id, c.pay)
+		} else {
+			c.respondErr(r.id, errors.New("replication is not enabled"))
+		}
+	case wire.OpPromote:
+		if info, err := c.srv.Promote(); err != nil {
+			c.respondErr(r.id, err)
+		} else {
+			c.pay = wire.AppendInfo(c.pay[:0], info)
+			c.respond(wire.OpInfoR, r.id, c.pay)
+		}
 	case wire.OpErr:
 		// A request the reader rejected during decode; answer with its
 		// recorded error text.
@@ -403,6 +607,7 @@ func (c *conn) getReq() *request {
 	case r := <-c.reqFree:
 		r.keys = r.keys[:0]
 		r.vals = r.vals[:0]
+		r.lsn = 0
 		r.errText = ""
 		return r
 	default:

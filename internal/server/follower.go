@@ -1,0 +1,233 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"extbuf/internal/wal"
+	"extbuf/internal/wire"
+)
+
+// Follower is a node's replication apply loop: it dials the primary,
+// subscribes to its ship log from this node's own applied horizon, and
+// replays every record through the engine's normal batch path — then
+// into this node's own ship log, which is what advances the applied
+// LSN that read tokens wait on and what lets the node source
+// replication itself after a promotion. The loop reconnects on any
+// error until Stop (or promotion) ends it.
+//
+// Replay is idempotent by the same rule recovery uses (durable.go
+// replayRecords): inserts re-apply as upserts, so a batch re-delivered
+// across a reconnect — or re-applied after a crash that lost the ship
+// log's tail but not the engine's — converges instead of erroring.
+type Follower struct {
+	srv  *Server
+	addr string
+	logf func(string, ...any)
+
+	mu      sync.Mutex
+	nc      net.Conn
+	stopped bool
+
+	done chan struct{}
+
+	// replay scratch, reused across batches.
+	recs  []wire.ReplRec
+	keys  []uint64
+	vals  []uint64
+	found []bool
+	pay   []byte
+	frame []byte
+}
+
+// Follow starts replaying from the primary at addr. The server must
+// have replication enabled and not already be following.
+func (s *Server) Follow(addr string) (*Follower, error) {
+	if s.repl == nil {
+		return nil, errors.New("server: replication is not enabled")
+	}
+	f := &Follower{srv: s, addr: addr, logf: s.logf, done: make(chan struct{})}
+	s.mu.Lock()
+	if s.follower != nil {
+		s.mu.Unlock()
+		return nil, errors.New("server: already following")
+	}
+	s.follower = f
+	s.mu.Unlock()
+	go f.run()
+	return f, nil
+}
+
+// Stop ends the loop and waits for it to exit. Idempotent.
+func (f *Follower) Stop() {
+	f.mu.Lock()
+	f.stopped = true
+	if f.nc != nil {
+		f.nc.Close()
+	}
+	f.mu.Unlock()
+	<-f.done
+}
+
+func (f *Follower) isStopped() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stopped
+}
+
+// setConn publishes the live connection so Stop can sever it.
+func (f *Follower) setConn(nc net.Conn) {
+	f.mu.Lock()
+	f.nc = nc
+	f.mu.Unlock()
+}
+
+// followReconnect is the pause between stream attempts.
+const followReconnect = 300 * time.Millisecond
+
+func (f *Follower) run() {
+	defer close(f.done)
+	for !f.isStopped() {
+		err := f.stream()
+		if f.isStopped() {
+			return
+		}
+		f.logf("follower: stream from %s ended: %v; reconnecting", f.addr, err)
+		time.Sleep(followReconnect)
+	}
+}
+
+// stream runs one connection's worth of replication: subscribe from
+// our applied horizon, then replay batches until the stream breaks.
+func (f *Follower) stream() error {
+	nc, err := net.DialTimeout("tcp", f.addr, 3*time.Second)
+	if err != nil {
+		return err
+	}
+	f.setConn(nc)
+	defer func() {
+		f.setConn(nil)
+		nc.Close()
+	}()
+	repl := f.srv.repl
+	from := repl.ship.NextLSN()
+	f.pay = wire.AppendLSN(f.pay[:0], from)
+	f.frame = wire.AppendFrame(f.frame[:0], wire.OpReplSubscribe, 1, f.pay)
+	if _, err := nc.Write(f.frame); err != nil {
+		return err
+	}
+	// The primary heartbeats idle streams; a silent connection for many
+	// heartbeat intervals means the primary (or the path to it) is dead.
+	readTimeout := 10 * repl.heartbeat
+	if readTimeout < 5*time.Second {
+		readTimeout = 5 * time.Second
+	}
+	r := wire.NewReader(bufio.NewReaderSize(nc, connBufBytes))
+	lastSync := time.Now()
+	for {
+		nc.SetReadDeadline(time.Now().Add(readTimeout))
+		fr, err := r.Next()
+		if err != nil {
+			return err
+		}
+		switch fr.Op {
+		case wire.OpReplBatch:
+			epoch, firstLSN, batch, err := wire.DecodeReplBatchInto(fr.Payload, f.recs[:0])
+			f.recs = batch[:0]
+			if err != nil {
+				return err
+			}
+			if err := repl.adoptEpoch(epoch); err != nil {
+				return err
+			}
+			next := repl.ship.NextLSN()
+			if firstLSN > next {
+				return fmt.Errorf("replication gap: batch starts at lsn %d, applied through %d",
+					firstLSN, next-1)
+			}
+			if skip := next - firstLSN; skip > 0 {
+				// A re-delivery overlap (reconnect race): drop what we
+				// already applied.
+				if skip >= uint64(len(batch)) {
+					batch = nil
+				} else {
+					batch = batch[skip:]
+				}
+			}
+			if len(batch) > 0 {
+				if err := f.apply(batch); err != nil {
+					return err
+				}
+				repl.addReplayed()
+			}
+			// Acknowledge the applied horizon — heartbeats too, so a
+			// primary that just connected us learns our position.
+			f.pay = wire.AppendLSN(f.pay[:0], repl.ship.NextLSN()-1)
+			f.frame = wire.AppendFrame(f.frame[:0], wire.OpReplAck, 1, f.pay)
+			if _, err := nc.Write(f.frame); err != nil {
+				return err
+			}
+			// Periodic local durability, off the ack path: semi-sync acks
+			// promise the follower APPLIED the ops; this bounds how much
+			// a crashed follower re-replays.
+			if f.srv.durable && time.Since(lastSync) > time.Second {
+				if err := f.srv.engine.Sync(); err != nil {
+					return err
+				}
+				if err := repl.ship.Fsync(); err != nil {
+					return err
+				}
+				lastSync = time.Now()
+			}
+		case wire.OpErr:
+			return fmt.Errorf("primary rejected subscription: %s", fr.Payload)
+		default:
+			return fmt.Errorf("unexpected %v frame on replication stream", fr.Op)
+		}
+	}
+}
+
+// apply replays one batch: engine first (so the applied horizon the
+// ship log advertises never runs ahead of readable state), then the
+// ship log, in runs of consecutive same-op records so the engine sees
+// batch calls, not single ops.
+func (f *Follower) apply(batch []wire.ReplRec) error {
+	for i := 0; i < len(batch); {
+		op := batch[i].Op
+		j := i + 1
+		for j < len(batch) && batch[j].Op == op {
+			j++
+		}
+		run := batch[i:j]
+		f.keys = f.keys[:0]
+		f.vals = f.vals[:0]
+		for _, rec := range run {
+			f.keys = append(f.keys, rec.Key)
+			f.vals = append(f.vals, rec.Val)
+		}
+		var err error
+		switch wal.Op(op) {
+		case wal.OpInsert, wal.OpUpsert:
+			err = f.srv.engine.UpsertBatch(f.keys, f.vals)
+		case wal.OpDelete:
+			if cap(f.found) < len(f.keys) {
+				f.found = make([]bool, len(f.keys))
+			}
+			err = f.srv.engine.DeleteBatchInto(f.keys, f.found[:len(f.keys)])
+		default:
+			err = fmt.Errorf("replicated record with unknown op %d", op)
+		}
+		if err != nil {
+			return err
+		}
+		if _, err := f.srv.repl.ship.Append(wal.Op(op), f.keys, f.vals); err != nil {
+			return err
+		}
+		i = j
+	}
+	return nil
+}

@@ -38,24 +38,12 @@ import (
 	"extbuf/internal/wire"
 )
 
-// Engine is the store the server fronts: the batch, barrier and stats
-// surface of extbuf.Sharded (which satisfies it), narrow enough that
-// tests can fake it.
-type Engine interface {
-	InsertBatch(keys, vals []uint64) error
-	UpsertBatch(keys, vals []uint64) error
-	LookupBatchInto(keys, vals []uint64, found []bool) error
-	DeleteBatchInto(keys []uint64, found []bool) error
-	Len() int
-	MemoryUsed() int64
-	Stats() extbuf.Stats
-	StoreStats() extbuf.StoreStats
-	Sync() error
-	Flush() error
-	// Durable reports whether Sync buys crash durability. When false
-	// (scratch backends) the server acks mutations without any barrier.
-	Durable() bool
-}
+// Engine is the store the server fronts: extbuf's exported engine
+// surface, satisfied by both extbuf.Sharded and single tables from
+// extbuf.OpenEngine. The alias keeps server.Engine as the name this
+// package's API is written in while guaranteeing the server and the
+// replication follower program against exactly the public interface.
+type Engine = extbuf.Engine
 
 var _ Engine = (*extbuf.Sharded)(nil)
 
@@ -77,6 +65,8 @@ type Config struct {
 	Pipeline int
 	// Logf receives connection-level diagnostics (nil: discard).
 	Logf func(format string, args ...any)
+	// Repl enables WAL-shipping replication (nil: off). See ReplConfig.
+	Repl *ReplConfig
 }
 
 // DefaultMaxBatch is the per-frame and per-aggregation operation cap
@@ -95,20 +85,34 @@ type Server struct {
 	logf     func(string, ...any)
 	durable  bool
 	commit   *groupCommitter
+	repl     *replState // nil: replication off
 
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
 	conns     map[*conn]struct{}
+	follower  *Follower
 	draining  bool
 
 	connWG sync.WaitGroup
 }
 
 // New returns a server for cfg. It does not listen; pass listeners to
-// Serve.
+// Serve. It panics on an invalid configuration — use NewServer when
+// replication (whose state lives in files that may fail to open) is
+// configured.
 func New(cfg Config) *Server {
+	s, err := NewServer(cfg)
+	if err != nil {
+		panic("server: " + err.Error())
+	}
+	return s
+}
+
+// NewServer returns a server for cfg, opening the replication state
+// (ship log + epoch file) when cfg.Repl is set.
+func NewServer(cfg Config) (*Server, error) {
 	if cfg.Engine == nil {
-		panic("server: Config.Engine is required")
+		return nil, errors.New("Config.Engine is required")
 	}
 	maxBatch := cfg.MaxBatch
 	if maxBatch <= 0 {
@@ -125,7 +129,7 @@ func New(cfg Config) *Server {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	return &Server{
+	s := &Server{
 		engine:    cfg.Engine,
 		maxBatch:  maxBatch,
 		pipeline:  pipeline,
@@ -135,6 +139,119 @@ func New(cfg Config) *Server {
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[*conn]struct{}),
 	}
+	if cfg.Repl != nil {
+		repl, err := openRepl(*cfg.Repl)
+		if err != nil {
+			return nil, err
+		}
+		s.repl = repl
+		if s.durable {
+			// The ack barrier must also make the ship log durable, or a
+			// restarted primary could serve tokens for records its
+			// followers can no longer fetch. One group-commit wave fsyncs
+			// both fds.
+			s.commit.sync = func() error {
+				if err := cfg.Engine.Sync(); err != nil {
+					return err
+				}
+				return repl.ship.Fsync()
+			}
+		}
+	}
+	return s, nil
+}
+
+// writableNow reports whether the node currently accepts mutations:
+// always, unless it is a not-yet-promoted replica.
+func (s *Server) writableNow() bool {
+	return s.repl == nil || s.repl.isWritable()
+}
+
+// commitMutation is the full acknowledgement barrier for a mutation
+// whose last ship-log record is lastLSN: the durable group commit
+// (engine WAL + ship log fsync), then the semi-synchronous follower
+// wait. Either failing withholds the ack.
+func (s *Server) commitMutation(lastLSN uint64) error {
+	if s.durable {
+		if err := s.commit.commit(); err != nil {
+			return err
+		}
+	}
+	// lastLSN 0 means nothing was shipped (replication off, or an empty
+	// batch) — there is nothing for a follower to confirm.
+	if s.repl != nil && lastLSN > 0 {
+		return s.repl.waitFollowers(lastLSN)
+	}
+	return nil
+}
+
+// epochNow returns the replication epoch, 0 with replication off.
+func (s *Server) epochNow() uint64 {
+	if s.repl == nil {
+		return 0
+	}
+	return s.repl.epochNow()
+}
+
+// replStats snapshots the replication counters for STATS.
+func (s *Server) replStats() extbuf.ReplStats {
+	if s.repl == nil {
+		return extbuf.ReplStats{}
+	}
+	return s.repl.stats()
+}
+
+// Info returns the node's replication identity; ok is false when
+// replication is off.
+func (s *Server) Info() (wire.Info, bool) {
+	if s.repl == nil {
+		return wire.Info{}, false
+	}
+	return s.repl.info(), true
+}
+
+// Promote makes a follower writable in a fresh epoch: stop replaying
+// from the (presumably dead) primary, sync the engine so everything
+// replayed so far is durable, bump and persist the epoch, and start
+// accepting mutations. Promoting an already-writable node only reports
+// its current identity. Safe to call from any goroutine, including a
+// connection serving the PROMOTE request.
+func (s *Server) Promote() (wire.Info, error) {
+	if s.repl == nil {
+		return wire.Info{}, errors.New("server: replication is not enabled")
+	}
+	s.mu.Lock()
+	f := s.follower
+	s.follower = nil
+	s.mu.Unlock()
+	if f != nil {
+		f.Stop()
+	}
+	if s.durable {
+		if err := s.engine.Sync(); err != nil {
+			return wire.Info{}, err
+		}
+		if err := s.repl.ship.Fsync(); err != nil {
+			return wire.Info{}, err
+		}
+	}
+	return s.repl.promote()
+}
+
+// CloseRepl stops the follower loop (if running) and closes the ship
+// log. Call after Shutdown, before closing the engine.
+func (s *Server) CloseRepl() error {
+	if s.repl == nil {
+		return nil
+	}
+	s.mu.Lock()
+	f := s.follower
+	s.follower = nil
+	s.mu.Unlock()
+	if f != nil {
+		f.Stop()
+	}
+	return s.repl.close()
 }
 
 // Serve accepts connections on lis until Shutdown. It always returns a

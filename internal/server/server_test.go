@@ -240,6 +240,37 @@ func (e *countingEngine) Flush() error { return e.Sync() }
 // Durable: the fake claims durability so the tests exercise the
 // group-commit ack barrier.
 func (e *countingEngine) Durable() bool { return true }
+func (e *countingEngine) Close() error  { return nil }
+
+// Single-key and allocating-batch methods complete the extbuf.Engine
+// surface; the server's hot path never calls them, but the follower
+// apply loop and Engine consumers may.
+func (e *countingEngine) Insert(key, val uint64) error {
+	return e.InsertBatch([]uint64{key}, []uint64{val})
+}
+func (e *countingEngine) Upsert(key, val uint64) error { return e.Insert(key, val) }
+func (e *countingEngine) Lookup(key uint64) (uint64, bool) {
+	var v [1]uint64
+	var f [1]bool
+	e.LookupBatchInto([]uint64{key}, v[:], f[:])
+	return v[0], f[0]
+}
+func (e *countingEngine) Delete(key uint64) bool {
+	var f [1]bool
+	e.DeleteBatchInto([]uint64{key}, f[:])
+	return f[0]
+}
+func (e *countingEngine) LookupBatch(keys []uint64) ([]uint64, []bool, error) {
+	vals := make([]uint64, len(keys))
+	found := make([]bool, len(keys))
+	err := e.LookupBatchInto(keys, vals, found)
+	return vals, found, err
+}
+func (e *countingEngine) DeleteBatch(keys []uint64) ([]bool, error) {
+	found := make([]bool, len(keys))
+	err := e.DeleteBatchInto(keys, found)
+	return found, err
+}
 
 // TestOversizedBatchRejected sends a well-framed request above the
 // server's MaxBatch and expects an ERR response — with the connection

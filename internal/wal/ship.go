@@ -1,0 +1,291 @@
+// ShipLog is the replication half of the package: a server-level
+// append-only log of logical operations, written by the node that
+// executes mutations and read concurrently by any number of cursors —
+// the replication sources streaming its contents to followers. It
+// reuses the WAL's 21-byte CRC-framed record format (the LSN is mixed
+// into each record's CRC without being stored, tying records to their
+// positions) under a distinct magic, but differs from Log in lifecycle:
+// a ship log is never truncated while the server runs, appends write
+// through to the file immediately (so cursors can read them), and a
+// subscribe-style notification channel lets tail readers block until
+// new records land instead of polling.
+//
+// Concurrency contract: Append may be called from many goroutines (it
+// serializes internally and publishes records atomically), Read/NextLSN
+// and the notification channel are safe from any goroutine, and
+// cursors use pread so they never disturb the append position.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+const shipMagic = 0x4c535845 // "EXSL"
+
+// ErrShipCorrupt is returned by ShipLog.Read when a record below the
+// committed size fails its CRC — on-disk corruption, not a torn tail
+// (torn tails are healed at open).
+var ErrShipCorrupt = errors.New("wal: ship log corrupt record")
+
+// ShipLog is an open replication log. See the package comment above
+// for the concurrency contract.
+type ShipLog struct {
+	f *os.File
+
+	mu       sync.Mutex    // serializes appends and notify rotation
+	notify   chan struct{} // closed and replaced on every append
+	prealloc int64         // file extent reserved ahead of size
+
+	size atomic.Int64  // committed bytes (header + records); readers trust this
+	next atomic.Uint64 // LSN of the next append
+
+	fsyncMu sync.Mutex
+	dirty   atomic.Bool // bytes written since the last fsync
+
+	appendBuf []byte // reused encode buffer, guarded by mu
+}
+
+// OpenShip opens (creating if absent) the ship log at path and scans
+// the existing records, discarding a torn tail. A fresh (or
+// torn-header) log starts at firstLSN; an existing one resumes at its
+// recovered position, and firstLSN is ignored.
+func OpenShip(path string, firstLSN uint64) (*ShipLog, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: ship open: %w", err)
+	}
+	s := &ShipLog{f: f, notify: make(chan struct{})}
+	if err := s.recoverShip(firstLSN); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// recoverShip scans the file like Log.recover: parse or (re)write the
+// header, then validate records in bulk reads until the first CRC
+// failure ends the valid prefix.
+func (s *ShipLog) recoverShip(firstLSN uint64) error {
+	var hdr [headerBytes]byte
+	n, err := s.f.ReadAt(hdr[:], 0)
+	if err != nil && err != io.EOF {
+		return fmt.Errorf("wal: ship read header: %w", err)
+	}
+	if n < headerBytes ||
+		binary.LittleEndian.Uint32(hdr[0:4]) != shipMagic ||
+		binary.LittleEndian.Uint32(hdr[4:8]) != version ||
+		binary.LittleEndian.Uint32(hdr[16:20]) != crc32.ChecksumIEEE(hdr[:16]) {
+		// Empty file, or a header torn by a crash before any record
+		// could exist behind it: start fresh at firstLSN.
+		return s.resetShip(firstLSN)
+	}
+	lsn := binary.LittleEndian.Uint64(hdr[8:16])
+	size := int64(headerBytes)
+	buf := make([]byte, spillChunk)
+	for {
+		rn, err := s.f.ReadAt(buf, size)
+		if err != nil && err != io.EOF {
+			return fmt.Errorf("wal: ship scan: %w", err)
+		}
+		valid := 0
+		for valid+recordBytes <= rn {
+			if !validate(buf[valid:valid+recordBytes], lsn) {
+				break
+			}
+			valid += recordBytes
+			lsn++
+		}
+		size += int64(valid)
+		if valid+recordBytes <= rn || rn < len(buf) {
+			break // hit an invalid record, or the end of the file
+		}
+	}
+	s.next.Store(lsn)
+	s.size.Store(size)
+	s.prealloc = size
+	if info, err := s.f.Stat(); err == nil && info.Size() > s.prealloc {
+		s.prealloc = info.Size()
+	}
+	return nil
+}
+
+// resetShip truncates the file and writes a fresh header at firstLSN.
+func (s *ShipLog) resetShip(firstLSN uint64) error {
+	if err := s.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: ship truncate: %w", err)
+	}
+	var hdr [headerBytes]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], shipMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], version)
+	binary.LittleEndian.PutUint64(hdr[8:16], firstLSN)
+	binary.LittleEndian.PutUint32(hdr[16:20], crc32.ChecksumIEEE(hdr[:16]))
+	if _, err := s.f.WriteAt(hdr[:], 0); err != nil {
+		return fmt.Errorf("wal: ship write header: %w", err)
+	}
+	s.next.Store(firstLSN)
+	s.size.Store(headerBytes)
+	s.prealloc = headerBytes
+	s.dirty.Store(true)
+	return nil
+}
+
+// NextLSN returns the LSN the next appended record will receive; every
+// LSN below it is committed and readable.
+func (s *ShipLog) NextLSN() uint64 { return s.next.Load() }
+
+// Changed returns a channel that is closed once records are appended
+// after this call. The standard tail-follow loop is: read; if nothing
+// new, grab Changed(), re-check NextLSN (an append may have raced the
+// grab), then select on the channel.
+func (s *ShipLog) Changed() <-chan struct{} {
+	s.mu.Lock()
+	ch := s.notify
+	s.mu.Unlock()
+	return ch
+}
+
+// Append writes one record per key with the given op (vals may be nil,
+// meaning zero values — deletes), assigns consecutive LSNs, and
+// publishes them to readers before returning. It returns the LSN of
+// the first record; the batch occupies [first, first+len(keys)). The
+// records are readable immediately but durable only after Fsync.
+func (s *ShipLog) Append(op Op, keys, vals []uint64) (uint64, error) {
+	if len(keys) == 0 {
+		return s.next.Load(), nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	first := s.next.Load()
+	buf := s.appendBuf[:0]
+	lsn := first
+	var lsnb [8]byte
+	for i, k := range keys {
+		var v uint64
+		if vals != nil {
+			v = vals[i]
+		}
+		var rec [recordBytes]byte
+		rec[0] = byte(op)
+		binary.LittleEndian.PutUint64(rec[1:9], k)
+		binary.LittleEndian.PutUint64(rec[9:17], v)
+		binary.LittleEndian.PutUint64(lsnb[:], lsn)
+		h := crc32.NewIEEE()
+		h.Write(rec[:17])
+		h.Write(lsnb[:])
+		binary.LittleEndian.PutUint32(rec[17:21], h.Sum32())
+		buf = append(buf, rec[:]...)
+		lsn++
+	}
+	s.appendBuf = buf
+	size := s.size.Load()
+	if err := s.reserveShip(size + int64(len(buf))); err != nil {
+		return 0, err
+	}
+	if _, err := s.f.WriteAt(buf, size); err != nil {
+		return 0, fmt.Errorf("wal: ship append: %w", err)
+	}
+	s.dirty.Store(true)
+	// Publish: size first (readers gate on it), then the LSN, then wake
+	// tail followers by rotating the notification channel.
+	s.size.Store(size + int64(len(buf)))
+	s.next.Store(lsn)
+	close(s.notify)
+	s.notify = make(chan struct{})
+	return first, nil
+}
+
+// reserveShip extends the file in doubling steps ahead of appends, like
+// Log.reserve; the zero tail fails record CRCs, so recovery ignores it.
+func (s *ShipLog) reserveShip(size int64) error {
+	if size <= s.prealloc {
+		return nil
+	}
+	p := s.prealloc
+	if p < spillChunk {
+		p = spillChunk
+	}
+	for p < size {
+		p *= 2
+	}
+	if err := s.f.Truncate(p); err != nil {
+		return fmt.Errorf("wal: ship preallocate: %w", err)
+	}
+	s.prealloc = p
+	s.dirty.Store(true)
+	return nil
+}
+
+// Fsync makes previously appended records durable. Safe concurrently
+// with Append; a barrier that raced no appends elides the syscall.
+func (s *ShipLog) Fsync() error {
+	s.fsyncMu.Lock()
+	defer s.fsyncMu.Unlock()
+	if !s.dirty.Swap(false) {
+		return nil
+	}
+	if err := s.f.Sync(); err != nil {
+		s.dirty.Store(true)
+		return fmt.Errorf("wal: ship fsync: %w", err)
+	}
+	return nil
+}
+
+// Read fills recs with committed records starting at LSN from,
+// returning how many it read — 0 when from is at (or past) the tail.
+// Records below the committed size always validate; a CRC failure is
+// reported as ErrShipCorrupt.
+func (s *ShipLog) Read(from uint64, recs []Record) (int, error) {
+	next := s.next.Load()
+	size := s.size.Load()
+	if from >= next || len(recs) == 0 {
+		return 0, nil
+	}
+	first := next - uint64((size-headerBytes)/recordBytes)
+	if from < first {
+		return 0, fmt.Errorf("wal: ship read below log start (lsn %d < %d)", from, first)
+	}
+	avail := int(next - from)
+	if avail > len(recs) {
+		avail = len(recs)
+	}
+	off := headerBytes + int64(from-first)*recordBytes
+	buf := make([]byte, avail*recordBytes)
+	if _, err := io.ReadFull(io.NewSectionReader(s.f, off, int64(len(buf))), buf); err != nil {
+		return 0, fmt.Errorf("wal: ship read: %w", err)
+	}
+	for i := 0; i < avail; i++ {
+		rec := buf[i*recordBytes : (i+1)*recordBytes]
+		lsn := from + uint64(i)
+		if !validate(rec, lsn) {
+			return 0, fmt.Errorf("%w at lsn %d", ErrShipCorrupt, lsn)
+		}
+		recs[i] = Record{
+			LSN: lsn,
+			Op:  Op(rec[0]),
+			Key: binary.LittleEndian.Uint64(rec[1:9]),
+			Val: binary.LittleEndian.Uint64(rec[9:17]),
+		}
+	}
+	return avail, nil
+}
+
+// Close trims the preallocated tail and closes the file. Readers must
+// be stopped first.
+func (s *ShipLog) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	size := s.size.Load()
+	if s.prealloc > size {
+		if err := s.f.Truncate(size); err == nil {
+			s.prealloc = size
+		}
+	}
+	return s.f.Close()
+}

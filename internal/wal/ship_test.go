@@ -1,0 +1,178 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestShipAppendRead(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ship")
+	s, err := OpenShip(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.NextLSN(); got != 1 {
+		t.Fatalf("fresh NextLSN = %d, want 1", got)
+	}
+	first, err := s.Append(OpInsert, []uint64{10, 20, 30}, []uint64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 1 {
+		t.Fatalf("first = %d, want 1", first)
+	}
+	if first, err = s.Append(OpDelete, []uint64{20}, nil); err != nil || first != 4 {
+		t.Fatalf("second append: first=%d err=%v, want 4, nil", first, err)
+	}
+	recs := make([]Record, 16)
+	n, err := s.Read(1, recs)
+	if err != nil || n != 4 {
+		t.Fatalf("Read = %d, %v; want 4, nil", n, err)
+	}
+	want := []Record{
+		{LSN: 1, Op: OpInsert, Key: 10, Val: 1},
+		{LSN: 2, Op: OpInsert, Key: 20, Val: 2},
+		{LSN: 3, Op: OpInsert, Key: 30, Val: 3},
+		{LSN: 4, Op: OpDelete, Key: 20, Val: 0},
+	}
+	for i, w := range want {
+		if recs[i] != w {
+			t.Fatalf("rec[%d] = %+v, want %+v", i, recs[i], w)
+		}
+	}
+	// Partial read from the middle.
+	if n, err = s.Read(3, recs[:1]); err != nil || n != 1 || recs[0].Key != 30 {
+		t.Fatalf("mid read = %d (%+v), %v", n, recs[0], err)
+	}
+	// Reading at the tail returns 0 without blocking.
+	if n, _ = s.Read(5, recs); n != 0 {
+		t.Fatalf("tail read = %d, want 0", n)
+	}
+	if err := s.Fsync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShipReopenResumes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ship")
+	s, err := OpenShip(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(OpUpsert, []uint64{7, 8}, []uint64{70, 80}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// firstLSN is ignored on reopen of a valid log.
+	s, err = OpenShip(path, 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.NextLSN(); got != 3 {
+		t.Fatalf("reopened NextLSN = %d, want 3", got)
+	}
+	recs := make([]Record, 4)
+	n, err := s.Read(1, recs)
+	if err != nil || n != 2 || recs[1] != (Record{LSN: 2, Op: OpUpsert, Key: 8, Val: 80}) {
+		t.Fatalf("reopened read = %d %+v, %v", n, recs[:n], err)
+	}
+}
+
+func TestShipTornTailDropped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ship")
+	s, err := OpenShip(path, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(OpInsert, []uint64{1, 2, 3}, []uint64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last record mid-write.
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+	s, err = OpenShip(path, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.NextLSN(); got != 7 {
+		t.Fatalf("NextLSN after torn tail = %d, want 7", got)
+	}
+	// The log heals: the next append reuses the torn record's LSN.
+	if first, err := s.Append(OpInsert, []uint64{9}, []uint64{9}); err != nil || first != 7 {
+		t.Fatalf("append after tear: first=%d err=%v, want 7", first, err)
+	}
+	recs := make([]Record, 4)
+	if n, err := s.Read(5, recs); err != nil || n != 3 || recs[2].Key != 9 {
+		t.Fatalf("read after heal = %d %+v, %v", n, recs[:n], err)
+	}
+}
+
+// TestShipConcurrentTailFollow races one appender against a tail
+// follower using the Changed() notification protocol and checks the
+// follower sees every record exactly once, in order.
+func TestShipConcurrentTailFollow(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ship")
+	s, err := OpenShip(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const total = 5000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; i += 50 {
+			keys := make([]uint64, 0, 50)
+			vals := make([]uint64, 0, 50)
+			for j := i; j < i+50 && j < total; j++ {
+				keys = append(keys, uint64(j))
+				vals = append(vals, uint64(j)*3)
+			}
+			if _, err := s.Append(OpInsert, keys, vals); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	cur := uint64(1)
+	recs := make([]Record, 64)
+	for cur < total+1 {
+		n, err := s.Read(cur, recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			ch := s.Changed()
+			if s.NextLSN() > cur {
+				continue // an append raced the channel grab
+			}
+			<-ch
+			continue
+		}
+		for i := 0; i < n; i++ {
+			if recs[i].LSN != cur+uint64(i) || recs[i].Key != cur+uint64(i)-1 {
+				t.Fatalf("out-of-order record %+v at cursor %d", recs[i], cur)
+			}
+		}
+		cur += uint64(n)
+	}
+	wg.Wait()
+}

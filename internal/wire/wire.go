@@ -21,17 +21,32 @@
 //	INSERT, UPSERT   count, then count x (key, val)
 //	LOOKUP, DELETE   count, then count x key
 //	LEN, SYNC, FLUSH, STATS, PING   empty
+//	REPL_SUBSCRIBE   from LSN (uint64)
+//	REPL_ACK         received LSN (uint64); no response — flows
+//	                 follower -> primary on a subscribed connection
+//	LOOKUPAT         min LSN (uint64), count, count x key
+//	INSERTAT, UPSERTAT   count, then count x (key, val)
+//	DELETEAT         count, then count x key
+//	INFO, PROMOTE    empty
 //
 // Response payload grammar:
 //
 //	ACK     empty (mutation applied and WAL-durable; also answers
 //	        SYNC, FLUSH and PING)
 //	VALUES  count, then count x (val, found byte)     answers LOOKUP
+//	        and LOOKUPAT
 //	FOUNDS  count, then count x found byte            answers DELETE
 //	COUNT   one uint64                                answers LEN
 //	STATS   field count, then that many int64s in the
 //	        order documented on the Stats struct      answers STATS
 //	ERR     UTF-8 error text (whole payload)
+//	REPLBATCH  epoch, first LSN, count, count x (op byte, key, val);
+//	           a stream of these answers REPL_SUBSCRIBE (all echoing
+//	           its id); count 0 is a liveness heartbeat
+//	ACKT    LSN, epoch                 answers INSERTAT and UPSERTAT
+//	FOUNDST LSN, epoch, count, count x found byte     answers DELETEAT
+//	INFOR   epoch, applied LSN, writable byte, role byte
+//	                                  answers INFO and PROMOTE
 //
 // Batches are bounded: a frame whose payload exceeds MaxPayload, or a
 // count prefix above MaxBatch (or beyond the payload that carries it),
@@ -64,6 +79,18 @@ const (
 	OpFlush  Op = 7 // empty: full checkpoint barrier
 	OpStats  Op = 8 // empty
 	OpPing   Op = 9 // empty
+
+	// Replication and token-carrying requests (PR 7). Opcodes 10-15
+	// fill the remaining request space below OpAck; further requests
+	// continue at 32.
+	OpReplSubscribe Op = 10 // from LSN: stream the op log from here
+	OpReplAck       Op = 11 // received LSN: follower progress, no response
+	OpLookupAt      Op = 12 // min LSN, then a key batch
+	OpInsertAt      Op = 13 // key/value batch; answered by ACKT
+	OpUpsertAt      Op = 14 // key/value batch; answered by ACKT
+	OpDeleteAt      Op = 15 // key batch; answered by FOUNDST
+	OpInfo          Op = 32 // empty; answered by INFOR
+	OpPromote       Op = 33 // empty; answered by INFOR after promotion
 )
 
 // Response opcodes.
@@ -74,6 +101,12 @@ const (
 	OpCount  Op = 19 // one uint64
 	OpStatsR Op = 20 // field count, count x int64
 	OpErr    Op = 21 // UTF-8 error text
+
+	// Replication and token-carrying responses (PR 7).
+	OpReplBatch Op = 22 // epoch, first LSN, count, count x (op, key, val)
+	OpAckT      Op = 23 // LSN, epoch
+	OpFoundsT   Op = 24 // LSN, epoch, count, count x found byte
+	OpInfoR     Op = 25 // epoch, applied LSN, writable byte, role byte
 )
 
 // String names the opcode for logs and errors.
@@ -97,6 +130,22 @@ func (o Op) String() string {
 		return "STATS"
 	case OpPing:
 		return "PING"
+	case OpReplSubscribe:
+		return "REPL_SUBSCRIBE"
+	case OpReplAck:
+		return "REPL_ACK"
+	case OpLookupAt:
+		return "LOOKUPAT"
+	case OpInsertAt:
+		return "INSERTAT"
+	case OpUpsertAt:
+		return "UPSERTAT"
+	case OpDeleteAt:
+		return "DELETEAT"
+	case OpInfo:
+		return "INFO"
+	case OpPromote:
+		return "PROMOTE"
 	case OpAck:
 		return "ACK"
 	case OpValues:
@@ -109,6 +158,14 @@ func (o Op) String() string {
 		return "STATSR"
 	case OpErr:
 		return "ERR"
+	case OpReplBatch:
+		return "REPLBATCH"
+	case OpAckT:
+		return "ACKT"
+	case OpFoundsT:
+		return "FOUNDST"
+	case OpInfoR:
+		return "INFOR"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}
@@ -132,6 +189,23 @@ const (
 	// key/value batch of MaxBatch pairs plus its count prefix). Anything
 	// longer is rejected before it is read.
 	MaxPayload = 4 + MaxBatch*16
+
+	// MaxReplBatch bounds the records in one REPLBATCH frame: 17 bytes
+	// per record plus the 20-byte prefix stays well inside MaxPayload.
+	MaxReplBatch = 1 << 15
+)
+
+// Error-text prefixes for replication routing errors carried in ERR
+// frames. They are protocol, not presentation: clients match on them
+// to decide whether to re-route a request to another node.
+const (
+	// ErrTextReadOnly prefixes rejections of mutations sent to a
+	// non-writable node (a follower) — re-route to the primary.
+	ErrTextReadOnly = "READONLY"
+	// ErrTextBehind prefixes rejections of token-carrying reads on a
+	// replica that could not catch up to the token in time — retry
+	// here, or read from a fresher node.
+	ErrTextBehind = "BEHIND"
 )
 
 // ErrFrame is returned (wrapped) for a structurally invalid frame: bad
@@ -382,6 +456,164 @@ func DecodeCount(p []byte) (uint64, error) {
 	return binary.LittleEndian.Uint64(p), nil
 }
 
+// AppendLSN appends a bare-LSN payload (REPL_SUBSCRIBE, REPL_ACK).
+func AppendLSN(dst []byte, lsn uint64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, lsn)
+}
+
+// DecodeLSN decodes a bare-LSN payload.
+func DecodeLSN(p []byte) (uint64, error) {
+	if len(p) != 8 {
+		return 0, fmt.Errorf("%w: %d-byte LSN payload", ErrFrame, len(p))
+	}
+	return binary.LittleEndian.Uint64(p), nil
+}
+
+// AppendLookupAt appends a LOOKUPAT request payload: the minimum LSN
+// the serving node must have applied, then the key batch.
+func AppendLookupAt(dst []byte, minLSN uint64, keys []uint64) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, minLSN)
+	return AppendKeys(dst, keys)
+}
+
+// DecodeLookupAtInto decodes a LOOKUPAT payload, appending the keys.
+func DecodeLookupAtInto(p []byte, keys []uint64) (uint64, []uint64, error) {
+	if len(p) < 8 {
+		return 0, keys, fmt.Errorf("%w: %d-byte LOOKUPAT payload", ErrFrame, len(p))
+	}
+	minLSN := binary.LittleEndian.Uint64(p)
+	keys, err := DecodeKeysInto(p[8:], keys)
+	return minLSN, keys, err
+}
+
+// AppendAckT appends an ACKT response payload: the LSN assigned to the
+// mutation batch's last record and the node's replication epoch.
+func AppendAckT(dst []byte, lsn, epoch uint64) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, lsn)
+	return binary.LittleEndian.AppendUint64(dst, epoch)
+}
+
+// DecodeAckT decodes an ACKT response payload.
+func DecodeAckT(p []byte) (lsn, epoch uint64, err error) {
+	if len(p) != 16 {
+		return 0, 0, fmt.Errorf("%w: %d-byte ACKT payload", ErrFrame, len(p))
+	}
+	return binary.LittleEndian.Uint64(p), binary.LittleEndian.Uint64(p[8:]), nil
+}
+
+// AppendFoundsT appends a FOUNDST response payload: ACKT's (LSN, epoch)
+// followed by the per-key found bytes of the delete batch.
+func AppendFoundsT(dst []byte, lsn, epoch uint64, found []bool) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, lsn)
+	dst = binary.LittleEndian.AppendUint64(dst, epoch)
+	return AppendFounds(dst, found)
+}
+
+// DecodeFoundsTInto decodes a FOUNDST payload, appending the founds.
+func DecodeFoundsTInto(p []byte, found []bool) (lsn, epoch uint64, out []bool, err error) {
+	if len(p) < 16 {
+		return 0, 0, found, fmt.Errorf("%w: %d-byte FOUNDST payload", ErrFrame, len(p))
+	}
+	lsn = binary.LittleEndian.Uint64(p)
+	epoch = binary.LittleEndian.Uint64(p[8:])
+	out, err = DecodeFoundsInto(p[16:], found)
+	return lsn, epoch, out, err
+}
+
+// Node roles carried by INFOR.
+const (
+	RolePrimary  = 1 // accepts mutations, sources replication
+	RoleFollower = 2 // replays a primary's stream, serves reads
+)
+
+// Info is a node's replication identity: which epoch it is in, how far
+// it has applied, and whether it accepts mutations. Clients use it to
+// find the writable node after a failover.
+type Info struct {
+	Epoch      uint64
+	AppliedLSN uint64
+	Writable   bool
+	Role       uint8
+}
+
+// AppendInfo appends an INFOR response payload.
+func AppendInfo(dst []byte, info Info) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, info.Epoch)
+	dst = binary.LittleEndian.AppendUint64(dst, info.AppliedLSN)
+	if info.Writable {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	return append(dst, info.Role)
+}
+
+// DecodeInfo decodes an INFOR response payload.
+func DecodeInfo(p []byte) (Info, error) {
+	if len(p) != 18 {
+		return Info{}, fmt.Errorf("%w: %d-byte INFOR payload", ErrFrame, len(p))
+	}
+	return Info{
+		Epoch:      binary.LittleEndian.Uint64(p),
+		AppliedLSN: binary.LittleEndian.Uint64(p[8:]),
+		Writable:   p[16] != 0,
+		Role:       p[17],
+	}, nil
+}
+
+// ReplRec is one replicated operation in a REPLBATCH frame. Op uses
+// the WAL's operation codes (1 insert, 2 upsert, 3 delete); the LSN is
+// implicit — record i of a batch starting at firstLSN has LSN
+// firstLSN+i.
+type ReplRec struct {
+	Op       uint8
+	Key, Val uint64
+}
+
+// AppendReplBatch appends a REPLBATCH response payload. An empty batch
+// (heartbeat) carries only the epoch and next-LSN-to-ship prefix. It
+// panics on batches above MaxReplBatch — a source bug.
+func AppendReplBatch(dst []byte, epoch, firstLSN uint64, recs []ReplRec) []byte {
+	if len(recs) > MaxReplBatch {
+		panic("wire: repl batch exceeds MaxReplBatch")
+	}
+	dst = binary.LittleEndian.AppendUint64(dst, epoch)
+	dst = binary.LittleEndian.AppendUint64(dst, firstLSN)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(recs)))
+	for _, r := range recs {
+		dst = append(dst, r.Op)
+		dst = binary.LittleEndian.AppendUint64(dst, r.Key)
+		dst = binary.LittleEndian.AppendUint64(dst, r.Val)
+	}
+	return dst
+}
+
+// DecodeReplBatchInto decodes a REPLBATCH payload, appending records.
+func DecodeReplBatchInto(p []byte, recs []ReplRec) (epoch, firstLSN uint64, out []ReplRec, err error) {
+	if len(p) < 20 {
+		return 0, 0, recs, fmt.Errorf("%w: %d-byte REPLBATCH payload", ErrFrame, len(p))
+	}
+	epoch = binary.LittleEndian.Uint64(p)
+	firstLSN = binary.LittleEndian.Uint64(p[8:])
+	n := int(binary.LittleEndian.Uint32(p[16:]))
+	if n > MaxReplBatch {
+		return 0, 0, recs, fmt.Errorf("%w: repl batch of %d records", ErrTooLarge, n)
+	}
+	body := p[20:]
+	if len(body) != n*17 {
+		return 0, 0, recs, fmt.Errorf("%w: repl batch of %d needs %d payload bytes, frame has %d",
+			ErrFrame, n, n*17, len(body))
+	}
+	for i := 0; i < n; i++ {
+		recs = append(recs, ReplRec{
+			Op:  body[i*17],
+			Key: binary.LittleEndian.Uint64(body[i*17+1:]),
+			Val: binary.LittleEndian.Uint64(body[i*17+9:]),
+		})
+	}
+	return epoch, firstLSN, recs, nil
+}
+
 // Stats is the wire form of the server's STATS reply: the engine's
 // length and memory gauges, its model counters (extbuf.Stats), and the
 // aggregated backend real-cost counters (extbuf.StoreStats) — carried
@@ -394,6 +626,7 @@ type Stats struct {
 	MemoryUsed int64
 	Ops        extbuf.Stats
 	Store      extbuf.StoreStats
+	Repl       extbuf.ReplStats
 }
 
 // statsFields lists the encoded fields in wire order. The order is the
@@ -405,6 +638,8 @@ func (s *Stats) statsFields() []*int64 {
 		&s.Store.BytesRead, &s.Store.BytesWritten, &s.Store.Evictions, &s.Store.DirtyWritebacks,
 		&s.Store.FlushedFrames, &s.Store.FlushRuns, &s.Store.Fsyncs, &s.Store.WALSpills, &s.Store.WALFsyncs,
 		&s.Store.FsyncsElided, &s.Store.GhostHits, &s.Store.WALFsyncsElided,
+		// PR 7: replication counters.
+		&s.Repl.Epoch, &s.Repl.CurrentLSN, &s.Repl.FollowerLag, &s.Repl.FramesShipped, &s.Repl.FramesReplayed,
 	}
 }
 

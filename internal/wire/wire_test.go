@@ -223,3 +223,65 @@ func FuzzWireFrame(f *testing.F) {
 		}
 	})
 }
+
+// TestReplPayloadRoundTrips covers the PR 7 replication and token
+// codecs: REPLBATCH, ACKT, FOUNDST, INFOR, LOOKUPAT and the bare-LSN
+// payloads.
+func TestReplPayloadRoundTrips(t *testing.T) {
+	lsn, err := DecodeLSN(AppendLSN(nil, 42))
+	if err != nil || lsn != 42 {
+		t.Fatalf("lsn = %d, %v", lsn, err)
+	}
+
+	minLSN, keys, err := DecodeLookupAtInto(AppendLookupAt(nil, 77, []uint64{1, 2}), nil)
+	if err != nil || minLSN != 77 || len(keys) != 2 || keys[1] != 2 {
+		t.Fatalf("lookupat = %d %v, %v", minLSN, keys, err)
+	}
+
+	alsn, aepoch, err := DecodeAckT(AppendAckT(nil, 9, 3))
+	if err != nil || alsn != 9 || aepoch != 3 {
+		t.Fatalf("ackt = %d %d, %v", alsn, aepoch, err)
+	}
+
+	flsn, fepoch, found, err := DecodeFoundsTInto(AppendFoundsT(nil, 10, 4, []bool{true, false}), nil)
+	if err != nil || flsn != 10 || fepoch != 4 || len(found) != 2 || !found[0] || found[1] {
+		t.Fatalf("foundst = %d %d %v, %v", flsn, fepoch, found, err)
+	}
+
+	info := Info{Epoch: 2, AppliedLSN: 100, Writable: true, Role: RolePrimary}
+	gotInfo, err := DecodeInfo(AppendInfo(nil, info))
+	if err != nil || gotInfo != info {
+		t.Fatalf("info = %+v, %v; want %+v", gotInfo, err, info)
+	}
+
+	recs := []ReplRec{{Op: 1, Key: 5, Val: 50}, {Op: 3, Key: 6, Val: 0}}
+	epoch, firstLSN, gotRecs, err := DecodeReplBatchInto(AppendReplBatch(nil, 7, 1000, recs), nil)
+	if err != nil || epoch != 7 || firstLSN != 1000 || len(gotRecs) != 2 ||
+		gotRecs[0] != recs[0] || gotRecs[1] != recs[1] {
+		t.Fatalf("replbatch = %d %d %v, %v", epoch, firstLSN, gotRecs, err)
+	}
+	// Heartbeat: an empty batch round-trips.
+	epoch, firstLSN, gotRecs, err = DecodeReplBatchInto(AppendReplBatch(nil, 7, 1000, nil), nil)
+	if err != nil || epoch != 7 || firstLSN != 1000 || len(gotRecs) != 0 {
+		t.Fatalf("heartbeat = %d %d %v, %v", epoch, firstLSN, gotRecs, err)
+	}
+	// The largest legal repl batch stays inside MaxPayload.
+	big := make([]ReplRec, MaxReplBatch)
+	if p := AppendReplBatch(nil, 1, 1, big); len(p) > MaxPayload {
+		t.Fatalf("MaxReplBatch payload %d exceeds MaxPayload %d", len(p), MaxPayload)
+	}
+
+	// An oversized count is rejected before any allocation.
+	bad := AppendReplBatch(nil, 1, 1, nil)
+	binary.LittleEndian.PutUint32(bad[16:], MaxReplBatch+1)
+	if _, _, _, err := DecodeReplBatchInto(bad, nil); err == nil {
+		t.Fatal("oversized repl batch accepted")
+	}
+
+	// Stats round-trips the appended replication fields.
+	st := Stats{Len: 1, Repl: extbuf.ReplStats{Epoch: 2, CurrentLSN: 3, FollowerLag: 4, FramesShipped: 5, FramesReplayed: 6}}
+	got, err := DecodeStats(AppendStats(nil, st))
+	if err != nil || got != st {
+		t.Fatalf("stats = %+v, %v; want %+v", got, err, st)
+	}
+}

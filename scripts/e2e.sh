@@ -17,6 +17,14 @@
 # recovery becoming accidentally serial or quadratic, not a tight perf
 # gate.
 #
+# Phase 4 (replication failover): boot a durable semi-sync primary
+# (-syncfollowers 1) plus a follower replica, drive zipf load with an
+# acked-write log while a quarter of acked batches are re-read on the
+# replica carrying their ReadToken, kill -9 the primary mid-traffic,
+# promote the follower, and verify — against the promoted node — that
+# every acked write survived and zero token reads violated
+# read-your-writes.
+#
 # Usage: scripts/e2e.sh [bindir]   (defaults to ./bin; binaries are
 # built if missing)
 set -euo pipefail
@@ -34,6 +42,7 @@ OK=0
 # artifact); only a fully green run cleans up after itself.
 cleanup() {
   kill -9 "${SRV_PID:-}" 2>/dev/null || true
+  kill -9 "${FOLLOWER_PID:-}" 2>/dev/null || true
   if [ "$OK" = 1 ]; then
     rm -rf "$WORK"
   else
@@ -139,6 +148,71 @@ if [ "$REOPEN_MS" -gt "$REOPEN_MAX_MS" ]; then
   echo "FAIL: recovery took ${REOPEN_MS} ms, gate is ${REOPEN_MAX_MS} ms" >&2
   exit 1
 fi
+
+echo "=== e2e phase 4: replication failover (kill -9 primary, promote follower, gate: zero acked-write loss, zero token violations) ==="
+FAIL_SECS=${FAIL_SECS:-10s}
+PDATA="$WORK/repl-primary"
+FDATA="$WORK/repl-follower"
+mkdir -p "$PDATA" "$FDATA"
+"$BIN/hashserved" -addr 127.0.0.1:0 -backend file -path "$PDATA/t" -shards 4 \
+  -syncfollowers 1 -addrfile "$WORK/addr-p" -quiet >"$WORK/srv-p.log" 2>&1 &
+SRV_PID=$!
+PADDR=$(wait_addr "$WORK/addr-p")
+"$BIN/hashserved" -addr 127.0.0.1:0 -backend file -path "$FDATA/t" -shards 4 \
+  -follow "$PADDR" -addrfile "$WORK/addr-f" -quiet >"$WORK/srv-f.log" 2>&1 &
+FOLLOWER_PID=$!
+FADDR=$(wait_addr "$WORK/addr-f")
+sleep 1 # let the follower subscribe before semi-sync acks depend on it
+
+"$BIN/hashload" -addr "$PADDR" -replica "$FADDR" -duration "$FAIL_SECS" \
+  -conns 4 -workers 8 -batch 128 -lookupfrac 0.3 -dist zipf \
+  -acklog "$WORK/repl-acks.log" -summary "$WORK/failover.json" \
+  >"$WORK/load4.log" 2>&1 &
+LOAD_PID=$!
+sleep 4
+echo "kill -9 $SRV_PID (primary, mid-traffic)"
+kill -9 "$SRV_PID"
+SRV_PID=
+wait "$LOAD_PID" || { echo "FAIL: hashload did not tolerate the primary dying" >&2; cat "$WORK/load4.log" >&2; exit 1; }
+grep '^SUMMARY ' "$WORK/load4.log"
+
+read -r TCHECKS TVIOLS RACKED < <(awk '/^SUMMARY /{
+  for (i = 1; i <= NF; i++) {
+    if ($i ~ /^token_checks=/)     { split($i, a, "="); c = a[2] }
+    if ($i ~ /^token_violations=/) { split($i, b, "="); v = b[2] }
+    if ($i ~ /^acked_inserts=/)    { split($i, d, "="); n = d[2] }
+  }
+  printf "%d %d %d\n", c, v, n
+}' "$WORK/load4.log")
+echo "failover load: $RACKED acked inserts, $TCHECKS token reads on the replica, $TVIOLS violations"
+if [ "$RACKED" -eq 0 ]; then
+  echo "FAIL: no acked writes before the primary was killed — gate proved nothing" >&2
+  exit 1
+fi
+if [ "$TCHECKS" -eq 0 ]; then
+  echo "FAIL: no token-carrying replica reads ran — read-your-writes was not exercised" >&2
+  exit 1
+fi
+if [ "$TVIOLS" -ne 0 ]; then
+  echo "FAIL: $TVIOLS token reads on the replica violated read-your-writes" >&2
+  exit 1
+fi
+
+echo "--- promoting the follower ---"
+"$BIN/hashload" -addr "$FADDR" -promote | tee "$WORK/promote.out"
+grep -q 'PROMOTED role=primary writable=true epoch=1' "$WORK/promote.out" || {
+  echo "FAIL: promotion did not yield a writable epoch-1 primary" >&2
+  exit 1
+}
+
+echo "--- verifying every acked write against the promoted node ---"
+"$BIN/hashload" -addr "$FADDR" -verify "$WORK/repl-acks.log"
+
+echo "--- graceful SIGTERM drain of the promoted node ---"
+kill -TERM "$FOLLOWER_PID"
+wait "$FOLLOWER_PID"
+FOLLOWER_PID=
+grep checkpointed "$WORK/srv-f.log"
 
 OK=1
 echo "=== e2e OK ==="
