@@ -1,0 +1,134 @@
+package extbuf_test
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"extbuf"
+	"extbuf/internal/wal"
+)
+
+// TestLegacyShipOrderAnomaly reconstructs the pre-fix §2a failure mode
+// and demonstrates it: mutations applied through the plain batch path
+// and shipped AFTERWARDS, per "connection" (goroutine), so the window
+// between engine apply and ship append lets two racing writers apply
+// A-then-B but ship B-then-A. Replaying such a log settles on a
+// different value than the engine — the silent replica divergence the
+// shard-sequenced ship seam eliminates.
+//
+// The divergence is only OBSERVABLE when an inversion hits the last
+// writes of a run (earlier inversions are papered over by later
+// agreeing writes), so the test runs many short racing trials instead
+// of one long one, and yields between apply and ship — the preemption
+// point the legacy code left open to the scheduler anyway.
+//
+// The test is gated off: the racy path no longer exists in the server,
+// so this is a demonstration harness, not a regression gate, and losing
+// a race is probabilistic — CI must not depend on it. Run it with
+//
+//	EXTBUF_ANOMALY_REPRO=1 go test -run TestLegacyShipOrderAnomaly -v .
+//
+// The fixed path's counterpart assertions live in
+// internal/server TestOneKeyHammerOrderIdentical, which runs always.
+func TestLegacyShipOrderAnomaly(t *testing.T) {
+	if os.Getenv("EXTBUF_ANOMALY_REPRO") == "" {
+		t.Skip("legacy failing-mode demo; set EXTBUF_ANOMALY_REPRO=1 to run")
+	}
+	const (
+		hotKey  = uint64(7)
+		writers = 4
+		rounds  = 100
+		trials  = 2000
+	)
+	for trial := 0; trial < trials; trial++ {
+		engineVal, replayVal, err := runLegacyShipTrial(hotKey, writers, rounds, trial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if replayVal != engineVal {
+			t.Logf("trial %d reproduced §2a divergence: engine settled on %#x, ship-log replay on %#x",
+				trial, engineVal, replayVal)
+			return
+		}
+	}
+	t.Fatalf("anomaly did not reproduce in %d trials (the race is probabilistic; rerun or raise trials)", trials)
+}
+
+// runLegacyShipTrial races writers through the legacy apply-then-ship
+// shape on one engine+log pair and returns the engine's final value for
+// the hot key alongside the value a follower's replay would settle on.
+func runLegacyShipTrial(hotKey uint64, writers, rounds, trial int) (engineVal, replayVal uint64, err error) {
+	s, err := extbuf.NewSharded("buffered", extbuf.Config{}, 4)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer s.Close()
+	dir, err := os.MkdirTemp("", "anomaly")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.RemoveAll(dir)
+	ship, err := wal.OpenShip(dir+"/ship.log", 1)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer ship.Close()
+
+	errCh := make(chan error, writers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			keys := []uint64{hotKey}
+			vals := []uint64{0}
+			for i := 0; i < rounds; i++ {
+				vals[0] = uint64(w)<<32 | uint64(i+1)
+				// The legacy PR 7 shape: apply, THEN ship, with nothing
+				// tying the two orders together across goroutines. The
+				// yield sits exactly in the window the bug leaves open.
+				if err := s.UpsertBatch(keys, vals); err != nil {
+					errCh <- err
+					return
+				}
+				runtime.Gosched()
+				if _, err := ship.Append(wal.OpUpsert, keys, vals); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return 0, 0, fmt.Errorf("trial %d: %w", trial, err)
+	default:
+	}
+
+	engineVal, ok := s.Lookup(hotKey)
+	if !ok {
+		return 0, 0, fmt.Errorf("trial %d: hot key missing from engine", trial)
+	}
+	// Replay the ship log the way a follower would: last record wins.
+	recs := make([]wal.Record, 512)
+	cur := ship.StartLSN()
+	for {
+		n, err := ship.Read(cur, recs)
+		if err != nil {
+			return 0, 0, fmt.Errorf("trial %d: %w", trial, err)
+		}
+		if n == 0 {
+			return engineVal, replayVal, nil
+		}
+		for _, rec := range recs[:n] {
+			if rec.Key == hotKey {
+				replayVal = rec.Val
+			}
+		}
+		cur += uint64(n)
+	}
+}

@@ -28,13 +28,30 @@
 // separately). -promote asks the node at -addr to become the writable
 // primary and exits — the failover step after a primary dies.
 //
+// Contended writes: -overlap N abandons the disjoint per-worker key
+// spaces and instead has every worker upsert into ONE shared keyspace
+// of N keys (Zipf-skewed with -dist zipf, so a few keys are hammered
+// from many connections at once) — the §2a total-write-order trigger.
+// Values are still globally unique, but which write wins a key is
+// decided by the server's apply order, so the ack log records bare
+// presence ("k <key>") and replica token checks only demand the key
+// exists at the token, not any particular value.
+//
+// Convergence: -diff FILE (with -replica) is the post-run/post-failover
+// gate for overlap runs: it waits until -addr and -replica report the
+// same applied LSN, then reads every key the log mentions on both nodes
+// and fails on ANY difference in value or presence — the check that a
+// replica did not silently diverge under contention.
+//
 // Usage:
 //
 //	hashload -addr HOST:PORT [-conns 4] [-workers 16] [-pipeline 16]
 //	         [-batch 256] [-duration 10s] [-lookupfrac 0.5]
 //	         [-deletefrac 0] [-dist uniform|zipf] [-zipfexp 1.5]
 //	         [-seed 42] [-acklog FILE] [-summary FILE] [-replica HOST:PORT]
+//	         [-overlap N]
 //	hashload -addr HOST:PORT -verify FILE
+//	hashload -addr HOST:PORT -replica HOST:PORT -diff FILE
 //	hashload -addr HOST:PORT -promote
 //
 // The run always ends with a machine-readable line:
@@ -83,6 +100,8 @@ func main() {
 		sumPath    = flag.String("summary", "", "write a JSON summary here")
 		replica    = flag.String("replica", "", "read replica address: verify token reads there during the run")
 		promote    = flag.Bool("promote", false, "promote the node at -addr to writable primary and exit")
+		overlap    = flag.Int("overlap", 0, "contended mode: all workers upsert one shared keyspace of N keys")
+		diffPath   = flag.String("diff", "", "wait for -addr and -replica to converge, diff the keys in this acklog, and exit")
 	)
 	flag.Parse()
 	if *addr == "" {
@@ -131,6 +150,16 @@ func main() {
 		defer rcl.Close()
 	}
 
+	if *diffPath != "" {
+		if rcl == nil {
+			log.Fatal("-diff requires -replica")
+		}
+		if err := diffConverged(cl, rcl, *diffPath, *batch); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	run(cl, rcl, runConfig{
 		workers:    *workers,
 		batch:      *batch,
@@ -142,6 +171,7 @@ func main() {
 		seed:       *seed,
 		ackPath:    *ackPath,
 		sumPath:    *sumPath,
+		overlap:    *overlap,
 	})
 }
 
@@ -156,6 +186,7 @@ type runConfig struct {
 	seed       uint64
 	ackPath    string
 	sumPath    string
+	overlap    int // shared contended keyspace size; 0 = disjoint spaces
 }
 
 // ackLog serializes mutation records from all workers into one
@@ -164,7 +195,9 @@ type runConfig struct {
 // deletes, written when the delete is ISSUED: an unacked delete may
 // still have applied durably, so issue-time logging conservatively
 // removes the key from the verified set instead of falsely claiming
-// it live (see verify).
+// it live (see verify). Contended-mode upserts log "k <key>" after the
+// ack: the key is durably present, but which worker's value won it is
+// the server's call, so verification is presence-only.
 type ackLog struct {
 	mu sync.Mutex
 	w  *bufio.Writer
@@ -189,6 +222,17 @@ func (a *ackLog) inserts(keys, vals []uint64) {
 	a.mu.Lock()
 	for i := range keys {
 		fmt.Fprintf(a.w, "i %d %d\n", keys[i], vals[i])
+	}
+	a.mu.Unlock()
+}
+
+func (a *ackLog) contended(keys []uint64) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	for _, k := range keys {
+		fmt.Fprintf(a.w, "k %d\n", k)
 	}
 	a.mu.Unlock()
 }
@@ -321,6 +365,9 @@ func run(cl, rcl *client.Client, cfg runConfig) {
 // connection dies. Worker w owns key space w<<40 | counter (mixed), so
 // inserts are globally fresh without coordination.
 func worker(ctx context.Context, cancel context.CancelFunc, cl, rcl *client.Client, cfg runConfig, w int, ack *ackLog) workerResult {
+	if cfg.overlap > 0 {
+		return overlapWorker(ctx, cancel, cl, rcl, cfg, w, ack)
+	}
 	var res workerResult
 	rng := xrand.New(cfg.seed + uint64(w)*0x9e3779b97f4a7c15)
 	zipf := workload.MakeRecencyZipf(cfg.zipfExp)
@@ -403,8 +450,54 @@ func worker(ctx context.Context, cancel context.CancelFunc, cl, rcl *client.Clie
 				// The token obliges the replica to serve these exact writes
 				// (or answer BEHIND); anything else is a violation.
 				if rcl != nil && rng.Intn(4) == 0 {
-					rcl = replicaCheck(ctx, rcl, &res, w, keys, vals, tok)
+					rcl = replicaCheck(ctx, rcl, &res, w, keys, vals, tok, false)
 				}
+			}
+		}
+	}
+	return res
+}
+
+// overlapWorker is the contended-mode loop: every worker upserts into
+// the same keyspace [1, cfg.overlap], Zipf-skewed toward low ranks with
+// -dist zipf, so hot keys take concurrent writes from many connections
+// — exactly the interleaving that used to permute the ship log against
+// apply order. Values stay globally unique (worker|counter) so a
+// convergence diff can tell WHICH write each node kept; the workers
+// themselves make no value claims, only presence ones.
+func overlapWorker(ctx context.Context, cancel context.CancelFunc, cl, rcl *client.Client, cfg runConfig, w int, ack *ackLog) workerResult {
+	var res workerResult
+	rng := xrand.New(cfg.seed + uint64(w)*0x9e3779b97f4a7c15)
+	zipf := workload.MakeRecencyZipf(cfg.zipfExp)
+	var (
+		counter uint64
+		keys    = make([]uint64, 0, cfg.batch)
+		vals    = make([]uint64, 0, cfg.batch)
+	)
+	pick := func() uint64 {
+		if cfg.zipf {
+			return uint64(zipf.Rank(rng, cfg.overlap) + 1)
+		}
+		return uint64(rng.Intn(cfg.overlap) + 1)
+	}
+	for ctx.Err() == nil {
+		keys = keys[:0]
+		vals = vals[:0]
+		for i := 0; i < cfg.batch; i++ {
+			counter++
+			keys = append(keys, pick())
+			vals = append(vals, uint64(w)<<40|counter)
+		}
+		t0 := time.Now()
+		tok, err := cl.Upsert(ctx, keys, vals)
+		if done := tally(&res, cancel, ctx, err, cfg.batch, t0); done {
+			return res
+		}
+		if err == nil {
+			res.ackedInserts += int64(len(keys))
+			ack.contended(keys)
+			if rcl != nil && rng.Intn(4) == 0 {
+				rcl = replicaCheck(ctx, rcl, &res, w, keys, vals, tok, true)
 			}
 		}
 	}
@@ -414,14 +507,17 @@ func worker(ctx context.Context, cancel context.CancelFunc, cl, rcl *client.Clie
 // replicaCheck re-reads one acked insert batch on the replica with its
 // token, tallying violations. It returns the replica client to keep
 // using — nil after a connection-level failure (the replica died; the
-// run against the primary continues, checks just stop).
-func replicaCheck(ctx context.Context, rcl *client.Client, res *workerResult, w int, keys, vals []uint64, tok client.ReadToken) *client.Client {
+// run against the primary continues, checks just stop). presenceOnly
+// relaxes the value claim for contended keys: a concurrent writer may
+// legitimately overwrite between this worker's ack and its re-read, so
+// only a MISSING key violates the token there.
+func replicaCheck(ctx context.Context, rcl *client.Client, res *workerResult, w int, keys, vals []uint64, tok client.ReadToken, presenceOnly bool) *client.Client {
 	res.tokenChecks++
 	got, found, err := rcl.Lookup(ctx, keys, tok)
 	switch {
 	case err == nil:
 		for i := range keys {
-			if !found[i] || got[i] != vals[i] {
+			if !found[i] || (!presenceOnly && got[i] != vals[i]) {
 				res.tokenViols++
 				if res.tokenViols <= 10 {
 					log.Printf("worker %d: TOKEN VIOLATION key %d on replica: (%d,%v), want (%d,true) at lsn %d",
@@ -490,17 +586,17 @@ func percentile(h *stats.Histogram, q float64) int {
 	return vs[len(vs)-1]
 }
 
-// verify replays an acked-write log against the server: every key the
-// log leaves live must be present with its logged value, and the
-// server's Len must cover the log's live set. Exits nonzero via error
-// on any acked-write loss.
-func verify(cl *client.Client, path string, batch int) error {
+// parseAckLog reads an acked-write log into the value-checked live set
+// ("i" lines) and the presence-only contended set ("k" lines); "d"
+// lines conservatively remove from both.
+func parseAckLog(path string) (live map[uint64]uint64, present map[uint64]bool, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	defer f.Close()
-	live := make(map[uint64]uint64)
+	live = make(map[uint64]uint64)
+	present = make(map[uint64]bool)
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	line := 0
@@ -512,21 +608,45 @@ func verify(cl *client.Client, path string, batch int) error {
 			k, err1 := strconv.ParseUint(fields[1], 10, 64)
 			v, err2 := strconv.ParseUint(fields[2], 10, 64)
 			if err1 != nil || err2 != nil {
-				return fmt.Errorf("acklog line %d: %q", line, sc.Text())
+				return nil, nil, fmt.Errorf("acklog line %d: %q", line, sc.Text())
 			}
 			live[k] = v
+		case len(fields) == 2 && fields[0] == "k":
+			k, err1 := strconv.ParseUint(fields[1], 10, 64)
+			if err1 != nil {
+				return nil, nil, fmt.Errorf("acklog line %d: %q", line, sc.Text())
+			}
+			present[k] = true
 		case len(fields) == 2 && fields[0] == "d":
 			k, err1 := strconv.ParseUint(fields[1], 10, 64)
 			if err1 != nil {
-				return fmt.Errorf("acklog line %d: %q", line, sc.Text())
+				return nil, nil, fmt.Errorf("acklog line %d: %q", line, sc.Text())
 			}
 			delete(live, k)
+			delete(present, k)
 		default:
-			return fmt.Errorf("acklog line %d: %q", line, sc.Text())
+			return nil, nil, fmt.Errorf("acklog line %d: %q", line, sc.Text())
 		}
 	}
 	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	return live, present, nil
+}
+
+// verify replays an acked-write log against the server: every key the
+// log leaves live must be present — with its logged value for "i"
+// records, any value for contended "k" records — and the server's Len
+// must cover the log's live set. Exits nonzero via error on any
+// acked-write loss.
+func verify(cl *client.Client, path string, batch int) error {
+	live, present, err := parseAckLog(path)
+	if err != nil {
 		return err
+	}
+	// A key both inserted and contended is checked presence-only.
+	for k := range present {
+		delete(live, k)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
@@ -534,7 +654,7 @@ func verify(cl *client.Client, path string, batch int) error {
 	keys := make([]uint64, 0, batch)
 	wants := make([]uint64, 0, batch)
 	var checked, missing, mismatched int
-	flush := func() error {
+	flush := func(valCheck bool) error {
 		if len(keys) == 0 {
 			return nil
 		}
@@ -550,7 +670,7 @@ func verify(cl *client.Client, path string, batch int) error {
 				if missing <= 10 {
 					log.Printf("MISSING acked key %d", keys[i])
 				}
-			case vals[i] != wants[i]:
+			case valCheck && vals[i] != wants[i]:
 				mismatched++
 				if mismatched <= 10 {
 					log.Printf("MISMATCH key %d: got %d, want %d", keys[i], vals[i], wants[i])
@@ -565,26 +685,119 @@ func verify(cl *client.Client, path string, batch int) error {
 		keys = append(keys, k)
 		wants = append(wants, v)
 		if len(keys) == batch {
-			if err := flush(); err != nil {
+			if err := flush(true); err != nil {
 				return err
 			}
 		}
 	}
-	if err := flush(); err != nil {
+	if err := flush(true); err != nil {
+		return err
+	}
+	for k := range present {
+		keys = append(keys, k)
+		wants = append(wants, 0)
+		if len(keys) == batch {
+			if err := flush(false); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(false); err != nil {
 		return err
 	}
 	n, err := cl.Len(ctx)
 	if err != nil {
 		return err
 	}
+	liveSet := len(live) + len(present)
 	fmt.Printf("verified %d acked writes: %d missing, %d mismatched; server Len=%d (acked live set %d)\n",
-		checked, missing, mismatched, n, len(live))
+		checked, missing, mismatched, n, liveSet)
 	if missing > 0 || mismatched > 0 {
 		return fmt.Errorf("acked-write loss: %d missing, %d mismatched of %d", missing, mismatched, checked)
 	}
-	if n < len(live) {
-		return fmt.Errorf("server Len %d below acked live set %d", n, len(live))
+	if n < liveSet {
+		return fmt.Errorf("server Len %d below acked live set %d", n, liveSet)
 	}
 	fmt.Println("VERIFY OK")
+	return nil
+}
+
+// diffConverged waits for the two nodes to report the same applied LSN
+// — with no writers running, both horizons are static once the stream
+// drains — then reads every key the acklog mentions on both and fails
+// on any presence or value difference. This is the convergence gate for
+// contended runs: token checks prove read-your-writes during the run,
+// the diff proves the replica ended bit-identical on the contended set.
+func diffConverged(cl, rcl *client.Client, path string, batch int) error {
+	live, present, err := parseAckLog(path)
+	if err != nil {
+		return err
+	}
+	all := make([]uint64, 0, len(live)+len(present))
+	for k := range live {
+		all = append(all, k)
+	}
+	for k := range present {
+		if _, dup := live[k]; !dup {
+			all = append(all, k)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	var aLSN, bLSN uint64
+	for {
+		a, err := cl.Info(ctx)
+		if err != nil {
+			return fmt.Errorf("primary info: %w", err)
+		}
+		b, err := rcl.Info(ctx)
+		if err != nil {
+			return fmt.Errorf("replica info: %w", err)
+		}
+		aLSN, bLSN = a.AppliedLSN, b.AppliedLSN
+		if aLSN == bLSN {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("nodes never converged: applied %d vs %d", aLSN, bLSN)
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+
+	var checked, diffs int
+	for base := 0; base < len(all); base += batch {
+		end := base + batch
+		if end > len(all) {
+			end = len(all)
+		}
+		keys := all[base:end]
+		av, af, err := cl.LookupBatch(ctx, keys)
+		if err != nil {
+			return fmt.Errorf("primary read: %w", err)
+		}
+		bv, bf, err := rcl.LookupBatch(ctx, keys)
+		if err != nil {
+			return fmt.Errorf("replica read: %w", err)
+		}
+		for i := range keys {
+			checked++
+			if af[i] != bf[i] || (af[i] && av[i] != bv[i]) {
+				diffs++
+				if diffs <= 10 {
+					log.Printf("DIFF key %d: primary (%d,%v), replica (%d,%v)",
+						keys[i], av[i], af[i], bv[i], bf[i])
+				}
+			}
+		}
+	}
+	fmt.Printf("converged at lsn %d; diffed %d keys: %d differences\n", aLSN, checked, diffs)
+	fmt.Printf("DIFFSUMMARY lsn=%d keys=%d diffs=%d\n", aLSN, checked, diffs)
+	if diffs > 0 {
+		return fmt.Errorf("replica divergence: %d of %d keys differ", diffs, checked)
+	}
+	fmt.Println("CONVERGED OK")
 	return nil
 }

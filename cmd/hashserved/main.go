@@ -21,6 +21,7 @@
 //	           [-cache 512] [-flush sync|async] [-maxbatch 4096]
 //	           [-pipeline 64] [-addrfile FILE] [-drain 30s] [-leakcheck]
 //	           [-repl] [-follow ADDR] [-syncfollowers N] [-synctimeout 5s]
+//	           [-shipretain N]
 //
 // -addrfile writes the bound address (useful with -addr :0) to a file
 // once listening, for scripts. -leakcheck verifies at shutdown that no
@@ -81,6 +82,7 @@ func main() {
 		follow    = flag.String("follow", "", "start as a read-only follower replaying from this primary address")
 		syncFoll  = flag.Int("syncfollowers", 0, "withhold mutation acks until this many followers confirm applying")
 		syncTmo   = flag.Duration("synctimeout", 5*time.Second, "semi-sync: bound on the follower-ack wait")
+		shipKeep  = flag.Int("shipretain", 0, "follower: truncate the ship log to its newest N records at each durability sync (0: keep all)")
 	)
 	flag.Parse()
 	if *follow != "" || *syncFoll > 0 {
@@ -137,6 +139,7 @@ func main() {
 			Follow:        *follow,
 			SyncFollowers: *syncFoll,
 			SyncTimeout:   *syncTmo,
+			ShipRetain:    *shipKeep,
 		}
 	}
 	srv, err := server.NewServer(scfg)

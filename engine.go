@@ -1,5 +1,7 @@
 package extbuf
 
+import "extbuf/internal/wal"
+
 // Engine is the full serving surface of a table: the single-key Table
 // operations plus the order-preserving batch operations and the
 // Durable capability probe. Both Sharded (worker-per-shard pipeline)
@@ -34,7 +36,47 @@ type Engine interface {
 	// Durable reports whether Sync buys crash durability (the durable
 	// file backend). Serving layers skip the commit barrier when false.
 	Durable() bool
+
+	// SetShip installs (or, with nil, removes) the ship sink the
+	// *BatchShip variants emit applied mutations to. It must be called
+	// before any Ship-variant mutation is submitted and must not run
+	// concurrently with them: the seam is wired once at serving-layer
+	// construction, not toggled under load.
+	SetShip(fn ShipFunc)
+	// InsertBatchShip is InsertBatch, plus: each successfully applied
+	// pair is emitted to the ship sink UNDER THE SAME ORDERING THE
+	// ENGINE APPLIES WITH (per key: apply order == ship order — the
+	// replication total-order guarantee, DESIGN.md §2a). It returns the
+	// highest ship LSN assigned to the batch — 0 when no sink is
+	// installed, the batch is empty, or nothing applied. A partially
+	// failed batch ships its applied subset and still returns the
+	// first apply error.
+	InsertBatchShip(keys, vals []uint64) (uint64, error)
+	// UpsertBatchShip is UpsertBatch with InsertBatchShip's shipping
+	// contract.
+	UpsertBatchShip(keys, vals []uint64) (uint64, error)
+	// DeleteBatchShipInto is DeleteBatchInto with the shipping
+	// contract; every attempted delete ships (a miss is an idempotent
+	// no-op on a replica), so the record stream stays dense.
+	DeleteBatchShipInto(keys []uint64, found []bool) (uint64, error)
 }
+
+// ShipFunc is the replication seam: a multi-producer ordered append
+// into the node's ship log. It writes one record per key with the
+// given op (vals nil means zero values — deletes), assigns
+// consecutive LSNs, and returns the LSN of the first record. The
+// engine invokes it from shard workers while they still own the
+// per-shard apply order, so the sink's internal serialization (the
+// ship log's append mutex) is the merge stage that makes the LSN
+// order a true total order of applied mutations.
+type ShipFunc func(op uint8, keys, vals []uint64) (uint64, error)
+
+// Ship record operation codes, matching the WAL/ship-log record ops.
+const (
+	ShipInsert = uint8(wal.OpInsert)
+	ShipUpsert = uint8(wal.OpUpsert)
+	ShipDelete = uint8(wal.OpDelete)
+)
 
 var (
 	_ Engine = (*Sharded)(nil)
@@ -76,6 +118,10 @@ type ReplStats struct {
 	// FramesReplayed counts replication batches this node applied as
 	// a follower.
 	FramesReplayed int64
+	// ShipStartLSN is the LSN of the oldest record still in the node's
+	// ship log — above 1 once prefix truncation has run, so operators
+	// can see the retained window of a bounded follower log.
+	ShipStartLSN int64
 }
 
 // batch runs a per-key mutation over a batch, enforcing the length
@@ -155,3 +201,80 @@ func (g *guard) DeleteBatchInto(keys []uint64, found []bool) error {
 // Durable reports whether the guarded table was opened on the durable
 // file backend.
 func (g *guard) Durable() bool { return g.durable }
+
+// SetShip installs the ship sink on the guarded table. Single tables
+// are single-goroutine by contract, so "apply then ship, per key, in
+// call order" is trivially the total order the seam requires.
+func (g *guard) SetShip(fn ShipFunc) { g.ship = fn }
+
+// mutateBatchShip applies a per-key mutation over the batch and ships
+// the applied subset in apply order, returning the batch's highest
+// ship LSN and the first apply (or ship) error.
+func (g *guard) mutateBatchShip(op uint8, keys, vals []uint64, apply func(k, v uint64) error) (uint64, error) {
+	if len(keys) != len(vals) {
+		return 0, ErrBatchLength
+	}
+	if g.closed {
+		return 0, ErrClosed
+	}
+	var firstErr error
+	shipK, shipV := keys, vals
+	var failed bool
+	for i, k := range keys {
+		if err := apply(k, vals[i]); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			if !failed {
+				// First failure: switch to filtered ship slices seeded
+				// with the applied prefix. Error path only — the clean
+				// path ships the caller's slices without copying.
+				failed = true
+				shipK = append([]uint64(nil), keys[:i]...)
+				shipV = append([]uint64(nil), vals[:i]...)
+			}
+			continue
+		}
+		if failed {
+			shipK = append(shipK, k)
+			shipV = append(shipV, vals[i])
+		}
+	}
+	if g.ship == nil || len(shipK) == 0 {
+		return 0, firstErr
+	}
+	first, err := g.ship(op, shipK, shipV)
+	if err != nil {
+		if firstErr == nil {
+			firstErr = err
+		}
+		return 0, firstErr
+	}
+	return first + uint64(len(shipK)) - 1, firstErr
+}
+
+// InsertBatchShip inserts each pair in order, shipping applied pairs.
+func (g *guard) InsertBatchShip(keys, vals []uint64) (uint64, error) {
+	return g.mutateBatchShip(ShipInsert, keys, vals, g.t.Insert)
+}
+
+// UpsertBatchShip upserts each pair in order, shipping applied pairs.
+func (g *guard) UpsertBatchShip(keys, vals []uint64) (uint64, error) {
+	return g.mutateBatchShip(ShipUpsert, keys, vals, g.t.Upsert)
+}
+
+// DeleteBatchShipInto deletes every key, shipping the whole attempted
+// batch (misses included — idempotent on replay).
+func (g *guard) DeleteBatchShipInto(keys []uint64, found []bool) (uint64, error) {
+	if err := g.DeleteBatchInto(keys, found); err != nil {
+		return 0, err
+	}
+	if g.ship == nil || len(keys) == 0 {
+		return 0, nil
+	}
+	first, err := g.ship(ShipDelete, keys, nil)
+	if err != nil {
+		return 0, err
+	}
+	return first + uint64(len(keys)) - 1, nil
+}

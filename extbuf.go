@@ -870,6 +870,7 @@ type guard struct {
 	t       Table
 	durable bool
 	closed  bool
+	ship    ShipFunc // replication seam; see Engine.SetShip
 }
 
 func (g *guard) Insert(key, val uint64) error {

@@ -281,42 +281,41 @@ func (c *conn) serveBatch(op wire.Op, batch []*request) {
 		if !c.srv.writableNow() {
 			err = errNotWritable
 		} else {
+			// The Ship variants apply AND emit ship-log records from
+			// inside the engine's shard workers, so a key's ship order is
+			// its apply order even across racing connections (the
+			// replication total order, DESIGN.md §2a). With replication
+			// off the sink is nil and last stays 0. On success, the ack
+			// barrier: group-committed WAL + ship-log fsync, then the
+			// semi-sync follower wait — acks below are only sent when the
+			// operations are crash-durable (and, under semi-sync,
+			// follower-applied). Scratch backends skip the fsync.
 			if op == wire.OpInsert || op == wire.OpInsertAt {
-				err = c.srv.engine.InsertBatch(keys, vals)
+				last, err = c.srv.engine.InsertBatchShip(keys, vals)
 			} else {
-				err = c.srv.engine.UpsertBatch(keys, vals)
+				last, err = c.srv.engine.UpsertBatchShip(keys, vals)
 			}
-			last, err = c.shipMutation(err, shipOpFor(op), keys, vals)
 			if err == nil {
-				// The ack barrier: group-committed WAL + ship-log fsync,
-				// then the semi-sync follower wait. Acks below are only
-				// sent when the operations are crash-durable (and, under
-				// semi-sync, follower-applied). Scratch backends skip the
-				// fsync — there is no durability to buy.
 				err = c.srv.commitMutation(last)
 			}
 		}
 		epoch := c.srv.epochNow()
-		off := uint64(0)
 		for _, r := range batch {
-			n := uint64(len(r.keys))
 			switch {
 			case err != nil:
 				c.respondErr(r.id, err)
 			case op == wire.OpInsertAt || op == wire.OpUpsertAt:
-				// The request's token is the LSN of ITS last record
-				// within the aggregated run; 0 (no constraint) when the
-				// node does not replicate.
-				var token uint64
-				if last > 0 {
-					token = last - uint64(len(keys)) + off + n
-				}
-				c.pay = wire.AppendAckT(c.pay[:0], token, epoch)
+				// The token is the aggregated run's highest ship LSN: the
+				// shard fan-out interleaves the run's records, so a
+				// per-request contiguous sub-range no longer exists. A
+				// covering LSN preserves read-your-writes — waiting for it
+				// waits for this request's own records too. 0 (no
+				// constraint) when the node does not replicate.
+				c.pay = wire.AppendAckT(c.pay[:0], last, epoch)
 				c.respond(wire.OpAckT, r.id, c.pay)
 			default:
 				c.respond(wire.OpAck, r.id, nil)
 			}
-			off += n
 			c.putReq(r)
 		}
 	case wire.OpLookup:
@@ -341,8 +340,7 @@ func (c *conn) serveBatch(op wire.Op, batch []*request) {
 		if !c.srv.writableNow() {
 			err = errNotWritable
 		} else {
-			err = c.srv.engine.DeleteBatchInto(keys, found)
-			last, err = c.shipMutation(err, wal.OpDelete, keys, nil)
+			last, err = c.srv.engine.DeleteBatchShipInto(keys, found)
 			if err == nil {
 				err = c.srv.commitMutation(last) // deletes are mutations: ack behind the barrier
 			}
@@ -355,11 +353,8 @@ func (c *conn) serveBatch(op wire.Op, batch []*request) {
 			case err != nil:
 				c.respondErr(r.id, err)
 			case op == wire.OpDeleteAt:
-				var token uint64
-				if last > 0 {
-					token = last - uint64(len(keys)) + uint64(off+n)
-				}
-				c.pay = wire.AppendFoundsT(c.pay[:0], token, epoch, found[off:off+n])
+				// Covering token, as for INSERTAT/UPSERTAT above.
+				c.pay = wire.AppendFoundsT(c.pay[:0], last, epoch, found[off:off+n])
 				c.respond(wire.OpFoundsT, r.id, c.pay)
 			default:
 				c.pay = wire.AppendFounds(c.pay[:0], found[off:off+n])
@@ -369,29 +364,6 @@ func (c *conn) serveBatch(op wire.Op, batch []*request) {
 			c.putReq(r)
 		}
 	}
-}
-
-// shipMutation appends an applied mutation batch to the ship log and
-// returns the LSN of its last record. With replication off (or after an
-// apply error, which must never ship) it passes applyErr through and
-// returns the no-token LSN 0.
-func (c *conn) shipMutation(applyErr error, op wal.Op, keys, vals []uint64) (uint64, error) {
-	if applyErr != nil || c.srv.repl == nil || len(keys) == 0 {
-		return 0, applyErr
-	}
-	first, err := c.srv.repl.ship.Append(op, keys, vals)
-	if err != nil {
-		return 0, err
-	}
-	return first + uint64(len(keys)) - 1, nil
-}
-
-// shipOpFor maps a mutation request op onto its ship-log record op.
-func shipOpFor(op wire.Op) wal.Op {
-	if op == wire.OpInsert || op == wire.OpInsertAt {
-		return wal.OpInsert
-	}
-	return wal.OpUpsert
 }
 
 // foundOut returns the reusable found-flag result buffer at length n.

@@ -173,13 +173,23 @@ func (f *Follower) stream() error {
 			}
 			// Periodic local durability, off the ack path: semi-sync acks
 			// promise the follower APPLIED the ops; this bounds how much
-			// a crashed follower re-replays.
-			if f.srv.durable && time.Since(lastSync) > time.Second {
+			// a crashed follower re-replays. With ShipRetain set, the
+			// just-synced engine now durably covers everything below the
+			// retained window, so this is also the safe point to drop the
+			// ship log's prefix and bound the replica's disk footprint.
+			if f.srv.durable && time.Since(lastSync) > repl.syncEvery {
 				if err := f.srv.engine.Sync(); err != nil {
 					return err
 				}
 				if err := repl.ship.Fsync(); err != nil {
 					return err
+				}
+				if retain := uint64(repl.shipRetain); retain > 0 {
+					if next := repl.ship.NextLSN(); next > retain {
+						if err := repl.ship.TruncateBefore(next - retain); err != nil {
+							return err
+						}
+					}
 				}
 				lastSync = time.Now()
 			}
@@ -195,6 +205,17 @@ func (f *Follower) stream() error {
 // ship log advertises never runs ahead of readable state), then the
 // ship log, in runs of consecutive same-op records so the engine sees
 // batch calls, not single ops.
+//
+// The replay deliberately does NOT go through the engine's ship seam
+// (the *BatchShip variants): the seam lets shard workers interleave a
+// batch's records into the log in apply order, which on the PRIMARY is
+// what creates the total order — but a follower must reproduce the
+// primary's log POSITION-IDENTICALLY, because LSNs are positions:
+// chained subscribers (a follower serving REPL_SUBSCRIBE from this very
+// log) and read tokens both address records by LSN, and a permuted copy
+// would hand them different records under the same LSNs. Stream-order
+// apply-then-append by this single goroutine preserves both the total
+// order (it IS the primary's order) and the positions.
 func (f *Follower) apply(batch []wire.ReplRec) error {
 	for i := 0; i < len(batch); {
 		op := batch[i].Op

@@ -46,6 +46,16 @@ type ReplConfig struct {
 	// 3s). Short enough that a client can fall back to the primary;
 	// long enough to ride out a normal replication hiccup.
 	TokenWait time.Duration
+	// ShipRetain bounds a follower's ship log: after each periodic
+	// durability sync the apply loop truncates the log to its newest
+	// ShipRetain records (the synced engine covers the dropped prefix).
+	// 0 (default) keeps everything. Chained subscribers reading below
+	// the retained window get an error and must re-seed.
+	ShipRetain int
+	// SyncEvery is the follower's periodic local durability interval —
+	// engine Sync + ship-log fsync off the ack path (default 1s). It is
+	// also the ship-log truncation cadence when ShipRetain is set.
+	SyncEvery time.Duration
 }
 
 // Replication error sentinels. The wire carries their text; clients
@@ -61,12 +71,14 @@ var (
 // connection: the ship log, the epoch/writable identity, the subscribed
 // followers and their acknowledged LSNs, and the traffic counters.
 type replState struct {
-	ship      *wal.ShipLog
-	statePath string
-	syncN     int
-	syncTmo   time.Duration
-	heartbeat time.Duration
-	tokenWait time.Duration
+	ship       *wal.ShipLog
+	statePath  string
+	syncN      int
+	syncTmo    time.Duration
+	heartbeat  time.Duration
+	tokenWait  time.Duration
+	shipRetain int
+	syncEvery  time.Duration
 
 	mu       sync.Mutex
 	epoch    uint64
@@ -93,6 +105,9 @@ func openRepl(cfg ReplConfig) (*replState, error) {
 	if cfg.TokenWait <= 0 {
 		cfg.TokenWait = 3 * time.Second
 	}
+	if cfg.SyncEvery <= 0 {
+		cfg.SyncEvery = time.Second
+	}
 	ship, err := wal.OpenShip(cfg.ShipPath, 1)
 	if err != nil {
 		return nil, err
@@ -103,12 +118,14 @@ func openRepl(cfg ReplConfig) (*replState, error) {
 		return nil, err
 	}
 	return &replState{
-		ship:      ship,
-		statePath: cfg.StatePath,
-		syncN:     cfg.SyncFollowers,
-		syncTmo:   cfg.SyncTimeout,
-		heartbeat: cfg.Heartbeat,
-		tokenWait: cfg.TokenWait,
+		ship:       ship,
+		statePath:  cfg.StatePath,
+		syncN:      cfg.SyncFollowers,
+		syncTmo:    cfg.SyncTimeout,
+		heartbeat:  cfg.Heartbeat,
+		tokenWait:  cfg.TokenWait,
+		shipRetain: cfg.ShipRetain,
+		syncEvery:  cfg.SyncEvery,
 		epoch:     epoch,
 		writable:  cfg.Follow == "",
 		follower:  cfg.Follow != "",
@@ -118,9 +135,9 @@ func openRepl(cfg ReplConfig) (*replState, error) {
 }
 
 // appliedLSN is the highest LSN in the node's ship log — on a primary
-// every mutation ships right after applying, and on a follower the
-// apply loop appends each replayed record, so this is the node's
-// applied horizon for read tokens.
+// the engine's shard workers ship every mutation as they apply it, and
+// on a follower the apply loop appends each replayed record, so this is
+// the node's applied horizon for read tokens.
 func (r *replState) appliedLSN() uint64 { return r.ship.NextLSN() - 1 }
 
 // info snapshots the node's replication identity.
@@ -163,6 +180,7 @@ func (r *replState) stats() extbuf.ReplStats {
 		FollowerLag:    lag,
 		FramesShipped:  r.shipped,
 		FramesReplayed: r.replayed,
+		ShipStartLSN:   int64(r.ship.StartLSN()),
 	}
 }
 
@@ -235,9 +253,23 @@ func (r *replState) ackedBy(lsn uint64) int {
 // waitFollowers implements the semi-synchronous commit rule: block
 // until SyncFollowers subscribed followers have acknowledged applying
 // lsn, or fail after SyncTimeout. With SyncFollowers 0 it returns
-// immediately — asynchronous replication.
+// immediately — asynchronous replication. With SyncFollowers > 1 the
+// rule generalizes without primary fan-out: every follower acks its own
+// applied horizon on its own subscription, and ackedBy simply counts
+// them (in a chain, F2's progress is acked to F1, not here — only
+// direct subscribers count toward the barrier).
+//
+// Fresh-subscriber semantics (audited): a newly subscribed follower
+// starts at acked LSN 0, so it can never SATISFY a barrier for a real
+// mutation (lsn >= 1) before catching up and acking — and it cannot
+// STALL one either: barriers count satisfied followers, they never wait
+// on the slowest, so a far-behind subscriber only delays a commit when
+// fewer than SyncFollowers others are caught up, which is the semantics
+// semi-sync promises. The lsn == 0 guard keeps a no-op mutation (empty
+// batch, or replication-off engine returning no LSN) from blocking on
+// "acked >= 0 by N followers" when no followers exist at all.
 func (r *replState) waitFollowers(lsn uint64) error {
-	if r.syncN == 0 {
+	if r.syncN == 0 || lsn == 0 {
 		return nil
 	}
 	deadline := time.NewTimer(r.syncTmo)

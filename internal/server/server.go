@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"extbuf"
+	"extbuf/internal/wal"
 	"extbuf/internal/wire"
 )
 
@@ -145,6 +146,13 @@ func NewServer(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		s.repl = repl
+		// Wire the engine's ship seam to this node's ship log: shard
+		// workers emit applied mutations, the log's append mutex merges
+		// them into one contiguous total order (Engine.SetShip). Wired
+		// here, before any listener exists, per the seam's contract.
+		cfg.Engine.SetShip(func(op uint8, keys, vals []uint64) (uint64, error) {
+			return repl.ship.Append(wal.Op(op), keys, vals)
+		})
 		if s.durable {
 			// The ack barrier must also make the ship log durable, or a
 			// restarted primary could serve tokens for records its
@@ -251,6 +259,10 @@ func (s *Server) CloseRepl() error {
 	if f != nil {
 		f.Stop()
 	}
+	// Detach the engine's ship sink before closing the log it points at.
+	// The caller has already drained the serving layer (Shutdown), so no
+	// Ship-variant mutation can be in flight.
+	s.engine.SetShip(nil)
 	return s.repl.close()
 }
 

@@ -180,6 +180,7 @@ func TestPipelinedAggregation(t *testing.T) {
 type countingEngine struct {
 	mu          sync.Mutex
 	m           map[uint64]uint64
+	ship        extbuf.ShipFunc
 	insertCalls atomic.Int64
 	inserted    atomic.Int64
 	syncs       atomic.Int64
@@ -241,6 +242,38 @@ func (e *countingEngine) Flush() error { return e.Sync() }
 // group-commit ack barrier.
 func (e *countingEngine) Durable() bool { return true }
 func (e *countingEngine) Close() error  { return nil }
+
+// Ship seam (Engine): the fake is single-map-serialized, so apply-then-
+// ship under the mutex trivially satisfies the total-order contract.
+func (e *countingEngine) SetShip(fn extbuf.ShipFunc) { e.ship = fn }
+func (e *countingEngine) InsertBatchShip(keys, vals []uint64) (uint64, error) {
+	if err := e.InsertBatch(keys, vals); err != nil {
+		return 0, err
+	}
+	return e.shipAll(extbuf.ShipInsert, keys, vals)
+}
+func (e *countingEngine) UpsertBatchShip(keys, vals []uint64) (uint64, error) {
+	if err := e.UpsertBatch(keys, vals); err != nil {
+		return 0, err
+	}
+	return e.shipAll(extbuf.ShipUpsert, keys, vals)
+}
+func (e *countingEngine) DeleteBatchShipInto(keys []uint64, found []bool) (uint64, error) {
+	if err := e.DeleteBatchInto(keys, found); err != nil {
+		return 0, err
+	}
+	return e.shipAll(extbuf.ShipDelete, keys, nil)
+}
+func (e *countingEngine) shipAll(op uint8, keys, vals []uint64) (uint64, error) {
+	if e.ship == nil || len(keys) == 0 {
+		return 0, nil
+	}
+	first, err := e.ship(op, keys, vals)
+	if err != nil {
+		return 0, err
+	}
+	return first + uint64(len(keys)) - 1, nil
+}
 
 // Single-key and allocating-batch methods complete the extbuf.Engine
 // surface; the server's hot path never calls them, but the follower

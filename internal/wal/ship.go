@@ -5,15 +5,16 @@
 // reuses the WAL's 21-byte CRC-framed record format (the LSN is mixed
 // into each record's CRC without being stored, tying records to their
 // positions) under a distinct magic, but differs from Log in lifecycle:
-// a ship log is never truncated while the server runs, appends write
-// through to the file immediately (so cursors can read them), and a
-// subscribe-style notification channel lets tail readers block until
-// new records land instead of polling.
+// appends write through to the file immediately (so cursors can read
+// them), a subscribe-style notification channel lets tail readers block
+// until new records land instead of polling, and the only truncation is
+// TruncateBefore — dropping a durable prefix, never the tail.
 //
 // Concurrency contract: Append may be called from many goroutines (it
-// serializes internally and publishes records atomically), Read/NextLSN
-// and the notification channel are safe from any goroutine, and
-// cursors use pread so they never disturb the append position.
+// serializes internally and publishes records atomically),
+// Read/NextLSN/StartLSN and the notification channel are safe from any
+// goroutine, cursors use pread so they never disturb the append
+// position, and TruncateBefore may run concurrently with all of them.
 package wal
 
 import (
@@ -37,14 +38,23 @@ var ErrShipCorrupt = errors.New("wal: ship log corrupt record")
 // ShipLog is an open replication log. See the package comment above
 // for the concurrency contract.
 type ShipLog struct {
-	f *os.File
+	f    *os.File
+	path string
 
-	mu       sync.Mutex    // serializes appends and notify rotation
+	mu       sync.Mutex    // serializes appends, truncation and notify rotation
 	notify   chan struct{} // closed and replaced on every append
 	prealloc int64         // file extent reserved ahead of size
 
-	size atomic.Int64  // committed bytes (header + records); readers trust this
-	next atomic.Uint64 // LSN of the next append
+	size  atomic.Int64  // committed bytes (header + records)
+	next  atomic.Uint64 // LSN of the next append
+	start atomic.Uint64 // LSN of the first record in the file
+
+	// readMu fences cursors against TruncateBefore's file swap: Read
+	// holds the read side across its offset computation and pread, so a
+	// (start, f) pair is always consistent. Deriving the start LSN from
+	// size arithmetic instead would be racy — Append publishes size and
+	// next as two separate stores.
+	readMu sync.RWMutex
 
 	fsyncMu sync.Mutex
 	dirty   atomic.Bool // bytes written since the last fsync
@@ -61,7 +71,7 @@ func OpenShip(path string, firstLSN uint64) (*ShipLog, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wal: ship open: %w", err)
 	}
-	s := &ShipLog{f: f, notify: make(chan struct{})}
+	s := &ShipLog{f: f, path: path, notify: make(chan struct{})}
 	if err := s.recoverShip(firstLSN); err != nil {
 		f.Close()
 		return nil, err
@@ -87,6 +97,7 @@ func (s *ShipLog) recoverShip(firstLSN uint64) error {
 		return s.resetShip(firstLSN)
 	}
 	lsn := binary.LittleEndian.Uint64(hdr[8:16])
+	s.start.Store(lsn)
 	size := int64(headerBytes)
 	buf := make([]byte, spillChunk)
 	for {
@@ -130,6 +141,7 @@ func (s *ShipLog) resetShip(firstLSN uint64) error {
 		return fmt.Errorf("wal: ship write header: %w", err)
 	}
 	s.next.Store(firstLSN)
+	s.start.Store(firstLSN)
 	s.size.Store(headerBytes)
 	s.prealloc = headerBytes
 	s.dirty.Store(true)
@@ -137,8 +149,13 @@ func (s *ShipLog) resetShip(firstLSN uint64) error {
 }
 
 // NextLSN returns the LSN the next appended record will receive; every
-// LSN below it is committed and readable.
+// LSN below it (and at or above StartLSN) is committed and readable.
 func (s *ShipLog) NextLSN() uint64 { return s.next.Load() }
+
+// StartLSN returns the LSN of the oldest record still in the log (equal
+// to NextLSN when the log is empty). Reads below it fail: a subscriber
+// that far behind must re-seed from a checkpoint.
+func (s *ShipLog) StartLSN() uint64 { return s.start.Load() }
 
 // Changed returns a channel that is closed once records are appended
 // after this call. The standard tail-follow loop is: read; if nothing
@@ -242,12 +259,17 @@ func (s *ShipLog) Fsync() error {
 // Records below the committed size always validate; a CRC failure is
 // reported as ErrShipCorrupt.
 func (s *ShipLog) Read(from uint64, recs []Record) (int, error) {
+	// The read lock pins (start, f) as a consistent pair against
+	// TruncateBefore's file swap. next is loaded inside it too: a record
+	// below next is fully written before next is published, so offsets
+	// computed from (start, next) always land on committed bytes.
+	s.readMu.RLock()
+	defer s.readMu.RUnlock()
 	next := s.next.Load()
-	size := s.size.Load()
 	if from >= next || len(recs) == 0 {
 		return 0, nil
 	}
-	first := next - uint64((size-headerBytes)/recordBytes)
+	first := s.start.Load()
 	if from < first {
 		return 0, fmt.Errorf("wal: ship read below log start (lsn %d < %d)", from, first)
 	}
@@ -274,6 +296,81 @@ func (s *ShipLog) Read(from uint64, recs []Record) (int, error) {
 		}
 	}
 	return avail, nil
+}
+
+// TruncateBefore drops every record below lsn, bounding the log's disk
+// footprint: the caller asserts those records are covered by a durable
+// engine checkpoint, so no subscriber may ever need them again (a
+// subscriber reading below the new start gets an error and must re-seed
+// from a checkpoint). lsn is clamped to [StartLSN, NextLSN]; a no-op
+// call (lsn at or below the current start) is free.
+//
+// The retained suffix is copied into a temp file with a fresh header
+// (firstLSN = lsn), fsynced and renamed over the log, then the open fd
+// is swapped under the cursors' read lock — in-flight Reads finish on
+// the old fd (still valid data, the rename only unlinks the name) and
+// later ones see the new (start, f) pair. Record CRCs mix in the LSN,
+// not the file offset, so retained records stay valid at their new
+// positions. Lock order: mu (excludes appends), then fsyncMu (excludes
+// a racing Fsync syncing a closed fd), then readMu.
+func (s *ShipLog) TruncateBefore(lsn uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := s.start.Load()
+	next := s.next.Load()
+	if lsn <= start {
+		return nil
+	}
+	if lsn > next {
+		lsn = next
+	}
+	retained := s.size.Load() - headerBytes - int64(lsn-start)*recordBytes
+	tmpPath := s.path + ".trunc"
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: ship truncate open: %w", err)
+	}
+	var hdr [headerBytes]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], shipMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], version)
+	binary.LittleEndian.PutUint64(hdr[8:16], lsn)
+	binary.LittleEndian.PutUint32(hdr[16:20], crc32.ChecksumIEEE(hdr[:16]))
+	// Write (not WriteAt): the copy below appends at the file offset.
+	if _, err := tmp.Write(hdr[:]); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("wal: ship truncate header: %w", err)
+	}
+	src := io.NewSectionReader(s.f, headerBytes+int64(lsn-start)*recordBytes, retained)
+	if _, err := io.Copy(tmp, src); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("wal: ship truncate copy: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("wal: ship truncate sync: %w", err)
+	}
+	if err := os.Rename(tmpPath, s.path); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("wal: ship truncate rename: %w", err)
+	}
+	s.fsyncMu.Lock()
+	s.readMu.Lock()
+	old := s.f
+	s.f = tmp
+	s.start.Store(lsn)
+	s.size.Store(headerBytes + retained)
+	s.prealloc = headerBytes + retained
+	s.readMu.Unlock()
+	s.fsyncMu.Unlock()
+	// A crash between the rename above and the next directory sync may
+	// resurrect the old name; recovery then just sees the longer log —
+	// same records, earlier start — which is safe. dirty is left as-is:
+	// the copied suffix is already synced.
+	return old.Close()
 }
 
 // Close trims the preallocated tail and closes the file. Readers must

@@ -640,6 +640,10 @@ func (s *Stats) statsFields() []*int64 {
 		&s.Store.FsyncsElided, &s.Store.GhostHits, &s.Store.WALFsyncsElided,
 		// PR 7: replication counters.
 		&s.Repl.Epoch, &s.Repl.CurrentLSN, &s.Repl.FollowerLag, &s.Repl.FramesShipped, &s.Repl.FramesReplayed,
+		// PR 8: ship-log retained-window start (append-only, like every
+		// extension above — old decoders ignore it, old encoders leave
+		// it zero).
+		&s.Repl.ShipStartLSN,
 	}
 }
 

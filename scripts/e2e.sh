@@ -25,6 +25,16 @@
 # every acked write survived and zero token reads violated
 # read-your-writes.
 #
+# Phase 5 (chained failover under contention): boot a 3-node CHAIN —
+# semi-sync primary, F1 following it, F2 following F1 — and drive
+# CONTENDED zipf load (-overlap: every worker upserts the same hot
+# keyspace from many connections, the total-write-order trigger) with
+# token reads checked at the END of the chain. Kill -9 the primary
+# mid-traffic, promote F1 (F2's subscription to F1 rides through), then
+# gate: zero token violations at the chain end, every acked key present
+# on BOTH survivors, and — the §2a gate — a full convergence diff
+# between F1 and F2 over the contended keyspace with zero differences.
+#
 # Usage: scripts/e2e.sh [bindir]   (defaults to ./bin; binaries are
 # built if missing)
 set -euo pipefail
@@ -43,6 +53,7 @@ OK=0
 cleanup() {
   kill -9 "${SRV_PID:-}" 2>/dev/null || true
   kill -9 "${FOLLOWER_PID:-}" 2>/dev/null || true
+  kill -9 "${F2_PID:-}" 2>/dev/null || true
   if [ "$OK" = 1 ]; then
     rm -rf "$WORK"
   else
@@ -213,6 +224,87 @@ kill -TERM "$FOLLOWER_PID"
 wait "$FOLLOWER_PID"
 FOLLOWER_PID=
 grep checkpointed "$WORK/srv-f.log"
+
+echo "=== e2e phase 5: 3-node chain, contended load, kill -9 primary, promote F1 (gate: zero loss, zero violations, zero diffs on both survivors) ==="
+CHAIN_SECS=${CHAIN_SECS:-10s}
+CP="$WORK/chain-p"; CF1="$WORK/chain-f1"; CF2="$WORK/chain-f2"
+mkdir -p "$CP" "$CF1" "$CF2"
+"$BIN/hashserved" -addr 127.0.0.1:0 -backend file -path "$CP/t" -shards 4 \
+  -syncfollowers 1 -addrfile "$WORK/addr-cp" -quiet >"$WORK/srv-cp.log" 2>&1 &
+SRV_PID=$!
+CPADDR=$(wait_addr "$WORK/addr-cp")
+"$BIN/hashserved" -addr 127.0.0.1:0 -backend file -path "$CF1/t" -shards 4 \
+  -follow "$CPADDR" -addrfile "$WORK/addr-cf1" -quiet >"$WORK/srv-cf1.log" 2>&1 &
+FOLLOWER_PID=$!
+CF1ADDR=$(wait_addr "$WORK/addr-cf1")
+# F2 subscribes to F1's OWN ship log — the chain's second hop. Only F1
+# talks to the primary; F2's stream must survive F1's promotion.
+"$BIN/hashserved" -addr 127.0.0.1:0 -backend file -path "$CF2/t" -shards 4 \
+  -follow "$CF1ADDR" -addrfile "$WORK/addr-cf2" -quiet >"$WORK/srv-cf2.log" 2>&1 &
+F2_PID=$!
+CF2ADDR=$(wait_addr "$WORK/addr-cf2")
+sleep 1 # let both hops subscribe before semi-sync acks depend on F1
+
+# Contended zipf load: every worker hammers the same 4096-key space, and
+# token reads are checked at the END of the chain (F2) — the strongest
+# read-your-writes claim the topology can make.
+"$BIN/hashload" -addr "$CPADDR" -replica "$CF2ADDR" -duration "$CHAIN_SECS" \
+  -conns 4 -workers 8 -batch 128 -overlap 4096 -dist zipf \
+  -acklog "$WORK/chain-acks.log" -summary "$WORK/chain.json" \
+  >"$WORK/load5.log" 2>&1 &
+LOAD_PID=$!
+sleep 4
+echo "kill -9 $SRV_PID (chain primary, mid-traffic)"
+kill -9 "$SRV_PID"
+SRV_PID=
+wait "$LOAD_PID" || { echo "FAIL: hashload did not tolerate the chain primary dying" >&2; cat "$WORK/load5.log" >&2; exit 1; }
+grep '^SUMMARY ' "$WORK/load5.log"
+
+read -r TCHECKS TVIOLS RACKED < <(awk '/^SUMMARY /{
+  for (i = 1; i <= NF; i++) {
+    if ($i ~ /^token_checks=/)     { split($i, a, "="); c = a[2] }
+    if ($i ~ /^token_violations=/) { split($i, b, "="); v = b[2] }
+    if ($i ~ /^acked_inserts=/)    { split($i, d, "="); n = d[2] }
+  }
+  printf "%d %d %d\n", c, v, n
+}' "$WORK/load5.log")
+echo "chain load: $RACKED acked contended upserts, $TCHECKS token reads at chain end, $TVIOLS violations"
+if [ "$RACKED" -eq 0 ]; then
+  echo "FAIL: no acked writes before the chain primary was killed — gate proved nothing" >&2
+  exit 1
+fi
+if [ "$TCHECKS" -eq 0 ]; then
+  echo "FAIL: no token reads reached the chain end — the chain was not exercised" >&2
+  exit 1
+fi
+if [ "$TVIOLS" -ne 0 ]; then
+  echo "FAIL: $TVIOLS token reads at the chain end violated read-your-writes" >&2
+  exit 1
+fi
+
+echo "--- promoting F1 (F2 keeps following it) ---"
+"$BIN/hashload" -addr "$CF1ADDR" -promote | tee "$WORK/chain-promote.out"
+grep -q 'PROMOTED role=primary writable=true epoch=1' "$WORK/chain-promote.out" || {
+  echo "FAIL: chain promotion did not yield a writable epoch-1 primary" >&2
+  exit 1
+}
+
+echo "--- convergence diff between both survivors over the contended keyspace ---"
+"$BIN/hashload" -addr "$CF1ADDR" -replica "$CF2ADDR" -batch 128 -diff "$WORK/chain-acks.log"
+
+echo "--- verifying every acked key on both survivors ---"
+"$BIN/hashload" -addr "$CF1ADDR" -verify "$WORK/chain-acks.log"
+"$BIN/hashload" -addr "$CF2ADDR" -verify "$WORK/chain-acks.log"
+
+echo "--- graceful SIGTERM drain of both survivors ---"
+kill -TERM "$F2_PID"
+wait "$F2_PID"
+F2_PID=
+grep checkpointed "$WORK/srv-cf2.log"
+kill -TERM "$FOLLOWER_PID"
+wait "$FOLLOWER_PID"
+FOLLOWER_PID=
+grep checkpointed "$WORK/srv-cf1.log"
 
 OK=1
 echo "=== e2e OK ==="

@@ -56,6 +56,15 @@ type Sharded struct {
 	async    bool
 	durable  bool
 
+	// ship is the replication seam (Engine.SetShip): shard workers emit
+	// applied mutations to it while they still own the per-shard apply
+	// order, so a key's ship order always matches its apply order.
+	// shipK/shipV are per-worker gather scratch (indexed by shard,
+	// touched only by that shard's worker goroutine).
+	ship  ShipFunc
+	shipK [][]uint64
+	shipV [][]uint64
+
 	// reqPool and scratchPool recycle the per-request and per-batch
 	// bookkeeping (request structs, partition index lists, error/length
 	// slots), so the steady-state submission path allocates nothing.
@@ -88,6 +97,14 @@ const (
 	opSync
 	opFlush
 	opStats
+
+	// Ship variants of the mutations: apply, then emit the applied
+	// records to the ship sink from inside the worker (total-order
+	// replication, DESIGN.md §2a). Always synchronous — the caller
+	// needs the assigned LSNs back.
+	opInsertShip
+	opUpsertShip
+	opDeleteShip
 )
 
 // shardReq is one shard's share of a batch: the positions idx of the
@@ -111,6 +128,7 @@ type shardReq struct {
 	errs   []error      // one slot per shard
 	lens   []int64      // one slot per shard
 	stores []StoreStats // one slot per shard (opStats)
+	lsns   []uint64     // one slot per shard: highest ship LSN (ship kinds)
 	shard  int
 	wg     *sync.WaitGroup
 
@@ -132,6 +150,7 @@ type batchScratch struct {
 	errs   []error
 	lens   []int64
 	stores []StoreStats
+	lsns   []uint64
 	reqs   []*shardReq
 }
 
@@ -145,7 +164,7 @@ func (s *Sharded) getReq() *shardReq { return s.reqPool.Get().(*shardReq) }
 func (s *Sharded) putReq(r *shardReq) {
 	r.keys, r.vals, r.idx = nil, nil, nil
 	r.outV, r.outOK, r.errs, r.lens = nil, nil, nil, nil
-	r.stores = nil
+	r.stores, r.lsns = nil, nil
 	r.shard = 0
 	r.wg = nil
 	// Clear the inline result and error slots: a submission refused at
@@ -166,6 +185,9 @@ func (s *Sharded) getScratch() *batchScratch { return s.scratchPool.Get().(*batc
 func (s *Sharded) putScratch(sc *batchScratch) {
 	for i := range sc.errs {
 		sc.errs[i] = nil
+	}
+	for i := range sc.lsns {
+		sc.lsns[i] = 0
 	}
 	sc.reqs = sc.reqs[:0]
 	s.scratchPool.Put(sc)
@@ -218,8 +240,11 @@ func NewSharded(structure string, cfg Config, shards int) (*Sharded, error) {
 			errs:   make([]error, n),
 			lens:   make([]int64, n),
 			stores: make([]StoreStats, n),
+			lsns:   make([]uint64, n),
 		}
 	}
+	s.shipK = make([][]uint64, n)
+	s.shipV = make([][]uint64, n)
 	// One group committer serves every durable shard: a Flush barrier
 	// then overlaps all shards' WAL and block-file fsyncs in one pool
 	// (two per shard) instead of each worker syncing serially.
@@ -363,6 +388,64 @@ func (s *Sharded) serve(i int, tab Table, req *shardReq) {
 		req.errs[req.shard] = errors.Join(errs...)
 	case opStats:
 		req.stores[req.shard] = tab.StoreStats()
+	case opInsertShip, opUpsertShip:
+		// Apply, then ship the applied subset — from this goroutine,
+		// which owns the shard's apply order. The sink's own append
+		// mutex merges the shards into one contiguous LSN sequence, so
+		// per key (a key hashes to exactly one shard) ship order ==
+		// apply order: the replication total order. Ship kinds are
+		// always synchronous (req.wg non-nil) — callers need the LSN.
+		sk, sv := s.shipK[i][:0], s.shipV[i][:0]
+		var first error
+		for _, j := range req.idx {
+			var err error
+			if req.kind == opInsertShip {
+				err = tab.Insert(req.keys[j], req.vals[j])
+			} else {
+				err = tab.Upsert(req.keys[j], req.vals[j])
+			}
+			if err != nil {
+				if first == nil {
+					first = err
+				}
+				continue
+			}
+			sk = append(sk, req.keys[j])
+			sv = append(sv, req.vals[j])
+		}
+		s.shipK[i], s.shipV[i] = sk, sv
+		if len(sk) > 0 && s.ship != nil {
+			op := ShipInsert
+			if req.kind == opUpsertShip {
+				op = ShipUpsert
+			}
+			if lsn, err := s.ship(op, sk, sv); err != nil {
+				if first == nil {
+					first = err
+				}
+			} else {
+				req.lsns[req.shard] = lsn + uint64(len(sk)) - 1
+			}
+		}
+		req.errs[req.shard] = first
+	case opDeleteShip:
+		// Every attempted delete ships (a miss replays as an idempotent
+		// no-op), so no gather filter is needed — but the ship slice
+		// must still be built here, in apply order, for the same
+		// total-order reason as above.
+		sk := s.shipK[i][:0]
+		for _, j := range req.idx {
+			req.outOK[j] = tab.Delete(req.keys[j])
+			sk = append(sk, req.keys[j])
+		}
+		s.shipK[i] = sk
+		if len(sk) > 0 && s.ship != nil {
+			if lsn, err := s.ship(ShipDelete, sk, nil); err != nil {
+				req.errs[req.shard] = err
+			} else {
+				req.lsns[req.shard] = lsn + uint64(len(sk)) - 1
+			}
+		}
 	}
 	req.wg.Done()
 }
@@ -600,6 +683,85 @@ func (s *Sharded) DeleteBatchInto(keys []uint64, found []bool) error {
 		return fmt.Errorf("%w: %d keys, %d found slots", ErrBatchLength, len(keys), len(found))
 	}
 	return s.runBatch(opDelete, keys, nil, nil, found)
+}
+
+// SetShip installs (or removes, with nil) the ship sink the shard
+// workers emit applied mutations to. Per the Engine contract it must
+// be wired before Ship-variant mutations are submitted and never
+// toggled concurrently with them; the serving layer installs it once
+// at construction.
+func (s *Sharded) SetShip(fn ShipFunc) { s.ship = fn }
+
+// runBatchShip is runBatch for the ship mutation kinds: always
+// synchronous (even under FlushAsync — the caller needs the assigned
+// LSNs back) and with no single-op shortcut, since the per-shard LSN
+// slots live in batch scratch. Returns the batch's highest ship LSN
+// (the max over per-shard maxima; 0 when nothing shipped).
+func (s *Sharded) runBatchShip(kind opKind, keys, vals []uint64, outOK []bool) (uint64, error) {
+	var wg sync.WaitGroup
+	sc := s.getScratch()
+	defer s.putScratch(sc)
+	s.partitionInto(keys, sc.parts)
+	s.stateMu.RLock()
+	if s.closed {
+		s.stateMu.RUnlock()
+		return 0, ErrClosed
+	}
+	for sh, idx := range sc.parts {
+		if len(idx) == 0 {
+			continue
+		}
+		req := s.getReq()
+		req.kind, req.keys, req.vals, req.idx = kind, keys, vals, idx
+		req.outOK = outOK
+		req.errs, req.lsns, req.shard, req.wg = sc.errs, sc.lsns, sh, &wg
+		sc.reqs = append(sc.reqs, req)
+		wg.Add(1)
+		s.reqs[sh] <- req
+	}
+	s.stateMu.RUnlock()
+	wg.Wait()
+	var last uint64
+	for _, lsn := range sc.lsns {
+		if lsn > last {
+			last = lsn
+		}
+	}
+	err := errors.Join(sc.errs...)
+	for _, req := range sc.reqs {
+		s.putReq(req)
+	}
+	return last, err
+}
+
+// InsertBatchShip is InsertBatch plus shipping of the applied pairs in
+// apply order (Engine.InsertBatchShip). Always synchronous.
+func (s *Sharded) InsertBatchShip(keys, vals []uint64) (uint64, error) {
+	if len(keys) != len(vals) {
+		return 0, fmt.Errorf("%w: %d keys, %d values", ErrBatchLength, len(keys), len(vals))
+	}
+	return s.runBatchShip(opInsertShip, keys, vals, nil)
+}
+
+// UpsertBatchShip is UpsertBatch plus shipping of the applied pairs in
+// apply order (Engine.UpsertBatchShip). Always synchronous.
+func (s *Sharded) UpsertBatchShip(keys, vals []uint64) (uint64, error) {
+	if len(keys) != len(vals) {
+		return 0, fmt.Errorf("%w: %d keys, %d values", ErrBatchLength, len(keys), len(vals))
+	}
+	return s.runBatchShip(opUpsertShip, keys, vals, nil)
+}
+
+// DeleteBatchShipInto is DeleteBatchInto plus shipping of every
+// attempted delete in apply order (Engine.DeleteBatchShipInto).
+func (s *Sharded) DeleteBatchShipInto(keys []uint64, found []bool) (uint64, error) {
+	if len(found) < len(keys) {
+		return 0, fmt.Errorf("%w: %d keys, %d found slots", ErrBatchLength, len(keys), len(found))
+	}
+	if len(keys) == 0 {
+		return 0, nil
+	}
+	return s.runBatchShip(opDeleteShip, keys, nil, found)
 }
 
 // one submits a single operation with results in the pooled request's
