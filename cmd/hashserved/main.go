@@ -67,6 +67,7 @@ func main() {
 		backend   = flag.String("backend", "mem", "block store: mem, file or latency")
 		path      = flag.String("path", "", "file backend: backing path (named path = durable)")
 		cache     = flag.Int("cache", 0, "file backend: page-cache capacity in blocks (0 = default)")
+		ioMode    = flag.String("iomode", "", "file backend: I/O mode (buffered, odirect or uring; default buffered, falls back where unsupported)")
 		fpolicy   = flag.String("flush", extbuf.FlushSync, "engine flush policy (sync or async)")
 		walPath   = flag.String("walpath", "", "durable mode: dedicated WAL device path (default: -path plus .wal)")
 		wbWorkers = flag.Int("wbworkers", 0, "file backend: async writeback workers (0 = default, 1 = synchronous)")
@@ -100,6 +101,7 @@ func main() {
 		Path:                *path,
 		WALPath:             *walPath,
 		CacheBlocks:         *cache,
+		IOMode:              *ioMode,
 		FlushPolicy:         *fpolicy,
 		WritebackWorkers:    *wbWorkers,
 		RecoveryParallelism: *recovPar,

@@ -40,15 +40,16 @@ import (
 //     makes any surviving WAL records no-ops. Recovery therefore always
 //     sees one consistent checkpoint plus a CRC-validated log suffix.
 //
-// Superblock payload (framed by ckpt.Frame, version 2): structure name,
+// Superblock payload (framed by ckpt.Frame, version 3): structure name,
 // construction parameters, shard layout, last-applied LSN, the block
 // allocator + logical→physical placement state, the configured WAL
-// path, and the structure's serialized directory state. Version 1
-// files (no WAL path field) are still read; new checkpoints are
-// written as version 2.
+// path, the I/O mode with its layout sector size, and the structure's
+// serialized directory state. Version 1 (no WAL path) and version 2
+// (no I/O mode) files are still read; new checkpoints are written as
+// version 3.
 
 // superblockVersion is the on-disk checkpoint format version.
-const superblockVersion = 2
+const superblockVersion = 3
 
 // minSuperblockVersion is the oldest checkpoint format still readable.
 const minSuperblockVersion = 1
@@ -76,6 +77,8 @@ type superblock struct {
 	free          []iomodel.BlockID
 	mapping       []int64
 	walPath       string // configured Config.WALPath ("" = beside the block file)
+	ioMode        string // configured Config.IOMode ("" = buffered, pre-v3 files)
+	sector        int    // direct-layout slot alignment the block file was written with
 }
 
 // durableTable layers write-ahead logging and checkpointing over a
@@ -115,14 +118,21 @@ func openDurable(structure string, cfg Config) (*durableTable, error) {
 	if err := cfg.validateFor(structure); err != nil {
 		return nil, err
 	}
-	store, err := iomodel.OpenFileStore(cfg.Path, cfg.BlockSize, cfg.CacheBlocks, crasher)
+	ioOpt := iomodel.IOOptions{Mode: cfg.IOMode}
+	if sb != nil {
+		// Reopen with the stride the file was written with, not a fresh
+		// probe: the layout must survive a move across filesystems.
+		ioOpt.Sector = sb.sector
+	}
+	store, err := iomodel.OpenFileStoreIO(cfg.Path, cfg.BlockSize, cfg.CacheBlocks, crasher, ioOpt)
 	if err != nil {
 		return nil, err
 	}
-	// Asynchronous writeback: enabled for production stores, forced
-	// synchronous under crash injection (SetWritebackWorkers refuses a
-	// crasher-wrapped store; the harness counts write syscalls).
-	store.SetWritebackWorkers(cfg.writebackWorkers())
+	// Asynchronous submission: the pwrite pool, or an io_uring ring under
+	// IOMode "uring"; forced synchronous buffered under crash injection
+	// (ConfigureSubmission refuses a crasher-wrapped store; the harness
+	// counts write syscalls).
+	store.ConfigureSubmission(cfg.IOMode, cfg.writebackWorkers())
 	model := iomodel.NewModelOn(store, cfg.MemoryWords)
 	fn := hashfn.Family(cfg.HashFamily, cfg.Seed)
 
@@ -143,7 +153,7 @@ func openDurable(structure string, cfg Config) (*durableTable, error) {
 		return nil, err
 	}
 
-	log, records, err := wal.Open(cfg.walPath(), crasher, lastLSN+1)
+	log, records, err := wal.OpenIO(cfg.walPath(), crasher, lastLSN+1, iomodel.IOOptions{Mode: cfg.IOMode})
 	if err != nil {
 		inner.Close()
 		return nil, err
@@ -319,6 +329,10 @@ func readSuperblock(path string) (*superblock, *ckpt.Decoder, error) {
 	if version >= 2 {
 		sb.walPath = d.String()
 	}
+	if version >= 3 {
+		sb.ioMode = d.String()
+		sb.sector = d.Int()
+	}
 	if err := d.Err(); err != nil {
 		return nil, nil, fmt.Errorf("extbuf: superblock %s: %w", path, err)
 	}
@@ -393,6 +407,23 @@ func (sb *superblock) mergeConfig(structure string, cfg Config) (Config, error) 
 		cfg.WALPath = sb.walPath
 	default:
 		return cfg, mismatch("WALPath", sb.walPath, cfg.WALPath)
+	}
+	// The I/O mode fixes the block file's slot layout. An empty request
+	// adopts the stored mode; the two direct modes share one layout, so
+	// either may reopen the other's files (the syscall path changes, the
+	// stride does not); a buffered/direct conflict would misread every
+	// slot and is rejected.
+	stored := sb.ioMode
+	if stored == "" {
+		stored = iomodel.IOModeBuffered
+	}
+	switch {
+	case cfg.IOMode == "" || cfg.IOMode == stored:
+		cfg.IOMode = stored
+	case iomodel.DirectLayout(cfg.IOMode) && iomodel.DirectLayout(stored):
+		// odirect <-> uring: layout-compatible override.
+	default:
+		return cfg, mismatch("IOMode", stored, cfg.IOMode)
 	}
 	return cfg, nil
 }
@@ -513,6 +544,8 @@ func (d *durableTable) checkpoint() error {
 	e.BlockIDs(free)
 	e.I64s(mapping)
 	e.String(d.cfg.WALPath)
+	e.String(d.cfg.IOMode)
+	e.Int(d.store.SectorSize())
 	d.inner.saveState(e)
 	if err := writeFileAtomic(d.cfg.Path+ckptSuffix, ckpt.Frame(superblockVersion, e.Bytes()), d.crasher); err != nil {
 		return err

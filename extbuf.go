@@ -56,6 +56,14 @@ type StoreStats struct {
 	WALSpills       int64 // write-ahead log spill writes (durable tables)
 	WALFsyncs       int64 // write-ahead log fsyncs (durable tables)
 	WALFsyncsElided int64 // write-ahead log barrier fsyncs skipped (durable tables)
+
+	// Kernel-bypass tier counters (zero under IOMode "buffered"). The
+	// fields are appended so older STATS wire peers keep decoding.
+	DirectIO         int64 // stores (shards) whose block fd is open O_DIRECT
+	ODirectFallbacks int64 // O_DIRECT opens refused by the filesystem (buffered fallback)
+	UringEnters      int64 // io_uring_enter syscalls issued
+	UringSQEs        int64 // submission-queue entries placed (writes through the ring)
+	UringFallbacks   int64 // io_uring rings refused (tag off or kernel probe failed)
 }
 
 // Add returns s + o field-wise, for aggregating shards.
@@ -76,6 +84,11 @@ func (s StoreStats) Add(o StoreStats) StoreStats {
 	s.WALSpills += o.WALSpills
 	s.WALFsyncs += o.WALFsyncs
 	s.WALFsyncsElided += o.WALFsyncsElided
+	s.DirectIO += o.DirectIO
+	s.ODirectFallbacks += o.ODirectFallbacks
+	s.UringEnters += o.UringEnters
+	s.UringSQEs += o.UringSQEs
+	s.UringFallbacks += o.UringFallbacks
 	return s
 }
 
@@ -83,19 +96,24 @@ func (s StoreStats) Add(o StoreStats) StoreStats {
 // one.
 func fromFileStats(st iomodel.FileStats) StoreStats {
 	return StoreStats{
-		ReadSyscalls:    st.ReadSyscalls,
-		WriteSyscalls:   st.WriteSyscalls,
-		CacheHits:       st.CacheHits,
-		CacheMisses:     st.CacheMisses,
-		BytesRead:       st.BytesRead,
-		BytesWritten:    st.BytesWritten,
-		Evictions:       st.Evictions,
-		DirtyWritebacks: st.DirtyWritebacks,
-		FlushedFrames:   st.FlushedFrames,
-		FlushRuns:       st.FlushRuns,
-		Fsyncs:          st.Fsyncs,
-		FsyncsElided:    st.FsyncsElided,
-		GhostHits:       st.GhostHits,
+		ReadSyscalls:     st.ReadSyscalls,
+		WriteSyscalls:    st.WriteSyscalls,
+		CacheHits:        st.CacheHits,
+		CacheMisses:      st.CacheMisses,
+		BytesRead:        st.BytesRead,
+		BytesWritten:     st.BytesWritten,
+		Evictions:        st.Evictions,
+		DirtyWritebacks:  st.DirtyWritebacks,
+		FlushedFrames:    st.FlushedFrames,
+		FlushRuns:        st.FlushRuns,
+		Fsyncs:           st.Fsyncs,
+		FsyncsElided:     st.FsyncsElided,
+		GhostHits:        st.GhostHits,
+		DirectIO:         st.DirectIO,
+		ODirectFallbacks: st.ODirectFallbacks,
+		UringEnters:      st.UringEnters,
+		UringSQEs:        st.UringSQEs,
+		UringFallbacks:   st.UringFallbacks,
 	}
 }
 
@@ -202,6 +220,22 @@ type Config struct {
 	// CacheBlocks is the "file" backend's page-cache capacity in blocks
 	// (default iomodel.DefaultCacheBlocks).
 	CacheBlocks int
+	// IOMode selects the "file" backend's kernel-bypass tier: "buffered"
+	// (the default) routes block and WAL I/O through the kernel page
+	// cache; "odirect" opens both files O_DIRECT with sector-aligned
+	// buffers and slot layout, making the table's own pool the only
+	// cache; "uring" is odirect plus an io_uring submission queue in
+	// place of the pwrite writeback pool (Linux, build tag "iouring").
+	// Each rung falls back one step where unsupported — filesystems
+	// without O_DIRECT, kernels without io_uring, binaries without the
+	// tag — recorded in StoreStats.ODirectFallbacks/UringFallbacks; the
+	// fallback changes only the syscall path, never the file layout. The
+	// mode is recorded in the superblock: reopening with an empty IOMode
+	// adopts the stored one, the two direct modes (which share a layout)
+	// reopen each other's files, and a buffered/direct conflict fails
+	// with ErrSuperblockMismatch. Crash-injected tables always run
+	// buffered and synchronous (the crash matrix counts write syscalls).
+	IOMode string
 	// WritebackWorkers sets the "file" backend's asynchronous writeback
 	// pool: flush-barrier and eviction writes are encoded on the table
 	// goroutine but submitted as concurrent pwrites by this many
@@ -315,6 +349,9 @@ func (c Config) withDefaults() Config {
 	if c.FlushPolicy == "" {
 		c.FlushPolicy = FlushSync
 	}
+	if c.IOMode == "" {
+		c.IOMode = iomodel.IOModeBuffered
+	}
 	return c
 }
 
@@ -340,6 +377,10 @@ var ErrUnknownBackend = errors.New("extbuf: unknown backend")
 // ErrUnknownFlushPolicy is returned for FlushPolicy values other than
 // FlushSync and FlushAsync.
 var ErrUnknownFlushPolicy = errors.New("extbuf: unknown flush policy")
+
+// ErrUnknownIOMode is returned for IOMode values other than "buffered",
+// "odirect" and "uring".
+var ErrUnknownIOMode = errors.New("extbuf: unknown IO mode")
 
 // ErrBatchLength is returned by batch operations whose key and value
 // slices differ in length.
@@ -394,17 +435,17 @@ func (c Config) store() (iomodel.BlockStore, error) {
 	case "", "mem":
 		return iomodel.NewMemStore(c.BlockSize), nil
 	case "file":
-		s, err := iomodel.NewTempFileStore(c.BlockSize, c.CacheBlocks)
+		s, err := iomodel.NewTempFileStoreIO(c.BlockSize, c.CacheBlocks, iomodel.IOOptions{Mode: c.IOMode})
 		if err != nil {
 			return nil, err
 		}
-		s.SetWritebackWorkers(c.writebackWorkers())
+		s.ConfigureSubmission(c.IOMode, c.writebackWorkers())
 		return s, nil
 	case "latency":
 		lcfg := iomodel.LatencyConfig{Seek: c.SeekDelay, Transfer: c.TransferDelay}
 		if c.DeviceProfile != "" {
 			var err error
-			if lcfg, err = iomodel.DeviceProfile(c.DeviceProfile); err != nil {
+			if lcfg, err = iomodel.DeviceProfileIO(c.DeviceProfile, c.IOMode); err != nil {
 				return nil, err
 			}
 		}
@@ -435,6 +476,9 @@ func (c Config) validateGamma() error {
 func (c Config) validateFor(structure string) error {
 	if err := c.validateBlockSize(); err != nil {
 		return err
+	}
+	if !iomodel.ValidIOMode(c.IOMode) {
+		return fmt.Errorf("%w %q (want buffered, odirect or uring)", ErrUnknownIOMode, c.IOMode)
 	}
 	switch structure {
 	case "buffered":

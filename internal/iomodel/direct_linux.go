@@ -1,0 +1,72 @@
+//go:build linux
+
+package iomodel
+
+import (
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// directIOSupported is true where the platform has an O_DIRECT flag at
+// all; the per-filesystem probe in openBlockFile still decides whether
+// a given path honors it.
+const directIOSupported = true
+
+// forceNoDirect makes openBlockFile behave as if every O_DIRECT open
+// failed — a test hook for exercising the fallback ladder on
+// filesystems that (like ext4 and this kernel's tmpfs) accept O_DIRECT.
+var forceNoDirect = false
+
+// openBlockFile opens path with the given flags, attempting O_DIRECT
+// when wantDirect. It reports whether the returned fd actually is
+// direct: filesystems without O_DIRECT support (older tmpfs, some
+// overlayfs and network mounts) fail the open, and the store falls
+// back to a buffered fd rather than failing — the caller records the
+// fallback in FileStats.
+func openBlockFile(path string, flags int, wantDirect bool) (*os.File, bool, error) {
+	if wantDirect && !forceNoDirect {
+		f, err := os.OpenFile(path, flags|syscall.O_DIRECT, 0o644)
+		if err == nil {
+			return f, true, nil
+		}
+		// O_TRUNC already happened? No: a failed open(2) is atomic —
+		// nothing was created or truncated — so retrying without the
+		// flag is safe.
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	return f, false, err
+}
+
+// fsBlockSize returns the filesystem block size of the volume holding
+// path (the path's directory is probed, so the file need not exist),
+// clamped to a power of two in [512, 64 KiB]. 4096 if the probe fails.
+func fsBlockSize(path string) int {
+	var st syscall.Statfs_t
+	dir := filepath.Dir(path)
+	if err := syscall.Statfs(dir, &st); err != nil {
+		return 4096
+	}
+	bs := int(st.Bsize)
+	if bs < 512 || bs > 1<<16 || bs&(bs-1) != 0 {
+		return 4096
+	}
+	return bs
+}
+
+// fsSectorSize returns the alignment the direct layout uses for the
+// volume holding path: the filesystem block size, floored at 512.
+// O_DIRECT requires alignment to the device's logical sector size,
+// which the filesystem block size is always a multiple of.
+func fsSectorSize(path string) int {
+	bs := fsBlockSize(path)
+	if bs < 512 {
+		return 512
+	}
+	if bs > 4096 {
+		// Huge-block filesystems still honor 4 KiB direct alignment
+		// (the page size bounds the requirement in practice).
+		return 4096
+	}
+	return bs
+}

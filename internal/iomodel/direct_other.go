@@ -1,0 +1,21 @@
+//go:build !linux
+
+package iomodel
+
+import "os"
+
+// directIOSupported: no portable O_DIRECT outside Linux; direct modes
+// fall back to buffered syscalls (recorded in FileStats) but keep the
+// sector-padded layout so files move between platforms.
+const directIOSupported = false
+
+var forceNoDirect = false
+
+func openBlockFile(path string, flags int, wantDirect bool) (*os.File, bool, error) {
+	f, err := os.OpenFile(path, flags, 0o644)
+	return f, false, err
+}
+
+func fsBlockSize(path string) int { return 4096 }
+
+func fsSectorSize(path string) int { return 4096 }

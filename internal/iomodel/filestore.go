@@ -24,7 +24,7 @@ import (
 // # Placement: direct vs durable
 //
 // A store built with NewFileStore truncates its file and places block
-// id at byte offset id*frameBytes — a fresh scratch store, not a
+// id at byte offset id*slotBytes — a fresh scratch store, not a
 // recovery mechanism. A store built with OpenFileStore runs in durable
 // mode: the file is NOT truncated, and a logical→physical indirection
 // table decouples the block IDs tables chain through from file
@@ -65,11 +65,34 @@ import (
 // and Close report the failure instead of panicking, so a durable
 // table's Flush barrier surfaces it to the caller as an un-acknowledged
 // write.
+//
+// # Kernel-bypass tier
+//
+// Under the direct I/O modes (IOModeODirect, IOModeUring) the store
+// bypasses the kernel page cache: the buffer pool above is the only
+// cache between the tables and the device. Slots are padded from
+// frameBytes to slotBytes (the next multiple of the filesystem's
+// logical sector size) and every I/O buffer is sector-aligned, so all
+// pread/pwrite offsets, lengths and addresses satisfy O_DIRECT's
+// alignment rules. The fallback ladder is: io_uring submission →
+// pwrite worker pool (tag off or kernel probe failed, UringFallbacks);
+// O_DIRECT fd → buffered fd (filesystem refused the flag,
+// ODirectFallbacks); and crash-injected stores always take the
+// synchronous buffered syscall path — the crash harness counts write
+// syscalls, so write order must stay deterministic — while keeping the
+// mode's slot layout, so crash tests and production stores read the
+// same files.
 type FileStore struct {
 	f          BlockFile
+	osf        *os.File // underlying fd when known; io_uring needs it
 	b          int
-	frameBytes int64
-	nslots     int // allocated slots, including freed ones
+	frameBytes int64  // encoded frame: header + B() entries
+	slotBytes  int64  // on-disk stride: frameBytes, sector-padded under direct layout
+	sector     int64  // direct-layout alignment; 0 = buffered layout
+	ioMode     string // configured mode (IOMode constants)
+	direct     bool   // fd is open O_DIRECT
+	uringOn    bool   // submissions ride an io_uring ring
+	nslots     int    // allocated slots, including freed ones
 	free       []BlockID
 	cacheCap   int
 
@@ -100,11 +123,12 @@ type FileStore struct {
 	closed      bool
 	failed      error // sticky first write failure
 
-	// Asynchronous writeback (nil = synchronous writes). wrote tracks
-	// whether any bytes reached (or were submitted to) the file since
-	// the last fsync, so a barrier with nothing new to harden elides
-	// its fsync instead of queueing a no-op behind the device.
-	wb         *writeback
+	// Asynchronous writeback (nil = synchronous writes): the pwrite
+	// worker pool or, under IOModeUring, the io_uring ring. wrote
+	// tracks whether any bytes reached (or were submitted to) the file
+	// since the last fsync, so a barrier with nothing new to harden
+	// elides its fsync instead of queueing a no-op behind the device.
+	wb         ioSubmitter
 	wrote      bool
 	hasCrasher bool // write order must stay deterministic: no async pool
 
@@ -167,6 +191,19 @@ type FileStats struct {
 	// GhostHits counts faults of blocks found on the eviction ghost
 	// list: re-references the scan-resistant policy promoted to hot.
 	GhostHits int64
+
+	// Kernel-bypass tier. DirectIO is 1 while the block fd is open
+	// O_DIRECT; ODirectFallbacks counts direct-mode opens that fell
+	// back to buffered syscalls (filesystem refused the flag);
+	// UringFallbacks counts uring-mode stores that fell back to the
+	// pwrite pool (tag off or kernel probe failed). UringEnters and
+	// UringSQEs meter the ring: SQEs per enter is the realized
+	// submission batch size.
+	DirectIO         int64
+	ODirectFallbacks int64
+	UringEnters      int64
+	UringSQEs        int64
+	UringFallbacks   int64
 }
 
 // DefaultCacheBlocks is the page-cache capacity used when none is
@@ -189,11 +226,23 @@ const maxRunBytes = 1 << 20
 // direct-placement store with blocks of capacity b entries and a page
 // cache of cacheBlocks frames (DefaultCacheBlocks if cacheBlocks <= 0).
 func NewFileStore(path string, b, cacheBlocks int) (*FileStore, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	return NewFileStoreIO(path, b, cacheBlocks, IOOptions{})
+}
+
+// NewFileStoreIO is NewFileStore with an explicit I/O mode (see the
+// IOMode constants). A direct mode that the filesystem refuses falls
+// back to buffered syscalls, recorded in FileStats.ODirectFallbacks;
+// the sector-padded layout is kept either way.
+func NewFileStoreIO(path string, b, cacheBlocks int, io IOOptions) (*FileStore, error) {
+	f, direct, err := openBlockFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, directLayout(io.Mode))
 	if err != nil {
 		return nil, fmt.Errorf("iomodel: open block store: %w", err)
 	}
-	return newFileStoreOn(f, b, cacheBlocks, false), nil
+	s := newFileStoreOn(f, f, b, cacheBlocks, false, io, direct)
+	if directLayout(io.Mode) && !direct {
+		s.stats.ODirectFallbacks++
+	}
+	return s, nil
 }
 
 // OpenFileStore opens (creating if absent, never truncating) the file
@@ -201,7 +250,17 @@ func NewFileStore(path string, b, cacheBlocks int) (*FileStore, error) {
 // logical→physical indirection table, ready for checkpoint/recovery.
 // A non-nil crasher interposes fault injection on every file write.
 func OpenFileStore(path string, b, cacheBlocks int, crasher *Crasher) (*FileStore, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenFileStoreIO(path, b, cacheBlocks, crasher, IOOptions{})
+}
+
+// OpenFileStoreIO is OpenFileStore with an explicit I/O mode. A
+// crash-injected store refuses the kernel-bypass syscall paths (same
+// rule as SetWritebackWorkers) but keeps the mode's slot layout, so
+// the crash matrix replays deterministically against the same files a
+// production store writes.
+func OpenFileStoreIO(path string, b, cacheBlocks int, crasher *Crasher, io IOOptions) (*FileStore, error) {
+	wantDirect := directLayout(io.Mode) && crasher == nil
+	f, direct, err := openBlockFile(path, os.O_RDWR|os.O_CREATE, wantDirect)
 	if err != nil {
 		return nil, fmt.Errorf("iomodel: open block store: %w", err)
 	}
@@ -209,30 +268,57 @@ func OpenFileStore(path string, b, cacheBlocks int, crasher *Crasher) (*FileStor
 	if crasher != nil {
 		bf = crasher.WrapFile(bf)
 	}
-	s := newFileStoreOn(bf, b, cacheBlocks, true)
+	s := newFileStoreOn(bf, f, b, cacheBlocks, true, io, direct)
 	s.hasCrasher = crasher != nil
+	if wantDirect && !direct {
+		s.stats.ODirectFallbacks++
+	}
 	return s, nil
 }
 
-func newFileStoreOn(f BlockFile, b, cacheBlocks int, durable bool) *FileStore {
+func newFileStoreOn(f BlockFile, osf *os.File, b, cacheBlocks int, durable bool, io IOOptions, direct bool) *FileStore {
 	if b < 1 {
 		panic("iomodel: block size must be >= 1")
 	}
 	if cacheBlocks <= 0 {
 		cacheBlocks = DefaultCacheBlocks
 	}
+	mode := io.Mode
+	if mode == "" {
+		mode = IOModeBuffered
+	}
 	fb := int64(blockHeaderBytes + b*entryBytes)
+	slot := fb
+	var sector int64
+	if directLayout(mode) {
+		sector = int64(io.Sector)
+		if sector <= 0 && osf != nil {
+			sector = int64(fsSectorSize(osf.Name()))
+		}
+		if sector <= 0 {
+			sector = 4096
+		}
+		slot = alignUp(fb, sector)
+	}
 	s := &FileStore{
 		f:          f,
+		osf:        osf,
 		b:          b,
 		frameBytes: fb,
+		slotBytes:  slot,
+		sector:     sector,
+		ioMode:     mode,
+		direct:     direct,
 		cacheCap:   cacheBlocks,
 		frames:     make([]frame, cacheBlocks),
-		arena:      make([]Entry, cacheBlocks*b),
+		arena:      alignedEntryArena(cacheBlocks * b),
 		cache:      make(map[BlockID]int32, cacheBlocks),
 		freeFrames: make([]int32, cacheBlocks),
-		scratch:    make([]byte, fb),
+		scratch:    alignedBytes(int(slot), int(slot), int(sector)),
 		durable:    durable,
+	}
+	if direct {
+		s.stats.DirectIO = 1
 	}
 	s.lastID = NilBlock
 	for i := range s.frames {
@@ -267,22 +353,47 @@ func (s *FileStore) SetWritebackWorkers(n int) {
 		return
 	}
 	runBytes := int(maxRunBytes)
-	if fb := int(s.frameBytes); fb > runBytes {
-		runBytes = fb
+	if sb := int(s.slotBytes); sb > runBytes {
+		runBytes = sb
 	}
-	s.wb = newWriteback(s.f, n, runBytes)
+	s.wb = newWriteback(s.f, n, runBytes, int(s.sector))
+}
+
+// ConfigureSubmission selects the store's asynchronous write backend
+// for the given I/O mode: an io_uring ring under IOModeUring (build
+// tag "iouring"; falls back to the pwrite pool, counted in
+// FileStats.UringFallbacks, when the tag is off or the kernel probe
+// fails), otherwise SetWritebackWorkers' pwrite pool. Crash-injected
+// stores stay synchronous either way. Must be called before any write
+// reaches the store.
+func (s *FileStore) ConfigureSubmission(mode string, workers int) {
+	if mode == IOModeUring && !s.hasCrasher && s.wb == nil {
+		if ur, err := newURing(s, uringDepth); err == nil {
+			s.wb = ur
+			s.uringOn = true
+			return
+		}
+		s.stats.UringFallbacks++
+	}
+	s.SetWritebackWorkers(workers)
 }
 
 // NewTempFileStore is NewFileStore on a fresh temporary file that is
 // removed when the store is closed.
 func NewTempFileStore(b, cacheBlocks int) (*FileStore, error) {
+	return NewTempFileStoreIO(b, cacheBlocks, IOOptions{})
+}
+
+// NewTempFileStoreIO is NewFileStoreIO on a fresh temporary file that
+// is removed when the store is closed.
+func NewTempFileStoreIO(b, cacheBlocks int, io IOOptions) (*FileStore, error) {
 	f, err := os.CreateTemp("", "extbuf-*.blocks")
 	if err != nil {
 		return nil, fmt.Errorf("iomodel: temp block store: %w", err)
 	}
 	name := f.Name()
 	f.Close()
-	s, err := NewFileStore(name, b, cacheBlocks)
+	s, err := NewFileStoreIO(name, b, cacheBlocks, io)
 	if err != nil {
 		os.Remove(name)
 		return nil, err
@@ -303,6 +414,27 @@ func (s *FileStore) B() int { return s.b }
 // Durable reports whether the store runs in durable (copy-on-write)
 // mode.
 func (s *FileStore) Durable() bool { return s.durable }
+
+// IOMode returns the store's configured I/O mode, which fixes the slot
+// layout (see the IOMode constants).
+func (s *FileStore) IOMode() string { return s.ioMode }
+
+// EffectiveIOMode returns the syscall path actually in use after the
+// fallback ladder: "uring" when submissions ride an io_uring ring,
+// else "odirect" when the fd is open O_DIRECT, else "buffered".
+func (s *FileStore) EffectiveIOMode() string {
+	if s.uringOn {
+		return IOModeUring
+	}
+	if s.direct {
+		return IOModeODirect
+	}
+	return IOModeBuffered
+}
+
+// SectorSize returns the direct layout's alignment in bytes, 0 under
+// the buffered layout.
+func (s *FileStore) SectorSize() int { return int(s.sector) }
 
 // Failed returns the sticky first write failure, or nil. A failed store
 // has lost writes; its in-memory cache no longer reflects the file.
@@ -517,7 +649,7 @@ func (s *FileStore) writeRuns(dirty []*frame) error {
 		}
 	}
 	sort.Slice(dirty, func(i, j int) bool { return s.physFor(dirty[i].id) < s.physFor(dirty[j].id) })
-	maxRun := int(maxRunBytes / s.frameBytes)
+	maxRun := int(maxRunBytes / s.slotBytes)
 	if maxRun < 1 {
 		maxRun = 1
 	}
@@ -545,10 +677,10 @@ func (s *FileStore) writeRuns(dirty []*frame) error {
 // the next drain barrier (Fsync/Close). Counters are charged at submit,
 // so Stats reads stay deterministic at barriers.
 func (s *FileStore) submitRun(run []*frame) {
-	n := len(run) * int(s.frameBytes)
+	n := len(run) * int(s.slotBytes)
 	buf := s.wb.getBuf(n)
 	for i, fr := range run {
-		s.encodeFrame(fr, buf[i*int(s.frameBytes):(i+1)*int(s.frameBytes)])
+		s.encodeFrame(fr, buf[i*int(s.slotBytes):(i+1)*int(s.slotBytes)])
 		fr.dirty = false
 	}
 	first := s.physFor(run[0].id)
@@ -559,7 +691,7 @@ func (s *FileStore) submitRun(run []*frame) {
 	s.wrote = true
 	s.wb.submit(wbJob{
 		buf:   buf,
-		off:   first * s.frameBytes,
+		off:   first * s.slotBytes,
 		first: first,
 		n:     len(run),
 		id0:   run[0].id,
@@ -570,15 +702,15 @@ func (s *FileStore) submitRun(run []*frame) {
 // flushRun writes a run of frames occupying adjacent physical slots
 // with one pwrite and clears their dirty bits.
 func (s *FileStore) flushRun(run []*frame) error {
-	n := len(run) * int(s.frameBytes)
+	n := len(run) * int(s.slotBytes)
 	if cap(s.runBuf) < n {
-		s.runBuf = make([]byte, n)
+		s.runBuf = alignedBytes(n, n, int(s.sector))
 	}
 	buf := s.runBuf[:n]
 	for i, fr := range run {
-		s.encodeFrame(fr, buf[i*int(s.frameBytes):(i+1)*int(s.frameBytes)])
+		s.encodeFrame(fr, buf[i*int(s.slotBytes):(i+1)*int(s.slotBytes)])
 	}
-	off := s.physFor(run[0].id) * s.frameBytes
+	off := s.physFor(run[0].id) * s.slotBytes
 	wn, err := s.f.WriteAt(buf, off)
 	s.stats.WriteSyscalls++
 	s.stats.FlushRuns++
@@ -922,9 +1054,10 @@ func (s *FileStore) flushCluster(victim *frame) error {
 }
 
 // loadHeader fills only fr's header (the next pointer) from the file
-// with one 8-byte pread, for whole-block overwrites that must not lose
-// the chain pointer. A slot past EOF — or never flushed in durable
-// mode — decodes as a nil pointer.
+// with one small pread — 8 bytes buffered, one sector under O_DIRECT
+// (the minimum aligned read) — for whole-block overwrites that must
+// not lose the chain pointer. A slot past EOF — or never flushed in
+// durable mode — decodes as a nil pointer.
 func (s *FileStore) loadHeader(fr *frame) {
 	phys := s.physFor(fr.id)
 	fr.next = NilBlock
@@ -934,7 +1067,11 @@ func (s *FileStore) loadHeader(fr *frame) {
 	if s.wb != nil {
 		s.wb.waitSlot(phys)
 	}
-	n, err := s.f.ReadAt(s.scratch[:blockHeaderBytes], phys*s.frameBytes)
+	rd := int64(blockHeaderBytes)
+	if s.direct {
+		rd = s.sector
+	}
+	n, err := s.f.ReadAt(s.scratch[:rd], phys*s.slotBytes)
 	if err != nil && err != io.EOF {
 		panic(fmt.Errorf("iomodel: read block %d header: %w", fr.id, err))
 	}
@@ -958,7 +1095,7 @@ func (s *FileStore) load(fr *frame) {
 	if s.wb != nil {
 		s.wb.waitSlot(phys)
 	}
-	n, err := s.f.ReadAt(s.scratch, phys*s.frameBytes)
+	n, err := s.f.ReadAt(s.scratch, phys*s.slotBytes)
 	if err != nil && err != io.EOF {
 		panic(fmt.Errorf("iomodel: read block %d: %w", fr.id, err))
 	}
@@ -1012,8 +1149,9 @@ func (s *FileStore) assignSlot(fr *frame) {
 	}
 }
 
-// encodeFrame serializes fr into buf, which must be frameBytes long.
-// The unused tail is zeroed so stale bytes never resurface as data.
+// encodeFrame serializes fr into buf, which must be slotBytes long.
+// The unused tail — including the direct layout's sector padding — is
+// zeroed so stale bytes never resurface as data.
 func (s *FileStore) encodeFrame(fr *frame, buf []byte) {
 	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(fr.entries)))
 	binary.LittleEndian.PutUint32(buf[4:8], uint32(int32(fr.next+1)))
@@ -1036,7 +1174,7 @@ func (s *FileStore) flushFrame(fr *frame) error {
 		s.assignSlot(fr)
 	}
 	s.encodeFrame(fr, s.scratch)
-	n, err := s.f.WriteAt(s.scratch, s.physFor(fr.id)*s.frameBytes)
+	n, err := s.f.WriteAt(s.scratch, s.physFor(fr.id)*s.slotBytes)
 	s.stats.WriteSyscalls++
 	s.stats.FlushRuns++
 	s.stats.FlushedFrames++

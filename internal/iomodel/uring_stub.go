@@ -1,0 +1,16 @@
+//go:build !linux || !iouring
+
+package iomodel
+
+import "errors"
+
+// uringBuilt is false in binaries compiled without the iouring build
+// tag (or off Linux): IOModeUring falls back to the pwrite worker
+// pool, recorded in FileStats.UringFallbacks.
+const uringBuilt = false
+
+var errURingUnavailable = errors.New("iomodel: io_uring unavailable (built without the iouring tag, or not Linux)")
+
+func newURing(s *FileStore, depth uint32) (ioSubmitter, error) {
+	return nil, errURingUnavailable
+}

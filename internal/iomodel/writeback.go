@@ -34,8 +34,10 @@ type writeback struct {
 	inflight map[int64]struct{} // physical slots with a queued or in-progress write
 	pending  int                // submitted jobs not yet completed
 	firstErr error              // first write failure, sticky
+	dropped  int                // jobs discarded unwritten after the first failure
 	bufs     [][]byte           // run-buffer free list, recycled across jobs
 	bufBytes int                // capacity of each pooled buffer
+	align    int                // buffer base alignment (0 = none; sector under O_DIRECT)
 }
 
 // wbJob is one submitted pwrite: an encoded run of n frames occupying
@@ -49,13 +51,15 @@ type wbJob struct {
 }
 
 // newWriteback starts a pool of workers issuing writes against f.
-// bufBytes is the buffer capacity per job (the store's run bound).
-func newWriteback(f BlockFile, workers, bufBytes int) *writeback {
+// bufBytes is the buffer capacity per job (the store's run bound);
+// align > 0 base-aligns every pooled buffer (O_DIRECT stores).
+func newWriteback(f BlockFile, workers, bufBytes, align int) *writeback {
 	w := &writeback{
 		f:        f,
 		jobs:     make(chan wbJob, 2*workers),
 		inflight: make(map[int64]struct{}, 4*workers),
 		bufBytes: bufBytes,
+		align:    align,
 	}
 	w.done.L = &w.mu
 	w.wg.Add(workers)
@@ -66,12 +70,26 @@ func newWriteback(f BlockFile, workers, bufBytes int) *writeback {
 }
 
 // run is one worker: issue the pwrite, record the outcome, release the
-// job's slots and buffer, and wake every waiter.
+// job's slots and buffer, and wake every waiter. Once a write has
+// failed, jobs still queued behind it are dropped unwritten — the file
+// stops changing at the first failure, exactly as in the crash the
+// sticky error models, instead of acquiring whichever later runs
+// happened to be queued on other workers — and the drop count joins
+// the error at the drain barrier.
 func (w *writeback) run() {
 	defer w.wg.Done()
 	for job := range w.jobs {
-		_, err := w.f.WriteAt(job.buf, job.off)
 		w.mu.Lock()
+		failed := w.firstErr != nil
+		w.mu.Unlock()
+		var err error
+		if !failed {
+			_, err = w.f.WriteAt(job.buf, job.off)
+		}
+		w.mu.Lock()
+		if failed {
+			w.dropped++
+		}
 		if err != nil && w.firstErr == nil {
 			w.firstErr = fmt.Errorf("iomodel: write blocks %d..%d: %w", job.id0, job.id1, err)
 		}
@@ -96,11 +114,7 @@ func (w *writeback) getBuf(n int) []byte {
 		return buf[:n]
 	}
 	w.mu.Unlock()
-	c := w.bufBytes
-	if n > c {
-		c = n
-	}
-	return make([]byte, n, c)
+	return alignedBytes(n, w.bufBytes, w.align)
 }
 
 // submit queues one encoded run for writing. It blocks while an earlier
@@ -144,15 +158,20 @@ func (w *writeback) waitSlot(phys int64) {
 }
 
 // drain blocks until every submitted write has completed and returns
-// the sticky first error. This is the barrier Fsync and Close join
-// asynchronous errors at.
+// the sticky first error, annotated with the number of queued runs
+// dropped unwritten behind it. This is the barrier Fsync and Close
+// join asynchronous errors at.
 func (w *writeback) drain() error {
 	w.mu.Lock()
 	for w.pending > 0 {
 		w.done.Wait()
 	}
 	err := w.firstErr
+	dropped := w.dropped
 	w.mu.Unlock()
+	if err != nil && dropped > 0 {
+		return fmt.Errorf("%w (%d queued runs dropped after the failure)", err, dropped)
+	}
 	return err
 }
 

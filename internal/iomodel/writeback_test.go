@@ -1,8 +1,12 @@
 package iomodel
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"path/filepath"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -102,6 +106,87 @@ func TestWritebackBarrierJoinsErrors(t *testing.T) {
 	st.Close()
 }
 
+// gateFile is a BlockFile stub whose first WriteAt blocks until the
+// gate opens and then fails; it counts every write attempt. It lets a
+// test pile jobs up behind a failing one deterministically.
+type gateFile struct {
+	gate     chan struct{}
+	mu       sync.Mutex
+	attempts int
+}
+
+func (g *gateFile) WriteAt(p []byte, off int64) (int, error) {
+	g.mu.Lock()
+	g.attempts++
+	first := g.attempts == 1
+	g.mu.Unlock()
+	if first {
+		<-g.gate
+		return 0, errors.New("injected device failure")
+	}
+	return len(p), nil
+}
+
+func (g *gateFile) writeAttempts() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.attempts
+}
+
+func (g *gateFile) ReadAt(p []byte, off int64) (int, error) { return 0, io.EOF }
+func (g *gateFile) Write(p []byte) (int, error)             { return len(p), nil }
+func (g *gateFile) Sync() error                             { return nil }
+func (g *gateFile) Close() error                            { return nil }
+func (g *gateFile) Truncate(int64) error                    { return nil }
+func (g *gateFile) Name() string                            { return "gate" }
+
+// TestWritebackDrainDropsQueuedAfterFailure covers a worker failing
+// mid-barrier with jobs still queued behind it: the queued jobs must
+// be dropped unwritten (the file stops changing at the first failure,
+// matching the synchronous path's crash-loss semantics), and drain
+// must join the drop count onto the sticky error instead of
+// deadlocking or silently writing past the failure.
+func TestWritebackDrainDropsQueuedAfterFailure(t *testing.T) {
+	g := &gateFile{gate: make(chan struct{})}
+	w := newWriteback(g, 1, 4096, 0)
+	defer func() {
+		// shutdown re-reports the sticky error; the pool must still wind
+		// down cleanly after a failure.
+		if err := w.shutdown(); err == nil {
+			t.Error("shutdown lost the sticky error")
+		}
+	}()
+
+	// Job A: the single worker picks it up and blocks inside WriteAt.
+	// Jobs B and C queue behind it (channel capacity 2*workers = 2).
+	for i := 0; i < 3; i++ {
+		buf := w.getBuf(64)
+		w.submit(wbJob{buf: buf, off: int64(i) * 64, first: int64(i), n: 1, id0: BlockID(i), id1: BlockID(i)})
+	}
+	close(g.gate) // A fails now; B and C are still queued
+
+	err := w.drain()
+	if err == nil {
+		t.Fatal("drain acked a barrier with a failed write")
+	}
+	if !strings.Contains(err.Error(), "2 queued runs dropped") {
+		t.Fatalf("drain error does not join the dropped jobs: %v", err)
+	}
+	if got := g.writeAttempts(); got != 1 {
+		t.Fatalf("%d writes reached the file, want 1: queued jobs must not write after a failure", got)
+	}
+	// The pool must be fully settled: no inflight slots, buffers
+	// recycled.
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.inflight) != 0 || w.pending != 0 {
+		t.Fatalf("pool not settled after drain: inflight=%d pending=%d", len(w.inflight), w.pending)
+	}
+	if len(w.bufs) != 3 {
+		t.Fatalf("buffers not recycled: %d pooled, want 3", len(w.bufs))
+	}
+}
+
 // TestWritebackCrasherStaysSynchronous checks that a crash-injected
 // store refuses the pool: the crash matrix counts write syscalls, so
 // submission order must stay deterministic.
@@ -175,6 +260,39 @@ func TestDeviceProfiles(t *testing.T) {
 	}
 	if _, err := DeviceProfile("floppy"); err == nil {
 		t.Fatal("unknown profile accepted")
+	}
+}
+
+// TestDeviceProfileIO checks the kernel-bypass pricing of the presets:
+// the direct modes shave software overhead off the transfer rates but
+// never the device's seek, and uring deepens the absorbed queue.
+func TestDeviceProfileIO(t *testing.T) {
+	for _, name := range DeviceProfileNames() {
+		base, _ := DeviceProfile(name)
+		for _, mode := range []string{"", IOModeBuffered} {
+			got, err := DeviceProfileIO(name, mode)
+			if err != nil || got != base {
+				t.Fatalf("%s/%q: %+v, %v; want the unchanged preset", name, mode, got, err)
+			}
+		}
+		od, err := DeviceProfileIO(name, IOModeODirect)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if od.Seek != base.Seek || od.Transfer >= base.Transfer || od.Transfer <= 0 ||
+			od.SeqTransfer > base.SeqTransfer || od.SeqTransfer <= 0 || od.QueueDepth != base.QueueDepth {
+			t.Fatalf("%s/odirect mispriced: base %+v, got %+v", name, base, od)
+		}
+		ur, err := DeviceProfileIO(name, IOModeUring)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ur.Transfer != od.Transfer || ur.QueueDepth != 2*base.QueueDepth {
+			t.Fatalf("%s/uring mispriced: odirect %+v, got %+v", name, od, ur)
+		}
+	}
+	if _, err := DeviceProfileIO("nvme", "dax"); err == nil {
+		t.Fatal("unknown io mode accepted")
 	}
 }
 

@@ -126,11 +126,11 @@ func openRepl(cfg ReplConfig) (*replState, error) {
 		tokenWait:  cfg.TokenWait,
 		shipRetain: cfg.ShipRetain,
 		syncEvery:  cfg.SyncEvery,
-		epoch:     epoch,
-		writable:  cfg.Follow == "",
-		follower:  cfg.Follow != "",
-		subs:      make(map[*conn]uint64),
-		ackCh:     make(chan struct{}),
+		epoch:      epoch,
+		writable:   cfg.Follow == "",
+		follower:   cfg.Follow != "",
+		subs:       make(map[*conn]uint64),
+		ackCh:      make(chan struct{}),
 	}, nil
 }
 

@@ -21,6 +21,24 @@
 // The LSN of record i is firstLSN + i; including it in the record CRC
 // (without storing it) ties each record to its position, so stale bytes
 // from a previous log generation can never validate.
+//
+// # Direct I/O
+//
+// Under the kernel-bypass tier (OpenIO with an odirect/uring mode) the
+// log fd is O_DIRECT, so every spill must start and end on a sector
+// boundary. The on-disk format does not change: a spill rewrites the
+// partial tail sector — the bytes past the last sector boundary, kept
+// in memory — together with the new records, zero-padded to a sector
+// multiple. Recovery reads through a separate buffered fd (O_DIRECT
+// constrains this fd's reads, and the scan is unaligned by nature) and
+// reloads the tail bytes so appends can resume. Zero padding fails
+// every record CRC, so a pad tail is indistinguishable from
+// preallocated extent and the next spill simply overwrites it. The
+// rewrite assumes sector writes are atomic (the standard WAL
+// assumption); a torn tail sector can lose at most records that were
+// never fsync-acknowledged. Crash-injected logs always stay buffered —
+// the crash matrix counts write syscalls, and the tail rewrite would
+// change the count.
 package wal
 
 import (
@@ -88,6 +106,10 @@ type Log struct {
 	spills   int64  // spill WriteAt syscalls issued
 	dirty    bool   // bytes written (spill/truncate/header) since the last fsync
 	failed   error  // sticky first write failure
+	fsBlock  int64  // preallocation granularity: the filesystem block size
+	sector   int64  // >0: O_DIRECT fd, spills rewrite the tail sector
+	tail     []byte // direct mode: logical bytes past the last sector boundary
+	dbuf     []byte // direct mode: reusable aligned spill buffer
 }
 
 // Open opens (creating if absent) the log at path, scanning any
@@ -98,7 +120,18 @@ type Log struct {
 // firstLSN — the LSN after the owning checkpoint's last absorbed
 // operation, so healed logs stay aligned with the LSN filter.
 func Open(path string, crasher *iomodel.Crasher, firstLSN uint64) (*Log, []Record, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenIO(path, crasher, firstLSN, iomodel.IOOptions{})
+}
+
+// OpenIO is Open with an I/O mode: under the direct modes (and no
+// crasher — fault injection counts syscalls, so it pins the buffered
+// path) the log fd is opened O_DIRECT and spills use the tail-sector
+// rewrite described in the package comment. Where the filesystem
+// refuses O_DIRECT the log falls back to buffered syscalls, reported
+// by Direct().
+func OpenIO(path string, crasher *iomodel.Crasher, firstLSN uint64, opt iomodel.IOOptions) (*Log, []Record, error) {
+	wantDirect := iomodel.DirectLayout(opt.Mode) && crasher == nil
+	f, direct, err := iomodel.OpenDirectFile(path, os.O_RDWR|os.O_CREATE, wantDirect)
 	if err != nil {
 		return nil, nil, fmt.Errorf("wal: open: %w", err)
 	}
@@ -106,7 +139,14 @@ func Open(path string, crasher *iomodel.Crasher, firstLSN uint64) (*Log, []Recor
 	if crasher != nil {
 		bf = crasher.WrapFile(bf)
 	}
-	l := &Log{f: bf}
+	l := &Log{f: bf, fsBlock: int64(iomodel.FsBlockSize(path))}
+	if direct {
+		if opt.Sector > 0 {
+			l.sector = int64(opt.Sector)
+		} else {
+			l.sector = int64(iomodel.FsSectorSize(path))
+		}
+	}
 	recs, err := l.recover(firstLSN)
 	if errors.Is(err, errCorruptHeader) {
 		// A header torn by a crash: the protocol guarantees no live
@@ -122,10 +162,21 @@ func Open(path string, crasher *iomodel.Crasher, firstLSN uint64) (*Log, []Recor
 
 // recover scans the file: parse the header (writing a fresh one into an
 // empty file), then validate records until the first CRC failure or
-// short read.
+// short read. An O_DIRECT log scans through a short-lived buffered fd —
+// the record walk is unaligned by nature — and reloads the partial tail
+// sector into memory so appends can resume with the rewrite protocol.
 func (l *Log) recover(firstLSN uint64) ([]Record, error) {
+	var r io.ReaderAt = l.f
+	if l.sector > 0 {
+		sf, err := os.Open(l.f.Name())
+		if err != nil {
+			return nil, fmt.Errorf("wal: open recovery fd: %w", err)
+		}
+		defer sf.Close()
+		r = sf
+	}
 	var hdr [headerBytes]byte
-	n, err := l.f.ReadAt(hdr[:], 0)
+	n, err := r.ReadAt(hdr[:], 0)
 	if err != nil && err != io.EOF {
 		return nil, fmt.Errorf("wal: read header: %w", err)
 	}
@@ -145,7 +196,7 @@ func (l *Log) recover(firstLSN uint64) ([]Record, error) {
 	var recs []Record
 	var rec [recordBytes]byte
 	for off := int64(headerBytes); ; off += recordBytes {
-		n, err := l.f.ReadAt(rec[:], off)
+		n, err := r.ReadAt(rec[:], off)
 		if err != nil && err != io.EOF {
 			return nil, fmt.Errorf("wal: read record: %w", err)
 		}
@@ -170,6 +221,19 @@ func (l *Log) recover(firstLSN uint64) ([]Record, error) {
 	l.prealloc = l.size
 	if info, err := os.Stat(l.f.Name()); err == nil && info.Size() > l.prealloc {
 		l.prealloc = info.Size()
+	}
+	if l.sector > 0 {
+		// Reload the partial tail sector: the next spill rewrites these
+		// bytes together with the new records.
+		off := l.size &^ (l.sector - 1)
+		l.tail = l.tail[:0]
+		if rem := l.size - off; rem > 0 {
+			t := make([]byte, rem)
+			if _, err := r.ReadAt(t, off); err != nil {
+				return nil, fmt.Errorf("wal: read tail sector: %w", err)
+			}
+			l.tail = t
+		}
 	}
 	return recs, nil
 }
@@ -248,6 +312,9 @@ func (l *Log) spillN(n int) error {
 	if n == 0 {
 		return nil
 	}
+	if l.sector > 0 {
+		return l.spillDirect(n)
+	}
 	if err := l.reserve(l.size + int64(n)); err != nil {
 		return err
 	}
@@ -263,9 +330,56 @@ func (l *Log) spillN(n int) error {
 	return nil
 }
 
+// spillDirect writes the first n buffered bytes with one sector-aligned
+// WriteAt: the write starts at the last sector boundary at or below the
+// logical size (rewriting the tail bytes already on disk with identical
+// content), covers the new records, and is zero-padded up to the next
+// sector boundary. See the package comment for the crash-safety
+// argument.
+func (l *Log) spillDirect(n int) error {
+	writeOff := l.size &^ (l.sector - 1)
+	prefix := int(l.size - writeOff) // == len(l.tail)
+	total := prefix + n
+	padded := int(alignUp(int64(total), l.sector))
+	if err := l.reserve(writeOff + int64(padded)); err != nil {
+		return err
+	}
+	if cap(l.dbuf) < padded {
+		l.dbuf = iomodel.AlignedBuf(padded, int(l.sector))
+	}
+	buf := l.dbuf[:padded]
+	copy(buf, l.tail)
+	copy(buf[prefix:], l.buf[:n])
+	clear(buf[total:])
+	wn, err := l.f.WriteAt(buf, writeOff)
+	l.spills++
+	l.dirty = true
+	if err == nil && wn < padded {
+		err = io.ErrShortWrite
+	}
+	if err != nil {
+		l.failed = fmt.Errorf("wal: append: %w", err)
+		return l.failed
+	}
+	l.size += int64(n)
+	newOff := l.size &^ (l.sector - 1)
+	l.tail = append(l.tail[:0], buf[newOff-writeOff:total]...)
+	l.buf = append(l.buf[:0], l.buf[n:]...)
+	return nil
+}
+
+// alignUp rounds n up to the next multiple of align (a power of two).
+func alignUp(n, align int64) int64 {
+	return (n + align - 1) &^ (align - 1)
+}
+
 // reserve extends the file to at least size bytes ahead of the writes
 // that need it. The reserved tail is zeros, which fail every record
-// CRC, so recovery cleanly ignores it.
+// CRC, so recovery cleanly ignores it. The preallocated extent is
+// rounded up to the filesystem block size (and the direct-mode
+// sector): the doubling start point comes from recovered file sizes,
+// which end mid-block, and an unrounded Truncate there makes every
+// later extension repay the partial-block tail.
 func (l *Log) reserve(size int64) error {
 	if size <= l.prealloc {
 		return nil
@@ -276,6 +390,9 @@ func (l *Log) reserve(size int64) error {
 	}
 	for p < size {
 		p *= 2
+	}
+	if gran := max(l.fsBlock, l.sector); gran > 0 {
+		p = alignUp(p, gran)
 	}
 	if err := l.f.Truncate(p); err != nil {
 		l.failed = fmt.Errorf("wal: preallocate: %w", err)
@@ -360,16 +477,41 @@ func (l *Log) reset(firstLSN uint64) error {
 	binary.LittleEndian.PutUint32(hdr[4:8], version)
 	binary.LittleEndian.PutUint64(hdr[8:16], firstLSN)
 	binary.LittleEndian.PutUint32(hdr[16:20], crc32.ChecksumIEEE(hdr[:16]))
-	if _, err := l.f.WriteAt(hdr[:], 0); err != nil {
-		l.failed = fmt.Errorf("wal: write header: %w", err)
-		return l.failed
+	if l.sector > 0 {
+		// Direct fd: pad the header write to one sector and keep its
+		// bytes as the in-memory tail for the next spill's rewrite.
+		if cap(l.dbuf) < int(l.sector) {
+			l.dbuf = iomodel.AlignedBuf(int(l.sector), int(l.sector))
+		}
+		buf := l.dbuf[:l.sector]
+		copy(buf, hdr[:])
+		clear(buf[headerBytes:])
+		if _, err := l.f.WriteAt(buf, 0); err != nil {
+			l.failed = fmt.Errorf("wal: write header: %w", err)
+			return l.failed
+		}
+		l.tail = append(l.tail[:0], hdr[:]...)
+		l.prealloc = l.sector
+	} else {
+		if _, err := l.f.WriteAt(hdr[:], 0); err != nil {
+			l.failed = fmt.Errorf("wal: write header: %w", err)
+			return l.failed
+		}
+		l.prealloc = headerBytes
 	}
 	l.next = firstLSN
 	l.size = headerBytes
-	l.prealloc = headerBytes
 	l.dirty = true
 	return nil
 }
+
+// Direct reports whether the log fd is O_DIRECT — false when OpenIO
+// was asked for a direct mode but the filesystem refused the flag (the
+// buffered fallback) or a crasher pinned the buffered path.
+func (l *Log) Direct() bool { return l.sector > 0 }
+
+// SectorSize returns the direct-mode spill alignment, 0 when buffered.
+func (l *Log) SectorSize() int { return int(l.sector) }
 
 // Close flushes buffered records (without fsync), trims the
 // preallocated tail so the file ends at its last record, and closes

@@ -644,6 +644,9 @@ func (s *Stats) statsFields() []*int64 {
 		// extension above — old decoders ignore it, old encoders leave
 		// it zero).
 		&s.Repl.ShipStartLSN,
+		// PR 9: kernel-bypass I/O tier counters.
+		&s.Store.DirectIO, &s.Store.ODirectFallbacks,
+		&s.Store.UringEnters, &s.Store.UringSQEs, &s.Store.UringFallbacks,
 	}
 }
 
