@@ -1,0 +1,157 @@
+package client
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Variable-length values ride the fixed-width protocol by client-side
+// chunking: a blob under key k is stored as a header entry plus one
+// entry per 8 value bytes, all under derived keys in a reserved key
+// region (top bit set) that plain fixed-width keys must stay out of.
+//
+//	chunk key = 1<<63 | k<<8 | seq     (k < 2^55, seq in 0..255)
+//	seq 0     = header: [byte len uint32][crc32(data) uint32]
+//	seq 1..n  = 8 data bytes each, little-endian, zero-padded
+//
+// A blob write is one ordered batch with the header LAST, so a reader
+// that sees the header sees chunks at least as new; a delete puts the
+// header FIRST, so a reader that still sees it finds the chunks too.
+// Batches are not atomic across keys: a reader racing a writer can
+// catch a torn mix, which the header CRC detects — GetBlob retries a
+// few times and then reports ErrBlobTorn. Two writers racing the SAME
+// blob can interleave persistently; serialize per-blob writes (or
+// arbitrate with CompareSwap on a separate lock key) if that matters.
+
+// MaxBlobKey bounds the user key space for blobs: chunk keys pack the
+// key and a sequence number into 63 bits.
+const MaxBlobKey = uint64(1)<<55 - 1
+
+// MaxBlobLen is the largest blob PutBlob accepts (255 data chunks).
+const MaxBlobLen = 255 * 8
+
+// ErrBlobTorn is returned by GetBlob when the stored chunks keep
+// failing the header checksum — a concurrent writer is tearing the
+// blob, or it was partially overwritten by a non-blob writer.
+var ErrBlobTorn = errors.New("client: blob checksum mismatch (torn write?)")
+
+// blobKey derives the chunk key for (k, seq).
+func blobKey(k uint64, seq int) uint64 { return 1<<63 | k<<8 | uint64(seq) }
+
+// blobChunks returns the data-chunk count for an n-byte blob.
+func blobChunks(n int) int { return (n + 7) / 8 }
+
+func checkBlobKey(key uint64) error {
+	if key > MaxBlobKey {
+		return fmt.Errorf("client: blob key %d exceeds MaxBlobKey", key)
+	}
+	return nil
+}
+
+// PutBlob stores data as key's blob, replacing any previous blob. The
+// returned token covers the whole write.
+func (c *Client) PutBlob(ctx context.Context, key uint64, data []byte) (ReadToken, error) {
+	if err := checkBlobKey(key); err != nil {
+		return ReadToken{}, err
+	}
+	if len(data) > MaxBlobLen {
+		return ReadToken{}, fmt.Errorf("client: %d-byte blob exceeds MaxBlobLen %d", len(data), MaxBlobLen)
+	}
+	n := blobChunks(len(data))
+	keys := make([]uint64, 0, n+1)
+	vals := make([]uint64, 0, n+1)
+	var word [8]byte
+	for i := 0; i < n; i++ {
+		word = [8]byte{}
+		copy(word[:], data[i*8:])
+		keys = append(keys, blobKey(key, i+1))
+		vals = append(vals, binary.LittleEndian.Uint64(word[:]))
+	}
+	// Header last: per-key order within a batch is preserved, so the
+	// header only becomes visible once its chunks are.
+	keys = append(keys, blobKey(key, 0))
+	vals = append(vals, uint64(len(data))|uint64(crc32.ChecksumIEEE(data))<<32)
+	return c.Upsert(ctx, keys, vals)
+}
+
+// getBlobRetries bounds GetBlob's re-reads when a concurrent PutBlob
+// tears the chunks under it.
+const getBlobRetries = 8
+
+// GetBlob reads key's blob, observing at least the state at's token
+// stands for. found is false when no blob is stored under key.
+func (c *Client) GetBlob(ctx context.Context, key uint64, at ReadToken) (data []byte, found bool, err error) {
+	if err := checkBlobKey(key); err != nil {
+		return nil, false, err
+	}
+	var keys []uint64
+	for attempt := 0; attempt < getBlobRetries; attempt++ {
+		vals, founds, err := c.Lookup(ctx, []uint64{blobKey(key, 0)}, at)
+		if err != nil {
+			return nil, false, err
+		}
+		if !founds[0] {
+			return nil, false, nil
+		}
+		size := int(uint32(vals[0]))
+		wantCRC := uint32(vals[0] >> 32)
+		if size > MaxBlobLen {
+			return nil, false, fmt.Errorf("client: blob header under key %d claims %d bytes", key, size)
+		}
+		n := blobChunks(size)
+		keys = keys[:0]
+		for i := 0; i < n; i++ {
+			keys = append(keys, blobKey(key, i+1))
+		}
+		cvals, cfounds, err := c.Lookup(ctx, keys, at)
+		if err != nil {
+			return nil, false, err
+		}
+		data = make([]byte, n*8)
+		torn := false
+		for i := 0; i < n; i++ {
+			if !cfounds[i] {
+				torn = true // chunk deleted under us: racing delete/rewrite
+				break
+			}
+			binary.LittleEndian.PutUint64(data[i*8:], cvals[i])
+		}
+		if !torn {
+			data = data[:size]
+			if crc32.ChecksumIEEE(data) == wantCRC {
+				return data, true, nil
+			}
+		}
+	}
+	return nil, false, ErrBlobTorn
+}
+
+// DeleteBlob removes key's blob, reporting whether one was stored.
+func (c *Client) DeleteBlob(ctx context.Context, key uint64) (found bool, _ ReadToken, err error) {
+	if err := checkBlobKey(key); err != nil {
+		return false, ReadToken{}, err
+	}
+	// Read the header to size the chunk range; delete header first so
+	// readers stop resolving the blob before its chunks go.
+	vals, founds, err := c.Lookup(ctx, []uint64{blobKey(key, 0)}, ReadToken{})
+	if err != nil {
+		return false, ReadToken{}, err
+	}
+	if !founds[0] {
+		return false, ReadToken{}, nil
+	}
+	n := blobChunks(int(uint32(vals[0])))
+	keys := make([]uint64, 0, n+1)
+	keys = append(keys, blobKey(key, 0))
+	for i := 0; i < n; i++ {
+		keys = append(keys, blobKey(key, i+1))
+	}
+	founds, tok, err := c.Delete(ctx, keys)
+	if err != nil {
+		return false, tok, err
+	}
+	return founds[0], tok, nil
+}

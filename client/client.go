@@ -125,6 +125,7 @@ type Stats struct {
 	Ops        extbuf.Stats
 	Store      extbuf.StoreStats
 	Repl       extbuf.ReplStats
+	Expiry     extbuf.ExpiryStats
 }
 
 // Client is a pooled, pipelined hashserved client. It is safe for
@@ -591,7 +592,8 @@ func (p *Pending) stats(ctx context.Context) (Stats, error) {
 	if err != nil {
 		return Stats{}, err
 	}
-	return Stats{Len: ws.Len, MemoryUsed: ws.MemoryUsed, Ops: ws.Ops, Store: ws.Store, Repl: ws.Repl}, nil
+	return Stats{Len: ws.Len, MemoryUsed: ws.MemoryUsed, Ops: ws.Ops, Store: ws.Store,
+		Repl: ws.Repl, Expiry: ws.Expiry}, nil
 }
 
 // wait blocks for response delivery or ctx expiry. On expiry the

@@ -18,7 +18,11 @@
 // tolerates the server dying mid-run (the run ends early,
 // successfully, with the log intact). A second invocation with -verify
 // replays the log against a restarted server and fails if any acked
-// write is missing: the e2e CI gate's kill -9 check.
+// write is missing: the e2e CI gate's kill -9 check. -ttlfrac sends
+// that fraction of insert batches as UPSERTTTL with a far deadline
+// (acked TTL writes must survive like plain inserts); -casfrac mixes
+// in CAS batches over owned keys, demoted to presence-only claims at
+// issue time (a swap leaves either value behind, never loses the key).
 //
 // Replication: -replica ADDR points at a read replica; workers then
 // re-read a sample of their acked insert batches there carrying the
@@ -47,9 +51,11 @@
 //
 //	hashload -addr HOST:PORT [-conns 4] [-workers 16] [-pipeline 16]
 //	         [-batch 256] [-duration 10s] [-lookupfrac 0.5]
-//	         [-deletefrac 0] [-dist uniform|zipf] [-zipfexp 1.5]
+//	         [-deletefrac 0] [-casfrac 0] [-ttlfrac 0]
+//	         [-dist uniform|zipf] [-zipfexp 1.5]
 //	         [-seed 42] [-acklog FILE] [-summary FILE] [-replica HOST:PORT]
 //	         [-overlap N]
+//	hashload -addr HOST:PORT -ycsb A|B|C|D|E|F [-records N] [-scanlen N]
 //	hashload -addr HOST:PORT -verify FILE
 //	hashload -addr HOST:PORT -replica HOST:PORT -diff FILE
 //	hashload -addr HOST:PORT -promote
@@ -102,6 +108,11 @@ func main() {
 		promote    = flag.Bool("promote", false, "promote the node at -addr to writable primary and exit")
 		overlap    = flag.Int("overlap", 0, "contended mode: all workers upsert one shared keyspace of N keys")
 		diffPath   = flag.String("diff", "", "wait for -addr and -replica to converge, diff the keys in this acklog, and exit")
+		ycsb       = flag.String("ycsb", "", "run a YCSB-style workload (A, B, C, D, E or F) instead of the legacy mix")
+		records    = flag.Int("records", 100000, "ycsb: records preloaded before the timed run")
+		scanLen    = flag.Int("scanlen", 100, "ycsb: scan page size (workload E)")
+		ttlFrac    = flag.Float64("ttlfrac", 0, "fraction of insert batches issued as UPSERTTTL with a far deadline")
+		casFrac    = flag.Float64("casfrac", 0, "legacy mix: fraction of CAS batches swapping owned keys to fresh values")
 	)
 	flag.Parse()
 	if *addr == "" {
@@ -160,12 +171,30 @@ func main() {
 		return
 	}
 
+	if *ycsb != "" {
+		runYCSB(cl, ycsbConfig{
+			workload: strings.ToUpper(*ycsb),
+			workers:  *workers,
+			batch:    *batch,
+			records:  *records,
+			scanLen:  *scanLen,
+			duration: *duration,
+			zipfExp:  *zipfExp,
+			seed:     *seed,
+			ttlFrac:  *ttlFrac,
+			sumPath:  *sumPath,
+		})
+		return
+	}
+
 	run(cl, rcl, runConfig{
 		workers:    *workers,
 		batch:      *batch,
 		duration:   *duration,
 		lookupFrac: *lookupFrac,
 		deleteFrac: *deleteFrac,
+		casFrac:    *casFrac,
+		ttlFrac:    *ttlFrac,
 		zipf:       *dist == "zipf",
 		zipfExp:    *zipfExp,
 		seed:       *seed,
@@ -181,6 +210,8 @@ type runConfig struct {
 	duration   time.Duration
 	lookupFrac float64
 	deleteFrac float64
+	casFrac    float64 // fraction of CAS batches over owned keys
+	ttlFrac    float64 // fraction of insert batches sent as UPSERTTTL
 	zipf       bool
 	zipfExp    float64
 	seed       uint64
@@ -376,7 +407,12 @@ func worker(ctx context.Context, cancel context.CancelFunc, cl, rcl *client.Clie
 		counter uint64
 		keys    = make([]uint64, 0, cfg.batch)
 		vals    = make([]uint64, 0, cfg.batch)
+		news    []uint64          // CAS replacement values
+		valOf   map[uint64]uint64 // current value per owned key (CAS mode)
 	)
+	if cfg.casFrac > 0 {
+		valOf = make(map[uint64]uint64)
+	}
 	nextKey := func() uint64 {
 		counter++
 		return xrand.Mix64(uint64(w)<<40 | counter)
@@ -425,10 +461,53 @@ func worker(ctx context.Context, cancel context.CancelFunc, cl, rcl *client.Clie
 			// "acked live" would report false loss. Logging at issue time
 			// only shrinks the verified set — never unsoundly grows it.
 			ack.deletes(keys)
+			if valOf != nil {
+				for _, k := range keys {
+					delete(valOf, k)
+				}
+			}
 			t0 := time.Now()
 			_, err := cl.DeleteBatch(ctx, keys)
 			if done := tally(&res, cancel, ctx, err, cfg.batch, t0); done {
 				return res
+			}
+		case len(history) >= 2*cfg.batch && r < cfg.lookupFrac+cfg.deleteFrac+cfg.casFrac:
+			// CAS batch: swap distinct owned keys from their tracked value
+			// to a fresh one. Like a delete, a CAS can apply durably with
+			// its ack lost to a crash, so the key is demoted to a
+			// presence-only claim ("k" line) at ISSUE time — the swap
+			// leaves either value behind, but never loses the key.
+			news = news[:0]
+			for attempts := 0; len(keys) < cfg.batch && attempts < 4*cfg.batch; attempts++ {
+				k := history[rng.Intn(len(history))]
+				if old, ok := valOf[k]; ok {
+					keys = append(keys, k)
+					vals = append(vals, old)
+					counter++
+					news = append(news, uint64(w)<<40|counter|1<<62)
+					delete(valOf, k) // reserve: no duplicate in this batch
+				}
+			}
+			if len(keys) == 0 {
+				continue
+			}
+			ack.contended(keys)
+			t0 := time.Now()
+			swapped, _, err := cl.CompareSwap(ctx, keys, vals, news)
+			if done := tally(&res, cancel, ctx, err, len(keys), t0); done {
+				return res
+			}
+			if err == nil {
+				for i, ok := range swapped {
+					if !ok {
+						// Nothing else writes this worker's keys: a failed
+						// swap means the key or its value went missing.
+						log.Printf("worker %d: CAS lost key %d", w, keys[i])
+						res.errors++
+						continue
+					}
+					valOf[keys[i]] = news[i]
+				}
 			}
 		default:
 			for i := 0; i < cfg.batch; i++ {
@@ -437,7 +516,21 @@ func worker(ctx context.Context, cancel context.CancelFunc, cl, rcl *client.Clie
 				vals = append(vals, k>>1)
 			}
 			t0 := time.Now()
-			tok, err := cl.Insert(ctx, keys, vals)
+			var tok client.ReadToken
+			var err error
+			if cfg.ttlFrac > 0 && rng.Float64() < cfg.ttlFrac {
+				// UPSERTTTL with a far deadline: the acked value (and the
+				// deadline record behind it) must survive a crash exactly
+				// like a plain insert, and the key stays visible to verify.
+				deadlines := make([]uint64, len(keys))
+				far := client.DeadlineAfter(24 * time.Hour)
+				for i := range deadlines {
+					deadlines[i] = far
+				}
+				tok, err = cl.UpsertTTL(ctx, keys, vals, deadlines)
+			} else {
+				tok, err = cl.Insert(ctx, keys, vals)
+			}
 			if done := tally(&res, cancel, ctx, err, cfg.batch, t0); done {
 				return res
 			}
@@ -445,6 +538,11 @@ func worker(ctx context.Context, cancel context.CancelFunc, cl, rcl *client.Clie
 				res.ackedInserts += int64(len(keys))
 				ack.inserts(keys, vals)
 				history = append(history, keys...)
+				if valOf != nil {
+					for i := range keys {
+						valOf[keys[i]] = vals[i]
+					}
+				}
 				// Read-your-writes across replication: re-read a sample of
 				// acked batches on the replica, carrying the batch's token.
 				// The token obliges the replica to serve these exact writes

@@ -1,0 +1,406 @@
+package main
+
+// The YCSB-style suite: the standard workload mixes A-F expressed over
+// this repository's batch protocol, with per-operation-kind latency
+// histograms. Unlike the legacy mix (disjoint per-worker key spaces,
+// fresh-key inserts), every worker here operates on ONE shared record
+// space with a Zipf hot spot, which is what makes the mixes comparable
+// across engines and runs:
+//
+//	A  update-heavy   50% read  / 50% update
+//	B  read-mostly    95% read  /  5% update
+//	C  read-only     100% read
+//	D  read-latest    95% read (skewed to newest) / 5% insert
+//	E  scan-heavy     95% cursor-page scan / 5% insert
+//	F  read-modify    50% read  / 50% read-modify-write via CAS
+//
+// A preload phase upserts -records keys before timing starts. Requests
+// are batches (-batch) of same-kind ops; latency is recorded per
+// request into the kind's histogram, so the SUMMARY line carries
+// read_p99_us, update_p99_us, insert_p99_us, scan_p99_us and rmw_p99_us
+// next to the overall percentiles the soak gates key on.
+//
+// -ttlfrac T issues that fraction of update/insert batches as UPSERTTTL
+// with a deadline far past the run, keeping the TTL path hot under load
+// without expiring anything the checks rely on. Workload F's CAS
+// failures (a racing writer moved the value between read and swap) are
+// counted, not errored: contention is the point of F.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"extbuf/client"
+	"extbuf/internal/stats"
+	"extbuf/internal/workload"
+	"extbuf/internal/xrand"
+)
+
+// ycsbOp indexes the per-kind latency histograms.
+type ycsbOp int
+
+const (
+	ycsbRead ycsbOp = iota
+	ycsbUpdate
+	ycsbInsert
+	ycsbScan
+	ycsbRMW
+	ycsbOps
+)
+
+var ycsbOpNames = [ycsbOps]string{"read", "update", "insert", "scan", "rmw"}
+
+// ycsbMix is one workload's op distribution (fractions summing to 1).
+type ycsbMix struct {
+	read, update, insert, scan, rmw float64
+	readLatest                      bool // skew reads to newest keys (D)
+}
+
+var ycsbMixes = map[string]ycsbMix{
+	"A": {read: 0.5, update: 0.5},
+	"B": {read: 0.95, update: 0.05},
+	"C": {read: 1},
+	"D": {read: 0.95, insert: 0.05, readLatest: true},
+	"E": {scan: 0.95, insert: 0.05},
+	"F": {read: 0.5, rmw: 0.5},
+}
+
+type ycsbConfig struct {
+	workload string
+	workers  int
+	batch    int
+	records  int
+	scanLen  int
+	duration time.Duration
+	zipfExp  float64
+	seed     uint64
+	ttlFrac  float64
+	sumPath  string
+}
+
+// ycsbResult is one worker's tallies.
+type ycsbResult struct {
+	ops       [ycsbOps]int64
+	errors    int64
+	casFailed int64 // F: swaps lost to a racing writer (expected, counted)
+	lat       [ycsbOps]stats.Histogram
+	fatal     error
+}
+
+// ycsbValue derives the value written for key k in update generation
+// gen, so readers can sanity-check what they get without a shared map.
+func ycsbValue(k, gen uint64) uint64 { return xrand.Mix64(k ^ gen<<1) }
+
+func runYCSB(cl *client.Client, cfg ycsbConfig) {
+	mix, ok := ycsbMixes[cfg.workload]
+	if !ok {
+		log.Fatalf("unknown YCSB workload %q (have A-F)", cfg.workload)
+	}
+	if cfg.records < cfg.batch {
+		log.Fatalf("-records %d below -batch %d", cfg.records, cfg.batch)
+	}
+
+	// Preload [1, records] in parallel before the clock starts.
+	preCtx, preCancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer preCancel()
+	var (
+		wg      sync.WaitGroup
+		preErr  atomic.Value
+		perWkr  = (cfg.records + cfg.workers - 1) / cfg.workers
+		t0      = time.Now()
+		nextKey atomic.Uint64 // D/E insert frontier
+	)
+	nextKey.Store(uint64(cfg.records))
+	for w := 0; w < cfg.workers; w++ {
+		lo, hi := w*perWkr+1, (w+1)*perWkr
+		if hi > cfg.records {
+			hi = cfg.records
+		}
+		if lo > hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			keys := make([]uint64, 0, cfg.batch)
+			vals := make([]uint64, 0, cfg.batch)
+			for k := lo; k <= hi; k++ {
+				keys = append(keys, uint64(k))
+				vals = append(vals, ycsbValue(uint64(k), 0))
+				if len(keys) == cfg.batch || k == hi {
+					if _, err := cl.Upsert(preCtx, keys, vals); err != nil {
+						preErr.Store(err)
+						return
+					}
+					keys, vals = keys[:0], vals[:0]
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	if err, _ := preErr.Load().(error); err != nil {
+		log.Fatalf("preload: %v", err)
+	}
+	log.Printf("ycsb-%s: preloaded %d records in %v", cfg.workload, cfg.records, time.Since(t0).Round(time.Millisecond))
+
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.duration)
+	defer cancel()
+	results := make([]ycsbResult, cfg.workers)
+	start := time.Now()
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w] = ycsbWorker(ctx, cancel, cl, cfg, mix, w, &nextKey)
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var total ycsbResult
+	disconnected := false
+	for i := range results {
+		r := &results[i]
+		for op := ycsbOp(0); op < ycsbOps; op++ {
+			total.ops[op] += r.ops[op]
+			for _, v := range r.lat[op].Values() {
+				total.lat[op].AddN(v, r.lat[op].Count(v))
+			}
+		}
+		total.errors += r.errors
+		total.casFailed += r.casFailed
+		if r.fatal != nil {
+			disconnected = true
+		}
+	}
+	if disconnected {
+		log.Printf("server connection lost mid-run")
+	}
+
+	var all stats.Histogram
+	var ops int64
+	for op := ycsbOp(0); op < ycsbOps; op++ {
+		ops += total.ops[op]
+		for _, v := range total.lat[op].Values() {
+			all.AddN(v, total.lat[op].Count(v))
+		}
+	}
+	secs := elapsed.Seconds()
+	opsPerSec := float64(ops) / secs
+
+	fmt.Printf("workload       YCSB-%s (%d records, %d workers, batch %d)\n",
+		cfg.workload, cfg.records, cfg.workers, cfg.batch)
+	fmt.Printf("ops            %d\n", ops)
+	fmt.Printf("errors         %d\n", total.errors)
+	fmt.Printf("wall seconds   %.3f\n", secs)
+	fmt.Printf("throughput     %.0f ops/s\n", opsPerSec)
+	js := map[string]any{
+		"workload":    cfg.workload,
+		"ops":         ops,
+		"errors":      total.errors,
+		"cas_failed":  total.casFailed,
+		"seconds":     secs,
+		"ops_per_sec": opsPerSec,
+		"p50_us":      percentile(&all, 0.50),
+		"p95_us":      percentile(&all, 0.95),
+		"p99_us":      percentile(&all, 0.99),
+	}
+	summary := fmt.Sprintf("SUMMARY workload=%s ops=%d errors=%d cas_failed=%d seconds=%.3f ops_per_sec=%.0f p50_us=%d p95_us=%d p99_us=%d",
+		cfg.workload, ops, total.errors, total.casFailed, secs, opsPerSec,
+		js["p50_us"], js["p95_us"], js["p99_us"])
+	for op := ycsbOp(0); op < ycsbOps; op++ {
+		if total.ops[op] == 0 {
+			continue
+		}
+		name := ycsbOpNames[op]
+		p50, p95, p99 := percentile(&total.lat[op], 0.50), percentile(&total.lat[op], 0.95), percentile(&total.lat[op], 0.99)
+		fmt.Printf("%-7s %12d ops   p50 %6d µs   p95 %6d µs   p99 %6d µs\n",
+			name, total.ops[op], p50, p95, p99)
+		js[name+"_ops"] = total.ops[op]
+		js[name+"_p50_us"], js[name+"_p95_us"], js[name+"_p99_us"] = p50, p95, p99
+		summary += fmt.Sprintf(" %s_ops=%d %s_p50_us=%d %s_p95_us=%d %s_p99_us=%d",
+			name, total.ops[op], name, p50, name, p95, name, p99)
+	}
+	fmt.Println(summary)
+
+	if cfg.sumPath != "" {
+		out, _ := json.MarshalIndent(js, "", "  ")
+		if err := os.WriteFile(cfg.sumPath, append(out, '\n'), 0o644); err != nil {
+			log.Fatalf("summary: %v", err)
+		}
+	}
+	if disconnected || total.errors > 0 {
+		os.Exit(1)
+	}
+}
+
+// ycsbWorker runs one closed loop of the given mix until the deadline.
+func ycsbWorker(ctx context.Context, cancel context.CancelFunc, cl *client.Client, cfg ycsbConfig, mix ycsbMix, w int, nextKey *atomic.Uint64) ycsbResult {
+	var res ycsbResult
+	rng := xrand.New(cfg.seed + uint64(w)*0x9e3779b97f4a7c15)
+	zipf := workload.MakeRecencyZipf(cfg.zipfExp)
+	var (
+		keys   = make([]uint64, 0, cfg.batch)
+		vals   = make([]uint64, 0, cfg.batch)
+		deads  = make([]uint64, 0, cfg.batch)
+		gen    uint64
+		cursor uint64
+	)
+	// pick draws a key from [1, frontier]. Hot keys are the high end:
+	// zipf rank 0 is the newest key, which for preloaded spaces is as
+	// good a hot spot as any and for D is exactly "the latest".
+	pick := func() uint64 {
+		n := nextKey.Load()
+		return n - uint64(zipf.Rank(rng, int(min(n, 1<<31))))
+	}
+	farDeadline := client.DeadlineAfter(cfg.duration + time.Hour)
+
+	for ctx.Err() == nil {
+		keys, vals, deads = keys[:0], vals[:0], deads[:0]
+		r := rng.Float64()
+		var op ycsbOp
+		switch {
+		case r < mix.read:
+			op = ycsbRead
+		case r < mix.read+mix.update:
+			op = ycsbUpdate
+		case r < mix.read+mix.update+mix.insert:
+			op = ycsbInsert
+		case r < mix.read+mix.update+mix.insert+mix.scan:
+			op = ycsbScan
+		default:
+			op = ycsbRMW
+		}
+		switch op {
+		case ycsbRead:
+			for i := 0; i < cfg.batch; i++ {
+				keys = append(keys, pick())
+			}
+			t0 := time.Now()
+			_, found, err := cl.Lookup(ctx, keys, client.ReadToken{})
+			if ycsbTally(&res, cancel, ctx, op, err, t0) {
+				return res
+			}
+			if err == nil {
+				for i, ok := range found {
+					// Preloaded keys can never be missing (nothing deletes);
+					// keys above the preload frontier may be in flight.
+					if !ok && keys[i] <= uint64(cfg.records) {
+						log.Printf("worker %d: lost preloaded key %d", w, keys[i])
+						res.errors++
+					}
+				}
+			}
+		case ycsbUpdate, ycsbInsert:
+			gen++
+			for i := 0; i < cfg.batch; i++ {
+				var k uint64
+				if op == ycsbInsert {
+					k = nextKey.Add(1)
+				} else {
+					k = pick()
+				}
+				keys = append(keys, k)
+				vals = append(vals, ycsbValue(k, gen))
+			}
+			t0 := time.Now()
+			var err error
+			if cfg.ttlFrac > 0 && rng.Float64() < cfg.ttlFrac {
+				for range keys {
+					deads = append(deads, farDeadline)
+				}
+				_, err = cl.UpsertTTL(ctx, keys, vals, deads)
+			} else {
+				_, err = cl.Upsert(ctx, keys, vals)
+			}
+			if ycsbTally(&res, cancel, ctx, op, err, t0) {
+				return res
+			}
+		case ycsbScan:
+			t0 := time.Now()
+			_, _, next, err := cl.Scan(ctx, cursor, cfg.scanLen)
+			if ycsbTally(&res, cancel, ctx, op, err, t0) {
+				return res
+			}
+			if err == nil {
+				cursor = next
+				if cursor == client.ScanDone {
+					cursor = 0
+				}
+			}
+		case ycsbRMW:
+			// Dedupe within the batch: two swaps of one key in a single CAS
+			// request would make the second fail by construction (the first
+			// moved the value), drowning the real contention signal.
+			seen := make(map[uint64]struct{}, cfg.batch)
+			for i := 0; i < cfg.batch; i++ {
+				if k := pick(); k != 0 {
+					if _, dup := seen[k]; !dup {
+						seen[k] = struct{}{}
+						keys = append(keys, k)
+					}
+				}
+			}
+			// The YCSB-F unit is the whole read-modify-write: time both
+			// round trips as one op. Lost swaps (a writer raced us between
+			// read and CAS) are contention, not failure.
+			t0 := time.Now()
+			olds, found, err := cl.Lookup(ctx, keys, client.ReadToken{})
+			if err == nil {
+				gen++
+				keys2 := keys[:0]
+				news := vals[:0]
+				oldv := deads[:0]
+				for i := range keys {
+					if !found[i] {
+						continue // racing insert frontier; skip
+					}
+					keys2 = append(keys2, keys[i])
+					oldv = append(oldv, olds[i])
+					news = append(news, ycsbValue(keys[i], gen))
+				}
+				var swapped []bool
+				swapped, _, err = cl.CompareSwap(ctx, keys2, oldv, news)
+				if err == nil {
+					for _, s := range swapped {
+						if !s {
+							res.casFailed++
+						}
+					}
+				}
+			}
+			if ycsbTally(&res, cancel, ctx, op, err, t0) {
+				return res
+			}
+		}
+	}
+	return res
+}
+
+// ycsbTally records one request's outcome; true means stop the worker.
+func ycsbTally(res *ycsbResult, cancel context.CancelFunc, ctx context.Context, op ycsbOp, err error, t0 time.Time) bool {
+	if err == nil {
+		res.ops[op]++
+		res.lat[op].Add(int(time.Since(t0).Microseconds()))
+		return false
+	}
+	if ctx.Err() != nil {
+		return true
+	}
+	var se *client.ServerError
+	if errors.As(err, &se) {
+		res.errors++
+		return false
+	}
+	res.errors++
+	res.fatal = err
+	cancel()
+	return true
+}

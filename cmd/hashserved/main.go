@@ -21,7 +21,13 @@
 //	           [-cache 512] [-flush sync|async] [-maxbatch 4096]
 //	           [-pipeline 64] [-addrfile FILE] [-drain 30s] [-leakcheck]
 //	           [-repl] [-follow ADDR] [-syncfollowers N] [-synctimeout 5s]
-//	           [-shipretain N]
+//	           [-shipretain N] [-metrics HOST:PORT] [-sweep 1s] [-sweepmax N]
+//
+// -metrics serves Prometheus text-format counters over HTTP at
+// /metrics on a side listener, never the data port. -sweep is the TTL
+// sweeper interval: expired keys disappear from reads at their deadline
+// regardless, the sweeper is what physically reclaims them (through the
+// logged, replicated delete path; followers never sweep).
 //
 // -addrfile writes the bound address (useful with -addr :0) to a file
 // once listening, for scripts. -leakcheck verifies at shutdown that no
@@ -43,6 +49,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -84,6 +91,9 @@ func main() {
 		syncFoll  = flag.Int("syncfollowers", 0, "withhold mutation acks until this many followers confirm applying")
 		syncTmo   = flag.Duration("synctimeout", 5*time.Second, "semi-sync: bound on the follower-ack wait")
 		shipKeep  = flag.Int("shipretain", 0, "follower: truncate the ship log to its newest N records at each durability sync (0: keep all)")
+		metrics   = flag.String("metrics", "", "serve Prometheus /metrics on this HTTP address (e.g. 127.0.0.1:9090)")
+		sweep     = flag.Duration("sweep", time.Second, "TTL sweep interval (0: lazy expiry only, no space reclamation)")
+		sweepMax  = flag.Int("sweepmax", server.DefaultSweepMax, "max expired keys reclaimed per sweep tick")
 	)
 	flag.Parse()
 	if *follow != "" || *syncFoll > 0 {
@@ -117,10 +127,12 @@ func main() {
 		logf = func(string, ...any) {}
 	}
 	scfg := server.Config{
-		Engine:   eng,
-		MaxBatch: *maxBatch,
-		Pipeline: *pipeline,
-		Logf:     logf,
+		Engine:     eng,
+		MaxBatch:   *maxBatch,
+		Pipeline:   *pipeline,
+		Logf:       logf,
+		SweepEvery: *sweep,
+		SweepMax:   *sweepMax,
 	}
 	if *repl {
 		// The ship log and epoch state live next to the store; a mem
@@ -174,6 +186,19 @@ func main() {
 		}
 	}
 
+	var msrv *http.Server
+	if *metrics != "" {
+		mlis, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			log.Fatalf("metrics listen %s: %v", *metrics, err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", srv.MetricsHandler())
+		msrv = &http.Server{Handler: mux}
+		go msrv.Serve(mlis)
+		log.Printf("metrics on http://%s/metrics", mlis.Addr())
+	}
+
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
 	serveErr := make(chan error, 1)
@@ -188,6 +213,9 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
+	if msrv != nil {
+		msrv.Shutdown(ctx)
+	}
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("drain incomplete: %v", err)
 	}

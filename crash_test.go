@@ -42,23 +42,42 @@ func copyState(m map[uint64]uint64) map[uint64]uint64 {
 	return c
 }
 
+// crashFarDeadline is a TTL deadline far past any test clock: expire
+// records with it change no visible state, so they exercise only the
+// OpExpire WAL framing and replay. crashPastDeadline (1ms after the
+// epoch) is behind any real clock, so installing it hides the key from
+// reads — observationally a delete.
+const (
+	crashFarDeadline  = ^uint64(0) >> 1
+	crashPastDeadline = uint64(1)
+)
+
 // runCrashWorkload drives a deterministic scripted workload (upserts,
-// deletes, periodic Flush barriers) against a durable table with the
-// given fault plan. Any error is interpreted as the injected crash; the
-// table is still closed to release file handles (post-crash writes all
-// fail, so closing cannot disturb the on-disk state).
+// deletes, TTL expires, atomic upsert+TTL, periodic Flush barriers)
+// against a durable table with the given fault plan. Any error is
+// interpreted as the injected crash; the table is still closed to
+// release file handles (post-crash writes all fail, so closing cannot
+// disturb the on-disk state).
+//
+// TTL operations extend the prefix invariant to the expiry sidecar:
+// an expire op appends one wal.OpExpire record, so the crash point can
+// fall between a key's value write and its deadline write. UpsertTTL
+// (one upsert record then one expire record) therefore contributes TWO
+// snapshots — the value-visible intermediate state is a legal recovery
+// prefix.
 func runCrashWorkload(t *testing.T, structure string, cfg extbuf.Config) crashWorkloadResult {
 	t.Helper()
 	res := crashWorkloadResult{}
 	cur := map[uint64]uint64{}
 	res.snapshots = []map[uint64]uint64{copyState(cur)} // acknowledged: empty
-	tab, err := extbuf.Open(structure, cfg)
+	tab, err := extbuf.OpenEngine(structure, cfg)
 	if err != nil {
 		res.crashed = true
 		return res
 	}
 	defer tab.Close() // release handles; harmless post-crash (all writes fail)
 	rng := xrand.New(9)
+	found := make([]bool, 1)
 	for i := 0; i < 240; i++ {
 		if i > 0 && i%60 == 0 {
 			if err := tab.Flush(); err != nil {
@@ -68,14 +87,15 @@ func runCrashWorkload(t *testing.T, structure string, cfg extbuf.Config) crashWo
 			res.snapshots = []map[uint64]uint64{copyState(cur)} // new acknowledged base
 		}
 		key := rng.Uint64() % crashKeySpace
-		if rng.Uint64()%10 < 8 {
+		switch r := rng.Uint64() % 10; {
+		case r < 6:
 			val := uint64(i)<<16 | key
 			if err := tab.Upsert(key, val); err != nil {
 				res.crashed = true
 				return res
 			}
 			cur[key] = val
-		} else {
+		case r < 8:
 			got := tab.Delete(key)
 			_, present := cur[key]
 			if !got && present {
@@ -85,6 +105,46 @@ func runCrashWorkload(t *testing.T, structure string, cfg extbuf.Config) crashWo
 				return res
 			}
 			delete(cur, key)
+		case r == 8:
+			// Expire: even rounds install a far deadline (pure OpExpire
+			// framing, no visible change), odd rounds a past one (the
+			// key disappears from reads — a delete to the model).
+			deadline := crashFarDeadline
+			if i%2 == 1 {
+				deadline = crashPastDeadline
+			}
+			if err := tab.ExpireBatch([]uint64{key}, []uint64{deadline}, found); err != nil {
+				res.crashed = true
+				return res
+			}
+			_, present := cur[key]
+			if !found[0] && present {
+				res.crashed = true
+				return res
+			}
+			if found[0] && deadline == crashPastDeadline {
+				delete(cur, key)
+			}
+		default:
+			// UpsertTTL writes an upsert record then an expire record;
+			// snapshot both states so a crash between the two records
+			// still lands on a legal prefix. Odd rounds use a past
+			// deadline, making the intermediate state (value visible,
+			// deadline not yet durable) genuinely distinct.
+			val := uint64(i)<<16 | key | 1<<48
+			deadline := crashFarDeadline
+			if i%2 == 1 {
+				deadline = crashPastDeadline
+			}
+			if _, err := tab.UpsertTTLBatchShip([]uint64{key}, []uint64{val}, []uint64{deadline}); err != nil {
+				res.crashed = true
+				return res
+			}
+			cur[key] = val
+			res.snapshots = append(res.snapshots, copyState(cur))
+			if deadline == crashPastDeadline {
+				delete(cur, key)
+			}
 		}
 		res.snapshots = append(res.snapshots, copyState(cur))
 	}

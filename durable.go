@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"extbuf/internal/ckpt"
+	"extbuf/internal/expiry"
 	"extbuf/internal/hashfn"
 	"extbuf/internal/iomodel"
 	"extbuf/internal/wal"
@@ -40,16 +41,17 @@ import (
 //     makes any surviving WAL records no-ops. Recovery therefore always
 //     sees one consistent checkpoint plus a CRC-validated log suffix.
 //
-// Superblock payload (framed by ckpt.Frame, version 3): structure name,
+// Superblock payload (framed by ckpt.Frame, version 4): structure name,
 // construction parameters, shard layout, last-applied LSN, the block
 // allocator + logical→physical placement state, the configured WAL
-// path, the I/O mode with its layout sector size, and the structure's
-// serialized directory state. Version 1 (no WAL path) and version 2
-// (no I/O mode) files are still read; new checkpoints are written as
-// version 3.
+// path, the I/O mode with its layout sector size, the expiry deadline
+// map (key → unix ms), and the structure's serialized directory state.
+// Version 1 (no WAL path), version 2 (no I/O mode) and version 3 (no
+// expiry map) files are still read; new checkpoints are written as
+// version 4.
 
 // superblockVersion is the on-disk checkpoint format version.
-const superblockVersion = 3
+const superblockVersion = 4
 
 // minSuperblockVersion is the oldest checkpoint format still readable.
 const minSuperblockVersion = 1
@@ -76,9 +78,10 @@ type superblock struct {
 	nslots        int
 	free          []iomodel.BlockID
 	mapping       []int64
-	walPath       string // configured Config.WALPath ("" = beside the block file)
-	ioMode        string // configured Config.IOMode ("" = buffered, pre-v3 files)
-	sector        int    // direct-layout slot alignment the block file was written with
+	walPath       string            // configured Config.WALPath ("" = beside the block file)
+	ioMode        string            // configured Config.IOMode ("" = buffered, pre-v3 files)
+	sector        int               // direct-layout slot alignment the block file was written with
+	expiry        map[uint64]uint64 // key → expiry deadline (unix ms); nil on pre-v4 files
 }
 
 // durableTable layers write-ahead logging and checkpointing over a
@@ -92,10 +95,14 @@ type durableTable struct {
 	crasher   *iomodel.Crasher
 	committer *wal.Committer // shared across shards by NewSharded
 	enc       ckpt.Encoder   // reused checkpoint encode buffer
+	exp       *expiry.Index  // shared with the guard; snapshotted into checkpoints
 }
 
-// openDurable creates or recovers the durable table at cfg.Path.
-func openDurable(structure string, cfg Config) (*durableTable, error) {
+// openDurable creates or recovers the durable table at cfg.Path. The
+// expiry index idx is filled during recovery (checkpoint snapshot +
+// OpExpire replay) and snapshotted into every checkpoint; the guard
+// that owns this table shares it.
+func openDurable(structure string, cfg Config, idx *expiry.Index) (*durableTable, error) {
 	var crasher *iomodel.Crasher
 	if cfg.Crash != nil {
 		crasher = iomodel.NewCrasher(iomodel.CrashPlan{
@@ -145,6 +152,9 @@ func openDurable(structure string, cfg Config) (*durableTable, error) {
 		}
 		inner, err = restoreAdapter(structure, model, fn, stateDec)
 		lastLSN = sb.lastLSN
+		for k, dl := range sb.expiry {
+			idx.Set(k, dl)
+		}
 	} else {
 		inner, err = buildAdapter(structure, model, fn, cfg)
 	}
@@ -158,7 +168,7 @@ func openDurable(structure string, cfg Config) (*durableTable, error) {
 		inner.Close()
 		return nil, err
 	}
-	if err := replayRecords(records, lastLSN, fn, inner, cfg.RecoveryParallelism); err != nil {
+	if err := replayRecords(records, lastLSN, fn, inner, idx, cfg.RecoveryParallelism); err != nil {
 		inner.Close()
 		log.Close()
 		return nil, err
@@ -175,6 +185,7 @@ func openDurable(structure string, cfg Config) (*durableTable, error) {
 		structure: structure,
 		crasher:   crasher,
 		committer: committer,
+		exp:       idx,
 	}, nil
 }
 
@@ -193,11 +204,17 @@ func (c Config) walPath() string {
 const replayParallelThreshold = 4096
 
 // replayOp is one collapsed replay operation: the final state of a key
-// in the log suffix, tagged with its hash for bucket-ordered apply.
+// in the log suffix, tagged with its hash for bucket-ordered apply. exp
+// carries the key's final deadline (expSet) when an OpExpire record
+// survived the collapse; expOnly marks a deadline change with no value
+// write in the suffix (the value lives in the checkpointed structure).
 type replayOp struct {
 	key, val uint64
 	hash     uint64
+	exp      uint64
 	del      bool
+	expSet   bool
+	expOnly  bool
 }
 
 // replayRecords applies the log suffix the checkpoint has not
@@ -216,7 +233,7 @@ type replayOp struct {
 // faulting the pool randomly, so the replayed I/O coalesces. Applying
 // the collapsed suffix is content-equivalent to applying the full one;
 // only the physical block layout may differ.
-func replayRecords(records []wal.Record, lastLSN uint64, fn hashfn.Fn, inner tableAdapter, par int) error {
+func replayRecords(records []wal.Record, lastLSN uint64, fn hashfn.Fn, inner tableAdapter, idx *expiry.Index, par int) error {
 	// Drop the prefix the checkpoint already absorbed.
 	live := records
 	for len(live) > 0 && live[0].LSN <= lastLSN {
@@ -232,8 +249,12 @@ func replayRecords(records []wal.Record, lastLSN uint64, fn hashfn.Fn, inner tab
 				if err := inner.Upsert(r.Key, r.Val); err != nil {
 					return fmt.Errorf("extbuf: replay lsn %d: %w", r.LSN, err)
 				}
+				idx.Clear(r.Key) // a plain write makes the key persistent
 			case wal.OpDelete:
 				inner.Delete(r.Key)
+				idx.Clear(r.Key)
+			case wal.OpExpire:
+				idx.Set(r.Key, r.Val) // value field carries the deadline
 			}
 		}
 		return nil
@@ -258,17 +279,33 @@ func replayRecords(records []wal.Record, lastLSN uint64, fn hashfn.Fn, inner tab
 		go func(g int) {
 			defer wg.Done()
 			part := parts[g]
-			idx := make(map[uint64]int, len(part))
+			seenAt := make(map[uint64]int, len(part))
 			ops := make([]replayOp, 0, len(part))
 			for _, r := range part {
+				if r.Op == wal.OpExpire {
+					// A deadline rides on whatever state the key has so
+					// far; with no prior record in the suffix, only the
+					// index changes (the value is checkpointed).
+					if i, seen := seenAt[r.Key]; seen {
+						ops[i].exp = r.Val
+						ops[i].expSet = true
+						continue
+					}
+					op := replayOp{key: r.Key, exp: r.Val, expSet: true, expOnly: true, hash: fn.Hash(r.Key)}
+					seenAt[r.Key] = len(ops)
+					ops = append(ops, op)
+					continue
+				}
+				// A value write or delete supersedes everything before it,
+				// deadline included (plain writes clear TTL).
 				op := replayOp{key: r.Key, val: r.Val, del: r.Op == wal.OpDelete}
-				if i, seen := idx[r.Key]; seen {
+				if i, seen := seenAt[r.Key]; seen {
 					op.hash = ops[i].hash
 					ops[i] = op
 					continue
 				}
 				op.hash = fn.Hash(r.Key)
-				idx[r.Key] = len(ops)
+				seenAt[r.Key] = len(ops)
 				ops = append(ops, op)
 			}
 			sort.Slice(ops, func(i, j int) bool { return ops[i].hash < ops[j].hash })
@@ -278,12 +315,22 @@ func replayRecords(records []wal.Record, lastLSN uint64, fn hashfn.Fn, inner tab
 	wg.Wait()
 	for _, ops := range collapsed {
 		for _, op := range ops {
+			if !op.del && !op.expOnly {
+				if err := inner.Upsert(op.key, op.val); err != nil {
+					return fmt.Errorf("extbuf: replay key %d: %w", op.key, err)
+				}
+			}
 			if op.del {
 				inner.Delete(op.key)
-				continue
 			}
-			if err := inner.Upsert(op.key, op.val); err != nil {
-				return fmt.Errorf("extbuf: replay key %d: %w", op.key, err)
+			// The deadline mirrors the serial order exactly: an expire
+			// after the final write/delete sets it, anything else clears
+			// it (a plain write makes the key persistent).
+			switch {
+			case op.expSet:
+				idx.Set(op.key, op.exp)
+			case !op.expOnly:
+				idx.Clear(op.key)
 			}
 		}
 	}
@@ -332,6 +379,9 @@ func readSuperblock(path string) (*superblock, *ckpt.Decoder, error) {
 	if version >= 3 {
 		sb.ioMode = d.String()
 		sb.sector = d.Int()
+	}
+	if version >= 4 {
+		sb.expiry = d.PairMap()
 	}
 	if err := d.Err(); err != nil {
 		return nil, nil, fmt.Errorf("extbuf: superblock %s: %w", path, err)
@@ -465,10 +515,24 @@ func (d *durableTable) Delete(key uint64) bool {
 	return d.inner.Delete(key)
 }
 
+// logExpire appends a wal.OpExpire record (value field = deadline) so
+// recovery re-learns the deadline; the caller then updates the shared
+// expiry index. The structure itself is untouched — a deadline is
+// sidecar state, not a value write.
+func (d *durableTable) logExpire(key, deadline uint64) error {
+	_, err := d.log.Append(wal.OpExpire, key, deadline)
+	return err
+}
+
 func (d *durableTable) Lookup(key uint64) (uint64, bool) { return d.inner.Lookup(key) }
 func (d *durableTable) Len() int                         { return d.inner.Len() }
 func (d *durableTable) Stats() Stats                     { return d.inner.Stats() }
 func (d *durableTable) MemoryUsed() int64                { return d.inner.MemoryUsed() }
+
+func (d *durableTable) scanBuckets() int { return d.inner.scanBuckets() }
+func (d *durableTable) scanBucket(i int, buf []iomodel.Entry) ([]iomodel.Entry, int) {
+	return d.inner.scanBucket(i, buf)
+}
 
 // StoreStats reports the block file's pool/syscall counters plus the
 // write-ahead log's spill and fsync counts.
@@ -546,6 +610,9 @@ func (d *durableTable) checkpoint() error {
 	e.String(d.cfg.WALPath)
 	e.String(d.cfg.IOMode)
 	e.Int(d.store.SectorSize())
+	expMap := make(map[uint64]uint64, d.exp.Len())
+	d.exp.Range(func(k, dl uint64) { expMap[k] = dl })
+	e.PairMap(expMap)
 	d.inner.saveState(e)
 	if err := writeFileAtomic(d.cfg.Path+ckptSuffix, ckpt.Frame(superblockVersion, e.Bytes()), d.crasher); err != nil {
 		return err

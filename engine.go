@@ -59,6 +59,46 @@ type Engine interface {
 	// contract; every attempted delete ships (a miss is an idempotent
 	// no-op on a replica), so the record stream stays dense.
 	DeleteBatchShipInto(keys []uint64, found []bool) (uint64, error)
+
+	// ExpireBatch sets deadlines[i] (unix milliseconds) as keys[i]'s
+	// expiry deadline, for keys that are present and unexpired
+	// (found[i] reports which). Expired keys are invisible to reads
+	// immediately and physically deleted by SweepExpired. A plain
+	// Insert/Upsert/CAS on a key clears its deadline. Follower replay
+	// uses this non-shipping variant.
+	ExpireBatch(keys, deadlines []uint64, found []bool) error
+	// ExpireBatchShip is ExpireBatch with the shipping contract: the
+	// found subset ships as expire records, so replicas adopt the
+	// primary's deadlines instead of running their own clocks.
+	ExpireBatchShip(keys, deadlines []uint64, found []bool) (uint64, error)
+	// UpsertTTLBatchShip atomically upserts each pair and sets its
+	// deadline, shipping an upsert record followed by an expire record
+	// per key. Unlike UpsertBatch + ExpireBatchShip, no concurrent
+	// writer can interleave between a key's value write and its
+	// deadline write.
+	UpsertTTLBatchShip(keys, vals, deadlines []uint64) (uint64, error)
+	// CompareSwapBatchShip atomically replaces keys[i]'s value with
+	// news[i] iff its current (unexpired) value equals olds[i];
+	// swapped[i] reports the outcome. Swapped keys ship as plain
+	// upserts (and, like any value write, lose their TTL).
+	CompareSwapBatchShip(keys, olds, news []uint64, swapped []bool) (uint64, error)
+	// Scan reads one page of entries in bucket order starting at
+	// cursor (0 starts a scan), appending up to max live entries (plus
+	// the remainder of the bucket that crossed the threshold) and
+	// returning the cursor for the next page, or ScanDone when the
+	// table is exhausted. The cursor is weakly consistent: entries
+	// moved by a concurrent rehash/split may be seen twice or not at
+	// all, but entries untouched during the scan are seen exactly
+	// once. Expired entries are filtered.
+	Scan(cursor uint64, max int) (keys, vals []uint64, next uint64, err error)
+	// SweepExpired pops up to max due keys from the expiry index and
+	// deletes them through the normal logged path, shipping the
+	// deletes. It returns the number swept and the covering ship LSN
+	// (0 when nothing swept or no sink). Only the writable node
+	// sweeps; replicas converge by applying the shipped deletes.
+	SweepExpired(max int) (int, uint64, error)
+	// ExpiryStats reports the engine's TTL counters.
+	ExpiryStats() ExpiryStats
 }
 
 // ShipFunc is the replication seam: a multi-producer ordered append
@@ -72,10 +112,12 @@ type Engine interface {
 type ShipFunc func(op uint8, keys, vals []uint64) (uint64, error)
 
 // Ship record operation codes, matching the WAL/ship-log record ops.
+// Expire records carry the deadline (unix ms) in the value field.
 const (
 	ShipInsert = uint8(wal.OpInsert)
 	ShipUpsert = uint8(wal.OpUpsert)
 	ShipDelete = uint8(wal.OpDelete)
+	ShipExpire = uint8(wal.OpExpire)
 )
 
 var (
@@ -143,12 +185,12 @@ func (g *guard) mutateBatch(keys, vals []uint64, op func(k, v uint64) error) err
 
 // InsertBatch inserts each pair in order on the guarded table.
 func (g *guard) InsertBatch(keys, vals []uint64) error {
-	return g.mutateBatch(keys, vals, g.t.Insert)
+	return g.mutateBatch(keys, vals, g.insertOne)
 }
 
 // UpsertBatch upserts each pair in order on the guarded table.
 func (g *guard) UpsertBatch(keys, vals []uint64) error {
-	return g.mutateBatch(keys, vals, g.t.Upsert)
+	return g.mutateBatch(keys, vals, g.upsertOne)
 }
 
 // LookupBatch looks up every key, allocating the result slices.
@@ -170,6 +212,11 @@ func (g *guard) LookupBatchInto(keys, vals []uint64, found []bool) error {
 		return ErrClosed
 	}
 	for i, k := range keys {
+		if g.expired(k) {
+			g.expStats.LazyHits++
+			vals[i], found[i] = 0, false
+			continue
+		}
 		vals[i], found[i] = g.t.Lookup(k)
 	}
 	return nil
@@ -193,7 +240,7 @@ func (g *guard) DeleteBatchInto(keys []uint64, found []bool) error {
 		return ErrClosed
 	}
 	for i, k := range keys {
-		found[i] = g.t.Delete(k)
+		found[i] = g.deleteOne(k)
 	}
 	return nil
 }
@@ -255,12 +302,12 @@ func (g *guard) mutateBatchShip(op uint8, keys, vals []uint64, apply func(k, v u
 
 // InsertBatchShip inserts each pair in order, shipping applied pairs.
 func (g *guard) InsertBatchShip(keys, vals []uint64) (uint64, error) {
-	return g.mutateBatchShip(ShipInsert, keys, vals, g.t.Insert)
+	return g.mutateBatchShip(ShipInsert, keys, vals, g.insertOne)
 }
 
 // UpsertBatchShip upserts each pair in order, shipping applied pairs.
 func (g *guard) UpsertBatchShip(keys, vals []uint64) (uint64, error) {
-	return g.mutateBatchShip(ShipUpsert, keys, vals, g.t.Upsert)
+	return g.mutateBatchShip(ShipUpsert, keys, vals, g.upsertOne)
 }
 
 // DeleteBatchShipInto deletes every key, shipping the whole attempted

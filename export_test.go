@@ -46,3 +46,10 @@ func PoolPinnedForTest(tab Table) (pinned int, ok bool) {
 	}
 	return 0, false
 }
+
+// WithClock returns cfg with the TTL clock replaced by now (unix ms),
+// so expiry tests control time instead of sleeping through it.
+func (c Config) WithClock(now func() uint64) Config {
+	c.nowMillis = now
+	return c
+}

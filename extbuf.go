@@ -9,6 +9,7 @@ import (
 	"extbuf/internal/chainhash"
 	"extbuf/internal/ckpt"
 	"extbuf/internal/core"
+	"extbuf/internal/expiry"
 	"extbuf/internal/exthash"
 	"extbuf/internal/hashfn"
 	"extbuf/internal/iomodel"
@@ -288,6 +289,10 @@ type Config struct {
 	// silently misrouting keys.
 	shardCount int
 	shardIndex int
+	// nowMillis overrides the TTL clock (unix milliseconds); tests
+	// inject deterministic time through it (see export_test.go). Nil
+	// uses the real clock.
+	nowMillis func() uint64
 	// committer is the shared group-commit fsync pool NewSharded hands
 	// every durable shard, so one Flush barrier overlaps all shards'
 	// WAL and block-file fsyncs. Nil (single tables) gets a private
@@ -516,10 +521,13 @@ func (b base) StoreStats() StoreStats {
 }
 
 // tableAdapter is a structure adapter plus the checkpoint hook the
-// durability layer serializes it through.
+// durability layer serializes it through and the bucket-order scan
+// hooks the engine's Scan pages over.
 type tableAdapter interface {
 	Table
 	saveState(e *ckpt.Encoder)
+	scanBuckets() int
+	scanBucket(i int, buf []iomodel.Entry) ([]iomodel.Entry, int)
 }
 
 // Structures lists the constructor names accepted by Open.
@@ -602,11 +610,12 @@ func open(structure string, cfg Config) (Table, error) {
 		// Defaults are applied inside openDurable, after the superblock
 		// merge: a reopen with zero-valued fields adopts the stored
 		// parameters rather than colliding with the defaults.
-		t, err := openDurable(structure, cfg)
+		idx := expiry.New()
+		t, err := openDurable(structure, cfg, idx)
 		if err != nil {
 			return nil, err
 		}
-		return &guard{t: t, durable: true}, nil
+		return &guard{t: t, durable: true, exp: idx, now: cfg.clock()}, nil
 	}
 	cfg = cfg.withDefaults()
 	if err := cfg.validateFor(structure); err != nil {
@@ -623,7 +632,7 @@ func open(structure string, cfg Config) (Table, error) {
 		model.Close()
 		return nil, err
 	}
-	return &guard{t: inner}, nil
+	return &guard{t: inner, exp: expiry.New(), now: cfg.clock()}, nil
 }
 
 // buildAdapter constructs a fresh structure of the given canonical name
@@ -766,6 +775,10 @@ func (c *coreTable) Close() error {
 	return c.model.Close()
 }
 func (c *coreTable) saveState(e *ckpt.Encoder) { c.t.SaveState(e) }
+func (c *coreTable) scanBuckets() int          { return c.t.ScanBuckets() }
+func (c *coreTable) scanBucket(i int, buf []iomodel.Entry) ([]iomodel.Entry, int) {
+	return c.t.ScanBucket(i, buf)
+}
 
 type logTable struct {
 	base
@@ -791,6 +804,10 @@ func (l *logTable) Close() error {
 	return l.model.Close()
 }
 func (l *logTable) saveState(e *ckpt.Encoder) { l.t.SaveState(e) }
+func (l *logTable) scanBuckets() int          { return l.t.ScanBuckets() }
+func (l *logTable) scanBucket(i int, buf []iomodel.Entry) ([]iomodel.Entry, int) {
+	return l.t.ScanBucket(i, buf)
+}
 
 type chainTable struct {
 	base
@@ -813,6 +830,10 @@ func (c *chainTable) Close() error {
 	return c.model.Close()
 }
 func (c *chainTable) saveState(e *ckpt.Encoder) { c.t.SaveState(e) }
+func (c *chainTable) scanBuckets() int          { return c.t.ScanBuckets() }
+func (c *chainTable) scanBucket(i int, buf []iomodel.Entry) ([]iomodel.Entry, int) {
+	return c.t.ScanBucket(i, buf)
+}
 
 type probeTable struct {
 	base
@@ -838,6 +859,10 @@ func (p *probeTable) Close() error {
 	return p.model.Close()
 }
 func (p *probeTable) saveState(e *ckpt.Encoder) { p.t.SaveState(e) }
+func (p *probeTable) scanBuckets() int          { return p.t.ScanBuckets() }
+func (p *probeTable) scanBucket(i int, buf []iomodel.Entry) ([]iomodel.Entry, int) {
+	return p.t.ScanBucket(i, buf)
+}
 
 type extTable struct {
 	base
@@ -860,6 +885,10 @@ func (e *extTable) Close() error {
 	return e.model.Close()
 }
 func (e *extTable) saveState(enc *ckpt.Encoder) { e.t.SaveState(enc) }
+func (e *extTable) scanBuckets() int            { return e.t.ScanBuckets() }
+func (e *extTable) scanBucket(i int, buf []iomodel.Entry) ([]iomodel.Entry, int) {
+	return e.t.ScanBucket(i, buf)
+}
 
 type linTable struct {
 	base
@@ -882,6 +911,10 @@ func (l *linTable) Close() error {
 	return l.model.Close()
 }
 func (l *linTable) saveState(e *ckpt.Encoder) { l.t.SaveState(e) }
+func (l *linTable) scanBuckets() int          { return l.t.ScanBuckets() }
+func (l *linTable) scanBucket(i int, buf []iomodel.Entry) ([]iomodel.Entry, int) {
+	return l.t.ScanBucket(i, buf)
+}
 
 type twoTable struct {
 	base
@@ -904,6 +937,10 @@ func (w *twoTable) Close() error {
 	return w.model.Close()
 }
 func (w *twoTable) saveState(e *ckpt.Encoder) { w.t.SaveState(e) }
+func (w *twoTable) scanBuckets() int          { return w.t.ScanBuckets() }
+func (w *twoTable) scanBucket(i int, buf []iomodel.Entry) ([]iomodel.Entry, int) {
+	return w.t.ScanBucket(i, buf)
+}
 
 // guard enforces the close contract around every table returned by the
 // constructors: operations on a closed table fail with ErrClosed (or
@@ -915,24 +952,79 @@ type guard struct {
 	durable bool
 	closed  bool
 	ship    ShipFunc // replication seam; see Engine.SetShip
+
+	// TTL sidecar (see ttl.go): the expiry index, the millisecond clock
+	// it is read against, reusable sweep/scan scratch, and counters.
+	// Shared with the durable layer, which fills the index during WAL
+	// replay and persists it at every checkpoint.
+	exp      *expiry.Index
+	now      func() uint64
+	sweepBuf []uint64
+	scanBuf  []iomodel.Entry
+	expStats ExpiryStats
+}
+
+// insertOne applies one insert and clears the key's TTL — any plain
+// value write makes a key persistent again (Redis semantics), which is
+// also what keeps replicas convergent: the shipped record is a plain
+// insert/upsert and clears the TTL there too.
+func (g *guard) insertOne(key, val uint64) error {
+	if err := g.t.Insert(key, val); err != nil {
+		return err
+	}
+	g.exp.Clear(key)
+	return nil
+}
+
+// upsertOne applies one upsert and clears the key's TTL; see insertOne.
+func (g *guard) upsertOne(key, val uint64) error {
+	if err := g.t.Upsert(key, val); err != nil {
+		return err
+	}
+	g.exp.Clear(key)
+	return nil
+}
+
+// deleteOne applies one delete and clears the key's TTL. Deleting a
+// key that has already expired (but not yet been swept) still removes
+// it physically, but reports a miss — the key was logically absent.
+func (g *guard) deleteOne(key uint64) bool {
+	expired := g.expired(key)
+	ok := g.t.Delete(key)
+	g.exp.Clear(key)
+	return ok && !expired
+}
+
+// expired reports whether key's deadline has passed. The deadline map
+// read comes first so keys without a TTL — the hot path — never pay
+// the clock read.
+func (g *guard) expired(key uint64) bool {
+	d, ok := g.exp.Deadline(key)
+	return ok && d <= g.now()
 }
 
 func (g *guard) Insert(key, val uint64) error {
 	if g.closed {
 		return ErrClosed
 	}
-	return g.t.Insert(key, val)
+	return g.insertOne(key, val)
 }
 
 func (g *guard) Upsert(key, val uint64) error {
 	if g.closed {
 		return ErrClosed
 	}
-	return g.t.Upsert(key, val)
+	return g.upsertOne(key, val)
 }
 
 func (g *guard) Lookup(key uint64) (uint64, bool) {
 	if g.closed {
+		return 0, false
+	}
+	if g.expired(key) {
+		// Lazy expiry: the key is dead the instant its deadline passes,
+		// without waiting for the sweep to delete it physically.
+		g.expStats.LazyHits++
 		return 0, false
 	}
 	return g.t.Lookup(key)
@@ -942,7 +1034,7 @@ func (g *guard) Delete(key uint64) bool {
 	if g.closed {
 		return false
 	}
-	return g.t.Delete(key)
+	return g.deleteOne(key)
 }
 
 func (g *guard) Len() int {

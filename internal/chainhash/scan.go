@@ -1,0 +1,17 @@
+package chainhash
+
+import (
+	"extbuf/internal/block"
+	"extbuf/internal/iomodel"
+)
+
+// ScanBuckets returns the number of scan buckets: one per chain.
+func (t *Table) ScanBuckets() int { return len(t.heads) }
+
+// ScanBucket appends bucket i's entries (its whole chain) to buf,
+// returning buf and the I/Os spent. Bucket numbering is only stable
+// between table growths: a scan paged across a grow may see keys twice
+// or not at all — the cursor contract documented at the engine layer.
+func (t *Table) ScanBucket(i int, buf []iomodel.Entry) ([]iomodel.Entry, int) {
+	return block.Collect(t.d, t.heads[i], buf)
+}

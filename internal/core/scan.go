@@ -1,0 +1,24 @@
+package core
+
+import "extbuf/internal/iomodel"
+
+// ScanBuckets returns the number of scan buckets: the cascade's
+// buckets followed by Ĥ's. The structure keeps at most one copy of
+// each key (the package's API contract), so the concatenation emits
+// each key exactly once.
+func (t *Table) ScanBuckets() int {
+	return t.cascade.ScanBuckets() + t.big.NumBuckets()
+}
+
+// ScanBucket appends bucket i's entries to buf, returning buf and the
+// I/Os spent. Cascade buckets come first so freshly written keys appear
+// early; bucket numbering shifts when the cascade merges or Ĥ doubles
+// (the engine's weak cursor contract).
+func (t *Table) ScanBucket(i int, buf []iomodel.Entry) ([]iomodel.Entry, int) {
+	if nc := t.cascade.ScanBuckets(); i < nc {
+		return t.cascade.ScanBucketUnique(i, buf)
+	} else {
+		i -= nc
+	}
+	return t.big.ScanBucket(i, buf)
+}

@@ -1,0 +1,20 @@
+package exthash
+
+import "extbuf/internal/iomodel"
+
+// ScanBuckets returns the number of scan bucket slots: one per
+// directory slot. Slots sharing a bucket (local depth < global) yield
+// their contents only at the run base, so every distinct bucket is
+// emitted exactly once per full scan.
+func (t *Table) ScanBuckets() int { return len(t.dir) }
+
+// ScanBucket appends slot i's bucket to buf if i is the canonical
+// (lowest) slot pointing at it, returning buf and the I/Os spent.
+// Non-canonical slots cost nothing and emit nothing.
+func (t *Table) ScanBucket(i int, buf []iomodel.Entry) ([]iomodel.Entry, int) {
+	runLen := 1 << (t.global - uint(t.depth[i]))
+	if i%runLen != 0 {
+		return buf, 0
+	}
+	return t.d.Read(t.dir[i], buf), 1
+}

@@ -1,0 +1,18 @@
+package linhash
+
+import (
+	"extbuf/internal/block"
+	"extbuf/internal/iomodel"
+)
+
+// ScanBuckets returns the number of scan buckets: one per chain. During
+// a split round the slice order is [old round | new buckets]; a scan
+// paged across a split may see keys move — the engine documents the
+// weak cursor contract.
+func (t *Table) ScanBuckets() int { return len(t.heads) }
+
+// ScanBucket appends bucket i's entries (its whole chain) to buf,
+// returning buf and the I/Os spent.
+func (t *Table) ScanBucket(i int, buf []iomodel.Entry) ([]iomodel.Entry, int) {
+	return block.Collect(t.d, t.heads[i], buf)
+}

@@ -1,0 +1,14 @@
+package linprobe
+
+import "extbuf/internal/iomodel"
+
+// ScanBuckets returns the number of scan buckets: one per probe block.
+func (t *Table) ScanBuckets() int { return len(t.blocks) }
+
+// ScanBucket appends block i's entries to buf, returning buf and the
+// I/Os spent (always 1). Probing displaces keys from their home block,
+// so bucket order is physical order, not hash order — fine for the
+// engine's unordered scan contract.
+func (t *Table) ScanBucket(i int, buf []iomodel.Entry) ([]iomodel.Entry, int) {
+	return t.d.Read(t.blocks[i], buf), 1
+}

@@ -1,0 +1,96 @@
+package logmethod
+
+import (
+	"slices"
+
+	"extbuf/internal/iomodel"
+)
+
+// ScanBuckets returns the number of scan buckets: one for the memory
+// table H_0, then every bucket of every disk level, smallest level
+// first.
+func (t *Table) ScanBuckets() int {
+	n := 1
+	for _, lv := range t.levels {
+		n += lv.t.ScanBuckets()
+	}
+	return n
+}
+
+// ScanBucket appends bucket i's live entries to buf, returning buf and
+// the I/Os spent. Overwriting a key leaves stale copies in deeper
+// levels; a copy at level k is emitted only when no fresher copy exists
+// in H_0 or a smaller level, so a full scan emits each key exactly once
+// with its newest value. The freshness probes cost extra I/Os, which is
+// acceptable for the engine's scan contract (backup/iteration, not the
+// hot path).
+func (t *Table) ScanBucket(i int, buf []iomodel.Entry) ([]iomodel.Entry, int) {
+	return t.scanBucket(i, buf, true)
+}
+
+// ScanBucketUnique is ScanBucket without the freshness probes, for
+// callers (the Theorem 2 structure) whose API contract keeps at most
+// one copy of each key across the cascade.
+func (t *Table) ScanBucketUnique(i int, buf []iomodel.Entry) ([]iomodel.Entry, int) {
+	return t.scanBucket(i, buf, false)
+}
+
+func (t *Table) scanBucket(i int, buf []iomodel.Entry, checkShadow bool) ([]iomodel.Entry, int) {
+	if i == 0 {
+		// H_0, sorted by key so the page is deterministic within one
+		// process (map order is randomized per iteration).
+		start := len(buf)
+		for k, v := range t.h0 {
+			buf = append(buf, iomodel.Entry{Key: k, Val: v})
+		}
+		slices.SortFunc(buf[start:], func(a, b iomodel.Entry) int {
+			switch {
+			case a.Key < b.Key:
+				return -1
+			case a.Key > b.Key:
+				return 1
+			}
+			return 0
+		})
+		return buf, 0
+	}
+	i--
+	for k := 0; k < len(t.levels); k++ {
+		lv := t.levels[k]
+		nb := lv.t.ScanBuckets()
+		if i >= nb {
+			i -= nb
+			continue
+		}
+		start := len(buf)
+		buf, ios := lv.t.ScanBucket(i, buf)
+		if !checkShadow {
+			return buf, ios
+		}
+		w := start
+		for _, e := range buf[start:] {
+			if _, hit := t.h0[e.Key]; hit {
+				continue
+			}
+			shadowed := false
+			for j := 0; j < k; j++ {
+				if t.levels[j].t.Len() == 0 {
+					continue
+				}
+				_, hit, c := t.levels[j].t.Lookup(e.Key)
+				ios += c
+				if hit {
+					shadowed = true
+					break
+				}
+			}
+			if shadowed {
+				continue
+			}
+			buf[w] = e
+			w++
+		}
+		return buf[:w], ios
+	}
+	return buf, 0
+}

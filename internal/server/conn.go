@@ -25,8 +25,10 @@ type request struct {
 	id      uint32
 	keys    []uint64
 	vals    []uint64
-	lsn     uint64 // LOOKUPAT's read token / REPL_SUBSCRIBE's start LSN
-	errText string // set when the reader rejected the frame (op == wire.OpErr)
+	vals2   []uint64 // UPSERTTTL's deadlines / CAS's new values
+	lsn     uint64   // LOOKUPAT's read token / REPL_SUBSCRIBE's start / SCAN's cursor
+	maxN    uint32   // SCAN's requested page size
+	errText string   // set when the reader rejected the frame (op == wire.OpErr)
 }
 
 // conn is one client connection: a reader decoding frames into a
@@ -141,6 +143,17 @@ func (c *conn) reader() {
 					req.keys, derr = wire.DecodeKeysInto(f.Payload[8:], req.keys)
 				}
 			}
+		case wire.OpExpire:
+			// Deadlines ride the value column of the KV codec.
+			if derr = c.checkBatch(f.Payload); derr == nil {
+				req.keys, req.vals, derr = wire.DecodeKVInto(f.Payload, req.keys, req.vals)
+			}
+		case wire.OpUpsertTTL, wire.OpCAS:
+			if derr = c.checkBatch(f.Payload); derr == nil {
+				req.keys, req.vals, req.vals2, derr = wire.DecodeTriplesInto(f.Payload, req.keys, req.vals, req.vals2)
+			}
+		case wire.OpScan:
+			req.lsn, req.maxN, derr = wire.DecodeScan(f.Payload)
 		case wire.OpReplSubscribe:
 			req.lsn, derr = wire.DecodeLSN(f.Payload)
 		case wire.OpReplAck:
@@ -250,6 +263,10 @@ func (c *conn) applier() {
 			c.serveBatch(first.op, c.batch)
 		case wire.OpLookupAt:
 			c.serveLookupAt(first)
+		case wire.OpExpire, wire.OpUpsertTTL, wire.OpCAS:
+			c.serveTTL(first)
+		case wire.OpScan:
+			c.serveScan(first)
 		case wire.OpReplSubscribe:
 			c.serveRepl(first)
 		default:
@@ -383,6 +400,69 @@ func (c *conn) valsOut(n int) []uint64 {
 	return c.vals[:n]
 }
 
+// serveTTL answers the TTL/CAS mutations. They are mutations in full:
+// gated on writability, shipped from inside the engine (the Ship
+// variants), and acknowledged only behind the same commit barrier as
+// inserts — a kill -9 after the response never loses an acked expiry
+// or swap. Responses carry the covering ship LSN, so a client can
+// read-its-swap on a replica with LOOKUPAT.
+func (c *conn) serveTTL(r *request) {
+	defer c.putReq(r)
+	if !c.srv.writableNow() {
+		c.respondErr(r.id, errNotWritable)
+		return
+	}
+	var (
+		last  uint64
+		found []bool
+		err   error
+	)
+	switch r.op {
+	case wire.OpExpire:
+		found = c.foundOut(len(r.keys))
+		last, err = c.srv.engine.ExpireBatchShip(r.keys, r.vals, found)
+	case wire.OpUpsertTTL:
+		last, err = c.srv.engine.UpsertTTLBatchShip(r.keys, r.vals, r.vals2)
+	case wire.OpCAS:
+		found = c.foundOut(len(r.keys))
+		last, err = c.srv.engine.CompareSwapBatchShip(r.keys, r.vals, r.vals2, found)
+	}
+	if err == nil {
+		err = c.srv.commitMutation(last)
+	}
+	if err != nil {
+		c.respondErr(r.id, err)
+		return
+	}
+	epoch := c.srv.epochNow()
+	if r.op == wire.OpUpsertTTL {
+		c.pay = wire.AppendAckT(c.pay[:0], last, epoch)
+		c.respond(wire.OpAckT, r.id, c.pay)
+		return
+	}
+	c.pay = wire.AppendFoundsT(c.pay[:0], last, epoch, found)
+	c.respond(wire.OpFoundsT, r.id, c.pay)
+}
+
+// serveScan answers one cursor page. Scans are reads — replicas serve
+// them — and the engine may overshoot the requested page by the tail
+// of the bucket that crossed it, so the request's max is clamped to
+// half the protocol batch bound to keep the response encodable.
+func (c *conn) serveScan(r *request) {
+	defer c.putReq(r)
+	max := int(r.maxN)
+	if limit := min(c.srv.maxBatch, wire.MaxBatch/2); max <= 0 || max > limit {
+		max = limit
+	}
+	keys, vals, next, err := c.srv.engine.Scan(r.lsn, max)
+	if err != nil {
+		c.respondErr(r.id, err)
+		return
+	}
+	c.pay = wire.AppendScanR(c.pay[:0], next, keys, vals)
+	c.respond(wire.OpScanR, r.id, c.pay)
+}
+
 // serveLookupAt answers a token-carrying lookup: wait (bounded) until
 // this node has applied at least the token's LSN — read-your-writes on
 // a replica — then serve the batch like any LOOKUP. A node without
@@ -498,6 +578,7 @@ func (c *conn) serveSingle(r *request) {
 			Ops:        c.srv.engine.Stats(),
 			Store:      c.srv.engine.StoreStats(),
 			Repl:       c.srv.replStats(),
+			Expiry:     c.srv.engine.ExpiryStats(),
 		})
 		c.respond(wire.OpStatsR, r.id, c.pay)
 	case wire.OpPing:
@@ -579,7 +660,9 @@ func (c *conn) getReq() *request {
 	case r := <-c.reqFree:
 		r.keys = r.keys[:0]
 		r.vals = r.vals[:0]
+		r.vals2 = r.vals2[:0]
 		r.lsn = 0
+		r.maxN = 0
 		r.errText = ""
 		return r
 	default:

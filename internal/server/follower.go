@@ -239,6 +239,14 @@ func (f *Follower) apply(batch []wire.ReplRec) error {
 				f.found = make([]bool, len(f.keys))
 			}
 			err = f.srv.engine.DeleteBatchInto(f.keys, f.found[:len(f.keys)])
+		case wal.OpExpire:
+			// Deadlines ride the value field. Non-ship variant: the
+			// stream-order append below adds the record to our own ship
+			// log at the primary's position; the engine seam must not.
+			if cap(f.found) < len(f.keys) {
+				f.found = make([]bool, len(f.keys))
+			}
+			err = f.srv.engine.ExpireBatch(f.keys, f.vals, f.found[:len(f.keys)])
 		default:
 			err = fmt.Errorf("replicated record with unknown op %d", op)
 		}

@@ -68,6 +68,15 @@ type Config struct {
 	Logf func(format string, args ...any)
 	// Repl enables WAL-shipping replication (nil: off). See ReplConfig.
 	Repl *ReplConfig
+	// SweepEvery runs the background TTL sweeper at this interval
+	// (0: no sweeper — expired keys are hidden lazily on read but
+	// their space is only reclaimed when the key is written again).
+	// Followers skip sweeping and converge via the primary's shipped
+	// deletes.
+	SweepEvery time.Duration
+	// SweepMax caps the keys reclaimed per sweep tick (default 4096),
+	// bounding the write burst a sweep injects ahead of client load.
+	SweepMax int
 }
 
 // DefaultMaxBatch is the per-frame and per-aggregation operation cap
@@ -95,6 +104,10 @@ type Server struct {
 	draining  bool
 
 	connWG sync.WaitGroup
+
+	sweepStop chan struct{} // nil: no sweeper configured
+	sweepDone chan struct{}
+	sweepOnce sync.Once
 }
 
 // New returns a server for cfg. It does not listen; pass listeners to
@@ -166,7 +179,60 @@ func NewServer(cfg Config) (*Server, error) {
 			}
 		}
 	}
+	if cfg.SweepEvery > 0 {
+		max := cfg.SweepMax
+		if max <= 0 {
+			max = DefaultSweepMax
+		}
+		s.sweepStop = make(chan struct{})
+		s.sweepDone = make(chan struct{})
+		go s.sweepLoop(cfg.SweepEvery, max)
+	}
 	return s, nil
+}
+
+// DefaultSweepMax is the per-tick reclamation cap used when
+// Config.SweepMax is zero.
+const DefaultSweepMax = 4096
+
+// stopSweeper ends the sweep loop and waits for it. Idempotent; no-op
+// when no sweeper was configured.
+func (s *Server) stopSweeper() {
+	if s.sweepStop == nil {
+		return
+	}
+	s.sweepOnce.Do(func() { close(s.sweepStop) })
+	<-s.sweepDone
+}
+
+// sweepLoop periodically reclaims due keys through the engine's normal
+// logged-and-shipped delete path, then runs the same commit barrier as
+// client mutations so a crash cannot resurrect swept keys after their
+// deletes were shipped to followers.
+func (s *Server) sweepLoop(every time.Duration, max int) {
+	defer close(s.sweepDone)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.sweepStop:
+			return
+		case <-t.C:
+		}
+		if !s.writableNow() {
+			continue // replicas converge via the primary's shipped deletes
+		}
+		n, last, err := s.engine.SweepExpired(max)
+		if err != nil {
+			s.logf("ttl sweep: %v", err)
+			continue
+		}
+		if n > 0 {
+			if err := s.commitMutation(last); err != nil {
+				s.logf("ttl sweep commit: %v", err)
+			}
+		}
+	}
 }
 
 // writableNow reports whether the node currently accepts mutations:
@@ -348,6 +414,9 @@ func isTransientAccept(err error) bool {
 // the caller owns its lifecycle and typically runs the checkpoint
 // (engine Close) right after a nil return.
 func (s *Server) Shutdown(ctx context.Context) error {
+	// The sweeper injects mutations; stop it before draining so no sweep
+	// races the connections' final commits.
+	s.stopSweeper()
 	s.mu.Lock()
 	s.draining = true
 	for lis := range s.listeners {

@@ -180,6 +180,7 @@ func TestPipelinedAggregation(t *testing.T) {
 type countingEngine struct {
 	mu          sync.Mutex
 	m           map[uint64]uint64
+	ttl         map[uint64]uint64
 	ship        extbuf.ShipFunc
 	insertCalls atomic.Int64
 	inserted    atomic.Int64
@@ -303,6 +304,70 @@ func (e *countingEngine) DeleteBatch(keys []uint64) ([]bool, error) {
 	found := make([]bool, len(keys))
 	err := e.DeleteBatchInto(keys, found)
 	return found, err
+}
+
+// TTL/CAS/scan surface: the fake tracks deadlines in a second map so
+// server-level round-trips have something to observe.
+func (e *countingEngine) ExpireBatch(keys, deadlines []uint64, found []bool) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.ttl == nil {
+		e.ttl = make(map[uint64]uint64)
+	}
+	for i, k := range keys {
+		_, found[i] = e.m[k]
+		if found[i] {
+			e.ttl[k] = deadlines[i]
+		}
+	}
+	return nil
+}
+func (e *countingEngine) ExpireBatchShip(keys, deadlines []uint64, found []bool) (uint64, error) {
+	if err := e.ExpireBatch(keys, deadlines, found); err != nil {
+		return 0, err
+	}
+	return e.shipAll(extbuf.ShipExpire, keys, deadlines)
+}
+func (e *countingEngine) UpsertTTLBatchShip(keys, vals, deadlines []uint64) (uint64, error) {
+	if err := e.UpsertBatch(keys, vals); err != nil {
+		return 0, err
+	}
+	found := make([]bool, len(keys))
+	return e.ExpireBatchShip(keys, deadlines, found)
+}
+func (e *countingEngine) CompareSwapBatchShip(keys, olds, news []uint64, swapped []bool) (uint64, error) {
+	e.mu.Lock()
+	var sk, sv []uint64
+	for i, k := range keys {
+		v, ok := e.m[k]
+		swapped[i] = ok && v == olds[i]
+		if swapped[i] {
+			e.m[k] = news[i]
+			sk = append(sk, k)
+			sv = append(sv, news[i])
+		}
+	}
+	e.mu.Unlock()
+	return e.shipAll(extbuf.ShipUpsert, sk, sv)
+}
+func (e *countingEngine) Scan(cursor uint64, max int) ([]uint64, []uint64, uint64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if cursor != 0 {
+		return nil, nil, extbuf.ScanDone, nil
+	}
+	var keys, vals []uint64
+	for k, v := range e.m {
+		keys = append(keys, k)
+		vals = append(vals, v)
+	}
+	return keys, vals, extbuf.ScanDone, nil
+}
+func (e *countingEngine) SweepExpired(max int) (int, uint64, error) { return 0, 0, nil }
+func (e *countingEngine) ExpiryStats() extbuf.ExpiryStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return extbuf.ExpiryStats{Tracked: int64(len(e.ttl))}
 }
 
 // TestOversizedBatchRejected sends a well-framed request above the

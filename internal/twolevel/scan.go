@@ -1,0 +1,23 @@
+package twolevel
+
+import (
+	"extbuf/internal/block"
+	"extbuf/internal/iomodel"
+)
+
+// ScanBuckets returns the number of scan buckets: the home buckets
+// followed by the overflow table's buckets. A key lives in exactly one
+// of the two levels (the dirty-set machinery preserves that invariant),
+// so the concatenation emits each key once.
+func (t *Table) ScanBuckets() int {
+	return len(t.homes) + t.overflow.ScanBuckets()
+}
+
+// ScanBucket appends bucket i's entries to buf, returning buf and the
+// I/Os spent.
+func (t *Table) ScanBucket(i int, buf []iomodel.Entry) ([]iomodel.Entry, int) {
+	if i < len(t.homes) {
+		return block.Collect(t.d, t.homes[i], buf)
+	}
+	return t.overflow.ScanBucket(i-len(t.homes), buf)
+}

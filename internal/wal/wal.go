@@ -55,11 +55,14 @@ import (
 // Op is a logged logical operation.
 type Op uint8
 
-// Logged operation kinds.
+// Logged operation kinds. OpExpire reuses the record frame with the
+// value field carrying the expiry deadline (unix milliseconds); it sets
+// a key's TTL without changing its value.
 const (
 	OpInsert Op = 1
 	OpUpsert Op = 2
 	OpDelete Op = 3
+	OpExpire Op = 4
 )
 
 // Record is one recovered log entry.

@@ -91,6 +91,12 @@ const (
 	OpDeleteAt      Op = 15 // key batch; answered by FOUNDST
 	OpInfo          Op = 32 // empty; answered by INFOR
 	OpPromote       Op = 33 // empty; answered by INFOR after promotion
+
+	// TTL / CAS / scan requests (PR 10).
+	OpExpire    Op = 34 // count, count x (key, deadline ms); answered by FOUNDST
+	OpUpsertTTL Op = 35 // count, count x (key, val, deadline ms); answered by ACKT
+	OpCAS       Op = 36 // count, count x (key, old, new); answered by FOUNDST
+	OpScan      Op = 37 // cursor, max count; answered by SCANR
 )
 
 // Response opcodes.
@@ -107,6 +113,7 @@ const (
 	OpAckT      Op = 23 // LSN, epoch
 	OpFoundsT   Op = 24 // LSN, epoch, count, count x found byte
 	OpInfoR     Op = 25 // epoch, applied LSN, writable byte, role byte
+	OpScanR     Op = 26 // next cursor, count, count x (key, val)
 )
 
 // String names the opcode for logs and errors.
@@ -146,6 +153,14 @@ func (o Op) String() string {
 		return "INFO"
 	case OpPromote:
 		return "PROMOTE"
+	case OpExpire:
+		return "EXPIRE"
+	case OpUpsertTTL:
+		return "UPSERTTTL"
+	case OpCAS:
+		return "CAS"
+	case OpScan:
+		return "SCAN"
 	case OpAck:
 		return "ACK"
 	case OpValues:
@@ -166,6 +181,8 @@ func (o Op) String() string {
 		return "FOUNDST"
 	case OpInfoR:
 		return "INFOR"
+	case OpScanR:
+		return "SCANR"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}
@@ -193,6 +210,12 @@ const (
 	// MaxReplBatch bounds the records in one REPLBATCH frame: 17 bytes
 	// per record plus the 20-byte prefix stays well inside MaxPayload.
 	MaxReplBatch = 1 << 15
+
+	// MaxTripleBatch bounds the operations in a triple-column request
+	// (UPSERTTTL, CAS): the largest 24-byte-stride batch whose payload
+	// still fits MaxPayload, so the reader's allocation bound is
+	// unchanged.
+	MaxTripleBatch = (MaxPayload - 4) / 24
 )
 
 // Error-text prefixes for replication routing errors carried in ERR
@@ -426,6 +449,72 @@ func DecodeFoundsInto(p []byte, found []bool) ([]bool, error) {
 	return found, nil
 }
 
+// AppendTriples appends a triple-column batch payload: UPSERTTTL's
+// (key, val, deadline) or CAS's (key, old, new). It panics on length
+// mismatches or batches above MaxTripleBatch — caller bugs.
+func AppendTriples(dst []byte, a, b, c []uint64) []byte {
+	if len(a) != len(b) || len(a) != len(c) {
+		panic("wire: triple batch length mismatch")
+	}
+	if len(a) > MaxTripleBatch {
+		panic("wire: batch exceeds MaxTripleBatch")
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(a)))
+	for i := range a {
+		dst = binary.LittleEndian.AppendUint64(dst, a[i])
+		dst = binary.LittleEndian.AppendUint64(dst, b[i])
+		dst = binary.LittleEndian.AppendUint64(dst, c[i])
+	}
+	return dst
+}
+
+// DecodeTriplesInto appends the decoded triple-column batch of p to the
+// three column slices.
+func DecodeTriplesInto(p []byte, a, b, c []uint64) ([]uint64, []uint64, []uint64, error) {
+	n, body, err := batchHeader(p, 24)
+	if err != nil {
+		return a, b, c, err
+	}
+	for i := 0; i < n; i++ {
+		a = append(a, binary.LittleEndian.Uint64(body[i*24:]))
+		b = append(b, binary.LittleEndian.Uint64(body[i*24+8:]))
+		c = append(c, binary.LittleEndian.Uint64(body[i*24+16:]))
+	}
+	return a, b, c, nil
+}
+
+// AppendScan appends a SCAN request payload: the resume cursor (0
+// starts a scan) and the page size the client wants.
+func AppendScan(dst []byte, cursor uint64, max uint32) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, cursor)
+	return binary.LittleEndian.AppendUint32(dst, max)
+}
+
+// DecodeScan decodes a SCAN request payload.
+func DecodeScan(p []byte) (cursor uint64, max uint32, err error) {
+	if len(p) != 12 {
+		return 0, 0, fmt.Errorf("%w: %d-byte SCAN payload", ErrFrame, len(p))
+	}
+	return binary.LittleEndian.Uint64(p), binary.LittleEndian.Uint32(p[8:]), nil
+}
+
+// AppendScanR appends a SCANR response payload: the cursor for the next
+// page (extbuf.ScanDone when exhausted) and this page's entries.
+func AppendScanR(dst []byte, next uint64, keys, vals []uint64) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, next)
+	return AppendKV(dst, keys, vals)
+}
+
+// DecodeScanRInto decodes a SCANR payload, appending the entries.
+func DecodeScanRInto(p []byte, keys, vals []uint64) (next uint64, outK, outV []uint64, err error) {
+	if len(p) < 8 {
+		return 0, keys, vals, fmt.Errorf("%w: %d-byte SCANR payload", ErrFrame, len(p))
+	}
+	next = binary.LittleEndian.Uint64(p)
+	outK, outV, err = DecodeKVInto(p[8:], keys, vals)
+	return next, outK, outV, err
+}
+
 // batchHeader validates a count-prefixed payload whose entries are
 // stride bytes each and returns the count and entry bytes.
 func batchHeader(p []byte, stride int) (int, []byte, error) {
@@ -627,6 +716,7 @@ type Stats struct {
 	Ops        extbuf.Stats
 	Store      extbuf.StoreStats
 	Repl       extbuf.ReplStats
+	Expiry     extbuf.ExpiryStats
 }
 
 // statsFields lists the encoded fields in wire order. The order is the
@@ -647,6 +737,8 @@ func (s *Stats) statsFields() []*int64 {
 		// PR 9: kernel-bypass I/O tier counters.
 		&s.Store.DirectIO, &s.Store.ODirectFallbacks,
 		&s.Store.UringEnters, &s.Store.UringSQEs, &s.Store.UringFallbacks,
+		// PR 10: TTL expiry counters.
+		&s.Expiry.Tracked, &s.Expiry.LazyHits, &s.Expiry.Swept,
 	}
 }
 

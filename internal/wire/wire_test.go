@@ -195,6 +195,11 @@ func FuzzWireFrame(f *testing.F) {
 	f.Add(AppendFrame(nil, OpValues, 3, AppendValues(nil, []uint64{6}, []bool{true})))
 	f.Add(AppendFrame(nil, OpStatsR, 4, AppendStats(nil, Stats{Len: 7})))
 	f.Add(AppendFrame(nil, OpLen, 5, nil))
+	f.Add(AppendFrame(nil, OpUpsertTTL, 6, AppendTriples(nil, []uint64{1}, []uint64{2}, []uint64{3})))
+	f.Add(AppendFrame(nil, OpCAS, 7, AppendTriples(nil, []uint64{1, 2}, []uint64{0, 0}, []uint64{9, 9})))
+	f.Add(AppendFrame(nil, OpScan, 8, AppendScan(nil, 1<<48|7, 512)))
+	f.Add(AppendFrame(nil, OpScanR, 9, AppendScanR(nil, ^uint64(0), []uint64{1}, []uint64{2})))
+	f.Add(AppendFrame(nil, OpExpire, 10, AppendKV(nil, []uint64{3}, []uint64{1e12})))
 	f.Add([]byte{})
 	f.Add([]byte{0x45, 0x58, 0x57, 0x46})
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -220,6 +225,9 @@ func FuzzWireFrame(f *testing.F) {
 			DecodeFoundsInto(fr.Payload, nil)
 			DecodeCount(fr.Payload)
 			DecodeStats(fr.Payload)
+			DecodeTriplesInto(fr.Payload, nil, nil, nil)
+			DecodeScan(fr.Payload)
+			DecodeScanRInto(fr.Payload, nil, nil)
 		}
 	})
 }
@@ -283,5 +291,97 @@ func TestReplPayloadRoundTrips(t *testing.T) {
 	got, err := DecodeStats(AppendStats(nil, st))
 	if err != nil || got != st {
 		t.Fatalf("stats = %+v, %v; want %+v", got, err, st)
+	}
+}
+
+// TestTTLPayloadRoundTrips covers the PR 10 TTL/CAS/scan codecs.
+func TestTTLPayloadRoundTrips(t *testing.T) {
+	a, b, c := []uint64{1, 2}, []uint64{10, 20}, []uint64{100, 200}
+	gotA, gotB, gotC, err := DecodeTriplesInto(AppendTriples(nil, a, b, c), nil, nil, nil)
+	if err != nil || len(gotA) != 2 || gotA[1] != 2 || gotB[1] != 20 || gotC[1] != 200 {
+		t.Fatalf("triples = %v %v %v, %v", gotA, gotB, gotC, err)
+	}
+	// Empty batches round-trip (a pipelined no-op).
+	if _, _, _, err := DecodeTriplesInto(AppendTriples(nil, nil, nil, nil), nil, nil, nil); err != nil {
+		t.Fatalf("empty triples: %v", err)
+	}
+	// A count lying about the bytes present is rejected.
+	bad := binary.LittleEndian.AppendUint32(nil, 2)
+	bad = append(bad, make([]byte, 24)...) // one entry, count says two
+	if _, _, _, err := DecodeTriplesInto(bad, nil, nil, nil); !errors.Is(err, ErrFrame) {
+		t.Fatalf("short triples: %v, want ErrFrame", err)
+	}
+	// The largest legal triple batch stays inside MaxPayload.
+	big := make([]uint64, MaxTripleBatch)
+	if p := AppendTriples(nil, big, big, big); len(p) > MaxPayload {
+		t.Fatalf("MaxTripleBatch payload %d exceeds MaxPayload %d", len(p), MaxPayload)
+	}
+
+	cur, max, err := DecodeScan(AppendScan(nil, 3<<48|99, 512))
+	if err != nil || cur != 3<<48|99 || max != 512 {
+		t.Fatalf("scan = %d %d, %v", cur, max, err)
+	}
+	if _, _, err := DecodeScan([]byte{1, 2, 3}); !errors.Is(err, ErrFrame) {
+		t.Fatalf("short scan: %v, want ErrFrame", err)
+	}
+
+	next, keys, vals, err := DecodeScanRInto(AppendScanR(nil, 42, []uint64{7, 8}, []uint64{70, 80}), nil, nil)
+	if err != nil || next != 42 || len(keys) != 2 || keys[1] != 8 || vals[1] != 80 {
+		t.Fatalf("scanr = %d %v %v, %v", next, keys, vals, err)
+	}
+	// An empty final page round-trips with the done cursor.
+	next, keys, _, err = DecodeScanRInto(AppendScanR(nil, ^uint64(0), nil, nil), nil, nil)
+	if err != nil || next != ^uint64(0) || len(keys) != 0 {
+		t.Fatalf("final scanr = %d %v, %v", next, keys, err)
+	}
+	if _, _, _, err := DecodeScanRInto([]byte{1}, nil, nil); !errors.Is(err, ErrFrame) {
+		t.Fatalf("short scanr: %v, want ErrFrame", err)
+	}
+
+	// Stats round-trips the appended expiry fields, and an old-format
+	// payload (without them) still decodes — the append-only contract.
+	st := Stats{Len: 1, Expiry: extbuf.ExpiryStats{Tracked: 7, LazyHits: 8, Swept: 9}}
+	full := AppendStats(nil, st)
+	got, err := DecodeStats(full)
+	if err != nil || got != st {
+		t.Fatalf("stats = %+v, %v; want %+v", got, err, st)
+	}
+	old := binary.LittleEndian.AppendUint32(nil, binary.LittleEndian.Uint32(full)-3)
+	old = append(old, full[4:len(full)-24]...)
+	got, err = DecodeStats(old)
+	if err != nil || got.Len != 1 || got.Expiry != (extbuf.ExpiryStats{}) {
+		t.Fatalf("pre-expiry stats = %+v, %v", got, err)
+	}
+}
+
+// TestNewOpcodesDistinct pins the PR 10 opcode assignments: they must
+// never collide with existing ops (an old peer answers an unknown op
+// with a clean ERR, but a COLLIDING op would be silently misparsed).
+func TestNewOpcodesDistinct(t *testing.T) {
+	ops := []Op{
+		OpInsert, OpUpsert, OpLookup, OpDelete, OpLen, OpSync, OpFlush,
+		OpStats, OpPing, OpInfo, OpPromote, OpLookupAt, OpInsertAt,
+		OpUpsertAt, OpDeleteAt, OpReplSubscribe, OpReplAck,
+		OpExpire, OpUpsertTTL, OpCAS, OpScan,
+		OpAck, OpValues, OpFounds, OpCount, OpErr, OpStatsR, OpReplBatch,
+		OpAckT, OpFoundsT, OpInfoR, OpScanR,
+	}
+	seen := make(map[Op]bool)
+	for _, op := range ops {
+		if seen[op] {
+			t.Fatalf("opcode %d assigned twice", uint8(op))
+		}
+		seen[op] = true
+		if op.String() == "" {
+			t.Fatalf("opcode %d has no name", uint8(op))
+		}
+	}
+	// Frames with the new ops pass an OLD reader untouched: framing is
+	// op-agnostic, so an old server sees the op byte and answers ERR
+	// instead of corrupting the stream.
+	buf := AppendFrame(nil, OpScan, 1, AppendScan(nil, 0, 10))
+	fr, err := NewReader(bytes.NewReader(buf)).Next()
+	if err != nil || fr.Op != OpScan {
+		t.Fatalf("new-op frame through reader: %+v, %v", fr, err)
 	}
 }

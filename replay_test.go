@@ -4,7 +4,9 @@ import (
 	"testing"
 
 	"extbuf/internal/ckpt"
+	"extbuf/internal/expiry"
 	"extbuf/internal/hashfn"
+	"extbuf/internal/iomodel"
 	"extbuf/internal/wal"
 	"extbuf/internal/xrand"
 )
@@ -28,14 +30,16 @@ func (r *replayMock) Delete(k uint64) bool {
 	delete(r.m, k)
 	return ok
 }
-func (r *replayMock) Len() int                { return len(r.m) }
-func (r *replayMock) Stats() Stats            { return Stats{} }
-func (r *replayMock) MemoryUsed() int64       { return 0 }
-func (r *replayMock) Sync() error             { return nil }
-func (r *replayMock) Flush() error            { return nil }
-func (r *replayMock) StoreStats() StoreStats  { return StoreStats{} }
-func (r *replayMock) Close() error            { return nil }
-func (r *replayMock) saveState(*ckpt.Encoder) {}
+func (r *replayMock) Len() int                                               { return len(r.m) }
+func (r *replayMock) Stats() Stats                                           { return Stats{} }
+func (r *replayMock) MemoryUsed() int64                                      { return 0 }
+func (r *replayMock) Sync() error                                            { return nil }
+func (r *replayMock) Flush() error                                           { return nil }
+func (r *replayMock) StoreStats() StoreStats                                 { return StoreStats{} }
+func (r *replayMock) Close() error                                           { return nil }
+func (r *replayMock) saveState(*ckpt.Encoder)                                {}
+func (r *replayMock) scanBuckets() int                                       { return 0 }
+func (r *replayMock) scanBucket(int, []iomodel.Entry) ([]iomodel.Entry, int) { return nil, 0 }
 
 // TestReplayRecordsParallelEquivalent: the parallel replay path (hash
 // partition, last-write-wins collapse, bucket-ordered apply) must leave
@@ -54,6 +58,11 @@ func TestReplayRecordsParallelEquivalent(t *testing.T) {
 			r.Op = wal.OpDelete
 		case 1:
 			r.Op = wal.OpInsert
+		case 2:
+			// Expire: the value field carries the deadline. Real logs
+			// only hold expires for present keys, but replay must
+			// tolerate any interleaving the collapse can produce.
+			r.Op = wal.OpExpire
 		default:
 			r.Op = wal.OpUpsert
 		}
@@ -62,10 +71,11 @@ func TestReplayRecordsParallelEquivalent(t *testing.T) {
 	const lastLSN = 100 // checkpoint already absorbed this prefix
 	for _, par := range []int{2, 4, 8, 64} {
 		serial, parallel := newReplayMock(), newReplayMock()
-		if err := replayRecords(records, lastLSN, fn, serial, 1); err != nil {
+		serialIdx, parallelIdx := expiry.New(), expiry.New()
+		if err := replayRecords(records, lastLSN, fn, serial, serialIdx, 1); err != nil {
 			t.Fatal(err)
 		}
-		if err := replayRecords(records, lastLSN, fn, parallel, par); err != nil {
+		if err := replayRecords(records, lastLSN, fn, parallel, parallelIdx, par); err != nil {
 			t.Fatal(err)
 		}
 		if len(serial.m) != len(parallel.m) {
@@ -76,11 +86,19 @@ func TestReplayRecordsParallelEquivalent(t *testing.T) {
 				t.Fatalf("par=%d: key %d = (%d,%v), serial has %d", par, k, pv, ok, v)
 			}
 		}
+		if serialIdx.Len() != parallelIdx.Len() {
+			t.Fatalf("par=%d: expiry Len %d != serial %d", par, parallelIdx.Len(), serialIdx.Len())
+		}
+		serialIdx.Range(func(k, dl uint64) {
+			if pdl, ok := parallelIdx.Deadline(k); !ok || pdl != dl {
+				t.Fatalf("par=%d: deadline[%d] = (%d,%v), serial has %d", par, k, pdl, ok, dl)
+			}
+		})
 	}
 	// The dropped prefix must actually be dropped: a log entirely below
 	// lastLSN replays to an empty table.
 	empty := newReplayMock()
-	if err := replayRecords(records[:50], uint64(n), fn, empty, 8); err != nil {
+	if err := replayRecords(records[:50], uint64(n), fn, empty, expiry.New(), 8); err != nil {
 		t.Fatal(err)
 	}
 	if empty.Len() != 0 {

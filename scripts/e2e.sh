@@ -5,10 +5,16 @@
 # hashload for a few seconds, and require >= MIN_OPS sustained ops/s
 # with zero errors.
 #
+# Phase 1b (API smoke): a short YCSB-E run — cursor-paged scans mixed
+# with inserts — against the same server shape, exercising the SCAN
+# opcode end to end.
+#
 # Phase 2 (kill -9): boot a durable hashserved (file backend) on a temp
-# dir, run hashload with an acked-write log, kill -9 the server mid-
-# traffic, restart it on the same dir, and verify every acked write
-# survived. Finishes with a SIGTERM graceful-drain shutdown.
+# dir, run hashload with an acked-write log — a quarter of insert
+# batches ride UPSERTTTL and a tenth of batches are CAS swaps, so TTL
+# and CAS mutations sit on the same zero-acked-loss claim — kill -9 the
+# server mid-traffic, restart it on the same dir, and verify every
+# acked write survived. Finishes with a SIGTERM graceful-drain shutdown.
 #
 # Phase 3 (recovery time): hashbench -reopen builds a durable table of
 # REOPEN_N items with a REOPEN_TAIL-item WAL tail (simulated crash after
@@ -89,6 +95,15 @@ SRV_PID=$!
 ADDR=$(wait_addr "$WORK/addr1")
 "$BIN/hashload" -addr "$ADDR" -duration "$SMOKE_SECS" -conns 4 -workers 16 \
   -batch 256 -lookupfrac 0.5 -summary "$WORK/smoke.json" | tee "$WORK/smoke.out"
+
+echo "=== e2e phase 1b: YCSB-E scan smoke (gate: 0 errors) ==="
+"$BIN/hashload" -addr "$ADDR" -ycsb E -duration 3s -workers 8 -batch 128 \
+  -records 20000 -summary "$WORK/scan.json" | tee "$WORK/scan.out"
+SCAN_ERRS=$(awk '/^SUMMARY /{for(i=1;i<=NF;i++) if ($i ~ /^errors=/) {split($i,a,"="); print a[2]}}' "$WORK/scan.out")
+if [ "$SCAN_ERRS" -ne 0 ]; then
+  echo "FAIL: scan smoke reported $SCAN_ERRS errors" >&2
+  exit 1
+fi
 kill -TERM "$SRV_PID"
 wait "$SRV_PID"
 SRV_PID=
@@ -110,7 +125,7 @@ if [ "$OPS" -lt "$MIN_OPS" ]; then
   exit 1
 fi
 
-echo "=== e2e phase 2: durable backend, kill -9 mid-traffic, verify acked writes ==="
+echo "=== e2e phase 2: durable backend, TTL/CAS-mixed load, kill -9 mid-traffic, verify acked writes ==="
 DATA="$WORK/data"
 mkdir -p "$DATA"
 "$BIN/hashserved" -addr 127.0.0.1:0 -backend file -path "$DATA/t" -shards 4 \
@@ -118,7 +133,8 @@ mkdir -p "$DATA"
 SRV_PID=$!
 ADDR=$(wait_addr "$WORK/addr2")
 "$BIN/hashload" -addr "$ADDR" -duration "$KILL_SECS" -conns 4 -workers 8 \
-  -batch 128 -lookupfrac 0.3 -acklog "$WORK/acks.log" \
+  -batch 128 -lookupfrac 0.3 -ttlfrac 0.25 -casfrac 0.10 \
+  -acklog "$WORK/acks.log" \
   -summary "$WORK/kill.json" >"$WORK/load2.log" 2>&1 &
 LOAD_PID=$!
 sleep 4
@@ -321,7 +337,8 @@ if [ "${E2E_ODIRECT:-1}" = 1 ]; then
   SRV_PID=$!
   ADDR=$(wait_addr "$WORK/addr6")
   "$BIN/hashload" -addr "$ADDR" -duration "$KILL_SECS" -conns 4 -workers 8 \
-    -batch 128 -lookupfrac 0.3 -acklog "$WORK/acks6.log" \
+    -batch 128 -lookupfrac 0.3 -ttlfrac 0.25 -casfrac 0.10 \
+    -acklog "$WORK/acks6.log" \
     -summary "$WORK/kill6.json" >"$WORK/load6.log" 2>&1 &
   LOAD_PID=$!
   sleep 4

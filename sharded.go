@@ -64,6 +64,7 @@ type Sharded struct {
 	ship  ShipFunc
 	shipK [][]uint64
 	shipV [][]uint64
+	shipW [][]uint64 // third gather column (upsert-TTL deadlines)
 
 	// reqPool and scratchPool recycle the per-request and per-batch
 	// bookkeeping (request structs, partition index lists, error/length
@@ -105,6 +106,18 @@ const (
 	opInsertShip
 	opUpsertShip
 	opDeleteShip
+
+	// The TTL/CAS/scan surface (DESIGN.md §2b). Expire has ship and
+	// non-ship variants — followers replay shipped expires without
+	// re-shipping them; CAS and upsert-with-TTL only exist shipped. All
+	// run synchronously: callers need found flags or LSNs back.
+	opExpire
+	opExpireShip
+	opUpsertTTLShip
+	opCASShip
+	opScan
+	opSweep
+	opExpiryStats
 )
 
 // shardReq is one shard's share of a batch: the positions idx of the
@@ -132,6 +145,15 @@ type shardReq struct {
 	shard  int
 	wg     *sync.WaitGroup
 
+	// TTL/CAS/scan operands and results.
+	vals2    []uint64      // third operand column: CAS new values, upsert-TTL deadlines
+	expSt    []ExpiryStats // one slot per shard (opExpiryStats)
+	cursor   uint64        // opScan: in-shard bucket cursor
+	maxN     int           // opScan page size; opSweep per-shard budget
+	scanK    []uint64      // opScan page, written by the worker
+	scanV    []uint64
+	scanNext uint64
+
 	// Inline storage for single-operation requests.
 	wg1   sync.WaitGroup
 	k1    [1]uint64
@@ -151,6 +173,7 @@ type batchScratch struct {
 	lens   []int64
 	stores []StoreStats
 	lsns   []uint64
+	expSt  []ExpiryStats
 	reqs   []*shardReq
 }
 
@@ -165,6 +188,9 @@ func (s *Sharded) putReq(r *shardReq) {
 	r.keys, r.vals, r.idx = nil, nil, nil
 	r.outV, r.outOK, r.errs, r.lens = nil, nil, nil, nil
 	r.stores, r.lsns = nil, nil
+	r.vals2, r.expSt = nil, nil
+	r.cursor, r.maxN = 0, 0
+	r.scanK, r.scanV, r.scanNext = nil, nil, 0
 	r.shard = 0
 	r.wg = nil
 	// Clear the inline result and error slots: a submission refused at
@@ -241,10 +267,12 @@ func NewSharded(structure string, cfg Config, shards int) (*Sharded, error) {
 			lens:   make([]int64, n),
 			stores: make([]StoreStats, n),
 			lsns:   make([]uint64, n),
+			expSt:  make([]ExpiryStats, n),
 		}
 	}
 	s.shipK = make([][]uint64, n)
 	s.shipV = make([][]uint64, n)
+	s.shipW = make([][]uint64, n)
 	// One group committer serves every durable shard: a Flush barrier
 	// then overlaps all shards' WAL and block-file fsyncs in one pool
 	// (two per shard) instead of each worker syncing serially.
@@ -446,6 +474,107 @@ func (s *Sharded) serve(i int, tab Table, req *shardReq) {
 				req.lsns[req.shard] = lsn + uint64(len(sk)) - 1
 			}
 		}
+	case opExpire, opExpireShip:
+		// Set deadlines on present keys, gathering the hits for the ship
+		// variant — same apply-then-ship, same total-order argument as
+		// the mutation ship kinds above.
+		g := tab.(*guard)
+		sk, sv := s.shipK[i][:0], s.shipV[i][:0]
+		var first error
+		for _, j := range req.idx {
+			ok, err := g.expireAt(req.keys[j], req.vals[j])
+			if err != nil && first == nil {
+				first = err
+			}
+			req.outOK[j] = ok
+			if ok && req.kind == opExpireShip {
+				sk = append(sk, req.keys[j])
+				sv = append(sv, req.vals[j])
+			}
+		}
+		s.shipK[i], s.shipV[i] = sk, sv
+		if req.kind == opExpireShip && len(sk) > 0 && s.ship != nil {
+			if lsn, err := s.ship(ShipExpire, sk, sv); err != nil {
+				if first == nil {
+					first = err
+				}
+			} else {
+				req.lsns[req.shard] = lsn + uint64(len(sk)) - 1
+			}
+		}
+		req.errs[req.shard] = first
+	case opUpsertTTLShip:
+		// Upsert + deadline per key; ships the value batch before the
+		// deadline batch so the covering (higher) LSNs belong to the
+		// expires and a follower at the returned LSN has both.
+		g := tab.(*guard)
+		sk, sv, sd := s.shipK[i][:0], s.shipV[i][:0], s.shipW[i][:0]
+		var first error
+		for _, j := range req.idx {
+			if err := g.upsertTTLOne(req.keys[j], req.vals[j], req.vals2[j]); err != nil {
+				if first == nil {
+					first = err
+				}
+				continue
+			}
+			sk = append(sk, req.keys[j])
+			sv = append(sv, req.vals[j])
+			sd = append(sd, req.vals2[j])
+		}
+		s.shipK[i], s.shipV[i], s.shipW[i] = sk, sv, sd
+		if len(sk) > 0 && s.ship != nil {
+			if _, err := s.ship(ShipUpsert, sk, sv); err != nil {
+				if first == nil {
+					first = err
+				}
+			} else if lsn, err := s.ship(ShipExpire, sk, sd); err != nil {
+				if first == nil {
+					first = err
+				}
+			} else {
+				req.lsns[req.shard] = lsn + uint64(len(sk)) - 1
+			}
+		}
+		req.errs[req.shard] = first
+	case opCASShip:
+		// Compare-and-swap; swapped keys ship as plain upserts (which
+		// clear any TTL on followers, matching the primary's semantics).
+		g := tab.(*guard)
+		sk, sv := s.shipK[i][:0], s.shipV[i][:0]
+		var first error
+		for _, j := range req.idx {
+			ok, err := g.casOne(req.keys[j], req.vals[j], req.vals2[j])
+			if err != nil && first == nil {
+				first = err
+			}
+			req.outOK[j] = ok
+			if ok {
+				sk = append(sk, req.keys[j])
+				sv = append(sv, req.vals2[j])
+			}
+		}
+		s.shipK[i], s.shipV[i] = sk, sv
+		if len(sk) > 0 && s.ship != nil {
+			if lsn, err := s.ship(ShipUpsert, sk, sv); err != nil {
+				if first == nil {
+					first = err
+				}
+			} else {
+				req.lsns[req.shard] = lsn + uint64(len(sk)) - 1
+			}
+		}
+		req.errs[req.shard] = first
+	case opScan:
+		req.scanK, req.scanV, req.scanNext, req.errs[req.shard] =
+			tab.(*guard).Scan(req.cursor, req.maxN)
+	case opSweep:
+		g := tab.(*guard)
+		n, lsn, err := g.SweepExpired(req.maxN)
+		req.lens[req.shard] = int64(n)
+		req.lsns[req.shard] = lsn
+		req.errs[req.shard] = err
+	case opExpiryStats:
+		req.expSt[req.shard] = tab.(*guard).ExpiryStats()
 	}
 	req.wg.Done()
 }
@@ -689,15 +818,25 @@ func (s *Sharded) DeleteBatchInto(keys []uint64, found []bool) error {
 // workers emit applied mutations to. Per the Engine contract it must
 // be wired before Ship-variant mutations are submitted and never
 // toggled concurrently with them; the serving layer installs it once
-// at construction.
-func (s *Sharded) SetShip(fn ShipFunc) { s.ship = fn }
+// at construction. The sink is also installed on every shard guard so
+// guard-level shipping paths the workers delegate to (the expiry
+// sweep) emit to the same sink; the sink's append mutex merges all
+// shards into one LSN sequence either way.
+func (s *Sharded) SetShip(fn ShipFunc) {
+	s.ship = fn
+	for _, tab := range s.shards {
+		if g, ok := tab.(*guard); ok {
+			g.SetShip(fn)
+		}
+	}
+}
 
 // runBatchShip is runBatch for the ship mutation kinds: always
 // synchronous (even under FlushAsync — the caller needs the assigned
 // LSNs back) and with no single-op shortcut, since the per-shard LSN
 // slots live in batch scratch. Returns the batch's highest ship LSN
 // (the max over per-shard maxima; 0 when nothing shipped).
-func (s *Sharded) runBatchShip(kind opKind, keys, vals []uint64, outOK []bool) (uint64, error) {
+func (s *Sharded) runBatchShip(kind opKind, keys, vals, vals2 []uint64, outOK []bool) (uint64, error) {
 	var wg sync.WaitGroup
 	sc := s.getScratch()
 	defer s.putScratch(sc)
@@ -713,6 +852,7 @@ func (s *Sharded) runBatchShip(kind opKind, keys, vals []uint64, outOK []bool) (
 		}
 		req := s.getReq()
 		req.kind, req.keys, req.vals, req.idx = kind, keys, vals, idx
+		req.vals2 = vals2
 		req.outOK = outOK
 		req.errs, req.lsns, req.shard, req.wg = sc.errs, sc.lsns, sh, &wg
 		sc.reqs = append(sc.reqs, req)
@@ -740,7 +880,7 @@ func (s *Sharded) InsertBatchShip(keys, vals []uint64) (uint64, error) {
 	if len(keys) != len(vals) {
 		return 0, fmt.Errorf("%w: %d keys, %d values", ErrBatchLength, len(keys), len(vals))
 	}
-	return s.runBatchShip(opInsertShip, keys, vals, nil)
+	return s.runBatchShip(opInsertShip, keys, vals, nil, nil)
 }
 
 // UpsertBatchShip is UpsertBatch plus shipping of the applied pairs in
@@ -749,7 +889,7 @@ func (s *Sharded) UpsertBatchShip(keys, vals []uint64) (uint64, error) {
 	if len(keys) != len(vals) {
 		return 0, fmt.Errorf("%w: %d keys, %d values", ErrBatchLength, len(keys), len(vals))
 	}
-	return s.runBatchShip(opUpsertShip, keys, vals, nil)
+	return s.runBatchShip(opUpsertShip, keys, vals, nil, nil)
 }
 
 // DeleteBatchShipInto is DeleteBatchInto plus shipping of every
@@ -761,7 +901,189 @@ func (s *Sharded) DeleteBatchShipInto(keys []uint64, found []bool) (uint64, erro
 	if len(keys) == 0 {
 		return 0, nil
 	}
-	return s.runBatchShip(opDeleteShip, keys, nil, found)
+	return s.runBatchShip(opDeleteShip, keys, nil, nil, found)
+}
+
+// scanShardShift positions the shard index in a Sharded scan cursor:
+// shard in the top 16 bits, that shard's own bucket cursor in the low
+// 48 (no structure approaches 2^48 buckets).
+const scanShardShift = 48
+
+// ExpireBatch sets each present key's expiry deadline without shipping
+// (Engine.ExpireBatch); followers replay shipped expire records through
+// this path.
+func (s *Sharded) ExpireBatch(keys, deadlines []uint64, found []bool) error {
+	if len(deadlines) != len(keys) || len(found) < len(keys) {
+		return fmt.Errorf("%w: %d keys, %d deadlines and %d found slots",
+			ErrBatchLength, len(keys), len(deadlines), len(found))
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	return s.runBatch(opExpire, keys, deadlines, nil, found)
+}
+
+// ExpireBatchShip is ExpireBatch plus shipping of the found subset in
+// apply order (Engine.ExpireBatchShip). Always synchronous.
+func (s *Sharded) ExpireBatchShip(keys, deadlines []uint64, found []bool) (uint64, error) {
+	if len(deadlines) != len(keys) || len(found) < len(keys) {
+		return 0, fmt.Errorf("%w: %d keys, %d deadlines and %d found slots",
+			ErrBatchLength, len(keys), len(deadlines), len(found))
+	}
+	if len(keys) == 0 {
+		return 0, nil
+	}
+	return s.runBatchShip(opExpireShip, keys, deadlines, nil, found)
+}
+
+// UpsertTTLBatchShip upserts each pair and installs its deadline in one
+// atomic per-key step (Engine.UpsertTTLBatchShip). Always synchronous.
+func (s *Sharded) UpsertTTLBatchShip(keys, vals, deadlines []uint64) (uint64, error) {
+	if len(vals) != len(keys) || len(deadlines) != len(keys) {
+		return 0, fmt.Errorf("%w: %d keys, %d values and %d deadlines",
+			ErrBatchLength, len(keys), len(vals), len(deadlines))
+	}
+	if len(keys) == 0 {
+		return 0, nil
+	}
+	return s.runBatchShip(opUpsertTTLShip, keys, vals, deadlines, nil)
+}
+
+// CompareSwapBatchShip atomically replaces each key's value with
+// news[i] if it currently reads olds[i] (Engine.CompareSwapBatchShip).
+// Each swap runs entirely inside the owning shard worker, so it is
+// atomic against every other operation on that key.
+func (s *Sharded) CompareSwapBatchShip(keys, olds, news []uint64, swapped []bool) (uint64, error) {
+	if len(olds) != len(keys) || len(news) != len(keys) || len(swapped) < len(keys) {
+		return 0, fmt.Errorf("%w: %d keys, %d olds, %d news and %d swapped slots",
+			ErrBatchLength, len(keys), len(olds), len(news), len(swapped))
+	}
+	if len(keys) == 0 {
+		return 0, nil
+	}
+	return s.runBatchShip(opCASShip, keys, olds, news, swapped)
+}
+
+// Scan reads one page in shard-then-bucket order (Engine.Scan). The
+// cursor packs the shard index above the shard's own bucket cursor;
+// exhausted shards advance the cursor to the next one, so a client
+// paging from 0 to ScanDone visits every shard exactly once.
+func (s *Sharded) Scan(cursor uint64, max int) ([]uint64, []uint64, uint64, error) {
+	sh := int(cursor >> scanShardShift)
+	inner := cursor & (1<<scanShardShift - 1)
+	for sh < len(s.shards) {
+		keys, vals, next, err := s.scanShard(sh, inner, max)
+		if err != nil {
+			return nil, nil, ScanDone, err
+		}
+		if next != ScanDone {
+			return keys, vals, uint64(sh)<<scanShardShift | next, nil
+		}
+		sh, inner = sh+1, 0
+		if sh >= len(s.shards) {
+			return keys, vals, ScanDone, nil
+		}
+		if len(keys) > 0 {
+			return keys, vals, uint64(sh) << scanShardShift, nil
+		}
+		// Empty shard: fall through and page the next one, so callers
+		// only see an empty page when the whole table is exhausted.
+	}
+	return nil, nil, ScanDone, nil
+}
+
+// scanShard pages one shard through its worker (the worker owns the
+// table, so the page is consistent with the shard's apply order).
+func (s *Sharded) scanShard(sh int, cursor uint64, max int) ([]uint64, []uint64, uint64, error) {
+	req := s.getReq()
+	req.kind = opScan
+	req.cursor, req.maxN = cursor, max
+	req.errs, req.shard, req.wg = req.e1[:], 0, &req.wg1
+	s.stateMu.RLock()
+	if s.closed {
+		s.stateMu.RUnlock()
+		s.putReq(req)
+		return nil, nil, ScanDone, ErrClosed
+	}
+	req.wg1.Add(1)
+	s.reqs[sh] <- req
+	s.stateMu.RUnlock()
+	req.wg1.Wait()
+	keys, vals, next, err := req.scanK, req.scanV, req.scanNext, req.e1[0]
+	s.putReq(req)
+	return keys, vals, next, err
+}
+
+// SweepExpired physically deletes up to max due keys across the shards
+// (Engine.SweepExpired), splitting the budget evenly. The per-shard
+// sweeps run in parallel inside the workers and ship their deletes.
+func (s *Sharded) SweepExpired(max int) (int, uint64, error) {
+	if max <= 0 {
+		return 0, 0, nil
+	}
+	per := (max + len(s.shards) - 1) / len(s.shards)
+	var wg sync.WaitGroup
+	sc := s.getScratch()
+	defer s.putScratch(sc)
+	s.stateMu.RLock()
+	if s.closed {
+		s.stateMu.RUnlock()
+		return 0, 0, ErrClosed
+	}
+	for sh := range s.shards {
+		req := s.getReq()
+		req.kind, req.maxN = opSweep, per
+		req.errs, req.lens, req.lsns, req.shard, req.wg = sc.errs, sc.lens, sc.lsns, sh, &wg
+		sc.reqs = append(sc.reqs, req)
+		wg.Add(1)
+		s.reqs[sh] <- req
+	}
+	s.stateMu.RUnlock()
+	wg.Wait()
+	var n int64
+	var last uint64
+	for sh := range s.shards {
+		n += sc.lens[sh]
+		if sc.lsns[sh] > last {
+			last = sc.lsns[sh]
+		}
+	}
+	err := errors.Join(sc.errs...)
+	for _, req := range sc.reqs {
+		s.putReq(req)
+	}
+	return int(n), last, err
+}
+
+// ExpiryStats aggregates the shards' TTL counters (Engine.ExpiryStats).
+// Like Len it rides the pipeline, reflecting every operation submitted
+// before it.
+func (s *Sharded) ExpiryStats() ExpiryStats {
+	var wg sync.WaitGroup
+	sc := s.getScratch()
+	defer s.putScratch(sc)
+	s.stateMu.RLock()
+	if s.closed {
+		s.stateMu.RUnlock()
+		return ExpiryStats{}
+	}
+	for sh := range s.shards {
+		req := s.getReq()
+		req.kind, req.expSt, req.shard, req.wg = opExpiryStats, sc.expSt, sh, &wg
+		sc.reqs = append(sc.reqs, req)
+		wg.Add(1)
+		s.reqs[sh] <- req
+	}
+	s.stateMu.RUnlock()
+	wg.Wait()
+	var total ExpiryStats
+	for _, st := range sc.expSt {
+		total = total.Add(st)
+	}
+	for _, req := range sc.reqs {
+		s.putReq(req)
+	}
+	return total
 }
 
 // one submits a single operation with results in the pooled request's
